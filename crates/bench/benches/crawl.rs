@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for database crawling + fragment indexing:
+//! stepwise vs integrated (the Figure 10 comparison, at micro scale, in
+//! real wall-clock time rather than simulated cluster time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dash_core::crawl::{self, CrawlAlgorithm};
+use dash_mapreduce::ClusterConfig;
+use dash_relation::Database;
+use dash_tpch::{generate, Scale, TpchConfig};
+use dash_webapp::{fooddb, WebApplication};
+
+fn tiny_tpch() -> Database {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 100;
+    config.base_parts = 130;
+    generate(&config)
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let cluster = ClusterConfig::default();
+
+    // Running example: both algorithms, full pipeline.
+    let fooddb = fooddb::database();
+    let search = fooddb::search_application().expect("running example analyzes");
+    let mut group = c.benchmark_group("crawl/fooddb");
+    for (name, algorithm) in [
+        ("stepwise", CrawlAlgorithm::Stepwise),
+        ("integrated", CrawlAlgorithm::Integrated),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |_| crawl::run(&search, &fooddb, &cluster, algorithm).expect("crawl"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+
+    // TPC-H Q1 at micro scale.
+    let db = tiny_tpch();
+    let q1: WebApplication = dash_tpch::q1_application(&db).expect("Q1 analyzes");
+    let mut group = c.benchmark_group("crawl/tpch-q1");
+    group.sample_size(10);
+    for (name, algorithm) in [
+        ("stepwise", CrawlAlgorithm::Stepwise),
+        ("integrated", CrawlAlgorithm::Integrated),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |_| crawl::run(&q1, &db, &cluster, algorithm).expect("crawl"),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crawl);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for fragment-graph construction (the
+//! Table IV measurement) — bulk build vs the paper's incremental
+//! insertion.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dash_core::crawl::reference;
+use dash_core::{Fragment, FragmentGraph};
+use dash_tpch::{generate, Scale, TpchConfig};
+
+fn q2_fragments() -> (Vec<Fragment>, Option<usize>) {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 100;
+    config.base_parts = 130;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    (fragments, app.query.range_selection_index())
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let (fragments, range_pos) = q2_fragments();
+
+    c.bench_function("graph/bulk-build", |b| {
+        b.iter(|| FragmentGraph::build(&fragments, range_pos).expect("builds"))
+    });
+
+    c.bench_function("graph/incremental-insert", |b| {
+        b.iter_batched(
+            || FragmentGraph::build(&[], range_pos).expect("empty graph"),
+            |mut graph| {
+                for f in &fragments {
+                    graph.insert(f);
+                }
+                graph
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("graph/locate+neighbors", |b| {
+        let graph = FragmentGraph::build(&fragments, range_pos).expect("builds");
+        let ids: Vec<_> = fragments.iter().map(|f| f.id.clone()).collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let id = &ids[i % ids.len()];
+            i += 1;
+            let node = graph.locate(id).expect("present");
+            graph.neighbors(&node)
+        })
+    });
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for index construction: the inverted
+//! fragment index vs the naive all-pages inverted file (the design
+//! choice Section IV motivates).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dash_core::baseline::NaiveEngine;
+use dash_core::crawl::reference;
+use dash_core::index::InvertedFragmentIndex;
+use dash_core::Fragment;
+use dash_tpch::{generate, Scale, TpchConfig};
+use dash_webapp::WebApplication;
+
+fn q1_parts() -> (WebApplication, Vec<Fragment>) {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 100;
+    config.base_parts = 130;
+    let db = generate(&config);
+    let app = dash_tpch::q1_application(&db).expect("Q1 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    (app, fragments)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let (app, fragments) = q1_parts();
+
+    c.bench_function("index/inverted-fragment-index", |b| {
+        b.iter(|| InvertedFragmentIndex::build(&fragments))
+    });
+
+    let mut group = c.benchmark_group("index/naive-baseline");
+    group.sample_size(10);
+    group.bench_function("all-pages", |b| {
+        b.iter(|| NaiveEngine::from_fragments(app.clone(), &fragments, 100_000).expect("builds"))
+    });
+    group.finish();
+
+    c.bench_function("index/idf-lookup", |b| {
+        let index = InvertedFragmentIndex::build(&fragments);
+        let keywords: Vec<String> = index
+            .keywords_by_df()
+            .iter()
+            .take(64)
+            .map(|(w, _)| w.to_string())
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let w = &keywords[i % keywords.len()];
+            i += 1;
+            index.idf(w)
+        })
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates Figure 10: database crawling + fragment indexing elapsed
+//! time (simulated on the paper's 4-node cluster model), stepwise (SW)
+//! vs integrated (INT), with the stacked per-phase breakdown.
+//!
+//! Usage: `fig10 [small|medium|large]...` — defaults to all three scales.
+
+use dash_bench::datasets::{parse_scale, QueryId};
+use dash_bench::experiments::fig10;
+use dash_bench::params::DATASETS;
+use dash_bench::report::{human_secs, render_table};
+use dash_mapreduce::ClusterConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scales: Vec<_> = if args.is_empty() {
+        DATASETS.to_vec()
+    } else {
+        args.iter().filter_map(|a| parse_scale(a)).collect()
+    };
+    if scales.is_empty() {
+        eprintln!("usage: fig10 [small|medium|large]...");
+        std::process::exit(2);
+    }
+
+    println!("FIGURE 10 — DATABASE CRAWLING AND FRAGMENT INDEXING PERFORMANCE");
+    println!(
+        "(simulated elapsed time on a 4-node Hadoop-class cluster model, data volume\n\
+         extrapolated 300x to the paper's TPC-H sizes — see ClusterConfig::paper_scale)\n"
+    );
+
+    let rows = fig10(&scales, &QueryId::all(), &ClusterConfig::paper_scale());
+
+    let mut table = Vec::new();
+    for row in &rows {
+        let breakdown = row
+            .breakdown
+            .iter()
+            .map(|(label, secs)| format!("{label}={}", human_secs(*secs)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        table.push(vec![
+            row.scale.to_string(),
+            row.query.to_string(),
+            row.algorithm.to_string(),
+            human_secs(row.total_secs),
+            format!("{:.1}MB", row.shuffle_bytes as f64 / 1e6),
+            row.fragments.to_string(),
+            breakdown,
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scale",
+                "query",
+                "alg",
+                "sim elapsed",
+                "shuffled",
+                "fragments",
+                "phase breakdown"
+            ],
+            &table,
+        )
+    );
+
+    // The paper's headline comparisons.
+    println!();
+    let mut savings: Vec<f64> = Vec::new();
+    for pair in rows.chunks(2) {
+        let (sw, int) = (&pair[0], &pair[1]);
+        let saving = 100.0 * (sw.total_secs - int.total_secs) / sw.total_secs;
+        savings.push(saving);
+        println!(
+            "{:<6} {:<3}  INT vs SW: {:+.1}% elapsed ({} vs {})",
+            sw.scale,
+            sw.query,
+            -saving,
+            human_secs(int.total_secs),
+            human_secs(sw.total_secs),
+        );
+    }
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    let best = savings.iter().cloned().fold(f64::MIN, f64::max);
+    println!(
+        "\nINT saves {avg:.1}% elapsed time on average, {best:.1}% in the best case \
+         (paper: 21.4% average, 64% best; SW wins only on tiny operands)"
+    );
+}

@@ -1,0 +1,57 @@
+//! Regenerates Figure 11: top-k search latency for cold/warm/hot
+//! keywords across the (k, s) grid, on Q2's fragment index.
+//!
+//! Usage: `fig11 [small|medium|large]` — defaults to medium (the
+//! paper's setting).
+
+use dash_bench::datasets::parse_scale;
+use dash_bench::experiments::{fig11, fig11_engine};
+use dash_bench::params::{K_VALUES, S_VALUES};
+use dash_bench::report::render_table;
+use dash_mapreduce::ClusterConfig;
+use dash_tpch::Scale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| parse_scale(&a))
+        .unwrap_or(Scale::Medium);
+
+    println!(
+        "FIGURE 11 — TOP-k SEARCH PERFORMANCE (Q2, {}; average ms per search)\n",
+        scale.name()
+    );
+    eprintln!("building Q2 engine ({})...", scale.name());
+    let engine = fig11_engine(scale, &ClusterConfig::default());
+    eprintln!("engine ready: {} fragments\n", engine.fragment_count());
+
+    let cells = fig11(&engine);
+    // One row per (temperature, s); one column per k.
+    let mut table = Vec::new();
+    for temperature in ["cold", "warm", "hot"] {
+        for &s in &S_VALUES {
+            let mut row = vec![format!("{temperature} terms"), s.to_string()];
+            for &k in &K_VALUES {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.temperature == temperature && c.s == s && c.k == k)
+                    .expect("full grid");
+                row.push(format!("{:.4}", cell.avg_ms));
+            }
+            table.push(row);
+        }
+    }
+    let header: Vec<String> = ["keywords", "s"]
+        .iter()
+        .map(|s| s.to_string())
+        .chain(K_VALUES.iter().map(|k| format!("k={k}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print!("{}", render_table(&header_refs, &table));
+
+    let max_ms = cells.iter().map(|c| c.avg_ms).fold(0.0, f64::max);
+    println!(
+        "\nmax average search time {max_ms:.4} ms \
+         (paper: all under 0.27 ms; cold flat, hot slowest, s matters more when hot)"
+    );
+}

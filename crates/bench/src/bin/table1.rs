@@ -1,0 +1,42 @@
+//! Regenerates Table I: the experiment parameter grid.
+
+use dash_bench::params::{DATASETS, KEYWORDS_PER_CLASS, K_VALUES, QUERY_NAMES, S_VALUES};
+use dash_bench::report::render_table;
+
+fn main() {
+    println!("TABLE I — EXPERIMENT PARAMETERS\n");
+    let rows = vec![
+        vec![
+            "datasets".to_string(),
+            DATASETS
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ],
+        vec!["application queries".to_string(), QUERY_NAMES.join(", ")],
+        vec![
+            "no. of returned db-pages (k)".to_string(),
+            K_VALUES
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ],
+        vec![
+            "db-page threshold size (s)".to_string(),
+            S_VALUES
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ],
+        vec![
+            "keywords".to_string(),
+            format!(
+                "cold (bottom 10%), warm (middle 10%), hot (top 10%) — {KEYWORDS_PER_CLASS} each"
+            ),
+        ],
+    ];
+    print!("{}", render_table(&["Parameter", "Values"], &rows));
+}

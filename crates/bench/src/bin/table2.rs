@@ -1,0 +1,26 @@
+//! Regenerates Table II: per-relation dataset sizes at the three scales.
+
+use dash_bench::datasets::dataset;
+use dash_bench::params::DATASETS;
+use dash_bench::report::{human_bytes, render_table};
+use dash_tpch::relation_sizes;
+
+fn main() {
+    println!("TABLE II — THE THREE EXPERIMENTED DATA SETS\n");
+    let mut rows = Vec::new();
+    for scale in DATASETS {
+        let db = dataset(scale);
+        let sizes = relation_sizes(&db);
+        let mut row = vec![scale.name().to_string()];
+        row.extend(sizes.iter().map(|(_, b)| human_bytes(*b)));
+        rows.push(row);
+    }
+    print!(
+        "{}",
+        render_table(&["", "R", "N", "C", "O", "L", "P"], &rows)
+    );
+    println!(
+        "\n(paper shape: R and N tiny and scale-invariant; L dominates; \
+         small : medium : large ≈ 1 : 5 : 10)"
+    );
+}

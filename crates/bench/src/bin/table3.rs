@@ -1,0 +1,24 @@
+//! Regenerates Table III: the three application queries, as recovered by
+//! Dash's servlet analysis (not hand-written — the printed SQL is the
+//! analyzer's output).
+
+use dash_bench::datasets::{application_for, dataset, QueryId};
+use dash_tpch::Scale;
+
+fn main() {
+    println!("TABLE III — THE THREE EXPERIMENTED APPLICATION QUERIES");
+    println!("(recovered from servlet source by Dash's web-application analysis)\n");
+    let db = dataset(Scale::Small);
+    for query in QueryId::all() {
+        let app = application_for(query, &db);
+        println!("{}: {}", query.name(), app.sql);
+        println!(
+            "    operands: {:?}; query-string fields: {:?}\n",
+            app.query.relations,
+            app.field_params
+                .iter()
+                .map(|(f, _)| f.as_str())
+                .collect::<Vec<_>>()
+        );
+    }
+}

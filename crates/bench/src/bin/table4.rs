@@ -1,0 +1,53 @@
+//! Regenerates Table IV: fragment-graph building time, fragment counts
+//! and average keywords per fragment for Q1–Q3.
+//!
+//! Usage: `table4 [small|medium|large]` — defaults to medium (the
+//! paper's setting).
+
+use dash_bench::datasets::parse_scale;
+use dash_bench::experiments::table4;
+use dash_bench::report::render_table;
+use dash_mapreduce::ClusterConfig;
+use dash_tpch::Scale;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|a| parse_scale(&a))
+        .unwrap_or(Scale::Medium);
+
+    println!(
+        "TABLE IV — DB-PAGE FRAGMENT GRAPH BUILDING PERFORMANCE ({})\n",
+        scale.name()
+    );
+    let rows = table4(scale, &ClusterConfig::default());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query.to_string(),
+                format!("{:.3} sec", r.build_secs),
+                r.fragments.to_string(),
+                format!("{:.1}", r.avg_keywords),
+                r.edges.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "",
+                "building time",
+                "#db-page fragments",
+                "average #keywords",
+                "#edges"
+            ],
+            &table,
+        )
+    );
+    println!(
+        "\n(paper shape: Q2 and Q3 share fragment counts; Q3's fragments carry \
+         the most keywords; single-machine build)"
+    );
+}

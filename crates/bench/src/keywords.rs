@@ -1,0 +1,106 @@
+//! Hot/warm/cold keyword selection (Section VII-B).
+//!
+//! "We order all keywords according to their DFs. Among all those, 30 hot
+//! keywords, 30 warm keywords and 30 cold keywords are extracted from top
+//! 10%, middle 10% and bottom 10% of the keywords."
+
+use dash_core::DashEngine;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Keyword frequency class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeywordTemperature {
+    /// Sampled from the top 10% by fragment frequency.
+    Hot,
+    /// Sampled from the middle 10%.
+    Warm,
+    /// Sampled from the bottom 10%.
+    Cold,
+}
+
+impl KeywordTemperature {
+    /// All three, hottest first.
+    pub fn all() -> [KeywordTemperature; 3] {
+        [
+            KeywordTemperature::Hot,
+            KeywordTemperature::Warm,
+            KeywordTemperature::Cold,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KeywordTemperature::Hot => "hot",
+            KeywordTemperature::Warm => "warm",
+            KeywordTemperature::Cold => "cold",
+        }
+    }
+}
+
+/// Samples `count` keywords of the requested temperature from the
+/// engine's fragment-frequency distribution, deterministically for a
+/// given seed.
+pub fn select_keywords(
+    engine: &DashEngine,
+    temperature: KeywordTemperature,
+    count: usize,
+    seed: u64,
+) -> Vec<String> {
+    let ranked = engine.index().inverted.keywords_by_df();
+    if ranked.is_empty() {
+        return Vec::new();
+    }
+    let n = ranked.len();
+    let decile = (n / 10).max(1);
+    let slice: Vec<&(&str, usize)> = match temperature {
+        KeywordTemperature::Hot => ranked.iter().take(decile).collect(),
+        KeywordTemperature::Warm => {
+            let mid = n / 2;
+            let lo = mid.saturating_sub(decile / 2);
+            ranked.iter().skip(lo).take(decile).collect()
+        }
+        KeywordTemperature::Cold => ranked.iter().skip(n - decile).collect(),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let pick = slice[rng.random_range(0..slice.len())];
+        out.push(pick.0.to_string());
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_core::DashConfig;
+    use dash_webapp::fooddb;
+
+    #[test]
+    fn temperatures_order_by_df() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let engine = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
+        let hot = select_keywords(&engine, KeywordTemperature::Hot, 5, 1);
+        let cold = select_keywords(&engine, KeywordTemperature::Cold, 5, 1);
+        assert!(!hot.is_empty());
+        assert!(!cold.is_empty());
+        let df = |w: &str| engine.index().inverted.df(w);
+        let max_cold = cold.iter().map(|w| df(w)).max().unwrap();
+        let max_hot = hot.iter().map(|w| df(w)).max().unwrap();
+        assert!(max_hot >= max_cold);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let engine = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
+        let a = select_keywords(&engine, KeywordTemperature::Warm, 10, 7);
+        let b = select_keywords(&engine, KeywordTemperature::Warm, 10, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,29 @@
+//! # dash-bench
+//!
+//! The experiment harness regenerating every table and figure of the Dash
+//! paper's evaluation (Section VII). Each binary prints the same rows or
+//! series the paper reports:
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1` | Table I — experiment parameter grid |
+//! | `table2` | Table II — dataset sizes per relation |
+//! | `table3` | Table III — application queries Q1/Q2/Q3 |
+//! | `fig10`  | Figure 10 — crawl+index elapsed time, SW vs INT, stacked phase breakdown |
+//! | `table4` | Table IV — fragment-graph build time, #fragments, avg keywords |
+//! | `fig11`  | Figure 11 — top-k search latency vs `s`, `k`, keyword temperature |
+//! | `ablation` | fragments vs the naive all-pages baseline (motivating comparison) |
+//!
+//! Run `cargo run -p dash-bench --release --bin <name>`; `fig10`, `table4`
+//! and `fig11` accept an optional scale argument (`small`, `medium`,
+//! `large`) to trim runtime. Criterion micro-benchmarks live under
+//! `benches/`.
+
+pub mod datasets;
+pub mod experiments;
+pub mod keywords;
+pub mod params;
+pub mod report;
+
+pub use datasets::{application_for, dataset, QueryId};
+pub use keywords::{select_keywords, KeywordTemperature};

@@ -1,0 +1,32 @@
+//! Table I — the experiment parameter grid.
+
+use dash_tpch::Scale;
+
+/// Dataset scales evaluated (Table I row 1).
+pub const DATASETS: [Scale; 3] = [Scale::Small, Scale::Medium, Scale::Large];
+
+/// Requested result counts `k` (Table I row 3).
+pub const K_VALUES: [usize; 4] = [1, 5, 10, 20];
+
+/// Db-page size thresholds `s` (Table I row 4).
+pub const S_VALUES: [u64; 4] = [100, 200, 500, 1000];
+
+/// Keywords sampled per temperature class (Section VII-B: "30 hot
+/// keywords, 30 warm keywords and 30 cold keywords").
+pub const KEYWORDS_PER_CLASS: usize = 30;
+
+/// Query identifiers evaluated (Table I row 2).
+pub const QUERY_NAMES: [&str; 3] = ["Q1", "Q2", "Q3"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_matches_table_1() {
+        assert_eq!(DATASETS.len(), 3);
+        assert_eq!(K_VALUES, [1, 5, 10, 20]);
+        assert_eq!(S_VALUES, [100, 200, 500, 1000]);
+        assert_eq!(KEYWORDS_PER_CLASS, 30);
+    }
+}

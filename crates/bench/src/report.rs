@@ -1,0 +1,85 @@
+//! Plain-text table/series formatting for the experiment binaries.
+
+/// Formats a byte count the way Table II prints sizes (`B`, `KB`, `MB`).
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes < 1024 {
+        format!("{bytes}B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.0}KB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.0}MB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Formats seconds the way Figure 10 annotates bars (`s`, `min`, `hrs`).
+pub fn human_secs(secs: f64) -> String {
+    if secs < 120.0 {
+        format!("{secs:.1} s")
+    } else if secs < 7200.0 {
+        format!("{:.1} min", secs / 60.0)
+    } else {
+        format!("{:.1} hrs", secs / 3600.0)
+    }
+}
+
+/// Renders an aligned text table: a header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(human_bytes(389), "389B");
+        assert_eq!(human_bytes(2048), "2KB");
+        assert_eq!(human_bytes(23 * 1024 * 1024), "23MB");
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(human_secs(3.15), "3.1 s");
+        assert_eq!(human_secs(300.0), "5.0 min");
+        assert_eq!(human_secs(9.8 * 3600.0), "9.8 hrs");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["xx".into(), "y".into()], vec!["1".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a"));
+        assert!(lines[2].starts_with("xx"));
+    }
+}

@@ -1,0 +1,614 @@
+//! The integrated crawling + indexing algorithm (Section V-B, Example 5).
+//!
+//! Three steps, each a family of MapReduce jobs:
+//!
+//! 1. **Query-parameter derivation** (`INT-Jn`): every operand relation is
+//!    reduced to its *skeleton* — the selection attributes, the join
+//!    attributes, and a duplicate count θ_i (the paper's aggregate query
+//!    `c_i, j_i G count(*) as θ_i (R_i)`) — and the skeletons are joined.
+//!    The result `R` holds every fragment identifier with, per relation,
+//!    how many records share each (cᵢ, jᵢ) combination.
+//! 2. **Keyword extraction** (`INT-Ext`): each relation is joined with `R`
+//!    on its own (cᵢ, jᵢ). A record matching a skeleton row replicates
+//!    `Θ_i = Π_x θ_x / θ_i` times in the full join, so each of its
+//!    keywords is emitted with its occurrence count multiplied by Θ_i.
+//! 3. **Consolidation** (`INT-Cnsd`): occurrences of the same keyword for
+//!    the same fragment are summed and each inverted list is sorted.
+//!
+//! Projection payloads never ride through a join shuffle — only skeletons
+//! and `(keyword, fragment, count)` triples move — which is where the
+//! paper's 21%-average / 64%-best elapsed-time saving comes from.
+//!
+//! Limitation (shared with the paper's formulation): join attributes in
+//! the *base data* must be non-NULL; NULLs appear only through outer-join
+//! padding, where θ = 0 marks the missing side (`Θ` treats it as 1 and
+//! extraction never matches the padded key).
+
+use std::collections::BTreeMap;
+
+use dash_mapreduce::{ClusterConfig, JobSpec, Workflow};
+use dash_relation::{Database, JoinKind, Value};
+use dash_webapp::WebApplication;
+
+use crate::crawl::{keywords_of, CrawlOutput, Key, Row};
+use crate::fragment::{Fragment, FragmentId};
+use crate::Result;
+
+/// Per-relation skeleton layout: which of its columns the skeleton keeps.
+#[derive(Debug, Clone)]
+struct RelationSkeleton {
+    relation: String,
+    /// Column names kept (selection attrs first, then join attrs), with
+    /// their indices in the base table.
+    columns: Vec<(String, usize)>,
+    /// Indices (within the base table) of this relation's projected
+    /// attributes — the keyword sources for extraction.
+    projected: Vec<usize>,
+}
+
+/// Skeleton-join bookkeeping: where each relation's kept columns sit in
+/// the accumulated skeleton row, and where each θ sits in the theta
+/// vector.
+#[derive(Debug, Clone, Default)]
+struct SkeletonLayout {
+    /// `(relation, column)` per accumulated skeleton position.
+    cols: Vec<(String, String)>,
+    /// Relation order (θ position = index in this vector).
+    relations: Vec<String>,
+}
+
+impl SkeletonLayout {
+    fn position(&self, relation: &str, column: &str) -> Option<usize> {
+        self.cols
+            .iter()
+            .position(|(r, c)| r == relation && c == column)
+    }
+
+    fn theta_index(&self, relation: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r == relation)
+    }
+}
+
+/// Runs the integrated workflow.
+///
+/// # Errors
+///
+/// Propagates relational errors from schema lookups.
+pub fn run(app: &WebApplication, db: &Database, cluster: &ClusterConfig) -> Result<CrawlOutput> {
+    run_scoped(app, db, cluster, &crate::scope::CrawlScope::all())
+}
+
+/// [`run`] restricted to a [`crate::scope::CrawlScope`]; out-of-scope
+/// parameter combinations are dropped from `R` right after derivation,
+/// shrinking both the extraction and consolidation steps.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_scoped(
+    app: &WebApplication,
+    db: &Database,
+    cluster: &ClusterConfig,
+    scope: &crate::scope::CrawlScope,
+) -> Result<CrawlOutput> {
+    let mut wf = Workflow::new("integrated", cluster.clone());
+    let q = &app.query;
+
+    // ---- plan: per-relation skeleton column sets ----
+    let skeletons = plan_skeletons(app, db)?;
+
+    // ---- step 1: skeleton join chain → R, with θ aggregation folded
+    // into the joins ("the evaluation of θi … can be performed during the
+    // join, as ji is used as both a join key and one of group-by keys",
+    // §V-B; Figure 8 feeds the raw relations straight into the joins).
+    // Raw sides are projected to their skeleton columns in the map and
+    // duplicate-counted by a map-side combiner, so only skinny rows and
+    // counts ever shuffle.
+    let mut layout = SkeletonLayout::default();
+    let first_sk = &skeletons[0];
+    for (name, _) in &first_sk.columns {
+        layout.cols.push((first_sk.relation.clone(), name.clone()));
+    }
+    layout.relations.push(first_sk.relation.clone());
+
+    // Accumulated R rows: (skeleton values, θ per relation in order).
+    // Before the first join the accumulation is just R1 — aggregated by
+    // a standalone job only when the query has no joins at all.
+    let mut acc: Vec<(Row, Vec<u64>)>;
+    if q.joins.is_empty() {
+        let table = db.table(&first_sk.relation)?;
+        let rows: Vec<Row> = table.iter().map(|r| Row(r.values().to_vec())).collect();
+        let col_idx: Vec<usize> = first_sk.columns.iter().map(|(_, i)| *i).collect();
+        acc = wf
+            .run(
+                JobSpec::new(format!("INT aggregate {}", first_sk.relation))
+                    .label("INT-Jn")
+                    .combiner(|_k: &Key, vs: Vec<u64>| vec![vs.iter().sum()]),
+                &rows,
+                move |row: &Row, emit| {
+                    let key = Key(col_idx.iter().map(|&i| row.0[i].clone()).collect());
+                    emit(key, 1u64);
+                },
+                |key: &Key, counts: Vec<u64>, emit| emit((key.clone(), counts.iter().sum::<u64>())),
+            )
+            .into_iter()
+            .map(|(k, theta)| (Row(k.0), vec![theta]))
+            .collect();
+    } else {
+        acc = Vec::new();
+    }
+
+    for (step_no, step) in q.joins.iter().enumerate() {
+        let right_sk = skeletons
+            .iter()
+            .find(|s| s.relation == step.right_relation)
+            .expect("skeleton planned for every operand");
+        let left_pos = layout
+            .position(&step.left_relation, &step.left_column)
+            .ok_or_else(|| crate::CoreError::Internal {
+                detail: format!(
+                    "join column {}.{} missing from skeleton layout",
+                    step.left_relation, step.left_column
+                ),
+            })?;
+        let right_col_idx: Vec<usize> = right_sk.columns.iter().map(|(_, i)| *i).collect();
+        let right_pos = right_sk
+            .columns
+            .iter()
+            .position(|(c, _)| *c == step.right_column)
+            .expect("join column is part of the skeleton by construction");
+        let right_width = right_sk.columns.len();
+        let outer = step.kind == JoinKind::LeftOuter;
+        let left_is_raw = step_no == 0;
+        let left_col_idx: Vec<usize> = first_sk.columns.iter().map(|(_, i)| *i).collect();
+        let left_raw_pos = first_sk
+            .columns
+            .iter()
+            .position(|(c, _)| step.left_relation == first_sk.relation && *c == step.left_column)
+            .unwrap_or(left_pos);
+
+        // Inputs: the accumulated skinny left side (or the raw first
+        // relation) tagged 0, the raw right relation tagged 1. Raw rows
+        // carry an empty θ vector and are projected in the map.
+        let mut inputs: Vec<(u8, Row, Vec<u64>)> = if left_is_raw {
+            db.table(&first_sk.relation)?
+                .iter()
+                .map(|r| (0u8, Row(r.values().to_vec()), Vec::new()))
+                .collect()
+        } else {
+            acc.into_iter()
+                .map(|(row, thetas)| (0u8, row, thetas))
+                .collect()
+        };
+        inputs.extend(
+            db.table(&right_sk.relation)?
+                .iter()
+                .map(|r| (1u8, Row(r.values().to_vec()), Vec::new())),
+        );
+
+        acc = wf
+            .run(
+                JobSpec::new(format!("INT skeleton ⋈{}", step.right_relation))
+                    .label("INT-Jn")
+                    .combiner(|_k: &Key, vs: Vec<(u8, Row, Vec<u64>)>| merge_duplicate_rows(vs)),
+                &inputs,
+                move |(side, row, thetas): &(u8, Row, Vec<u64>), emit| {
+                    // Project raw rows down to their skeleton columns and
+                    // start their θ count at 1.
+                    let (skinny, thetas, key_pos) = if *side == 1 {
+                        (
+                            Row(right_col_idx.iter().map(|&i| row.0[i].clone()).collect()),
+                            vec![1u64],
+                            right_pos,
+                        )
+                    } else if left_is_raw {
+                        (
+                            Row(left_col_idx.iter().map(|&i| row.0[i].clone()).collect()),
+                            vec![1u64],
+                            left_raw_pos,
+                        )
+                    } else {
+                        (row.clone(), thetas.clone(), left_pos)
+                    };
+                    let key = &skinny.0[key_pos];
+                    if key.is_null() {
+                        if *side == 0 && outer {
+                            emit(Key(vec![Value::Null]), (0u8, skinny, thetas));
+                        }
+                        return;
+                    }
+                    emit(Key(vec![key.clone()]), (*side, skinny, thetas));
+                },
+                move |_key: &Key, values: Vec<(u8, Row, Vec<u64>)>, emit| {
+                    // Finish the θ aggregation (combiners only see one
+                    // split), then cross the two sides.
+                    let merged = merge_duplicate_rows(values);
+                    let mut lefts: Vec<(Row, Vec<u64>)> = Vec::new();
+                    let mut rights: Vec<(Row, Vec<u64>)> = Vec::new();
+                    for (side, row, thetas) in merged {
+                        if side == 0 {
+                            lefts.push((row, thetas));
+                        } else {
+                            rights.push((row, thetas));
+                        }
+                    }
+                    for (lrow, lthetas) in &lefts {
+                        if rights.is_empty() {
+                            if outer {
+                                let mut v = lrow.0.clone();
+                                v.extend(std::iter::repeat_with(|| Value::Null).take(right_width));
+                                let mut t = lthetas.clone();
+                                t.push(0); // θ = 0 marks the padded side
+                                emit((Row(v), t));
+                            }
+                        } else {
+                            for (rrow, rthetas) in &rights {
+                                let mut v = lrow.0.clone();
+                                v.extend_from_slice(&rrow.0);
+                                let mut t = lthetas.clone();
+                                t.extend_from_slice(rthetas);
+                                emit((Row(v), t));
+                            }
+                        }
+                    }
+                },
+            )
+            .into_iter()
+            .collect();
+        for (name, _) in &right_sk.columns {
+            layout.cols.push((right_sk.relation.clone(), name.clone()));
+        }
+        layout.relations.push(right_sk.relation.clone());
+    }
+
+    // Positions of the fragment-identifier values within skeleton rows.
+    let frag_positions: Vec<usize> = q
+        .selections
+        .iter()
+        .map(|s| {
+            layout
+                .position(&s.column.relation, &s.column.column)
+                .expect("selection attrs are skeleton columns")
+        })
+        .collect();
+
+    // Selective crawling: drop out-of-scope parameter combinations from
+    // R before anything downstream sees them.
+    if !scope.is_unrestricted() {
+        acc.retain(|(row, _)| {
+            let values: Vec<Value> = frag_positions.iter().map(|&i| row.0[i].clone()).collect();
+            scope.admits_values(&values)
+        });
+    }
+
+    // Fragment record counts: Σ over R rows of Π max(θ_x, 1).
+    let mut record_counts: BTreeMap<FragmentId, u64> = BTreeMap::new();
+    for (row, thetas) in &acc {
+        let id = FragmentId::new(frag_positions.iter().map(|&i| row.0[i].clone()).collect());
+        let product: u64 = thetas.iter().map(|&t| t.max(1)).product();
+        *record_counts.entry(id).or_insert(0) += product;
+    }
+
+    // ---- step 2: per-relation keyword extraction ----
+    // Output is compact: one `(fragment, [(keyword, count)…])` entry per
+    // fragment per reduce group, so the fragment identifier is written
+    // once per keyword *list*, not once per keyword.
+    let mut extracts: Vec<(Key, Vec<(String, u64)>)> = Vec::new();
+    for sk in &skeletons {
+        if sk.projected.is_empty() {
+            continue;
+        }
+        let table = db.table(&sk.relation)?;
+        let theta_idx = layout
+            .theta_index(&sk.relation)
+            .expect("every operand in layout");
+        // Key positions: in the base record and in the skeleton row.
+        let record_key_idx: Vec<usize> = sk.columns.iter().map(|(_, i)| *i).collect();
+        let skeleton_key_pos: Vec<usize> = sk
+            .columns
+            .iter()
+            .map(|(c, _)| {
+                layout
+                    .position(&sk.relation, c)
+                    .expect("skeleton columns in layout")
+            })
+            .collect();
+        let projected = sk.projected.clone();
+        let frag_pos = frag_positions.clone();
+
+        let mut inputs: Vec<(u8, Row, Vec<u64>)> = table
+            .iter()
+            .map(|r| (0u8, Row(r.values().to_vec()), Vec::new()))
+            .collect();
+        inputs.extend(
+            acc.iter()
+                .map(|(row, thetas)| (1u8, row.clone(), thetas.clone())),
+        );
+
+        let out: Vec<(Key, Vec<(String, u64)>)> = wf.run(
+            JobSpec::new(format!("INT extract {}", sk.relation)).label("INT-Ext"),
+            &inputs,
+            move |(side, row, thetas): &(u8, Row, Vec<u64>), emit| {
+                let key = if *side == 0 {
+                    Key(record_key_idx.iter().map(|&i| row.0[i].clone()).collect())
+                } else {
+                    Key(skeleton_key_pos.iter().map(|&i| row.0[i].clone()).collect())
+                };
+                // Padded skeleton keys (NULL) never match base records.
+                if *side == 1 && key.0.iter().any(Value::is_null) {
+                    return;
+                }
+                emit(key, (*side, row.clone(), thetas.clone()));
+            },
+            move |_key: &Key, values: Vec<(u8, Row, Vec<u64>)>, emit| {
+                let mut records: Vec<Row> = Vec::new();
+                let mut skeleton_rows: Vec<(Row, Vec<u64>)> = Vec::new();
+                for (side, row, thetas) in values {
+                    if side == 0 {
+                        records.push(row);
+                    } else {
+                        skeleton_rows.push((row, thetas));
+                    }
+                }
+                let mut per_fragment: BTreeMap<Key, BTreeMap<String, u64>> = BTreeMap::new();
+                for record in &records {
+                    let projected_values: Vec<Value> =
+                        projected.iter().map(|&i| record.0[i].clone()).collect();
+                    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+                    for kw in keywords_of(&projected_values) {
+                        *counts.entry(kw).or_insert(0) += 1;
+                    }
+                    if counts.is_empty() {
+                        continue;
+                    }
+                    for (srow, thetas) in &skeleton_rows {
+                        // Θ_i = Π_{x≠i} max(θ_x, 1): how many times this
+                        // record replicates in the full join for this
+                        // parameter combination.
+                        let multiplier: u64 = thetas
+                            .iter()
+                            .enumerate()
+                            .filter(|(x, _)| *x != theta_idx)
+                            .map(|(_, &t)| t.max(1))
+                            .product();
+                        let id = Key(frag_pos.iter().map(|&i| srow.0[i].clone()).collect());
+                        let entry = per_fragment.entry(id).or_default();
+                        for (kw, n) in &counts {
+                            *entry.entry(kw.clone()).or_insert(0) += n * multiplier;
+                        }
+                    }
+                }
+                for (id, counts) in per_fragment {
+                    emit((id, counts.into_iter().collect::<Vec<_>>()));
+                }
+            },
+        );
+        extracts.extend(out);
+    }
+
+    // ---- step 3: consolidation ----
+    // The extract jobs all hash-partition by fragment-correlated keys, so
+    // on a real cluster their output files are fragment-aligned; the
+    // consolidate mappers therefore see each fragment's per-relation
+    // lists contiguously and the map-side combiner collapses them to one
+    // entry per (keyword, fragment) before the shuffle — the same volume
+    // the stepwise index job shuffles. Sorting here reproduces that
+    // alignment for the in-memory pipeline (bookkeeping between jobs, not
+    // a metered operation).
+    extracts.sort_by(|a, b| a.0.cmp(&b.0));
+    let postings: Vec<(String, Vec<(Key, u64)>)> = wf.run(
+        JobSpec::new("INT consolidate").label("INT-Cnsd").combiner(
+            |_k: &String, vs: Vec<(Key, u64)>| {
+                let mut sums: BTreeMap<Key, u64> = BTreeMap::new();
+                for (id, n) in vs {
+                    *sums.entry(id).or_insert(0) += n;
+                }
+                sums.into_iter().collect()
+            },
+        ),
+        &extracts,
+        |(id, counts): &(Key, Vec<(String, u64)>), emit| {
+            for (kw, n) in counts {
+                emit(kw.clone(), (id.clone(), *n));
+            }
+        },
+        |kw: &String, entries: Vec<(Key, u64)>, emit| {
+            let mut sums: BTreeMap<Key, u64> = BTreeMap::new();
+            for (id, n) in entries {
+                *sums.entry(id).or_insert(0) += n;
+            }
+            let mut list: Vec<(Key, u64)> = sums.into_iter().collect();
+            list.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            emit((kw.clone(), list));
+        },
+    );
+
+    // ---- assemble fragments ----
+    let mut occurrence_maps: BTreeMap<FragmentId, BTreeMap<String, u64>> = BTreeMap::new();
+    for (kw, entries) in postings {
+        for (id, n) in entries {
+            occurrence_maps
+                .entry(FragmentId::new(id.0))
+                .or_default()
+                .insert(kw.clone(), n);
+        }
+    }
+    let fragments: Vec<Fragment> = record_counts
+        .into_iter()
+        .map(|(id, records)| {
+            let occ = occurrence_maps.remove(&id).unwrap_or_default();
+            Fragment::new(id, occ, records)
+        })
+        .collect();
+
+    Ok(CrawlOutput {
+        fragments,
+        stats: wf.into_stats(),
+    })
+}
+
+/// Merges duplicate `(side, skinny row)` entries by element-wise θ
+/// addition — the group-by-count of the paper's aggregate query,
+/// evaluated inside the join (map-side via the combiner, reduce-side for
+/// cross-split leftovers).
+fn merge_duplicate_rows(values: Vec<(u8, Row, Vec<u64>)>) -> Vec<(u8, Row, Vec<u64>)> {
+    let mut merged: BTreeMap<(u8, Row), Vec<u64>> = BTreeMap::new();
+    for (side, row, thetas) in values {
+        match merged.entry((side, row)) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(thetas);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let acc = e.get_mut();
+                debug_assert_eq!(acc.len(), thetas.len());
+                for (a, b) in acc.iter_mut().zip(thetas) {
+                    *a += b;
+                }
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .map(|((side, row), thetas)| (side, row, thetas))
+        .collect()
+}
+
+/// Decides each operand relation's skeleton columns and projected-keyword
+/// sources.
+fn plan_skeletons(app: &WebApplication, db: &Database) -> Result<Vec<RelationSkeleton>> {
+    let q = &app.query;
+    let mut out = Vec::with_capacity(q.relations.len());
+    for rel in &q.relations {
+        let schema = db.table(rel)?.schema().clone();
+        let mut columns: Vec<(String, usize)> = Vec::new();
+        let push = |name: &str,
+                    schema: &dash_relation::Schema,
+                    columns: &mut Vec<(String, usize)>|
+         -> Result<()> {
+            if columns.iter().any(|(c, _)| c == name) {
+                return Ok(());
+            }
+            let idx = schema.index_of(name)?;
+            columns.push((name.to_string(), idx));
+            Ok(())
+        };
+        // Selection attributes hosted on this relation, in selection order.
+        for sel in &q.selections {
+            if sel.column.relation == *rel {
+                push(&sel.column.column, &schema, &mut columns)?;
+            }
+        }
+        // Join attributes touching this relation, in join order.
+        for step in &q.joins {
+            if step.left_relation == *rel {
+                push(&step.left_column, &schema, &mut columns)?;
+            }
+            if step.right_relation == *rel {
+                push(&step.right_column, &schema, &mut columns)?;
+            }
+        }
+        // Projected attributes hosted on this relation.
+        let projected: Vec<usize> = q
+            .projection
+            .iter()
+            .filter(|p| p.relation == *rel)
+            .map(|p| schema.index_of(&p.column))
+            .collect::<std::result::Result<_, _>>()?;
+        out.push(RelationSkeleton {
+            relation: rel.clone(),
+            columns,
+            projected,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::{reference, stepwise};
+    use dash_mapreduce::ClusterConfig;
+    use dash_webapp::fooddb;
+
+    #[test]
+    fn matches_reference_on_fooddb() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let out = run(&app, &db, &ClusterConfig::default()).unwrap();
+        let expected = reference::fragments(&app, &db).unwrap();
+        assert_eq!(out.fragments, expected);
+    }
+
+    #[test]
+    fn matches_stepwise_exactly() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let int = run(&app, &db, &ClusterConfig::default()).unwrap();
+        let sw = stepwise::run(&app, &db, &ClusterConfig::default()).unwrap();
+        assert_eq!(int.fragments, sw.fragments);
+    }
+
+    #[test]
+    fn example_5_theta_arithmetic() {
+        // Example 5: restaurant rid=004 joins two comments which join one
+        // customer; Wandy's keywords are multiplied by 2 in (American,12).
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let out = run(&app, &db, &ClusterConfig::default()).unwrap();
+        let f12 = out
+            .fragments
+            .iter()
+            .find(|f| f.id.to_string() == "(American,12)")
+            .unwrap();
+        // Figure 5: three rows — Wandy's 4.1 (padded), Wandy's 4.2 × 2.
+        assert_eq!(f12.record_count, 3);
+        // "wandy's" appears 3× (once from rid=003, twice from rid=004).
+        assert_eq!(f12.occurrences("wandy's"), 3);
+        // "bill" appears twice (customer 132 replicated by θ_comment = 2).
+        assert_eq!(f12.occurrences("bill"), 2);
+    }
+
+    #[test]
+    fn workflow_job_structure_matches_figure_8() {
+        // 2 skeleton joins (θ aggregated in-join) + 3 extracts +
+        // 1 consolidate = 6 jobs.
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let out = run(&app, &db, &ClusterConfig::default()).unwrap();
+        assert_eq!(out.stats.jobs.len(), 6);
+        let labels: Vec<String> = out
+            .stats
+            .label_breakdown()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, vec!["INT-Jn", "INT-Ext", "INT-Cnsd"]);
+    }
+
+    #[test]
+    fn integrated_shuffles_fewer_bytes_at_scale() {
+        // On non-toy data the skeleton join moves far fewer bytes than
+        // the payload join (Q1's customer rows are ~200 B wide; skeletons
+        // keep two columns plus θ).
+        let db = dash_tpch::generate(&dash_tpch::TpchConfig::new(dash_tpch::Scale::Small));
+        let app = dash_tpch::q1_application(&db).unwrap();
+        let int = run(&app, &db, &ClusterConfig::default()).unwrap();
+        let sw = stepwise::run(&app, &db, &ClusterConfig::default()).unwrap();
+        assert_eq!(int.fragments, sw.fragments);
+        let int_join_bytes: u64 = int
+            .stats
+            .jobs
+            .iter()
+            .filter(|j| j.label == "INT-Jn")
+            .map(|j| j.shuffle.input_bytes)
+            .sum();
+        let sw_join_bytes: u64 = sw
+            .stats
+            .jobs
+            .iter()
+            .filter(|j| j.label == "SW-Jn")
+            .map(|j| j.shuffle.input_bytes)
+            .sum();
+        assert!(int_join_bytes < sw_join_bytes);
+    }
+}

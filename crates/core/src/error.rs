@@ -1,0 +1,87 @@
+//! Error type for the Dash core.
+
+use std::fmt;
+
+use dash_relation::RelationError;
+use dash_webapp::WebAppError;
+
+/// Errors from crawling, indexing and search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A relational failure in a crawl or refresh.
+    Relation(RelationError),
+    /// A web-application failure (analysis, query strings, execution).
+    WebApp(WebAppError),
+    /// The application query's shape is outside what the engine supports
+    /// (e.g. more than one range-bound selection attribute).
+    UnsupportedQuery {
+        /// What is unsupported.
+        detail: String,
+    },
+    /// An internal invariant was violated (always a bug; surfaced as an
+    /// error instead of a panic so long crawls fail soft).
+    Internal {
+        /// Description of the broken invariant.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Relation(e) => write!(f, "relational error: {e}"),
+            CoreError::WebApp(e) => write!(f, "web application error: {e}"),
+            CoreError::UnsupportedQuery { detail } => {
+                write!(f, "unsupported application query: {detail}")
+            }
+            CoreError::Internal { detail } => write!(f, "internal invariant violated: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relation(e) => Some(e),
+            CoreError::WebApp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for CoreError {
+    fn from(e: RelationError) -> Self {
+        CoreError::Relation(e)
+    }
+}
+
+impl From<WebAppError> for CoreError {
+    fn from(e: WebAppError) -> Self {
+        CoreError::WebApp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e: CoreError = RelationError::UnknownRelation {
+            relation: "r".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("unknown relation"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::UnsupportedQuery {
+            detail: "two ranges".into(),
+        };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

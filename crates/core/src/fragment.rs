@@ -1,0 +1,181 @@
+//! Db-page fragments (Definition 2 of the paper).
+//!
+//! Given a parameterized PSJ query, a *db-page fragment* is the query with
+//! every selection predicate pinned to equality on one concrete value
+//! combination. The value vector `⟨v1 … vm⟩` — in WHERE-clause order — is
+//! the fragment's **identifier**. Fragments partition the full join result
+//! disjointly, which is exactly why Dash can index them instead of the
+//! (massively overlapping) db-pages.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dash_mapreduce::ByteSized;
+use dash_relation::Value;
+use serde::{Deserialize, Serialize};
+
+/// A fragment identifier: concrete selection-attribute values in
+/// WHERE-clause order, e.g. `(American, 10)` for the running example.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FragmentId(pub Vec<Value>);
+
+impl FragmentId {
+    /// Creates an identifier from its values.
+    pub fn new(values: Vec<Value>) -> Self {
+        FragmentId(values)
+    }
+
+    /// The identifier's values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The values at every position except `skip` (used to derive the
+    /// equality-prefix of a fragment-graph group).
+    pub fn without(&self, skip: usize) -> Vec<Value> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for FragmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl ByteSized for FragmentId {
+    fn byte_size(&self) -> usize {
+        4 + self
+            .0
+            .iter()
+            .map(|v| match v {
+                Value::Null => 1,
+                Value::Int(_) => 8,
+                Value::Decimal(_) => 8,
+                Value::Str(s) => s.len() + 4,
+                Value::Date(_) => 4,
+            })
+            .sum::<usize>()
+    }
+}
+
+/// A materialized db-page fragment: identifier plus keyword statistics.
+///
+/// Dash never stores fragment *content* (rows); it stores what search
+/// needs — keyword occurrence counts and the total keyword count (the node
+/// weight in the fragment graph, e.g. `8` for `(American, 9)` in
+/// Example 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// The identifier `⟨v1 … vm⟩`.
+    pub id: FragmentId,
+    /// Occurrences per keyword, deterministic order.
+    pub keyword_occurrences: BTreeMap<String, u64>,
+    /// Total keywords in the fragment (`Σ` of the occurrence map).
+    pub total_keywords: u64,
+    /// Number of joined records the fragment carries.
+    pub record_count: u64,
+}
+
+impl Fragment {
+    /// Creates a fragment from a keyword-occurrence map.
+    pub fn new(
+        id: FragmentId,
+        keyword_occurrences: BTreeMap<String, u64>,
+        record_count: u64,
+    ) -> Self {
+        let total_keywords = keyword_occurrences.values().sum();
+        Fragment {
+            id,
+            keyword_occurrences,
+            total_keywords,
+            record_count,
+        }
+    }
+
+    /// Occurrences of one keyword.
+    pub fn occurrences(&self, keyword: &str) -> u64 {
+        *self.keyword_occurrences.get(keyword).unwrap_or(&0)
+    }
+
+    /// Term frequency of `keyword` within the fragment.
+    pub fn tf(&self, keyword: &str) -> f64 {
+        if self.total_keywords == 0 {
+            0.0
+        } else {
+            self.occurrences(keyword) as f64 / self.total_keywords as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(values: &[Value]) -> FragmentId {
+        FragmentId::new(values.to_vec())
+    }
+
+    #[test]
+    fn identifier_display() {
+        let f = id(&[Value::str("American"), Value::Int(10)]);
+        assert_eq!(f.to_string(), "(American,10)");
+    }
+
+    #[test]
+    fn identifier_ordering_groups_eq_prefixes() {
+        let mut ids = [
+            id(&[Value::str("Thai"), Value::Int(10)]),
+            id(&[Value::str("American"), Value::Int(12)]),
+            id(&[Value::str("American"), Value::Int(9)]),
+        ];
+        ids.sort();
+        assert_eq!(ids[0].values()[0], Value::str("American"));
+        assert_eq!(ids[0].values()[1], Value::Int(9));
+        assert_eq!(ids[2].values()[0], Value::str("Thai"));
+    }
+
+    #[test]
+    fn without_skips_position() {
+        let f = id(&[Value::str("American"), Value::Int(10)]);
+        assert_eq!(f.without(1), vec![Value::str("American")]);
+        assert_eq!(f.without(0), vec![Value::Int(10)]);
+    }
+
+    #[test]
+    fn byte_size_counts_values() {
+        let f = id(&[Value::str("abc"), Value::Int(1)]);
+        assert_eq!(f.byte_size(), 4 + 7 + 8);
+    }
+
+    #[test]
+    fn fragment_totals_and_tf() {
+        let mut occ = BTreeMap::new();
+        occ.insert("burger".to_string(), 2);
+        occ.insert("queen".to_string(), 1);
+        occ.insert("experts".to_string(), 1);
+        let f = Fragment::new(id(&[Value::str("American"), Value::Int(10)]), occ, 1);
+        assert_eq!(f.total_keywords, 4);
+        assert_eq!(f.occurrences("burger"), 2);
+        assert!((f.tf("burger") - 0.5).abs() < 1e-12);
+        assert_eq!(f.occurrences("nope"), 0);
+    }
+
+    #[test]
+    fn empty_fragment_tf_zero() {
+        let f = Fragment::new(id(&[Value::Int(1)]), BTreeMap::new(), 0);
+        assert_eq!(f.tf("x"), 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The fragment graph (Section VI-A of the paper).
+//!
+//! Every node is one fragment, weighted by its total keyword count
+//! (Example 6: node `(American, 9)` has weight 8). An edge connects two
+//! fragments when they can combine into a db-page containing no other
+//! fragment — i.e. they agree on every equality-bound selection attribute
+//! and are **adjacent** in the sorted domain of the range-bound attribute.
+//! Fragments with different equality values (e.g. `(Thai, 10)` among
+//! American fragments) stay disconnected, exactly as in Figure 9.
+//!
+//! The graph is stored as groups (one per equality prefix) of nodes
+//! sorted by range value; adjacency is implicit in the order, which makes
+//! both bulk construction ("a lot of comparisons can be saved if
+//! db-fragments are pre-sorted", §VI-A) and the paper's incremental
+//! insertion cheap.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use dash_relation::Value;
+
+use crate::error::CoreError;
+use crate::fragment::{Fragment, FragmentId};
+use crate::Result;
+
+/// One node of the fragment graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphNode {
+    /// The fragment's identifier.
+    pub id: FragmentId,
+    /// Total keywords in the fragment (the node weight of Example 6).
+    pub total_keywords: u64,
+    /// Number of records in the fragment.
+    pub record_count: u64,
+}
+
+/// The fragment graph.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentGraph {
+    /// Position of the range attribute within fragment identifiers;
+    /// `None` for all-equality queries (no edges at all).
+    range_position: Option<usize>,
+    /// Equality prefix → nodes sorted by range value.
+    groups: BTreeMap<Vec<Value>, Vec<GraphNode>>,
+    /// Wall-clock seconds the last bulk build took (Table IV reports this).
+    build_secs: f64,
+}
+
+/// A node's address: its equality group and offset within the sorted
+/// group.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeRef {
+    /// The equality prefix identifying the group.
+    pub group: Vec<Value>,
+    /// Index within the group's sorted node vector.
+    pub position: usize,
+}
+
+impl FragmentGraph {
+    /// Bulk-builds the graph: pre-sorts fragments by identifier (the
+    /// paper's comparison-saving strategy), then splits them into
+    /// equality groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Internal`] when `range_position` is out of
+    /// bounds for some fragment identifier.
+    pub fn build(fragments: &[Fragment], range_position: Option<usize>) -> Result<Self> {
+        let start = Instant::now();
+        let mut groups: BTreeMap<Vec<Value>, Vec<GraphNode>> = BTreeMap::new();
+        for f in fragments {
+            if let Some(pos) = range_position {
+                if pos >= f.id.values().len() {
+                    return Err(CoreError::Internal {
+                        detail: format!("range position {pos} out of bounds for fragment {}", f.id),
+                    });
+                }
+            }
+            let key = group_key(&f.id, range_position);
+            groups.entry(key).or_default().push(GraphNode {
+                id: f.id.clone(),
+                total_keywords: f.total_keywords,
+                record_count: f.record_count,
+            });
+        }
+        if let Some(pos) = range_position {
+            for nodes in groups.values_mut() {
+                nodes.sort_by(|a, b| a.id.values()[pos].cmp(&b.id.values()[pos]));
+            }
+        }
+        Ok(FragmentGraph {
+            range_position,
+            groups,
+            build_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The paper's incremental insertion: place the new fragment into its
+    /// group at the right position; the implicit chain edges re-splice
+    /// automatically (the edge between its new neighbors is replaced by
+    /// two edges through the new node).
+    pub fn insert(&mut self, fragment: &Fragment) {
+        let key = group_key(&fragment.id, self.range_position);
+        let node = GraphNode {
+            id: fragment.id.clone(),
+            total_keywords: fragment.total_keywords,
+            record_count: fragment.record_count,
+        };
+        let nodes = self.groups.entry(key).or_default();
+        match self.range_position {
+            Some(pos) => {
+                let range_value = &fragment.id.values()[pos];
+                let at = nodes
+                    .binary_search_by(|n| n.id.values()[pos].cmp(range_value))
+                    .unwrap_or_else(|i| i);
+                nodes.insert(at, node);
+            }
+            None => nodes.push(node),
+        }
+    }
+
+    /// Removes a fragment's node, if present. Neighboring nodes become
+    /// adjacent (the two edges collapse back into one).
+    pub fn remove(&mut self, id: &FragmentId) -> bool {
+        let key = group_key(id, self.range_position);
+        if let Some(nodes) = self.groups.get_mut(&key) {
+            let before = nodes.len();
+            nodes.retain(|n| n.id != *id);
+            let removed = nodes.len() != before;
+            if nodes.is_empty() {
+                self.groups.remove(&key);
+            }
+            return removed;
+        }
+        false
+    }
+
+    /// Locates a fragment's node. Within a group nodes are sorted by
+    /// range value, so the lookup is a binary search (O(log group) — this
+    /// sits on the hot path of every top-k seed).
+    pub fn locate(&self, id: &FragmentId) -> Option<NodeRef> {
+        let key = group_key(id, self.range_position);
+        let nodes = self.groups.get(&key)?;
+        let position = match self.range_position {
+            Some(pos) => {
+                let target = &id.values()[pos];
+                let at = nodes
+                    .binary_search_by(|n| n.id.values()[pos].cmp(target))
+                    .ok()?;
+                // Equal range values are not possible within a group
+                // (identifiers are unique), so `at` is the node.
+                if nodes[at].id == *id {
+                    at
+                } else {
+                    return None;
+                }
+            }
+            None => nodes.iter().position(|n| n.id == *id)?,
+        };
+        Some(NodeRef {
+            group: key,
+            position,
+        })
+    }
+
+    /// The node at a reference.
+    pub fn node(&self, node_ref: &NodeRef) -> Option<&GraphNode> {
+        self.groups.get(&node_ref.group)?.get(node_ref.position)
+    }
+
+    /// The nodes of one group, sorted by range value.
+    pub fn group(&self, group: &[Value]) -> Option<&[GraphNode]> {
+        self.groups.get(group).map(Vec::as_slice)
+    }
+
+    /// The neighbors of a node: its predecessor and successor in range
+    /// order (none for all-equality queries, where every node is
+    /// isolated).
+    pub fn neighbors(&self, node_ref: &NodeRef) -> Vec<NodeRef> {
+        if self.range_position.is_none() {
+            return Vec::new();
+        }
+        let Some(nodes) = self.groups.get(&node_ref.group) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(2);
+        if node_ref.position > 0 {
+            out.push(NodeRef {
+                group: node_ref.group.clone(),
+                position: node_ref.position - 1,
+            });
+        }
+        if node_ref.position + 1 < nodes.len() {
+            out.push(NodeRef {
+                group: node_ref.group.clone(),
+                position: node_ref.position + 1,
+            });
+        }
+        out
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+
+    /// Total edge count: each group of `n` nodes chains `n-1` edges.
+    pub fn edge_count(&self) -> usize {
+        if self.range_position.is_none() {
+            return 0;
+        }
+        self.groups
+            .values()
+            .map(|nodes| nodes.len().saturating_sub(1))
+            .sum()
+    }
+
+    /// Number of equality groups (connected components, when every group
+    /// is non-empty).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Average keywords per fragment — Table IV's third column.
+    pub fn avg_keywords(&self) -> f64 {
+        let nodes = self.node_count();
+        if nodes == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .groups
+            .values()
+            .flat_map(|ns| ns.iter().map(|n| n.total_keywords))
+            .sum();
+        total as f64 / nodes as f64
+    }
+
+    /// Seconds the bulk build took (Table IV's first column).
+    pub fn build_secs(&self) -> f64 {
+        self.build_secs
+    }
+
+    /// The range attribute's position within identifiers.
+    pub fn range_position(&self) -> Option<usize> {
+        self.range_position
+    }
+
+    /// Iterates over `(equality prefix, sorted nodes)` groups.
+    pub fn iter_groups(&self) -> impl Iterator<Item = (&[Value], &[GraphNode])> {
+        self.groups
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+}
+
+fn group_key(id: &FragmentId, range_position: Option<usize>) -> Vec<Value> {
+    match range_position {
+        Some(pos) => id.without(pos),
+        None => id.values().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn fragment(cuisine: &str, budget: i64, total: u64) -> Fragment {
+        let mut occ = Map::new();
+        occ.insert("w".to_string(), total);
+        Fragment::new(
+            FragmentId::new(vec![Value::str(cuisine), Value::Int(budget)]),
+            occ,
+            1,
+        )
+    }
+
+    /// The five fragments of Figure 5/9.
+    fn figure_9() -> Vec<Fragment> {
+        vec![
+            fragment("American", 9, 8),
+            fragment("American", 10, 8),
+            fragment("American", 12, 17),
+            fragment("American", 18, 8),
+            fragment("Thai", 10, 10),
+        ]
+    }
+
+    #[test]
+    fn figure_9_shape() {
+        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        assert_eq!(g.node_count(), 5);
+        // American chain has 3 edges; Thai is isolated.
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.group_count(), 2);
+        let american = g.group(&[Value::str("American")]).unwrap();
+        let budgets: Vec<&Value> = american.iter().map(|n| &n.id.values()[1]).collect();
+        assert_eq!(
+            budgets,
+            vec![
+                &Value::Int(9),
+                &Value::Int(10),
+                &Value::Int(12),
+                &Value::Int(18)
+            ]
+        );
+    }
+
+    #[test]
+    fn neighbors_follow_sorted_order() {
+        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        let ten = g
+            .locate(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(10),
+            ]))
+            .unwrap();
+        let neighbors = g.neighbors(&ten);
+        assert_eq!(neighbors.len(), 2);
+        let ids: Vec<&FragmentId> = neighbors.iter().map(|r| &g.node(r).unwrap().id).collect();
+        assert!(ids.iter().any(|id| id.values()[1] == Value::Int(9)));
+        assert!(ids.iter().any(|id| id.values()[1] == Value::Int(12)));
+        // Thai node is isolated.
+        let thai = g
+            .locate(&FragmentId::new(vec![Value::str("Thai"), Value::Int(10)]))
+            .unwrap();
+        assert_eq!(g.neighbors(&thai).len(), 0);
+    }
+
+    #[test]
+    fn incremental_insert_splices() {
+        let g0 = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        let mut g = FragmentGraph::build(&[], Some(1)).unwrap();
+        for f in figure_9() {
+            g.insert(&f);
+        }
+        // Same structure as bulk build.
+        assert_eq!(g.node_count(), g0.node_count());
+        assert_eq!(g.edge_count(), g0.edge_count());
+        // Insert (American, 11): edge (10,12) splits into (10,11),(11,12).
+        g.insert(&fragment("American", 11, 5));
+        assert_eq!(g.edge_count(), 4);
+        let eleven = g
+            .locate(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(11),
+            ]))
+            .unwrap();
+        assert_eq!(eleven.position, 2);
+    }
+
+    #[test]
+    fn remove_collapses_edges() {
+        let mut g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        assert!(g.remove(&FragmentId::new(vec![
+            Value::str("American"),
+            Value::Int(10)
+        ])));
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.remove(&FragmentId::new(vec![
+            Value::str("American"),
+            Value::Int(10)
+        ])));
+        // Removing the last of a group drops the group.
+        assert!(g.remove(&FragmentId::new(vec![Value::str("Thai"), Value::Int(10)])));
+        assert_eq!(g.group_count(), 1);
+    }
+
+    #[test]
+    fn all_equality_query_has_no_edges() {
+        let fragments = vec![fragment("American", 1, 3), fragment("American", 2, 4)];
+        let g = FragmentGraph::build(&fragments, None).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        let r = g.locate(&fragments[0].id).unwrap();
+        assert!(g.neighbors(&r).is_empty());
+    }
+
+    #[test]
+    fn avg_keywords_matches_table_4_definition() {
+        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        // (8+8+17+8+10)/5 = 10.2
+        assert!((g.avg_keywords() - 10.2).abs() < 1e-9);
+        assert!(g.build_secs() >= 0.0);
+    }
+
+    #[test]
+    fn out_of_bounds_range_position_rejected() {
+        let err = FragmentGraph::build(&figure_9(), Some(7)).unwrap_err();
+        assert!(matches!(err, CoreError::Internal { .. }));
+    }
+}

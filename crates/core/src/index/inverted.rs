@@ -1,0 +1,222 @@
+//! The inverted fragment index (Figure 6 of the paper).
+//!
+//! Structurally a conventional inverted file with *fragment identifiers*
+//! in place of URLs: for each keyword, the fragments containing it with
+//! their occurrence counts, sorted by descending TF. `IDF_w` is
+//! approximated as `1 / |L_w|` — the inverse of the number of fragments
+//! containing `w` (Section VI).
+
+use std::collections::HashMap;
+
+use dash_text::{InvertedFile, Posting};
+
+use crate::fragment::{Fragment, FragmentId};
+
+/// The inverted half of the fragment index.
+///
+/// Alongside each TF-sorted inverted list, a keyword → (fragment →
+/// occurrences) map is kept so the top-k search can probe *arbitrary*
+/// fragments (expansion neighbors) in O(1) without scanning or
+/// rebuilding anything per query.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedFragmentIndex {
+    file: InvertedFile<FragmentId>,
+    maps: HashMap<String, HashMap<FragmentId, u64>>,
+}
+
+impl InvertedFragmentIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the index from materialized fragments.
+    pub fn build(fragments: &[Fragment]) -> Self {
+        let mut file: InvertedFile<FragmentId> = InvertedFile::new();
+        let mut maps: HashMap<String, HashMap<FragmentId, u64>> = HashMap::new();
+        for f in fragments {
+            for (word, &occurrences) in &f.keyword_occurrences {
+                file.add_posting(
+                    word.clone(),
+                    Posting {
+                        doc: f.id.clone(),
+                        occurrences,
+                        doc_len: f.total_keywords,
+                    },
+                );
+                maps.entry(word.clone())
+                    .or_default()
+                    .insert(f.id.clone(), occurrences);
+            }
+        }
+        file.set_document_count(fragments.len() as u64);
+        file.finalize();
+        InvertedFragmentIndex { file, maps }
+    }
+
+    /// The TF-sorted inverted list for `word`.
+    pub fn postings(&self, word: &str) -> Option<&[Posting<FragmentId>]> {
+        self.file.postings(word)
+    }
+
+    /// Fragment frequency of `word` (`|L_w|`).
+    pub fn df(&self, word: &str) -> usize {
+        self.file.df(word)
+    }
+
+    /// `IDF_w = 1 / |L_w|` — Dash's fragment-based IDF approximation.
+    pub fn idf(&self, word: &str) -> f64 {
+        self.file.idf(word)
+    }
+
+    /// Number of indexed fragments.
+    pub fn fragment_count(&self) -> u64 {
+        self.file.document_count()
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.file.keyword_count()
+    }
+
+    /// Keywords by descending fragment frequency (for hot/warm/cold
+    /// keyword selection in the evaluation).
+    pub fn keywords_by_df(&self) -> Vec<(&str, usize)> {
+        self.file.keywords_by_df()
+    }
+
+    /// Per-fragment occurrence counts for one queried keyword — the O(1)
+    /// probe the top-k search uses for expansion neighbors. Returns the
+    /// prebuilt map, empty when no fragment has the word.
+    pub fn occurrences_of(&self, word: &str) -> HashMap<FragmentId, u64> {
+        self.maps.get(word).cloned().unwrap_or_default()
+    }
+
+    /// Borrowing variant of [`InvertedFragmentIndex::occurrences_of`]
+    /// (no clone; `None` when the keyword is unknown).
+    pub fn occurrence_map(&self, word: &str) -> Option<&HashMap<FragmentId, u64>> {
+        self.maps.get(word)
+    }
+
+    /// Removes every posting of `id` (incremental maintenance). Returns
+    /// the number of inverted lists touched.
+    pub fn remove_fragment(&mut self, id: &FragmentId) -> usize {
+        self.maps.retain(|_, m| {
+            m.remove(id);
+            !m.is_empty()
+        });
+        self.file.remove_document(id)
+    }
+
+    /// Adds the postings of a single fragment and re-sorts affected lists
+    /// (incremental maintenance).
+    pub fn add_fragment(&mut self, fragment: &Fragment) {
+        for (word, &occurrences) in &fragment.keyword_occurrences {
+            self.file.add_posting(
+                word.clone(),
+                Posting {
+                    doc: fragment.id.clone(),
+                    occurrences,
+                    doc_len: fragment.total_keywords,
+                },
+            );
+            self.maps
+                .entry(word.clone())
+                .or_default()
+                .insert(fragment.id.clone(), occurrences);
+        }
+        self.file.set_document_count(self.file.document_count() + 1);
+        self.file.finalize();
+    }
+
+    /// Adjusts the stored fragment count (used by incremental maintenance
+    /// after removals).
+    pub fn set_fragment_count(&mut self, count: u64) {
+        self.file.set_document_count(count);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_relation::Value;
+    use std::collections::BTreeMap;
+
+    fn fragment(id: &[Value], words: &[(&str, u64)], _len_unused: u64) -> Fragment {
+        let occ: BTreeMap<String, u64> = words.iter().map(|(w, n)| (w.to_string(), *n)).collect();
+        Fragment::new(FragmentId::new(id.to_vec()), occ, 1)
+    }
+
+    /// The paper's Figure 6 sample: burger appears in (American,10) ×2,
+    /// (American,12) ×1, (Thai,10) ×1.
+    fn figure_6_fragments() -> Vec<Fragment> {
+        vec![
+            fragment(
+                &[Value::str("American"), Value::Int(9)],
+                &[("coffee", 1), ("nice", 1), ("cafe", 1)],
+                8,
+            ),
+            fragment(
+                &[Value::str("American"), Value::Int(10)],
+                &[("burger", 2), ("queen", 1), ("experts", 1)],
+                8,
+            ),
+            fragment(
+                &[Value::str("American"), Value::Int(12)],
+                &[("burger", 1), ("fries", 1), ("unique", 1), ("bad", 1)],
+                17,
+            ),
+            fragment(
+                &[Value::str("Thai"), Value::Int(10)],
+                &[("burger", 1), ("thai", 1)],
+                10,
+            ),
+        ]
+    }
+
+    #[test]
+    fn df_and_idf_match_figure_6() {
+        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
+        assert_eq!(idx.df("burger"), 3);
+        assert!((idx.idf("burger") - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(idx.df("coffee"), 1);
+        assert_eq!(idx.df("fries"), 1);
+        assert_eq!(idx.fragment_count(), 4);
+    }
+
+    #[test]
+    fn postings_tf_sorted() {
+        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
+        let burger = idx.postings("burger").unwrap();
+        // (American,10) has TF 2/4 here — the highest.
+        assert_eq!(
+            burger[0].doc,
+            FragmentId::new(vec![Value::str("American"), Value::Int(10)])
+        );
+        assert!(burger[0].tf() >= burger[1].tf());
+        assert!(burger[1].tf() >= burger[2].tf());
+    }
+
+    #[test]
+    fn occurrences_lookup() {
+        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
+        let occ = idx.occurrences_of("burger");
+        assert_eq!(
+            occ[&FragmentId::new(vec![Value::str("American"), Value::Int(10)])],
+            2
+        );
+        assert!(idx.occurrences_of("zzz").is_empty());
+    }
+
+    #[test]
+    fn incremental_remove_and_add() {
+        let fragments = figure_6_fragments();
+        let mut idx = InvertedFragmentIndex::build(&fragments);
+        let target = FragmentId::new(vec![Value::str("American"), Value::Int(10)]);
+        let touched = idx.remove_fragment(&target);
+        assert_eq!(touched, 3); // burger, queen, experts
+        assert_eq!(idx.df("burger"), 2);
+        idx.add_fragment(&fragments[1]);
+        assert_eq!(idx.df("burger"), 3);
+    }
+}

@@ -1,0 +1,43 @@
+//! The fragment index = inverted fragment index + fragment graph
+//! (Sections V–VI of the paper).
+
+pub mod graph;
+pub mod inverted;
+
+pub use graph::{FragmentGraph, GraphNode};
+pub use inverted::InvertedFragmentIndex;
+
+use crate::fragment::Fragment;
+use crate::Result;
+
+/// The complete fragment index Dash searches over.
+#[derive(Debug, Clone)]
+pub struct FragmentIndex {
+    /// Keyword → TF-sorted fragment postings.
+    pub inverted: InvertedFragmentIndex,
+    /// Which fragments combine into db-pages.
+    pub graph: FragmentGraph,
+}
+
+impl FragmentIndex {
+    /// Builds both halves from materialized fragments.
+    ///
+    /// `range_position` is the index of the range-bound selection
+    /// attribute within fragment identifiers (`None` when the application
+    /// query has only equality parameters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::Internal`] on malformed fragments
+    /// (identifier arity disagreement).
+    pub fn build(fragments: &[Fragment], range_position: Option<usize>) -> Result<Self> {
+        let inverted = InvertedFragmentIndex::build(fragments);
+        let graph = FragmentGraph::build(fragments, range_position)?;
+        Ok(FragmentIndex { inverted, graph })
+    }
+
+    /// Number of indexed fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}

@@ -1,0 +1,70 @@
+//! # dash-core
+//!
+//! The Dash search engine itself (ICDCS 2012): everything between "here is
+//! a web application and its database" and "here are the URLs of the k
+//! db-pages most relevant to your keywords".
+//!
+//! ## The pipeline (Figure 4 of the paper)
+//!
+//! 1. **Web application analysis** ([`dash_webapp`]) yields a
+//!    parameterized PSJ query and the reverse query-string parsing logic.
+//! 2. **Database crawling** ([`crawl`]) derives *db-page fragments* — the
+//!    disjoint building blocks of all db-pages (Definition 2) — with
+//!    MapReduce workflows: the straightforward [`crawl::stepwise`]
+//!    algorithm and the shuffle-minimizing [`crawl::integrated`] algorithm.
+//! 3. **Fragment indexing** ([`index`]) builds the *fragment index*: an
+//!    [inverted fragment index](index::InvertedFragmentIndex) (keyword →
+//!    TF-sorted fragment postings) plus a
+//!    [fragment graph](index::FragmentGraph) recording which fragments can
+//!    merge into a db-page.
+//! 4. **Top-k search** ([`search`]) assembles fragments into db-pages with
+//!    Algorithm 1 and suggests their URLs.
+//!
+//! [`engine::DashEngine`] packages the whole thing; [`baseline`] provides
+//! the naive materialize-every-db-page engine the fragment design is
+//! motivated against; [`update`] and [`multi`] implement the paper's two
+//! future-work extensions (incremental index maintenance and
+//! multi-application fragment sharing).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dash_core::{DashConfig, DashEngine, SearchRequest};
+//! use dash_webapp::fooddb;
+//!
+//! # fn main() -> Result<(), dash_core::CoreError> {
+//! let db = fooddb::database();
+//! let app = fooddb::search_application()?;
+//! let engine = DashEngine::build(&app, &db, &DashConfig::default())?;
+//! // Example 7 of the paper: top-2 pages for "burger" with s = 20.
+//! let hits = engine.search(&SearchRequest::new(&["burger"]).k(2).min_size(20));
+//! assert_eq!(hits.len(), 2);
+//! assert!(hits.iter().any(|h| h.url.contains("c=Thai")));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod baseline;
+pub mod crawl;
+pub mod engine;
+pub mod error;
+pub mod fragment;
+pub mod index;
+pub mod multi;
+pub mod persist;
+pub mod scope;
+pub mod search;
+pub mod stats;
+pub mod update;
+
+pub use crawl::{CrawlAlgorithm, CrawlOutput};
+pub use engine::{DashConfig, DashEngine};
+pub use error::CoreError;
+pub use fragment::{Fragment, FragmentId};
+pub use index::{FragmentGraph, FragmentIndex, InvertedFragmentIndex};
+pub use scope::CrawlScope;
+pub use search::{SearchHit, SearchRequest};
+pub use stats::IndexStats;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

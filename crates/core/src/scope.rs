@@ -1,0 +1,176 @@
+//! Selective crawling — the paper's third future-work item (Section
+//! VIII): "There exists a tradeoff between (i) the amount of db-page
+//! fragments to be collected and (ii) crawling and index efficiency."
+//!
+//! A [`CrawlScope`] restricts which fragments are derived, by
+//! constraining selection-attribute values (e.g. only `American`
+//! cuisines, only budgets 5–15, only the current year's orders). Scoped
+//! engines index less, build faster, and simply cannot answer for
+//! out-of-scope pages — the tradeoff quantified in `tests/scope.rs`.
+
+use dash_relation::Value;
+
+use crate::fragment::FragmentId;
+
+/// A per-selection-attribute constraint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttrConstraint {
+    /// Inclusive lower bound, if any.
+    pub low: Option<Value>,
+    /// Inclusive upper bound, if any.
+    pub high: Option<Value>,
+    /// Explicit allow-list, if any (checked in addition to the bounds).
+    pub one_of: Option<Vec<Value>>,
+}
+
+impl AttrConstraint {
+    fn admits(&self, value: &Value) -> bool {
+        if let Some(low) = &self.low {
+            if value < low {
+                return false;
+            }
+        }
+        if let Some(high) = &self.high {
+            if value > high {
+                return false;
+            }
+        }
+        if let Some(allowed) = &self.one_of {
+            if !allowed.contains(value) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn is_free(&self) -> bool {
+        self.low.is_none() && self.high.is_none() && self.one_of.is_none()
+    }
+}
+
+/// Which fragments a crawl should derive: one optional constraint per
+/// selection attribute (in fragment-identifier order).
+///
+/// ```
+/// use dash_core::scope::CrawlScope;
+/// use dash_core::FragmentId;
+/// use dash_relation::Value;
+///
+/// // Only American pages with budgets 5..=15.
+/// let scope = CrawlScope::all()
+///     .restrict_values(0, vec![Value::str("American")])
+///     .restrict_range(1, Some(Value::Int(5)), Some(Value::Int(15)));
+/// assert!(scope.admits(&FragmentId::new(vec![Value::str("American"), Value::Int(10)])));
+/// assert!(!scope.admits(&FragmentId::new(vec![Value::str("Thai"), Value::Int(10)])));
+/// assert!(!scope.admits(&FragmentId::new(vec![Value::str("American"), Value::Int(18)])));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrawlScope {
+    constraints: Vec<(usize, AttrConstraint)>,
+}
+
+impl CrawlScope {
+    /// The unconstrained scope (derive everything — the paper's default).
+    pub fn all() -> Self {
+        CrawlScope::default()
+    }
+
+    /// Restricts selection attribute `position` to `[low, high]`
+    /// (builder style; either bound may be open).
+    pub fn restrict_range(
+        mut self,
+        position: usize,
+        low: Option<Value>,
+        high: Option<Value>,
+    ) -> Self {
+        let c = self.constraint_mut(position);
+        c.low = low;
+        c.high = high;
+        self
+    }
+
+    /// Restricts selection attribute `position` to an explicit value set.
+    pub fn restrict_values(mut self, position: usize, values: Vec<Value>) -> Self {
+        self.constraint_mut(position).one_of = Some(values);
+        self
+    }
+
+    fn constraint_mut(&mut self, position: usize) -> &mut AttrConstraint {
+        if let Some(idx) = self.constraints.iter().position(|(p, _)| *p == position) {
+            &mut self.constraints[idx].1
+        } else {
+            self.constraints.push((position, AttrConstraint::default()));
+            &mut self.constraints.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Whether the scope admits a fragment identifier.
+    pub fn admits(&self, id: &FragmentId) -> bool {
+        self.admits_values(id.values())
+    }
+
+    /// Whether the scope admits a selection-value vector.
+    pub fn admits_values(&self, values: &[Value]) -> bool {
+        self.constraints
+            .iter()
+            .all(|(pos, c)| values.get(*pos).map(|v| c.admits(v)).unwrap_or(false))
+    }
+
+    /// True when the scope constrains nothing.
+    pub fn is_unrestricted(&self) -> bool {
+        self.constraints.iter().all(|(_, c)| c.is_free())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(cuisine: &str, budget: i64) -> FragmentId {
+        FragmentId::new(vec![Value::str(cuisine), Value::Int(budget)])
+    }
+
+    #[test]
+    fn unrestricted_admits_everything() {
+        let scope = CrawlScope::all();
+        assert!(scope.is_unrestricted());
+        assert!(scope.admits(&id("Thai", 99)));
+    }
+
+    #[test]
+    fn range_bounds_inclusive() {
+        let scope = CrawlScope::all().restrict_range(1, Some(Value::Int(5)), Some(Value::Int(15)));
+        assert!(scope.admits(&id("x", 5)));
+        assert!(scope.admits(&id("x", 15)));
+        assert!(!scope.admits(&id("x", 4)));
+        assert!(!scope.admits(&id("x", 16)));
+        assert!(!scope.is_unrestricted());
+    }
+
+    #[test]
+    fn half_open_ranges() {
+        let scope = CrawlScope::all().restrict_range(1, Some(Value::Int(10)), None);
+        assert!(scope.admits(&id("x", 1000)));
+        assert!(!scope.admits(&id("x", 9)));
+    }
+
+    #[test]
+    fn value_list() {
+        let scope =
+            CrawlScope::all().restrict_values(0, vec![Value::str("American"), Value::str("Thai")]);
+        assert!(scope.admits(&id("Thai", 1)));
+        assert!(!scope.admits(&id("Sushi", 1)));
+    }
+
+    #[test]
+    fn combined_constraints_and_out_of_bounds_position() {
+        let scope = CrawlScope::all()
+            .restrict_values(0, vec![Value::str("American")])
+            .restrict_range(1, Some(Value::Int(10)), Some(Value::Int(12)));
+        assert!(scope.admits(&id("American", 10)));
+        assert!(!scope.admits(&id("American", 9)));
+        // Constraint on a position the identifier lacks → rejected.
+        let scope = CrawlScope::all().restrict_range(5, Some(Value::Int(0)), None);
+        assert!(!scope.admits(&id("American", 10)));
+    }
+}

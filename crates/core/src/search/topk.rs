@@ -1,0 +1,460 @@
+//! Algorithm 1: top-k db-page search.
+//!
+//! Seeds a priority queue with the fragments relevant to the queried
+//! keywords (from the inverted fragment index), repeatedly pops the
+//! highest-scoring pending db-page and either *outputs* it (when its size
+//! reached the threshold `s` or it cannot expand) or *expands* it along a
+//! fragment-graph edge and re-queues it. Relevant neighbors are favored
+//! during expansion; a queued fragment consumed by an expansion is removed
+//! from the queue; db-pages overlapping an already-output page are
+//! suppressed (they share fragments, hence share content — the redundancy
+//! the paper's Example 1 complains about).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use dash_relation::Value;
+use dash_webapp::{ParamValues, SelectionBinding, WebApplication};
+
+use crate::fragment::FragmentId;
+use crate::index::graph::GraphNode;
+use crate::index::FragmentIndex;
+use crate::search::{SearchHit, SearchRequest};
+
+/// A pending db-page: a contiguous run `[lo..=hi]` of fragments within
+/// one equality group.
+#[derive(Debug, Clone)]
+struct Candidate {
+    group: Vec<Value>,
+    lo: usize,
+    hi: usize,
+    /// Occurrences of each queried keyword in the assembled page.
+    occurrences: Vec<u64>,
+    total_keywords: u64,
+    score: f64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on score; ties resolved arbitrarily but
+        // deterministically (by interval width, then group).
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| (other.hi - other.lo).cmp(&(self.hi - self.lo)))
+            .then_with(|| other.group.cmp(&self.group))
+            .then_with(|| other.lo.cmp(&self.lo))
+    }
+}
+
+/// Runs Algorithm 1. Always returns at most `request.k` hits, sorted in
+/// output order (descending relevance, up to the paper's monotonicity
+/// argument).
+pub fn top_k(
+    app: &WebApplication,
+    index: &FragmentIndex,
+    request: &SearchRequest,
+) -> Vec<SearchHit> {
+    if request.k == 0 || request.keywords.is_empty() {
+        return Vec::new();
+    }
+
+    // IDF_w = 1 / |fragments containing w| and per-fragment occurrences.
+    let idf: Vec<f64> = request
+        .keywords
+        .iter()
+        .map(|w| index.inverted.idf(w))
+        .collect();
+    let empty_map: HashMap<FragmentId, u64> = HashMap::new();
+    let occurrence_maps: Vec<&HashMap<FragmentId, u64>> = request
+        .keywords
+        .iter()
+        .map(|w| index.inverted.occurrence_map(w).unwrap_or(&empty_map))
+        .collect();
+
+    // Lines 1–2: the relevant fragments F, seeded into the priority
+    // queue *lazily*. The inverted lists are TF-sorted exactly so that
+    // "web pages with higher TF values on w can be retrieved from an
+    // initial part of L_w" (Section II): instead of materializing every
+    // relevant fragment up front, a cursor walks each list and a seed is
+    // drawn only while an unseen posting could still outscore the queue
+    // head (threshold-algorithm style). Hot keywords with huge inverted
+    // lists then touch only a prefix, which is what keeps Figure 11's
+    // hot-term searches sub-millisecond.
+    let postings: Vec<&[dash_text::Posting<FragmentId>]> = request
+        .keywords
+        .iter()
+        .map(|w| index.inverted.postings(w).unwrap_or(&[]))
+        .collect();
+    let mut cursors: Vec<usize> = vec![0; postings.len()];
+    let mut seeded: HashSet<FragmentId> = HashSet::new();
+    let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
+
+    // Upper bound on the initial score of any not-yet-seeded fragment:
+    // per keyword, its TF is at most the TF at the list cursor.
+    let frontier_bound = |cursors: &[usize]| -> f64 {
+        postings
+            .iter()
+            .zip(cursors)
+            .zip(&idf)
+            .map(|((list, &cur), &idf_w)| list.get(cur).map_or(0.0, |p| p.tf() * idf_w))
+            .sum()
+    };
+    // Draws the next seed from the list whose head posting scores
+    // highest. Returns false when every list is exhausted.
+    let seed_one = |cursors: &mut Vec<usize>,
+                    seeded: &mut HashSet<FragmentId>,
+                    queue: &mut BinaryHeap<Candidate>|
+     -> bool {
+        loop {
+            // First strict maximum: deterministic under score ties.
+            let mut best: Option<(usize, f64)> = None;
+            for (w, ((list, &cur), &idf_w)) in
+                postings.iter().zip(cursors.iter()).zip(&idf).enumerate()
+            {
+                if let Some(p) = list.get(cur) {
+                    let bound = p.tf() * idf_w;
+                    if best.is_none_or(|(_, b)| bound > b) {
+                        best = Some((w, bound));
+                    }
+                }
+            }
+            let Some((w, _)) = best else {
+                return false;
+            };
+            let posting = &postings[w][cursors[w]];
+            cursors[w] += 1;
+            if !seeded.insert(posting.doc.clone()) {
+                continue; // already seeded via another keyword's list
+            }
+            let Some(node_ref) = index.graph.locate(&posting.doc) else {
+                continue;
+            };
+            let node = index.graph.node(&node_ref).expect("located node exists");
+            let occurrences: Vec<u64> = occurrence_maps
+                .iter()
+                .map(|m| m.get(&posting.doc).copied().unwrap_or(0))
+                .collect();
+            let total_keywords = node.total_keywords;
+            let score = score_of(&occurrences, total_keywords, &idf);
+            queue.push(Candidate {
+                group: node_ref.group,
+                lo: node_ref.position,
+                hi: node_ref.position,
+                occurrences,
+                total_keywords,
+                score,
+            });
+            return true;
+        }
+    };
+
+    // Fragments absorbed into an expansion: their queued singleton entry
+    // is dead (paper: "it is removed from Q").
+    let mut absorbed: HashSet<(Vec<Value>, usize)> = HashSet::new();
+    // Output intervals per group, for overlap suppression.
+    let mut output_intervals: HashMap<Vec<Value>, Vec<(usize, usize)>> = HashMap::new();
+    let mut output: Vec<SearchHit> = Vec::new();
+
+    // Lines 4–9.
+    loop {
+        // Top up the queue until its head provably dominates every
+        // unseeded fragment.
+        while queue
+            .peek()
+            .is_none_or(|head| head.score < frontier_bound(&cursors))
+        {
+            if !seed_one(&mut cursors, &mut seeded, &mut queue) {
+                break;
+            }
+        }
+        let Some(candidate) = queue.pop() else {
+            break;
+        };
+        if output.len() >= request.k {
+            break;
+        }
+        // Dead singleton (absorbed by an earlier expansion)?
+        if candidate.lo == candidate.hi
+            && absorbed.contains(&(candidate.group.clone(), candidate.lo))
+        {
+            continue;
+        }
+        // Content overlap with an already-returned page?
+        if let Some(intervals) = output_intervals.get(&candidate.group) {
+            if intervals
+                .iter()
+                .any(|&(lo, hi)| candidate.lo <= hi && lo <= candidate.hi)
+            {
+                continue;
+            }
+        }
+
+        let group_nodes = index
+            .graph
+            .group(&candidate.group)
+            .expect("candidate groups exist");
+        let can_grow_left = candidate.lo > 0;
+        let can_grow_right = candidate.hi + 1 < group_nodes.len();
+        let expandable =
+            candidate.total_keywords < request.min_size && (can_grow_left || can_grow_right);
+
+        if !expandable {
+            // Line 6–7: emit.
+            if let Some(hit) = to_hit(app, index, &candidate, group_nodes) {
+                output_intervals
+                    .entry(candidate.group.clone())
+                    .or_default()
+                    .push((candidate.lo, candidate.hi));
+                output.push(hit);
+            }
+            continue;
+        }
+
+        // Line 8: expand toward the more relevant neighbor.
+        let neighbor_relevance = |pos: usize| -> u64 {
+            let id = &group_nodes[pos].id;
+            occurrence_maps
+                .iter()
+                .map(|m| m.get(id).copied().unwrap_or(0))
+                .sum()
+        };
+        let go_left = match (can_grow_left, can_grow_right) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => {
+                neighbor_relevance(candidate.lo - 1) > neighbor_relevance(candidate.hi + 1)
+            }
+            (false, false) => unreachable!("expandable implies a neighbor"),
+        };
+        let new_pos = if go_left {
+            candidate.lo - 1
+        } else {
+            candidate.hi + 1
+        };
+        let neighbor: &GraphNode = &group_nodes[new_pos];
+        let mut expanded = candidate.clone();
+        if go_left {
+            expanded.lo = new_pos;
+        } else {
+            expanded.hi = new_pos;
+        }
+        for (i, m) in occurrence_maps.iter().enumerate() {
+            expanded.occurrences[i] += m.get(&neighbor.id).copied().unwrap_or(0);
+        }
+        expanded.total_keywords += neighbor.total_keywords;
+        expanded.score = score_of(&expanded.occurrences, expanded.total_keywords, &idf);
+        absorbed.insert((candidate.group.clone(), new_pos));
+        queue.push(expanded);
+    }
+
+    output
+}
+
+fn score_of(occurrences: &[u64], total_keywords: u64, idf: &[f64]) -> f64 {
+    if total_keywords == 0 {
+        return 0.0;
+    }
+    occurrences
+        .iter()
+        .zip(idf)
+        .map(|(&occ, &idf_w)| (occ as f64 / total_keywords as f64) * idf_w)
+        .sum()
+}
+
+/// Reverse-engineers a candidate into a [`SearchHit`]: parameter values →
+/// query string → URL (Line 10 of Algorithm 1 / Example 7).
+fn to_hit(
+    app: &WebApplication,
+    index: &FragmentIndex,
+    candidate: &Candidate,
+    group_nodes: &[GraphNode],
+) -> Option<SearchHit> {
+    let range_pos = index.graph.range_position();
+    let mut params = ParamValues::new();
+    // Equality selections read from the group key (which is the fragment
+    // identifier minus the range position); the range selection reads its
+    // bounds from the interval's end fragments.
+    let mut group_iter = candidate.group.iter();
+    for (i, sel) in app.query.selections.iter().enumerate() {
+        match (&sel.binding, range_pos) {
+            (SelectionBinding::RangeParams { low, high }, Some(pos)) if pos == i => {
+                let lo_val = group_nodes[candidate.lo].id.values()[pos].clone();
+                let hi_val = group_nodes[candidate.hi].id.values()[pos].clone();
+                params.insert(low.clone(), lo_val);
+                params.insert(high.clone(), hi_val);
+            }
+            (SelectionBinding::EqParam(p), _) => {
+                let value = group_iter.next()?.clone();
+                params.insert(p.clone(), value);
+            }
+            (SelectionBinding::EqConst(_), _) => {
+                // Baked-in constant: part of the group key but not of the
+                // query string.
+                let _ = group_iter.next()?;
+            }
+            (SelectionBinding::RangeParams { .. }, _) => return None,
+        }
+    }
+    let query_string = app.reverse_query_string(&params).ok()?;
+    let url = app.render_suggestion(&query_string.to_string());
+    Some(SearchHit {
+        url,
+        query_string: query_string.to_string(),
+        score: candidate.score,
+        size: candidate.total_keywords,
+        fragment_ids: group_nodes[candidate.lo..=candidate.hi]
+            .iter()
+            .map(|n| n.id.clone())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crawl::reference;
+    use crate::index::FragmentIndex;
+    use dash_webapp::fooddb;
+
+    fn engine_parts() -> (WebApplication, FragmentIndex) {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let fragments = reference::fragments(&app, &db).unwrap();
+        let index = FragmentIndex::build(&fragments, app.query.range_selection_index()).unwrap();
+        (app, index)
+    }
+
+    #[test]
+    fn example_7_top_2_for_burger() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger"]).k(2).min_size(20),
+        );
+        assert_eq!(hits.len(), 2);
+        let urls: Vec<&str> = hits.iter().map(|h| h.url.as_str()).collect();
+        // The paper's Example 7 returns exactly these two URLs.
+        assert!(urls.contains(&"www.example.com/Search?c=American&l=10&u=12"));
+        assert!(urls.contains(&"www.example.com/Search?c=Thai&l=10&u=10"));
+    }
+
+    #[test]
+    fn expansion_absorbs_the_relevant_neighbor() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger"]).k(2).min_size(20),
+        );
+        let american = hits
+            .iter()
+            .find(|h| h.url.contains("American"))
+            .expect("American page");
+        // (American,10) merged with (American,12): 8 + 17 = 25 keywords.
+        assert_eq!(american.size, 25);
+        assert_eq!(american.fragment_ids.len(), 2);
+        // Score = TF × IDF = (3/25) × (1/3).
+        assert!((american.score - 3.0 / 25.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_threshold_returns_single_fragments() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger"]).k(3).min_size(1),
+        );
+        // With s = 1 nothing expands; three relevant fragments, three hits.
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.fragment_ids.len() == 1));
+        // Sorted by score: (American,10) TF 2/8 first.
+        assert!(hits[0].url.contains("l=10&u=10"));
+        assert!(hits[0].url.contains("American"));
+    }
+
+    #[test]
+    fn huge_threshold_expands_to_whole_group() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger"]).k(1).min_size(10_000),
+        );
+        assert_eq!(hits.len(), 1);
+        // The American chain exhausts at 4 fragments (9,10,12,18).
+        let h = &hits[0];
+        if h.url.contains("American") {
+            assert_eq!(h.fragment_ids.len(), 4);
+            assert!(h.url.contains("l=9&u=18"));
+        }
+    }
+
+    #[test]
+    fn no_overlapping_outputs() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["american"]).k(10).min_size(1),
+        );
+        // Pages must be pairwise fragment-disjoint.
+        let mut seen: HashSet<FragmentId> = HashSet::new();
+        for h in &hits {
+            for id in &h.fragment_ids {
+                assert!(seen.insert(id.clone()), "fragment {id} appears twice");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_keyword_returns_empty() {
+        let (app, index) = engine_parts();
+        assert!(top_k(&app, &index, &SearchRequest::new(&["zzzqqq"]).k(5)).is_empty());
+        assert!(top_k(&app, &index, &SearchRequest::new(&[]).k(5)).is_empty());
+        assert!(top_k(&app, &index, &SearchRequest::new(&["burger"]).k(0)).is_empty());
+    }
+
+    #[test]
+    fn k_caps_results() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger"]).k(1).min_size(20),
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn multi_keyword_scores_sum() {
+        let (app, index) = engine_parts();
+        let hits = top_k(
+            &app,
+            &index,
+            &SearchRequest::new(&["burger", "fries"]).k(2).min_size(1),
+        );
+        assert_eq!(hits.len(), 2);
+        // With s = 1 fragments stand alone. (American,10) scores
+        // (2/8)(1/3) ≈ 0.0833 on "burger" alone; (American,12) scores
+        // (1/17)(1/3) + (1/17)(1/1) ≈ 0.0784 holding both keywords.
+        assert!(hits[0].url.contains("l=10&u=10"), "got {}", hits[0].url);
+        assert!((hits[0].score - (2.0 / 8.0) * (1.0 / 3.0)).abs() < 1e-9);
+        assert!(hits[1].url.contains("l=12&u=12"), "got {}", hits[1].url);
+        let expected = (1.0 / 17.0) * (1.0 / 3.0) + (1.0 / 17.0) * 1.0;
+        assert!((hits[1].score - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,290 @@
+//! Incremental fragment-index maintenance — the paper's first
+//! future-work item (Section VIII): "some efficient update mechanisms
+//! that can efficiently update (affected portions of) a fragment index
+//! are desirable".
+//!
+//! The approach: a base-table delta (inserted or deleted record) touches
+//! exactly the fragments whose identifiers appear in the join rows the
+//! record participates in. [`affected_fragment_ids`] finds those
+//! identifiers by joining a one-record shadow of the delta's relation
+//! against the rest of the database; [`refresh`] then recomputes just
+//! those fragments and splices them into the inverted index and the
+//! fragment graph — no full rebuild.
+
+use std::collections::BTreeSet;
+
+use dash_relation::{Database, Record, Table};
+use dash_webapp::WebApplication;
+
+use crate::crawl::reference;
+use crate::engine::DashEngine;
+use crate::fragment::FragmentId;
+use crate::index::FragmentIndex;
+use crate::Result;
+
+/// What a refresh did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RefreshStats {
+    /// Fragments removed from the index (stale versions + emptied ids).
+    pub removed: usize,
+    /// Fragments (re)inserted.
+    pub added: usize,
+}
+
+/// The fragment identifiers affected by one record of `relation`.
+///
+/// `db` must contain the record's foreign-key parents (for an insert,
+/// call after inserting or with the record passed here and not yet
+/// inserted — only the shadow copy is joined; for a delete, call before
+/// deleting).
+///
+/// # Errors
+///
+/// Propagates relational errors (unknown relation, schema mismatch).
+pub fn affected_fragment_ids(
+    app: &WebApplication,
+    db: &Database,
+    relation: &str,
+    record: &Record,
+) -> Result<Vec<FragmentId>> {
+    // Shadow database: `relation` holds only the delta record.
+    let mut shadow = db.clone();
+    let schema = db.table(relation)?.schema().clone();
+    let table = Table::with_records(schema, vec![record.clone()])?;
+    shadow.add_table(table);
+    let fragments = reference::fragments(app, &shadow)?;
+    // Outer-join padding in the shadow can fabricate fragments for *other*
+    // left rows (they all pad); keep only identifiers whose rows involve
+    // the delta — which is exactly those with nonzero records containing
+    // the record's own selection/join values. Since only `relation` was
+    // shrunk, every produced fragment that contains ≥1 record either
+    // involves the delta or is a padded left row; both kinds are affected
+    // conservatively re-derivable, so refresh them all. (Cheap: the shadow
+    // join is tiny.)
+    Ok(fragments.into_iter().map(|f| f.id).collect())
+}
+
+/// Recomputes `ids` from the current `db` and splices them into `index`.
+///
+/// Identifiers that no longer exist in the data are removed; the rest are
+/// replaced with freshly derived fragments.
+///
+/// # Errors
+///
+/// Propagates relational errors from the recomputation join.
+pub fn refresh(
+    index: &mut FragmentIndex,
+    app: &WebApplication,
+    db: &Database,
+    ids: &[FragmentId],
+) -> Result<RefreshStats> {
+    if ids.is_empty() {
+        return Ok(RefreshStats::default());
+    }
+    let targets: BTreeSet<&FragmentId> = ids.iter().collect();
+
+    // Current truth for the affected identifiers.
+    let fresh: Vec<crate::fragment::Fragment> = reference::fragments(app, db)?
+        .into_iter()
+        .filter(|f| targets.contains(&f.id))
+        .collect();
+
+    let mut stats = RefreshStats::default();
+    for id in &targets {
+        let touched = index.inverted.remove_fragment(id);
+        let removed_node = index.graph.remove(id);
+        if touched > 0 || removed_node {
+            stats.removed += 1;
+        }
+    }
+    for fragment in &fresh {
+        index.inverted.add_fragment(fragment);
+        index.graph.insert(fragment);
+        stats.added += 1;
+    }
+    index
+        .inverted
+        .set_fragment_count(index.graph.node_count() as u64);
+    Ok(stats)
+}
+
+impl DashEngine {
+    /// Applies a record insertion: `db` must already contain the record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_insert(
+        &mut self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        let ids = affected_fragment_ids(self.app(), db, relation, record)?;
+        let app = self.app().clone();
+        let stats = refresh(self.index_mut(), &app, db, &ids)?;
+        let count = self.index().graph.node_count();
+        self.set_fragment_count(count);
+        Ok(stats)
+    }
+
+    /// Applies a record deletion: `db` must already have the record
+    /// removed, while `record` is the deleted row (captured beforehand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_delete(
+        &mut self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        // The shadow join needs the record's FK parents, which are still
+        // in `db`; the record itself lives only in the shadow.
+        let ids = affected_fragment_ids(self.app(), db, relation, record)?;
+        let app = self.app().clone();
+        let stats = refresh(self.index_mut(), &app, db, &ids)?;
+        let count = self.index().graph.node_count();
+        self.set_fragment_count(count);
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{DashConfig, DashEngine};
+    use crate::search::SearchRequest;
+    use dash_relation::Value;
+    use dash_webapp::fooddb;
+
+    fn rebuild(db: &Database) -> DashEngine {
+        let app = fooddb::search_application().unwrap();
+        DashEngine::build(&app, db, &DashConfig::default()).unwrap()
+    }
+
+    fn assert_same_index(a: &DashEngine, b: &DashEngine) {
+        assert_eq!(
+            a.index().graph.node_count(),
+            b.index().graph.node_count(),
+            "node counts differ"
+        );
+        assert_eq!(a.index().graph.edge_count(), b.index().graph.edge_count());
+        // Same search behavior on a battery of requests.
+        for kw in ["burger", "fries", "coffee", "sushi", "thai"] {
+            for s in [1, 20, 100] {
+                let req = SearchRequest::new(&[kw]).k(5).min_size(s);
+                assert_eq!(a.search(&req), b.search(&req), "kw={kw} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_new_restaurant_updates_index() {
+        let mut db = fooddb::database();
+        let mut engine = rebuild(&db);
+        // New sushi place at a brand-new (Japanese, 25) fragment.
+        let record = Record::new(vec![
+            Value::Int(8),
+            Value::str("Sushi Go"),
+            Value::str("Japanese"),
+            Value::Int(25),
+            Value::str("4.9"),
+        ]);
+        db.table_mut("restaurant")
+            .unwrap()
+            .insert(record.clone())
+            .unwrap();
+        let stats = engine.apply_insert(&db, "restaurant", &record).unwrap();
+        assert!(stats.added >= 1);
+        // The new page is findable.
+        let hits = engine.search(&SearchRequest::new(&["sushi"]).k(1).min_size(1));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].url.contains("c=Japanese"));
+        // And the incremental index equals a from-scratch rebuild.
+        assert_same_index(&engine, &rebuild(&db));
+    }
+
+    #[test]
+    fn insert_comment_grows_existing_fragment() {
+        let mut db = fooddb::database();
+        let mut engine = rebuild(&db);
+        let before = engine
+            .index()
+            .inverted
+            .occurrences_of("burger")
+            .values()
+            .sum::<u64>();
+        // Another burger comment for Burger Queen (rid=1, American,10).
+        let record = Record::new(vec![
+            Value::Int(207),
+            Value::Int(1),
+            Value::Int(120),
+            Value::str("Best burger ever"),
+            Value::str("07/10"),
+        ]);
+        db.table_mut("comment")
+            .unwrap()
+            .insert(record.clone())
+            .unwrap();
+        engine.apply_insert(&db, "comment", &record).unwrap();
+        let after = engine
+            .index()
+            .inverted
+            .occurrences_of("burger")
+            .values()
+            .sum::<u64>();
+        assert!(after > before);
+        assert_same_index(&engine, &rebuild(&db));
+    }
+
+    #[test]
+    fn delete_restaurant_removes_fragment() {
+        let mut db = fooddb::database();
+        let mut engine = rebuild(&db);
+        // Delete Bond's Cafe (rid=7) and its comment (FK hygiene).
+        let deleted_comment = db
+            .table("comment")
+            .unwrap()
+            .iter()
+            .find(|r| r.get(1) == Some(&Value::Int(7)))
+            .cloned()
+            .unwrap();
+        db.table_mut("comment")
+            .unwrap()
+            .delete_where(|r| r.get(1) == Some(&Value::Int(7)));
+        let deleted_restaurant = db
+            .table("restaurant")
+            .unwrap()
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::Int(7)))
+            .cloned()
+            .unwrap();
+        db.table_mut("restaurant")
+            .unwrap()
+            .delete_where(|r| r.get(0) == Some(&Value::Int(7)));
+
+        engine
+            .apply_delete(&db, "comment", &deleted_comment)
+            .unwrap();
+        engine
+            .apply_delete(&db, "restaurant", &deleted_restaurant)
+            .unwrap();
+        // (American, 9) is gone; "coffee" finds nothing.
+        assert!(engine
+            .search(&SearchRequest::new(&["coffee"]).k(1).min_size(1))
+            .is_empty());
+        assert_eq!(engine.fragment_count(), 4);
+        assert_same_index(&engine, &rebuild(&db));
+    }
+
+    #[test]
+    fn refresh_with_no_ids_is_noop() {
+        let db = fooddb::database();
+        let mut engine = rebuild(&db);
+        let app = engine.app().clone();
+        let stats = refresh(engine.index_mut(), &app, &db, &[]).unwrap();
+        assert_eq!(stats, RefreshStats::default());
+    }
+}

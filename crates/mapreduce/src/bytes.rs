@@ -1,0 +1,162 @@
+//! Byte accounting for the cost model.
+//!
+//! Hadoop's performance is dominated by how many bytes each phase reads,
+//! spills, shuffles and writes. The runtime therefore asks every key,
+//! value, input and output type how large its on-the-wire representation
+//! would be. Implementations should approximate a compact binary encoding
+//! (fixed-width numbers, length-prefixed strings); exactness is not
+//! required, consistency is.
+
+/// Approximate serialized size in bytes.
+pub trait ByteSized {
+    /// The approximate number of bytes this value occupies when serialized
+    /// for a shuffle or a file spill.
+    fn byte_size(&self) -> usize;
+}
+
+impl ByteSized for u8 {
+    fn byte_size(&self) -> usize {
+        1
+    }
+}
+
+impl ByteSized for u32 {
+    fn byte_size(&self) -> usize {
+        4
+    }
+}
+
+impl ByteSized for u64 {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSized for i32 {
+    fn byte_size(&self) -> usize {
+        4
+    }
+}
+
+impl ByteSized for i64 {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSized for usize {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSized for f64 {
+    fn byte_size(&self) -> usize {
+        8
+    }
+}
+
+impl ByteSized for bool {
+    fn byte_size(&self) -> usize {
+        1
+    }
+}
+
+impl ByteSized for () {
+    fn byte_size(&self) -> usize {
+        0
+    }
+}
+
+impl ByteSized for String {
+    fn byte_size(&self) -> usize {
+        // 4-byte length prefix + UTF-8 payload.
+        4 + self.len()
+    }
+}
+
+impl ByteSized for &str {
+    fn byte_size(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Vec<T> {
+    fn byte_size(&self) -> usize {
+        4 + self.iter().map(ByteSized::byte_size).sum::<usize>()
+    }
+}
+
+impl<T: ByteSized> ByteSized for Option<T> {
+    fn byte_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, ByteSized::byte_size)
+    }
+}
+
+impl<T: ByteSized + ?Sized> ByteSized for &T {
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSized + ?Sized> ByteSized for Box<T> {
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized> ByteSized for (A, B) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized, C: ByteSized> ByteSized for (A, B, C) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size()
+    }
+}
+
+impl<A: ByteSized, B: ByteSized, C: ByteSized, D: ByteSized> ByteSized for (A, B, C, D) {
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size() + self.2.byte_size() + self.3.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(5u64.byte_size(), 8);
+        assert_eq!(5i32.byte_size(), 4);
+        assert_eq!(true.byte_size(), 1);
+        assert_eq!(().byte_size(), 0);
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        assert_eq!("abc".byte_size(), 7);
+        assert_eq!(String::from("abcd").byte_size(), 8);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec!["ab".to_string(), "c".to_string()];
+        assert_eq!(v.byte_size(), 4 + 6 + 5);
+        assert_eq!(Some(1u64).byte_size(), 9);
+        assert_eq!(None::<u64>.byte_size(), 1);
+        assert_eq!(("ab", 1u64).byte_size(), 6 + 8);
+        assert_eq!(("a", 1u64, 2u64).byte_size(), 5 + 16);
+    }
+
+    #[test]
+    fn references_delegate() {
+        let s = String::from("xy");
+        let r: &String = &s;
+        assert_eq!(r.byte_size(), s.byte_size());
+        let b: Box<String> = Box::new(s.clone());
+        assert_eq!(b.byte_size(), s.byte_size());
+    }
+}

@@ -1,0 +1,158 @@
+//! Task-failure injection and recovery.
+//!
+//! MapReduce's defining property is tolerating worker failures by
+//! re-executing tasks. The runtime models that: a [`FaultPlan`] declares
+//! which task attempts fail, the scheduler retries them (Hadoop's default
+//! is 4 attempts), and the cost model charges every attempt — so a flaky
+//! cluster visibly stretches the simulated elapsed time, while the job's
+//! *output* stays byte-identical (tested), exactly the guarantee Hadoop
+//! gives.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which task attempts fail, by task kind, task index and attempt number.
+///
+/// ```
+/// use dash_mapreduce::FaultPlan;
+/// // First attempt of map task 0 and of reduce task 2 fail.
+/// let plan = FaultPlan::new().fail_map(0, 0).fail_reduce(2, 0);
+/// assert!(plan.map_should_fail(0, 0));
+/// assert!(!plan.map_should_fail(0, 1)); // retry succeeds
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    map_failures: HashSet<(usize, u32)>,
+    reduce_failures: HashSet<(usize, u32)>,
+    /// Maximum attempts per task before the job aborts (Hadoop:
+    /// `mapred.map.max.attempts`, default 4).
+    pub max_attempts: u32,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures), 4 attempts.
+    pub fn new() -> Self {
+        FaultPlan {
+            map_failures: HashSet::new(),
+            reduce_failures: HashSet::new(),
+            max_attempts: 4,
+        }
+    }
+
+    /// Declares that attempt `attempt` of map task `task` fails.
+    pub fn fail_map(mut self, task: usize, attempt: u32) -> Self {
+        self.map_failures.insert((task, attempt));
+        self
+    }
+
+    /// Declares that attempt `attempt` of reduce task `task` fails.
+    pub fn fail_reduce(mut self, task: usize, attempt: u32) -> Self {
+        self.reduce_failures.insert((task, attempt));
+        self
+    }
+
+    /// Declares that the first `n` attempts of every map task fail (a
+    /// node-loss scenario).
+    pub fn fail_first_map_attempts(mut self, tasks: usize, n: u32) -> Self {
+        for t in 0..tasks {
+            for a in 0..n {
+                self.map_failures.insert((t, a));
+            }
+        }
+        self
+    }
+
+    /// Whether the given map attempt fails.
+    pub fn map_should_fail(&self, task: usize, attempt: u32) -> bool {
+        self.map_failures.contains(&(task, attempt))
+    }
+
+    /// Whether the given reduce attempt fails.
+    pub fn reduce_should_fail(&self, task: usize, attempt: u32) -> bool {
+        self.reduce_failures.contains(&(task, attempt))
+    }
+
+    /// True when no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.map_failures.is_empty() && self.reduce_failures.is_empty()
+    }
+}
+
+/// Counts attempts per task across one job execution.
+#[derive(Debug, Default)]
+pub struct AttemptCounters {
+    /// Total map attempts (≥ map tasks).
+    pub map_attempts: AtomicU64,
+    /// Total reduce attempts (≥ reduce tasks).
+    pub reduce_attempts: AtomicU64,
+}
+
+impl AttemptCounters {
+    /// Records one map attempt.
+    pub fn count_map(&self) {
+        self.map_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one reduce attempt.
+    pub fn count_reduce(&self) {
+        self.reduce_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Error returned when a task exhausts its attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobAborted {
+    /// `"map"` or `"reduce"`.
+    pub phase: &'static str,
+    /// The task that kept failing.
+    pub task: usize,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for JobAborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} task {} failed {} attempts; job aborted",
+            self.phase, self.task, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for JobAborted {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_bookkeeping() {
+        let plan = FaultPlan::new().fail_map(1, 0).fail_reduce(0, 0);
+        assert!(plan.map_should_fail(1, 0));
+        assert!(!plan.map_should_fail(1, 1));
+        assert!(plan.reduce_should_fail(0, 0));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn node_loss_helper() {
+        let plan = FaultPlan::new().fail_first_map_attempts(3, 2);
+        for t in 0..3 {
+            assert!(plan.map_should_fail(t, 0));
+            assert!(plan.map_should_fail(t, 1));
+            assert!(!plan.map_should_fail(t, 2));
+        }
+    }
+
+    #[test]
+    fn abort_error_displays() {
+        let e = JobAborted {
+            phase: "map",
+            task: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("map task 3"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Failure-injection integration tests: MapReduce's recovery guarantee —
+//! identical output under task failures, at higher simulated cost.
+
+use dash_mapreduce::{run_job, run_job_with_faults, ClusterConfig, FaultPlan, JobSpec};
+
+fn docs() -> Vec<String> {
+    (0..60)
+        .map(|i| format!("alpha beta w{} w{}", i % 7, i % 3))
+        .collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn wordcount(
+    cluster: &ClusterConfig,
+    plan: &FaultPlan,
+) -> Result<(Vec<(String, u64)>, f64, u64), dash_mapreduce::JobAborted> {
+    let input = docs();
+    let result = run_job_with_faults(
+        cluster,
+        JobSpec::new("wc").reduce_tasks(4),
+        &input,
+        |d: &String, emit| {
+            for w in d.split_whitespace() {
+                emit(w.to_string(), 1u64);
+            }
+        },
+        |w: &String, vs: Vec<u64>, emit| emit((w.clone(), vs.iter().sum::<u64>())),
+        plan,
+    )?;
+    Ok((
+        result.output,
+        result.stats.sim_total_secs(),
+        result.stats.map_task_attempts + result.stats.reduce_task_attempts,
+    ))
+}
+
+#[test]
+fn output_identical_under_failures() {
+    let cluster = ClusterConfig {
+        split_bytes: 512,
+        ..ClusterConfig::default()
+    };
+    let (clean, clean_secs, clean_attempts) = wordcount(&cluster, &FaultPlan::new()).unwrap();
+    let plan = FaultPlan::new()
+        .fail_map(0, 0)
+        .fail_map(1, 0)
+        .fail_map(1, 1)
+        .fail_reduce(2, 0);
+    let (faulty, faulty_secs, faulty_attempts) = wordcount(&cluster, &plan).unwrap();
+    assert_eq!(clean, faulty, "recovery must not change the output");
+    assert!(faulty_secs > clean_secs, "retries must cost simulated time");
+    assert!(faulty_attempts > clean_attempts);
+}
+
+#[test]
+fn node_loss_scenario_recovers() {
+    let cluster = ClusterConfig {
+        split_bytes: 512,
+        ..ClusterConfig::default()
+    };
+    // Every map task loses its first attempt (e.g. a node died mid-wave).
+    let plan = FaultPlan::new().fail_first_map_attempts(64, 1);
+    let (faulty, _, _) = wordcount(&cluster, &plan).unwrap();
+    let (clean, _, _) = wordcount(&cluster, &FaultPlan::new()).unwrap();
+    assert_eq!(clean, faulty);
+}
+
+#[test]
+fn exhausted_attempts_abort() {
+    let cluster = ClusterConfig::default();
+    let mut plan = FaultPlan::new();
+    plan.max_attempts = 3;
+    let plan = plan.fail_map(0, 0).fail_map(0, 1).fail_map(0, 2);
+    let err = wordcount(&cluster, &plan).unwrap_err();
+    assert_eq!(err.phase, "map");
+    assert_eq!(err.task, 0);
+    assert_eq!(err.attempts, 3);
+}
+
+#[test]
+fn plain_run_job_is_the_faultless_case() {
+    let cluster = ClusterConfig::default();
+    let input = docs();
+    let plain = run_job(
+        &cluster,
+        JobSpec::new("wc"),
+        &input,
+        |d: &String, emit| {
+            for w in d.split_whitespace() {
+                emit(w.to_string(), 1u64);
+            }
+        },
+        |w: &String, vs: Vec<u64>, emit| emit((w.clone(), vs.iter().sum::<u64>())),
+    );
+    assert_eq!(plain.stats.map_task_attempts, plain.stats.map_tasks as u64);
+    assert_eq!(
+        plain.stats.reduce_task_attempts,
+        plain.stats.reduce_tasks as u64
+    );
+}

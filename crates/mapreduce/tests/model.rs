@@ -1,0 +1,149 @@
+//! Property-based tests of the MapReduce runtime: equivalence with a
+//! sequential reference execution, combiner transparency, and cost-model
+//! monotonicity.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dash_mapreduce::{run_job, ClusterConfig, JobSpec};
+
+/// Sequential reference word count.
+fn reference_counts(docs: &[String]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for d in docs {
+        for w in d.split_whitespace() {
+            *counts.entry(w.to_string()).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..12, 0..12).prop_map(|ws| {
+        ws.iter()
+            .map(|w| format!("w{w}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+proptest! {
+    /// The MR word count equals the sequential reference for any corpus,
+    /// any reducer count, and any split size.
+    #[test]
+    fn wordcount_matches_reference(
+        docs in prop::collection::vec(doc_strategy(), 0..40),
+        reducers in 1usize..9,
+        split_bytes in 16usize..4096,
+    ) {
+        let cluster = ClusterConfig {
+            split_bytes,
+            ..ClusterConfig::default()
+        };
+        let result = run_job(
+            &cluster,
+            JobSpec::new("wc").reduce_tasks(reducers),
+            &docs,
+            |d: &String, emit| {
+                for w in d.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |w: &String, vs: Vec<u64>, emit| emit((w.clone(), vs.iter().sum::<u64>())),
+        );
+        let got: BTreeMap<String, u64> = result.output.into_iter().collect();
+        prop_assert_eq!(got, reference_counts(&docs));
+    }
+
+    /// Installing a sum combiner never changes the output, only the
+    /// shuffle volume (which never grows).
+    #[test]
+    fn combiner_is_transparent(
+        docs in prop::collection::vec(doc_strategy(), 0..30),
+    ) {
+        let cluster = ClusterConfig {
+            split_bytes: 64,
+            ..ClusterConfig::default()
+        };
+        let mapper = |d: &String, emit: &mut dyn FnMut(String, u64)| {
+            for w in d.split_whitespace() {
+                emit(w.to_string(), 1u64);
+            }
+        };
+        let reducer = |w: &String, vs: Vec<u64>, emit: &mut dyn FnMut((String, u64))| {
+            emit((w.clone(), vs.iter().sum::<u64>()))
+        };
+        let plain = run_job(&cluster, JobSpec::new("wc"), &docs, mapper, reducer);
+        let combined = run_job(
+            &cluster,
+            JobSpec::new("wc").combiner(|_w: &String, vs: Vec<u64>| vec![vs.iter().sum()]),
+            &docs,
+            mapper,
+            reducer,
+        );
+        let a: BTreeMap<String, u64> = plain.output.into_iter().collect();
+        let b: BTreeMap<String, u64> = combined.output.into_iter().collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(
+            combined.stats.shuffle.input_bytes <= plain.stats.shuffle.input_bytes
+        );
+    }
+
+    /// Simulated time is monotone in data volume: more documents never
+    /// cost less, and byte_scale extrapolation never reduces cost.
+    #[test]
+    fn cost_model_monotonicity(
+        docs in prop::collection::vec(doc_strategy(), 1..25),
+        extra in prop::collection::vec(doc_strategy(), 1..10),
+    ) {
+        let run = |input: &[String], scale: f64| {
+            let cluster = ClusterConfig {
+                byte_scale: scale,
+                ..ClusterConfig::default()
+            };
+            run_job(
+                &cluster,
+                JobSpec::new("wc"),
+                input,
+                |d: &String, emit| {
+                    for w in d.split_whitespace() {
+                        emit(w.to_string(), 1u64);
+                    }
+                },
+                |w: &String, vs: Vec<u64>, emit| emit((w.clone(), vs.len() as u64)),
+            )
+            .stats
+            .sim_total_secs()
+        };
+        let mut bigger = docs.clone();
+        bigger.extend(extra.iter().cloned());
+        prop_assert!(run(&bigger, 1.0) >= run(&docs, 1.0) - 1e-9);
+        prop_assert!(run(&docs, 100.0) >= run(&docs, 1.0) - 1e-9);
+    }
+
+    /// Reduce outputs are grouped correctly: every key reaches exactly
+    /// one reducer invocation (no split or duplicate groups).
+    #[test]
+    fn grouping_is_exact(
+        pairs in prop::collection::vec((0u8..15, 0u16..100), 0..60),
+        reducers in 1usize..6,
+    ) {
+        let inputs: Vec<(u64, u64)> =
+            pairs.iter().map(|&(k, v)| (k as u64, v as u64)).collect();
+        let result = run_job(
+            &ClusterConfig::default(),
+            JobSpec::new("group").reduce_tasks(reducers),
+            &inputs,
+            |&(k, v): &(u64, u64), emit| emit(k, v),
+            |k: &u64, vs: Vec<u64>, emit| emit((*k, vs.len() as u64)),
+        );
+        // One output per distinct key, with the full multiplicity.
+        let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, _) in &inputs {
+            *expected.entry(*k).or_insert(0) += 1;
+        }
+        let got: BTreeMap<u64, u64> = result.output.into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,227 @@
+//! A named collection of tables with foreign-key metadata — the `D` that a
+//! web application queries and that Dash's database crawler walks.
+
+use std::collections::BTreeMap;
+
+use crate::error::RelationError;
+use crate::table::Table;
+use crate::value::Value;
+
+/// A declared foreign key: `child.child_column` references
+/// `parent.parent_column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Child relation name.
+    pub child: String,
+    /// Column in the child relation.
+    pub child_column: String,
+    /// Parent relation name.
+    pub parent: String,
+    /// Column in the parent relation (usually its primary key).
+    pub parent_column: String,
+}
+
+impl ForeignKey {
+    /// Creates a foreign-key declaration.
+    pub fn new(
+        child: impl Into<String>,
+        child_column: impl Into<String>,
+        parent: impl Into<String>,
+        parent_column: impl Into<String>,
+    ) -> Self {
+        ForeignKey {
+            child: child.into(),
+            child_column: child_column.into(),
+            parent: parent.into(),
+            parent_column: parent_column.into(),
+        }
+    }
+}
+
+/// A database: tables by name plus foreign keys.
+///
+/// ```
+/// use dash_relation::{Database, Schema, Column, ColumnType, Table};
+/// # fn main() -> Result<(), dash_relation::RelationError> {
+/// let mut db = Database::new("fooddb");
+/// let schema = Schema::builder("customer")
+///     .column(Column::new("uid", ColumnType::Int))
+///     .build()?;
+/// db.add_table(Table::new(schema));
+/// assert!(db.table("customer").is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    name: String,
+    tables: BTreeMap<String, Table>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            tables: BTreeMap::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers (or replaces) a table under its schema's relation name.
+    pub fn add_table(&mut self, table: Table) {
+        self.tables
+            .insert(table.schema().relation().to_string(), table);
+    }
+
+    /// Declares a foreign key (referential metadata only; use
+    /// [`Database::check_foreign_keys`] to validate instances).
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Looks up a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownRelation`] when absent.
+    pub fn table(&self, name: &str) -> Result<&Table, RelationError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownRelation {
+                relation: name.to_string(),
+            })
+    }
+
+    /// Mutable table lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownRelation`] when absent.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, RelationError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownRelation {
+                relation: name.to_string(),
+            })
+    }
+
+    /// Table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Validates every declared foreign key against the current contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::ForeignKeyViolation`] describing the first
+    /// dangling reference, or [`RelationError::UnknownRelation`] /
+    /// [`RelationError::UnknownColumn`] on metadata problems.
+    pub fn check_foreign_keys(&self) -> Result<(), RelationError> {
+        for fk in &self.foreign_keys {
+            let child = self.table(&fk.child)?;
+            let parent = self.table(&fk.parent)?;
+            let child_idx = child.schema().index_of(&fk.child_column)?;
+            let parent_idx = parent.schema().index_of(&fk.parent_column)?;
+            let parent_values: std::collections::HashSet<&Value> =
+                parent.iter().map(|r| &r.values()[parent_idx]).collect();
+            for r in child.iter() {
+                let v = &r.values()[child_idx];
+                if !v.is_null() && !parent_values.contains(v) {
+                    return Err(RelationError::ForeignKeyViolation {
+                        relation: fk.child.clone(),
+                        detail: format!(
+                            "{}.{} = {v} has no match in {}.{}",
+                            fk.child, fk.child_column, fk.parent, fk.parent_column
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total approximate byte size across tables (Table II reporting).
+    pub fn byte_size(&self) -> usize {
+        self.tables.values().map(Table::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new("fooddb");
+        let restaurant = Schema::builder("restaurant")
+            .column(Column::new("rid", ColumnType::Int))
+            .primary_key(&["rid"])
+            .build()
+            .unwrap();
+        let comment = Schema::builder("comment")
+            .column(Column::new("cid", ColumnType::Int))
+            .column(Column::new("rid", ColumnType::Int))
+            .primary_key(&["cid"])
+            .build()
+            .unwrap();
+        let mut rt = Table::new(restaurant);
+        rt.insert(Record::new(vec![Value::Int(1)])).unwrap();
+        let mut ct = Table::new(comment);
+        ct.insert(Record::new(vec![Value::Int(201), Value::Int(1)]))
+            .unwrap();
+        db.add_table(rt);
+        db.add_table(ct);
+        db.add_foreign_key(ForeignKey::new("comment", "rid", "restaurant", "rid"));
+        db
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let db = db();
+        assert_eq!(db.table_names(), vec!["comment", "restaurant"]);
+        assert!(db.table("restaurant").is_ok());
+        assert!(db.table("nope").is_err());
+    }
+
+    #[test]
+    fn fk_check_passes_then_fails() {
+        let mut db = db();
+        db.check_foreign_keys().unwrap();
+        db.table_mut("comment")
+            .unwrap()
+            .insert(Record::new(vec![Value::Int(202), Value::Int(999)]))
+            .unwrap();
+        let err = db.check_foreign_keys().unwrap_err();
+        assert!(matches!(err, RelationError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn null_fk_is_permitted() {
+        let mut db = db();
+        db.table_mut("comment")
+            .unwrap()
+            .insert(Record::new(vec![Value::Int(202), Value::Null]))
+            .unwrap();
+        db.check_foreign_keys().unwrap();
+    }
+
+    #[test]
+    fn byte_size_sums_tables() {
+        let db = db();
+        assert_eq!(db.byte_size(), 8 + 16);
+    }
+}

@@ -1,0 +1,156 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by schema construction, table mutation and operator
+/// evaluation.
+///
+/// The type implements [`std::error::Error`] and is `Send + Sync + 'static`
+/// so it composes with the error types of the crates layered on top
+/// (`dash-sql`, `dash-webapp`, `dash-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A column name was referenced that does not exist in the schema.
+    UnknownColumn {
+        /// The offending column name.
+        column: String,
+        /// The relation in which the lookup happened.
+        relation: String,
+    },
+    /// A record's arity or column types do not match the target schema.
+    SchemaMismatch {
+        /// The relation whose schema was violated.
+        relation: String,
+        /// Human-readable detail of the mismatch.
+        detail: String,
+    },
+    /// A schema was declared with duplicate column names.
+    DuplicateColumn {
+        /// The duplicated column name.
+        column: String,
+        /// The relation being declared.
+        relation: String,
+    },
+    /// An insert violated a primary-key uniqueness constraint.
+    DuplicateKey {
+        /// The relation whose key was violated.
+        relation: String,
+        /// Rendered key values.
+        key: String,
+    },
+    /// A foreign key referenced a non-existent parent row or relation.
+    ForeignKeyViolation {
+        /// The child relation.
+        relation: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A relation name was not found in the [`Database`](crate::Database).
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// Two values of incompatible types were compared or combined.
+    TypeMismatch {
+        /// Human-readable detail of the operation.
+        detail: String,
+    },
+    /// A value failed to parse from text.
+    ParseValue {
+        /// The text that failed to parse.
+        text: String,
+        /// The type it was parsed as.
+        expected: String,
+    },
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::UnknownColumn { column, relation } => {
+                write!(f, "unknown column `{column}` in relation `{relation}`")
+            }
+            RelationError::SchemaMismatch { relation, detail } => {
+                write!(f, "schema mismatch in relation `{relation}`: {detail}")
+            }
+            RelationError::DuplicateColumn { column, relation } => {
+                write!(f, "duplicate column `{column}` in relation `{relation}`")
+            }
+            RelationError::DuplicateKey { relation, key } => {
+                write!(f, "duplicate primary key {key} in relation `{relation}`")
+            }
+            RelationError::ForeignKeyViolation { relation, detail } => {
+                write!(
+                    f,
+                    "foreign key violation in relation `{relation}`: {detail}"
+                )
+            }
+            RelationError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            RelationError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            RelationError::ParseValue { text, expected } => {
+                write!(f, "cannot parse `{text}` as {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = RelationError::UnknownColumn {
+            column: "cuisine".into(),
+            relation: "restaurant".into(),
+        };
+        let text = err.to_string();
+        assert!(text.starts_with("unknown column"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<RelationError>();
+    }
+
+    #[test]
+    fn all_variants_render() {
+        let variants = vec![
+            RelationError::SchemaMismatch {
+                relation: "r".into(),
+                detail: "arity".into(),
+            },
+            RelationError::DuplicateColumn {
+                column: "c".into(),
+                relation: "r".into(),
+            },
+            RelationError::DuplicateKey {
+                relation: "r".into(),
+                key: "(1)".into(),
+            },
+            RelationError::ForeignKeyViolation {
+                relation: "r".into(),
+                detail: "missing parent".into(),
+            },
+            RelationError::UnknownRelation {
+                relation: "r".into(),
+            },
+            RelationError::TypeMismatch {
+                detail: "int vs str".into(),
+            },
+            RelationError::ParseValue {
+                text: "abc".into(),
+                expected: "Int".into(),
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

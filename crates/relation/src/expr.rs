@@ -1,0 +1,272 @@
+//! Selection predicates over records.
+//!
+//! The paper restricts application queries to conjunctions of simple
+//! comparisons `c ⊗ v` with `⊗ ∈ {=, ≥, ≤}` (Definition 1); `BETWEEN` is
+//! the ≥/≤ pair. This module models exactly that family, bound to column
+//! names and resolved against a [`Schema`] at evaluation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::record::Record;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Comparison operators permitted in a parameterized PSJ query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl CompareOp {
+    /// Applies the operator. Numeric `Int`/`Decimal` pairs compare by value.
+    /// Comparisons involving NULL are false (SQL three-valued logic
+    /// collapsed to boolean, which is what a WHERE clause does).
+    pub fn eval(self, left: &Value, right: &Value) -> bool {
+        if left.is_null() || right.is_null() {
+            return false;
+        }
+        match self {
+            CompareOp::Eq => compare_values(left, right) == std::cmp::Ordering::Equal,
+            CompareOp::Ge => compare_values(left, right) != std::cmp::Ordering::Less,
+            CompareOp::Le => compare_values(left, right) != std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+fn compare_values(left: &Value, right: &Value) -> std::cmp::Ordering {
+    match (left.numeric_cents(), right.numeric_cents()) {
+        (Some(a), Some(b)) => a.cmp(&b),
+        _ => left.cmp(right),
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ge => ">=",
+            CompareOp::Le => "<=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A predicate over a record: a conjunction of column-vs-constant
+/// comparisons, plus the special `Between` convenience.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (empty conjunction).
+    True,
+    /// `column ⊗ value`
+    Compare {
+        /// Column name resolved against the evaluation schema.
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// `column BETWEEN low AND high` (inclusive).
+    Between {
+        /// Column name resolved against the evaluation schema.
+        column: String,
+        /// Lower bound (inclusive).
+        low: Value,
+        /// Upper bound (inclusive).
+        high: Value,
+    },
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for an equality predicate.
+    pub fn eq(column: impl Into<String>, value: impl Into<Value>) -> Self {
+        Predicate::Compare {
+            column: column.into(),
+            op: CompareOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// Convenience constructor for a BETWEEN predicate.
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Self {
+        Predicate::Between {
+            column: column.into(),
+            low: low.into(),
+            high: high.into(),
+        }
+    }
+
+    /// Evaluates the predicate against `record` under `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownColumn`] when a referenced column is
+    /// not part of the schema.
+    pub fn eval(&self, schema: &Schema, record: &Record) -> Result<bool, RelationError> {
+        match self {
+            Predicate::True => Ok(true),
+            Predicate::Compare { column, op, value } => {
+                let field = record.field(schema, column)?;
+                Ok(op.eval(field, value))
+            }
+            Predicate::Between { column, low, high } => {
+                let field = record.field(schema, column)?;
+                Ok(CompareOp::Ge.eval(field, low) && CompareOp::Le.eval(field, high))
+            }
+            Predicate::And(parts) => {
+                for p in parts {
+                    if !p.eval(schema, record)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// All column names referenced by the predicate, in syntactic order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { column, .. } | Predicate::Between { column, .. } => {
+                out.push(column)
+            }
+            Predicate::And(parts) => {
+                for p in parts {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::Between { column, low, high } => {
+                write!(f, "{column} BETWEEN {low} AND {high}")
+            }
+            Predicate::And(parts) => {
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder("restaurant")
+            .column(Column::new("cuisine", ColumnType::Str))
+            .column(Column::new("budget", ColumnType::Int))
+            .build()
+            .unwrap()
+    }
+
+    fn rec(cuisine: &str, budget: i64) -> Record {
+        Record::new(vec![Value::str(cuisine), Value::Int(budget)])
+    }
+
+    #[test]
+    fn eq_and_between() {
+        let s = schema();
+        let p = Predicate::And(vec![
+            Predicate::eq("cuisine", "American"),
+            Predicate::between("budget", 10i64, 15i64),
+        ]);
+        assert!(p.eval(&s, &rec("American", 12)).unwrap());
+        assert!(!p.eval(&s, &rec("American", 18)).unwrap());
+        assert!(!p.eval(&s, &rec("Thai", 12)).unwrap());
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let s = schema();
+        let p = Predicate::between("budget", 10i64, 15i64);
+        assert!(p.eval(&s, &rec("x", 10)).unwrap());
+        assert!(p.eval(&s, &rec("x", 15)).unwrap());
+        assert!(!p.eval(&s, &rec("x", 9)).unwrap());
+        assert!(!p.eval(&s, &rec("x", 16)).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = schema();
+        let r = Record::new(vec![Value::Null, Value::Int(10)]);
+        assert!(!Predicate::eq("cuisine", "American").eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn cross_numeric_compare() {
+        let s = Schema::builder("r")
+            .column(Column::new("price", ColumnType::Decimal))
+            .build()
+            .unwrap();
+        let r = Record::new(vec![Value::decimal(1250)]);
+        // 12.50 between ints 10 and 15.
+        assert!(Predicate::between("price", 10i64, 15i64)
+            .eval(&s, &r)
+            .unwrap());
+        assert!(!Predicate::between("price", 13i64, 15i64)
+            .eval(&s, &r)
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let s = schema();
+        assert!(Predicate::eq("nope", 1i64).eval(&s, &rec("x", 1)).is_err());
+    }
+
+    #[test]
+    fn columns_collects_in_order() {
+        let p = Predicate::And(vec![
+            Predicate::eq("cuisine", "a"),
+            Predicate::between("budget", 1i64, 2i64),
+        ]);
+        assert_eq!(p.columns(), vec!["cuisine", "budget"]);
+        assert!(Predicate::True.columns().is_empty());
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let p = Predicate::And(vec![
+            Predicate::eq("cuisine", "American"),
+            Predicate::between("budget", 10i64, 15i64),
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "cuisine = American AND budget BETWEEN 10 AND 15"
+        );
+    }
+}

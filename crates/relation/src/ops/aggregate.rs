@@ -1,0 +1,329 @@
+//! Group-by aggregation (the paper's "aggregate query",
+//! `c_i, j_i G count(*) as θ_i (R_i)` from Section V-B).
+
+use std::collections::HashMap;
+
+use crate::error::RelationError;
+use crate::record::Record;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::table::Table;
+use crate::value::Value;
+
+/// Aggregate functions supported by [`GroupBy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` — the only aggregate the integrated crawl algorithm
+    /// needs (θ_i duplicate counts).
+    CountStar,
+    /// `SUM(column)` over Int columns.
+    SumInt,
+    /// `MIN(column)`.
+    Min,
+    /// `MAX(column)`.
+    Max,
+}
+
+/// One aggregation output: a function, an optional input column and the
+/// output column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Aggregation {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input column (`None` for `COUNT(*)`).
+    pub input: Option<String>,
+    /// Name of the output column.
+    pub output: String,
+}
+
+impl Aggregation {
+    /// `COUNT(*) AS output`.
+    pub fn count_star(output: impl Into<String>) -> Self {
+        Aggregation {
+            func: AggFunc::CountStar,
+            input: None,
+            output: output.into(),
+        }
+    }
+
+    /// `SUM(input) AS output` over an Int column.
+    pub fn sum(input: impl Into<String>, output: impl Into<String>) -> Self {
+        Aggregation {
+            func: AggFunc::SumInt,
+            input: Some(input.into()),
+            output: output.into(),
+        }
+    }
+
+    /// `MIN(input) AS output`.
+    pub fn min(input: impl Into<String>, output: impl Into<String>) -> Self {
+        Aggregation {
+            func: AggFunc::Min,
+            input: Some(input.into()),
+            output: output.into(),
+        }
+    }
+
+    /// `MAX(input) AS output`.
+    pub fn max(input: impl Into<String>, output: impl Into<String>) -> Self {
+        Aggregation {
+            func: AggFunc::Max,
+            input: Some(input.into()),
+            output: output.into(),
+        }
+    }
+}
+
+/// A group-by aggregation plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupBy {
+    /// Grouping columns, in output order.
+    pub keys: Vec<String>,
+    /// Aggregations appended after the keys.
+    pub aggregations: Vec<Aggregation>,
+}
+
+impl GroupBy {
+    /// Creates a plan grouping on `keys`.
+    pub fn new(keys: &[&str]) -> Self {
+        GroupBy {
+            keys: keys.iter().map(|s| s.to_string()).collect(),
+            aggregations: Vec::new(),
+        }
+    }
+
+    /// Adds an aggregation (builder style).
+    pub fn aggregate(mut self, agg: Aggregation) -> Self {
+        self.aggregations.push(agg);
+        self
+    }
+
+    /// Evaluates the plan against `table`.
+    ///
+    /// Output groups are sorted by key so results are deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownColumn`] for missing key/input
+    /// columns and [`RelationError::TypeMismatch`] when `SUM` meets a
+    /// non-Int value.
+    pub fn eval(&self, table: &Table) -> Result<Table, RelationError> {
+        let schema = table.schema();
+        let key_idx: Vec<usize> = self
+            .keys
+            .iter()
+            .map(|k| schema.index_of(k))
+            .collect::<Result<_, _>>()?;
+        let agg_idx: Vec<Option<usize>> = self
+            .aggregations
+            .iter()
+            .map(|a| a.input.as_deref().map(|c| schema.index_of(c)).transpose())
+            .collect::<Result<_, _>>()?;
+
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        for r in table.iter() {
+            let key: Vec<Value> = key_idx.iter().map(|&i| r.values()[i].clone()).collect();
+            let states = groups
+                .entry(key)
+                .or_insert_with(|| self.aggregations.iter().map(AggState::new).collect());
+            for (state, (agg, idx)) in states
+                .iter_mut()
+                .zip(self.aggregations.iter().zip(agg_idx.iter()))
+            {
+                let input = idx.map(|i| &r.values()[i]);
+                state.update(agg.func, input)?;
+            }
+        }
+
+        // Output schema: keys (with original types) then aggregates.
+        let mut cols: Vec<Column> = Vec::with_capacity(self.keys.len() + self.aggregations.len());
+        for (k, &i) in self.keys.iter().zip(&key_idx) {
+            cols.push(Column::new(k.clone(), schema.columns()[i].column_type()));
+        }
+        for (a, idx) in self.aggregations.iter().zip(&agg_idx) {
+            let ty = match a.func {
+                AggFunc::CountStar | AggFunc::SumInt => ColumnType::Int,
+                AggFunc::Min | AggFunc::Max => {
+                    let i = idx.expect("min/max require input column");
+                    schema.columns()[i].column_type()
+                }
+            };
+            cols.push(Column::new(a.output.clone(), ty));
+        }
+        let out_schema = Schema::anonymous(cols)?;
+
+        let mut rows: Vec<(Vec<Value>, Vec<AggState>)> = groups.into_iter().collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut out = Table::new(out_schema);
+        for (key, states) in rows {
+            let mut values = key;
+            for s in states {
+                values.push(s.finish());
+            }
+            out.insert(Record::new(values))?;
+        }
+        Ok(out)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    Sum(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(agg: &Aggregation) -> Self {
+        match agg.func {
+            AggFunc::CountStar => AggState::Count(0),
+            AggFunc::SumInt => AggState::Sum(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, input: Option<&Value>) -> Result<(), RelationError> {
+        match (self, func) {
+            (AggState::Count(c), AggFunc::CountStar) => *c += 1,
+            (AggState::Sum(s), AggFunc::SumInt) => {
+                let v = input.expect("sum requires input");
+                if v.is_null() {
+                    return Ok(());
+                }
+                let i = v.as_int().ok_or_else(|| RelationError::TypeMismatch {
+                    detail: format!("SUM expects Int, got {v:?}"),
+                })?;
+                *s += i;
+            }
+            (AggState::Min(m), AggFunc::Min) => {
+                let v = input.expect("min requires input");
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::Max(m), AggFunc::Max) => {
+                let v = input.expect("max requires input");
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            _ => unreachable!("state/function mismatch"),
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(c),
+            AggState::Sum(s) => Value::Int(s),
+            AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::builder("r")
+            .column(Column::new("cuisine", ColumnType::Str))
+            .column(Column::new("budget", ColumnType::Int))
+            .build()
+            .unwrap();
+        Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![Value::str("American"), Value::Int(10)]),
+                Record::new(vec![Value::str("American"), Value::Int(12)]),
+                Record::new(vec![Value::str("American"), Value::Int(12)]),
+                Record::new(vec![Value::str("Thai"), Value::Int(10)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_star_theta() {
+        // The θ_i aggregate query from §V-B.
+        let out = GroupBy::new(&["cuisine", "budget"])
+            .aggregate(Aggregation::count_star("theta"))
+            .eval(&table())
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        let am12: Vec<_> = out
+            .iter()
+            .filter(|r| r.get(1) == Some(&Value::Int(12)))
+            .collect();
+        assert_eq!(am12[0].get(2), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn sum_min_max() {
+        let out = GroupBy::new(&["cuisine"])
+            .aggregate(Aggregation::sum("budget", "total"))
+            .aggregate(Aggregation::min("budget", "lo"))
+            .aggregate(Aggregation::max("budget", "hi"))
+            .eval(&table())
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        let american = &out.records()[0];
+        assert_eq!(american.get(0), Some(&Value::str("American")));
+        assert_eq!(american.get(1), Some(&Value::Int(34)));
+        assert_eq!(american.get(2), Some(&Value::Int(10)));
+        assert_eq!(american.get(3), Some(&Value::Int(12)));
+    }
+
+    #[test]
+    fn output_is_sorted_by_key() {
+        let out = GroupBy::new(&["budget"])
+            .aggregate(Aggregation::count_star("n"))
+            .eval(&table())
+            .unwrap();
+        let keys: Vec<i64> = out
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(keys, vec![10, 12]);
+    }
+
+    #[test]
+    fn sum_type_mismatch_errors() {
+        let result = GroupBy::new(&["budget"])
+            .aggregate(Aggregation::sum("cuisine", "bad"))
+            .eval(&table());
+        assert!(matches!(result, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(GroupBy::new(&["nope"]).eval(&table()).is_err());
+    }
+
+    #[test]
+    fn sum_skips_nulls() {
+        let schema = Schema::builder("r")
+            .column(Column::new("g", ColumnType::Int))
+            .column(Column::new("v", ColumnType::Int))
+            .build()
+            .unwrap();
+        let t = Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![Value::Int(1), Value::Int(5)]),
+                Record::new(vec![Value::Int(1), Value::Null]),
+            ],
+        )
+        .unwrap();
+        let out = GroupBy::new(&["g"])
+            .aggregate(Aggregation::sum("v", "s"))
+            .aggregate(Aggregation::min("v", "m"))
+            .eval(&t)
+            .unwrap();
+        assert_eq!(out.records()[0].get(1), Some(&Value::Int(5)));
+        assert_eq!(out.records()[0].get(2), Some(&Value::Int(5)));
+    }
+}

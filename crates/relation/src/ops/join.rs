@@ -1,0 +1,255 @@
+//! Hash joins: inner and left-outer.
+//!
+//! The paper's application queries join operand relations "through inner-
+//! or outer-joins" (Definition 1); the running example's `Search` uses
+//! `restaurant LEFT JOIN comment` so restaurants with no comments still
+//! appear in db-pages.
+
+use std::collections::HashMap;
+
+use crate::error::RelationError;
+use crate::record::Record;
+use crate::table::Table;
+use crate::value::Value;
+
+/// The join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Inner equi-join: unmatched rows on either side are dropped.
+    Inner,
+    /// Left outer equi-join: unmatched left rows survive, right columns
+    /// padded with NULL.
+    LeftOuter,
+}
+
+/// An equi-join specification: which columns to match and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinSpec {
+    /// Column in the left relation.
+    pub left_column: String,
+    /// Column in the right relation.
+    pub right_column: String,
+    /// Inner or left-outer.
+    pub kind: JoinKind,
+}
+
+impl JoinSpec {
+    /// Creates an inner-join spec.
+    pub fn inner(left: impl Into<String>, right: impl Into<String>) -> Self {
+        JoinSpec {
+            left_column: left.into(),
+            right_column: right.into(),
+            kind: JoinKind::Inner,
+        }
+    }
+
+    /// Creates a left-outer-join spec.
+    pub fn left_outer(left: impl Into<String>, right: impl Into<String>) -> Self {
+        JoinSpec {
+            left_column: left.into(),
+            right_column: right.into(),
+            kind: JoinKind::LeftOuter,
+        }
+    }
+}
+
+/// Hash-joins `left` and `right` on the specified columns.
+///
+/// The result schema is `left.schema().join(right.schema())`; colliding
+/// right-hand column names are prefixed with the right relation name.
+/// NULL join keys never match (SQL semantics), but with `LeftOuter` a left
+/// row whose key is NULL still survives NULL-padded.
+///
+/// # Errors
+///
+/// Returns [`RelationError::UnknownColumn`] when a join column is missing
+/// from its side.
+///
+/// ```
+/// use dash_relation::{join, JoinSpec, Column, ColumnType, Record, Schema, Table, Value};
+/// # fn main() -> Result<(), dash_relation::RelationError> {
+/// let l = Table::with_records(
+///     Schema::builder("l").column(Column::new("id", ColumnType::Int)).build()?,
+///     vec![Record::new(vec![Value::Int(1)]), Record::new(vec![Value::Int(2)])],
+/// )?;
+/// let r = Table::with_records(
+///     Schema::builder("r").column(Column::new("lid", ColumnType::Int)).build()?,
+///     vec![Record::new(vec![Value::Int(1)])],
+/// )?;
+/// let joined = join(&l, &r, &JoinSpec::left_outer("id", "lid"))?;
+/// assert_eq!(joined.len(), 2); // id=2 survives with NULL padding
+/// # Ok(())
+/// # }
+/// ```
+pub fn join(left: &Table, right: &Table, spec: &JoinSpec) -> Result<Table, RelationError> {
+    let left_idx = left.schema().index_of(&spec.left_column)?;
+    let right_idx = right.schema().index_of(&spec.right_column)?;
+
+    // Build hash table over the right side.
+    let mut build: HashMap<&Value, Vec<&Record>> = HashMap::new();
+    for r in right.iter() {
+        let key = &r.values()[right_idx];
+        if key.is_null() {
+            continue;
+        }
+        build.entry(key).or_default().push(r);
+    }
+
+    let out_schema = left.schema().join(right.schema());
+    let right_arity = right.schema().arity();
+    let mut out = Table::new(out_schema);
+    for l in left.iter() {
+        let key = &l.values()[left_idx];
+        let matches = if key.is_null() { None } else { build.get(key) };
+        match matches {
+            Some(rs) => {
+                for r in rs {
+                    out.insert(l.concat(r))?;
+                }
+            }
+            None => {
+                if spec.kind == JoinKind::LeftOuter {
+                    out.insert(l.concat_nulls(right_arity))?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType, Schema};
+
+    fn restaurants() -> Table {
+        let schema = Schema::builder("restaurant")
+            .column(Column::new("rid", ColumnType::Int))
+            .column(Column::new("name", ColumnType::Str))
+            .build()
+            .unwrap();
+        Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![Value::Int(1), Value::str("Burger Queen")]),
+                Record::new(vec![Value::Int(3), Value::str("Wandy's")]),
+                Record::new(vec![Value::Int(5), Value::str("Thaifood")]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn comments() -> Table {
+        let schema = Schema::builder("comment")
+            .column(Column::new("cid", ColumnType::Int))
+            .column(Column::new("rid", ColumnType::Int))
+            .column(Column::new("text", ColumnType::Str))
+            .build()
+            .unwrap();
+        Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![
+                    Value::Int(201),
+                    Value::Int(1),
+                    Value::str("Burger experts"),
+                ]),
+                Record::new(vec![
+                    Value::Int(202),
+                    Value::Int(3),
+                    Value::str("Unique burger"),
+                ]),
+                Record::new(vec![
+                    Value::Int(203),
+                    Value::Int(3),
+                    Value::str("Bad fries"),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let j = join(&restaurants(), &comments(), &JoinSpec::inner("rid", "rid")).unwrap();
+        // restaurant 1 matches once, 3 twice, 5 not at all.
+        assert_eq!(j.len(), 3);
+        assert!(j.schema().contains("comment.rid"));
+    }
+
+    #[test]
+    fn left_outer_pads_unmatched() {
+        let j = join(
+            &restaurants(),
+            &comments(),
+            &JoinSpec::left_outer("rid", "rid"),
+        )
+        .unwrap();
+        assert_eq!(j.len(), 4); // Thaifood survives padded
+        let padded: Vec<&Record> = j
+            .iter()
+            .filter(|r| r.get(0) == Some(&Value::Int(5)))
+            .collect();
+        assert_eq!(padded.len(), 1);
+        assert!(padded[0].get(2).unwrap().is_null());
+        assert!(padded[0].get(4).unwrap().is_null());
+    }
+
+    #[test]
+    fn null_keys_never_match_inner() {
+        let schema = Schema::builder("l")
+            .column(Column::new("k", ColumnType::Int))
+            .build()
+            .unwrap();
+        let l = Table::with_records(schema.clone(), vec![Record::new(vec![Value::Null])]).unwrap();
+        let r = Table::with_records(
+            Schema::builder("r")
+                .column(Column::new("k", ColumnType::Int))
+                .build()
+                .unwrap(),
+            vec![Record::new(vec![Value::Null])],
+        )
+        .unwrap();
+        let inner = join(&l, &r, &JoinSpec::inner("k", "k")).unwrap();
+        assert!(inner.is_empty());
+        let outer = join(&l, &r, &JoinSpec::left_outer("k", "k")).unwrap();
+        assert_eq!(outer.len(), 1);
+    }
+
+    #[test]
+    fn join_is_multiplicative_on_duplicates() {
+        let schema_l = Schema::builder("l")
+            .column(Column::new("k", ColumnType::Int))
+            .build()
+            .unwrap();
+        let schema_r = Schema::builder("r")
+            .column(Column::new("k", ColumnType::Int))
+            .build()
+            .unwrap();
+        let l = Table::with_records(
+            schema_l,
+            vec![
+                Record::new(vec![Value::Int(1)]),
+                Record::new(vec![Value::Int(1)]),
+            ],
+        )
+        .unwrap();
+        let r = Table::with_records(
+            schema_r,
+            vec![
+                Record::new(vec![Value::Int(1)]),
+                Record::new(vec![Value::Int(1)]),
+                Record::new(vec![Value::Int(1)]),
+            ],
+        )
+        .unwrap();
+        let j = join(&l, &r, &JoinSpec::inner("k", "k")).unwrap();
+        assert_eq!(j.len(), 6);
+    }
+
+    #[test]
+    fn unknown_join_column_errors() {
+        assert!(join(&restaurants(), &comments(), &JoinSpec::inner("zzz", "rid")).is_err());
+        assert!(join(&restaurants(), &comments(), &JoinSpec::inner("rid", "zzz")).is_err());
+    }
+}

@@ -1,0 +1,13 @@
+//! Relational operators: project, select, join (inner/left-outer),
+//! group-by aggregation, and sort.
+//!
+//! These are the building blocks of the paper's parameterized
+//! project-select-join queries (Definition 1) and of the crawling queries
+//! in Section V. All operators work on ([`Schema`](crate::Schema),
+//! records) pairs and return fresh [`Table`](crate::Table)s.
+
+pub mod aggregate;
+pub mod join;
+pub mod project;
+pub mod select;
+pub mod sort;

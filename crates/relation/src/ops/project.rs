@@ -1,0 +1,86 @@
+//! Projection (π).
+
+use crate::error::RelationError;
+use crate::table::Table;
+
+/// Projects `table` onto `columns`, preserving record order and duplicates
+/// (SQL `SELECT a, b, ...` bag semantics — the paper's fragments rely on
+/// duplicates surviving projection so that keyword occurrence counts are
+/// correct).
+///
+/// # Errors
+///
+/// Returns [`RelationError::UnknownColumn`] when a name is absent.
+///
+/// ```
+/// use dash_relation::{ops::project::project, Column, ColumnType, Record, Schema, Table, Value};
+/// # fn main() -> Result<(), dash_relation::RelationError> {
+/// let schema = Schema::builder("r")
+///     .column(Column::new("a", ColumnType::Int))
+///     .column(Column::new("b", ColumnType::Str))
+///     .build()?;
+/// let table = Table::with_records(schema, vec![
+///     Record::new(vec![Value::Int(1), Value::str("x")]),
+/// ])?;
+/// let p = project(&table, &["b"])?;
+/// assert_eq!(p.records()[0].values(), &[Value::str("x")]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn project(table: &Table, columns: &[&str]) -> Result<Table, RelationError> {
+    let schema = table.schema().project(columns)?;
+    let indices: Vec<usize> = columns
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<Result<_, _>>()?;
+    let mut out = Table::new(schema);
+    for r in table.iter() {
+        // Bag semantics: do not dedupe, and the projected schema never
+        // carries a primary key, so inserts cannot collide.
+        out.insert(r.take(&indices))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+
+    fn table() -> Table {
+        let schema = Schema::builder("r")
+            .column(Column::new("a", ColumnType::Int))
+            .column(Column::new("b", ColumnType::Str))
+            .column(Column::new("c", ColumnType::Int))
+            .build()
+            .unwrap();
+        Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![Value::Int(1), Value::str("x"), Value::Int(7)]),
+                Record::new(vec![Value::Int(2), Value::str("x"), Value::Int(7)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_duplicates() {
+        let p = project(&table(), &["b", "c"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.records()[0], p.records()[1]);
+    }
+
+    #[test]
+    fn reorders_columns() {
+        let p = project(&table(), &["c", "a"]).unwrap();
+        assert_eq!(p.records()[0].values(), &[Value::Int(7), Value::Int(1)]);
+    }
+
+    #[test]
+    fn unknown_column() {
+        assert!(project(&table(), &["zzz"]).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Selection (σ).
+
+use crate::error::RelationError;
+use crate::expr::Predicate;
+use crate::table::Table;
+
+/// Filters `table` by `predicate`, preserving order.
+///
+/// # Errors
+///
+/// Returns [`RelationError::UnknownColumn`] if the predicate references an
+/// absent column.
+///
+/// ```
+/// use dash_relation::{ops::select::select, Column, ColumnType, Predicate, Record, Schema, Table, Value};
+/// # fn main() -> Result<(), dash_relation::RelationError> {
+/// let schema = Schema::builder("r")
+///     .column(Column::new("budget", ColumnType::Int))
+///     .build()?;
+/// let t = Table::with_records(schema, vec![
+///     Record::new(vec![Value::Int(10)]),
+///     Record::new(vec![Value::Int(18)]),
+/// ])?;
+/// let filtered = select(&t, &Predicate::between("budget", 10i64, 15i64))?;
+/// assert_eq!(filtered.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select(table: &Table, predicate: &Predicate) -> Result<Table, RelationError> {
+    let mut out = Table::new(table.schema().clone());
+    for r in table.iter() {
+        if predicate.eval(table.schema(), r)? {
+            out.insert(r.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Column, ColumnType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn filters_and_preserves_order() {
+        let schema = Schema::builder("r")
+            .column(Column::new("x", ColumnType::Int))
+            .build()
+            .unwrap();
+        let t =
+            Table::with_records(schema, (0..10).map(|i| Record::new(vec![Value::Int(i)]))).unwrap();
+        let s = select(&t, &Predicate::between("x", 3i64, 6i64)).unwrap();
+        let got: Vec<i64> = s
+            .iter()
+            .map(|r| r.get(0).unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn true_predicate_is_identity() {
+        let schema = Schema::builder("r")
+            .column(Column::new("x", ColumnType::Int))
+            .build()
+            .unwrap();
+        let t = Table::with_records(schema, vec![Record::new(vec![Value::Int(1)])]).unwrap();
+        assert_eq!(select(&t, &Predicate::True).unwrap().len(), 1);
+    }
+}

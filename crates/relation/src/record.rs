@@ -1,0 +1,206 @@
+//! Records (tuples) — ordered sequences of [`Value`]s.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A tuple of values conforming (by position) to some [`Schema`].
+///
+/// Records are plain data: they do not carry their schema, which keeps the
+/// MapReduce shuffle representation compact; operators pair them with the
+/// schema they were produced under.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Creates a record from its values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// The values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field by position, if in range.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Field by name under `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::RelationError::UnknownColumn`] when `column` is not
+    /// in the schema.
+    pub fn field<'a>(
+        &'a self,
+        schema: &Schema,
+        column: &str,
+    ) -> Result<&'a Value, crate::RelationError> {
+        let idx = schema.index_of(column)?;
+        Ok(&self.values[idx])
+    }
+
+    /// Consumes the record and returns its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Builds a new record keeping only the fields at `indices`, in order.
+    pub fn take(&self, indices: &[usize]) -> Record {
+        Record {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two records (used by join).
+    pub fn concat(&self, other: &Record) -> Record {
+        let mut values = Vec::with_capacity(self.arity() + other.arity());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Record { values }
+    }
+
+    /// Concatenates this record with `n` NULLs (used by outer join padding).
+    pub fn concat_nulls(&self, n: usize) -> Record {
+        let mut values = Vec::with_capacity(self.arity() + n);
+        values.extend_from_slice(&self.values);
+        values.extend(std::iter::repeat_with(|| Value::Null).take(n));
+        Record { values }
+    }
+
+    /// Approximate serialized size in bytes; the MapReduce cost model meters
+    /// shuffle volume with this.
+    pub fn byte_size(&self) -> usize {
+        self.values
+            .iter()
+            .map(|v| match v {
+                Value::Null => 1,
+                Value::Int(_) => 8,
+                Value::Decimal(_) => 8,
+                Value::Str(s) => s.len() + 4,
+                Value::Date(_) => 4,
+            })
+            .sum()
+    }
+
+    /// Renders the record the way a db-page row would print it: fields
+    /// separated by a single space, NULLs empty.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.values {
+            let piece = v.render();
+            if piece.is_empty() {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push_str(&piece);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Record {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Record::new(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Value> for Record {
+    fn extend<T: IntoIterator<Item = Value>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+
+    fn sample() -> Record {
+        Record::new(vec![Value::Int(1), Value::str("Burger Queen"), Value::Null])
+    }
+
+    #[test]
+    fn field_lookup_by_name() {
+        let schema = Schema::builder("r")
+            .column(Column::new("rid", ColumnType::Int))
+            .column(Column::new("name", ColumnType::Str))
+            .column(Column::new("note", ColumnType::Str))
+            .build()
+            .unwrap();
+        let r = sample();
+        assert_eq!(
+            r.field(&schema, "name").unwrap(),
+            &Value::str("Burger Queen")
+        );
+        assert!(r.field(&schema, "missing").is_err());
+    }
+
+    #[test]
+    fn take_and_concat() {
+        let r = sample();
+        let projected = r.take(&[1, 0]);
+        assert_eq!(
+            projected.values(),
+            &[Value::str("Burger Queen"), Value::Int(1)]
+        );
+        let joined = r.concat(&projected);
+        assert_eq!(joined.arity(), 5);
+        let padded = r.concat_nulls(2);
+        assert_eq!(padded.arity(), 5);
+        assert!(padded.get(4).unwrap().is_null());
+    }
+
+    #[test]
+    fn render_skips_nulls() {
+        let r = sample();
+        assert_eq!(r.render(), "1 Burger Queen");
+    }
+
+    #[test]
+    fn byte_size_counts_strings() {
+        let r = Record::new(vec![Value::str("abcd"), Value::Int(1)]);
+        assert_eq!(r.byte_size(), 4 + 4 + 8);
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let r: Record = vec![Value::Int(1), Value::Int(2)].into_iter().collect();
+        assert_eq!(r.arity(), 2);
+        let mut r2 = r.clone();
+        r2.extend(vec![Value::Int(3)]);
+        assert_eq!(r2.arity(), 3);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(sample().to_string(), "(1, Burger Queen, NULL)");
+    }
+}

@@ -1,0 +1,346 @@
+//! Relation schemas: named, typed columns plus an optional primary key.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::RelationError;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Fixed-point decimal with two fractional digits.
+    Decimal,
+    /// UTF-8 text.
+    Str,
+    /// Calendar date.
+    Date,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Decimal => "DECIMAL",
+            ColumnType::Str => "TEXT",
+            ColumnType::Date => "DATE",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A single column declaration: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    column_type: ColumnType,
+}
+
+impl Column {
+    /// Creates a column declaration.
+    ///
+    /// ```
+    /// use dash_relation::{Column, ColumnType};
+    /// let c = Column::new("budget", ColumnType::Decimal);
+    /// assert_eq!(c.name(), "budget");
+    /// ```
+    pub fn new(name: impl Into<String>, column_type: ColumnType) -> Self {
+        Column {
+            name: name.into(),
+            column_type,
+        }
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared type.
+    pub fn column_type(&self) -> ColumnType {
+        self.column_type
+    }
+}
+
+/// An immutable, cheaply clonable relation schema.
+///
+/// Schemas are shared between a [`Table`](crate::Table), the operators that
+/// derive new relations from it, and the MapReduce jobs that serialize its
+/// records — hence the internal [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct SchemaInner {
+    relation: String,
+    columns: Vec<Column>,
+    primary_key: Vec<usize>,
+}
+
+impl Schema {
+    /// Starts building a schema for the relation `name`.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            relation: name.into(),
+            columns: Vec::new(),
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Creates an anonymous schema (used for derived/intermediate relations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DuplicateColumn`] when two columns share a
+    /// name.
+    pub fn anonymous(columns: Vec<Column>) -> Result<Self, RelationError> {
+        let mut b = Schema::builder("derived");
+        for c in columns {
+            b = b.column(c);
+        }
+        b.build()
+    }
+
+    /// The relation name.
+    pub fn relation(&self) -> &str {
+        &self.inner.relation
+    }
+
+    /// The ordered column declarations.
+    pub fn columns(&self) -> &[Column] {
+        &self.inner.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.inner.columns.len()
+    }
+
+    /// Indices of primary-key columns (empty when no key was declared).
+    pub fn primary_key(&self) -> &[usize] {
+        &self.inner.primary_key
+    }
+
+    /// Finds the index of a column by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownColumn`] when absent.
+    pub fn index_of(&self, column: &str) -> Result<usize, RelationError> {
+        self.inner
+            .columns
+            .iter()
+            .position(|c| c.name() == column)
+            .ok_or_else(|| RelationError::UnknownColumn {
+                column: column.to_string(),
+                relation: self.inner.relation.clone(),
+            })
+    }
+
+    /// Returns `true` when `column` exists.
+    pub fn contains(&self, column: &str) -> bool {
+        self.inner.columns.iter().any(|c| c.name() == column)
+    }
+
+    /// A derived schema that keeps only `columns`, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::UnknownColumn`] if any name is absent.
+    pub fn project(&self, columns: &[&str]) -> Result<Schema, RelationError> {
+        let mut cols = Vec::with_capacity(columns.len());
+        for &name in columns {
+            let idx = self.index_of(name)?;
+            cols.push(self.inner.columns[idx].clone());
+        }
+        let mut b = Schema::builder(format!("{}_proj", self.inner.relation));
+        for c in cols {
+            b = b.column(c);
+        }
+        b.build()
+    }
+
+    /// Concatenates two schemas for a join result. Columns that collide by
+    /// name get the right-hand relation's name as a `rel.col` prefix.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut cols: Vec<Column> = self.inner.columns.clone();
+        for c in right.columns() {
+            if self.contains(c.name()) {
+                cols.push(Column::new(
+                    format!("{}.{}", right.relation(), c.name()),
+                    c.column_type(),
+                ));
+            } else {
+                cols.push(c.clone());
+            }
+        }
+        Schema {
+            inner: Arc::new(SchemaInner {
+                relation: format!("{}_{}", self.relation(), right.relation()),
+                columns: cols,
+                primary_key: Vec::new(),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.inner.relation)?;
+        for (i, c) in self.inner.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", c.name(), c.column_type())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Incremental [`Schema`] construction (see C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    relation: String,
+    columns: Vec<Column>,
+    primary_key: Vec<String>,
+}
+
+impl SchemaBuilder {
+    /// Appends a column.
+    pub fn column(mut self, column: Column) -> Self {
+        self.columns.push(column);
+        self
+    }
+
+    /// Declares the primary key by column names.
+    pub fn primary_key(mut self, columns: &[&str]) -> Self {
+        self.primary_key = columns.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RelationError::DuplicateColumn`] on duplicate names and
+    /// [`RelationError::UnknownColumn`] when a key column is missing.
+    pub fn build(self) -> Result<Schema, RelationError> {
+        for (i, c) in self.columns.iter().enumerate() {
+            if self.columns[..i].iter().any(|o| o.name() == c.name()) {
+                return Err(RelationError::DuplicateColumn {
+                    column: c.name().to_string(),
+                    relation: self.relation.clone(),
+                });
+            }
+        }
+        let mut pk = Vec::with_capacity(self.primary_key.len());
+        for name in &self.primary_key {
+            let idx = self
+                .columns
+                .iter()
+                .position(|c| c.name() == name)
+                .ok_or_else(|| RelationError::UnknownColumn {
+                    column: name.clone(),
+                    relation: self.relation.clone(),
+                })?;
+            pk.push(idx);
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner {
+                relation: self.relation,
+                columns: self.columns,
+                primary_key: pk,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn restaurant() -> Schema {
+        Schema::builder("restaurant")
+            .column(Column::new("rid", ColumnType::Int))
+            .column(Column::new("name", ColumnType::Str))
+            .column(Column::new("cuisine", ColumnType::Str))
+            .column(Column::new("budget", ColumnType::Int))
+            .primary_key(&["rid"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_and_looks_up() {
+        let s = restaurant();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.index_of("cuisine").unwrap(), 2);
+        assert_eq!(s.primary_key(), &[0]);
+        assert!(s.contains("budget"));
+        assert!(!s.contains("rate"));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Schema::builder("r")
+            .column(Column::new("a", ColumnType::Int))
+            .column(Column::new("a", ColumnType::Str))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationError::DuplicateColumn { .. }));
+    }
+
+    #[test]
+    fn missing_key_column_rejected() {
+        let err = Schema::builder("r")
+            .column(Column::new("a", ColumnType::Int))
+            .primary_key(&["b"])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationError::UnknownColumn { .. }));
+    }
+
+    #[test]
+    fn project_preserves_order_and_types() {
+        let s = restaurant();
+        let p = s.project(&["budget", "name"]).unwrap();
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.columns()[0].name(), "budget");
+        assert_eq!(p.columns()[1].column_type(), ColumnType::Str);
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn join_disambiguates_collisions() {
+        let left = restaurant();
+        let right = Schema::builder("comment")
+            .column(Column::new("cid", ColumnType::Int))
+            .column(Column::new("rid", ColumnType::Int))
+            .column(Column::new("comment", ColumnType::Str))
+            .build()
+            .unwrap();
+        let joined = left.join(&right);
+        assert_eq!(joined.arity(), 7);
+        assert!(joined.contains("comment.rid"));
+        assert!(joined.contains("rid"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = restaurant();
+        let text = s.to_string();
+        assert!(text.starts_with("restaurant("));
+        assert!(text.contains("budget: INT"));
+    }
+
+    #[test]
+    fn schema_clone_is_cheap_and_equal() {
+        let s = restaurant();
+        let c = s.clone();
+        assert_eq!(s, c);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of relational-algebra laws on random tables.
+
+use proptest::prelude::*;
+
+use dash_relation::{
+    join, project, select, sort_by, Aggregation, Column, ColumnType, GroupBy, JoinSpec, Predicate,
+    Record, Schema, SortKey, Table, Value,
+};
+
+fn left_schema() -> Schema {
+    Schema::builder("l")
+        .column(Column::new("id", ColumnType::Int))
+        .column(Column::new("grp", ColumnType::Int))
+        .column(Column::new("text", ColumnType::Str))
+        .build()
+        .unwrap()
+}
+
+fn right_schema() -> Schema {
+    Schema::builder("r")
+        .column(Column::new("lid", ColumnType::Int))
+        .column(Column::new("note", ColumnType::Str))
+        .build()
+        .unwrap()
+}
+
+fn left_table(rows: &[(i64, i64, u8)]) -> Table {
+    Table::with_records(
+        left_schema(),
+        rows.iter().map(|&(id, grp, t)| {
+            Record::new(vec![
+                Value::Int(id),
+                Value::Int(grp),
+                Value::str(format!("w{t}")),
+            ])
+        }),
+    )
+    .unwrap()
+}
+
+fn right_table(rows: &[(i64, u8)]) -> Table {
+    Table::with_records(
+        right_schema(),
+        rows.iter()
+            .map(|&(lid, t)| Record::new(vec![Value::Int(lid), Value::str(format!("n{t}"))])),
+    )
+    .unwrap()
+}
+
+proptest! {
+    /// σ distributes over ⋈ when the predicate touches only left columns:
+    /// select(join(L,R)) == join(select(L),R).
+    #[test]
+    fn selection_pushdown(
+        lrows in prop::collection::vec((0i64..20, 0i64..5, 0u8..4), 0..30),
+        rrows in prop::collection::vec((0i64..20, 0u8..4), 0..30),
+        bound in 0i64..5,
+    ) {
+        // Unique left ids (primary-key style) for stable comparison.
+        let mut lrows = lrows;
+        lrows.sort();
+        lrows.dedup_by_key(|r| r.0);
+        let l = left_table(&lrows);
+        let r = right_table(&rrows);
+        let spec = JoinSpec::inner("id", "lid");
+        let pred = Predicate::between("grp", 0i64, bound);
+
+        let a = select(&join(&l, &r, &spec).unwrap(), &pred).unwrap();
+        let b = join(&select(&l, &pred).unwrap(), &r, &spec).unwrap();
+        let mut xs: Vec<_> = a.records().to_vec();
+        let mut ys: Vec<_> = b.records().to_vec();
+        xs.sort();
+        ys.sort();
+        prop_assert_eq!(xs, ys);
+    }
+
+    /// Left-outer join preserves every left row at least once.
+    #[test]
+    fn left_outer_preserves_left(
+        lrows in prop::collection::vec((0i64..20, 0i64..5, 0u8..4), 1..25),
+        rrows in prop::collection::vec((0i64..20, 0u8..4), 0..25),
+    ) {
+        let mut lrows = lrows;
+        lrows.sort();
+        lrows.dedup_by_key(|r| r.0);
+        let l = left_table(&lrows);
+        let r = right_table(&rrows);
+        let joined = join(&l, &r, &JoinSpec::left_outer("id", "lid")).unwrap();
+        for row in l.iter() {
+            let id = row.get(0).unwrap();
+            prop_assert!(
+                joined.iter().any(|j| j.get(0) == Some(id)),
+                "left id {id} lost"
+            );
+        }
+        // And never fewer rows than the inner join.
+        let inner = join(&l, &r, &JoinSpec::inner("id", "lid")).unwrap();
+        prop_assert!(joined.len() >= inner.len());
+        prop_assert!(joined.len() >= l.len());
+    }
+
+    /// Projection is idempotent and preserves cardinality.
+    #[test]
+    fn projection_laws(
+        lrows in prop::collection::vec((0i64..50, 0i64..5, 0u8..4), 0..30),
+    ) {
+        let mut lrows = lrows;
+        lrows.sort();
+        lrows.dedup_by_key(|r| r.0);
+        let l = left_table(&lrows);
+        let once = project(&l, &["grp", "text"]).unwrap();
+        let twice = project(&once, &["grp", "text"]).unwrap();
+        prop_assert_eq!(once.records(), twice.records());
+        prop_assert_eq!(once.len(), l.len());
+    }
+
+    /// COUNT(*) group-by sums to the table cardinality, and every group
+    /// key exists in the source.
+    #[test]
+    fn group_by_counts_partition(
+        lrows in prop::collection::vec((0i64..50, 0i64..5, 0u8..4), 0..40),
+    ) {
+        let mut lrows = lrows;
+        lrows.sort();
+        lrows.dedup_by_key(|r| r.0);
+        let l = left_table(&lrows);
+        let grouped = GroupBy::new(&["grp"])
+            .aggregate(Aggregation::count_star("n"))
+            .eval(&l)
+            .unwrap();
+        let total: i64 = grouped
+            .iter()
+            .map(|r| r.get(1).unwrap().as_int().unwrap())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        prop_assert_eq!(total, l.len() as i64);
+    }
+
+    /// Sorting is a permutation and is idempotent.
+    #[test]
+    fn sort_laws(
+        lrows in prop::collection::vec((0i64..50, 0i64..5, 0u8..4), 0..40),
+    ) {
+        let mut lrows = lrows;
+        lrows.sort();
+        lrows.dedup_by_key(|r| r.0);
+        let l = left_table(&lrows);
+        let sorted = sort_by(&l, &[SortKey::asc("grp"), SortKey::desc("id")]).unwrap();
+        prop_assert_eq!(sorted.len(), l.len());
+        let again = sort_by(&sorted, &[SortKey::asc("grp"), SortKey::desc("id")]).unwrap();
+        prop_assert_eq!(sorted.records(), again.records());
+        // Verify ordering.
+        let keys: Vec<(i64, i64)> = sorted
+            .iter()
+            .map(|r| {
+                (
+                    r.get(1).unwrap().as_int().unwrap(),
+                    -r.get(0).unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort();
+        prop_assert_eq!(keys, expected);
+    }
+}

@@ -1,0 +1,315 @@
+//! Abstract syntax tree for parameterized PSJ queries.
+
+use std::fmt;
+
+use dash_relation::{CompareOp, Value};
+use serde::{Deserialize, Serialize};
+
+/// A possibly relation-qualified column reference (`budget` or
+/// `lineitem.qty`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Qualifying relation, when written.
+    pub relation: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified column.
+    pub fn bare(column: impl Into<String>) -> Self {
+        ColumnRef {
+            relation: None,
+            column: column.into(),
+        }
+    }
+
+    /// A relation-qualified column.
+    pub fn qualified(relation: impl Into<String>, column: impl Into<String>) -> Self {
+        ColumnRef {
+            relation: Some(relation.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.relation {
+            Some(r) => write!(f, "{r}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// The projection list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectList {
+    /// `SELECT *`
+    Star,
+    /// An explicit column list.
+    Columns(Vec<ColumnRef>),
+}
+
+/// Join flavor as written in SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JoinKindAst {
+    /// `JOIN` / `INNER JOIN`
+    Inner,
+    /// `LEFT JOIN` / `LEFT OUTER JOIN`
+    LeftOuter,
+}
+
+/// The FROM clause: a binary join tree over named relations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableExpr {
+    /// A base relation.
+    Relation(String),
+    /// A join of two sub-expressions, with an optional explicit `ON
+    /// left = right` equi-condition. When `on` is `None`, the planner
+    /// resolves the join columns from foreign-key metadata, as the paper's
+    /// queries do.
+    Join {
+        /// Left operand.
+        left: Box<TableExpr>,
+        /// Right operand.
+        right: Box<TableExpr>,
+        /// Inner or left-outer.
+        kind: JoinKindAst,
+        /// Optional explicit equi-join condition.
+        on: Option<(ColumnRef, ColumnRef)>,
+    },
+}
+
+impl TableExpr {
+    /// The base relation names, left-to-right (the paper's R1, R2, … Rn).
+    pub fn relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out
+    }
+
+    fn collect_relations<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            TableExpr::Relation(name) => out.push(name),
+            TableExpr::Join { left, right, .. } => {
+                left.collect_relations(out);
+                right.collect_relations(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableExpr::Relation(name) => write!(f, "{name}"),
+            TableExpr::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                let kw = match kind {
+                    JoinKindAst::Inner => "JOIN",
+                    JoinKindAst::LeftOuter => "LEFT JOIN",
+                };
+                write!(f, "({left} {kw} {right}")?;
+                if let Some((l, r)) = on {
+                    write!(f, " ON {l} = {r}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A scalar operand in the WHERE clause: a constant or a `$param`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scalar {
+    /// A literal constant.
+    Literal(Value),
+    /// A named parameter placeholder.
+    Param(String),
+}
+
+impl Scalar {
+    /// Returns the parameter name, when this is a placeholder.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            Scalar::Param(p) => Some(p),
+            Scalar::Literal(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Literal(Value::Str(s)) => write!(f, "\"{s}\""),
+            Scalar::Literal(v) => write!(f, "{v}"),
+            Scalar::Param(p) => write!(f, "${p}"),
+        }
+    }
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Condition {
+    /// `column ⊗ scalar` with `⊗ ∈ {=, >=, <=}`.
+    Compare {
+        /// The selection attribute.
+        column: ColumnRef,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right-hand operand.
+        value: Scalar,
+    },
+    /// `column BETWEEN low AND high`.
+    Between {
+        /// The selection attribute.
+        column: ColumnRef,
+        /// Inclusive lower bound.
+        low: Scalar,
+        /// Inclusive upper bound.
+        high: Scalar,
+    },
+}
+
+impl Condition {
+    /// The selection attribute this condition constrains.
+    pub fn column(&self) -> &ColumnRef {
+        match self {
+            Condition::Compare { column, .. } | Condition::Between { column, .. } => column,
+        }
+    }
+
+    /// Parameter names referenced by this condition, in syntactic order.
+    pub fn params(&self) -> Vec<&str> {
+        match self {
+            Condition::Compare { value, .. } => value.param_name().into_iter().collect(),
+            Condition::Between { low, high, .. } => low
+                .param_name()
+                .into_iter()
+                .chain(high.param_name())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Compare { column, op, value } => write!(f, "{column} {op} {value}"),
+            Condition::Between { column, low, high } => {
+                write!(f, "{column} BETWEEN {low} AND {high}")
+            }
+        }
+    }
+}
+
+/// A full parameterized PSJ statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectStatement {
+    /// Projection list.
+    pub select: SelectList,
+    /// Join tree.
+    pub from: TableExpr,
+    /// Conjunction of conditions (possibly empty).
+    pub where_clause: Vec<Condition>,
+}
+
+impl SelectStatement {
+    /// All `$param` names in WHERE-clause order (duplicates preserved).
+    pub fn params(&self) -> Vec<&str> {
+        self.where_clause
+            .iter()
+            .flat_map(Condition::params)
+            .collect()
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        match &self.select {
+            SelectList::Star => write!(f, "*")?,
+            SelectList::Columns(cols) => {
+                for (i, c) in cols.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+            }
+        }
+        write!(f, " FROM {}", self.from)?;
+        if !self.where_clause.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.where_clause.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relations_left_to_right() {
+        let expr = TableExpr::Join {
+            left: Box::new(TableExpr::Join {
+                left: Box::new(TableExpr::Relation("restaurant".into())),
+                right: Box::new(TableExpr::Relation("comment".into())),
+                kind: JoinKindAst::LeftOuter,
+                on: None,
+            }),
+            right: Box::new(TableExpr::Relation("customer".into())),
+            kind: JoinKindAst::Inner,
+            on: None,
+        };
+        assert_eq!(expr.relations(), vec!["restaurant", "comment", "customer"]);
+        assert_eq!(
+            expr.to_string(),
+            "((restaurant LEFT JOIN comment) JOIN customer)"
+        );
+    }
+
+    #[test]
+    fn condition_params() {
+        let c = Condition::Between {
+            column: ColumnRef::bare("qty"),
+            low: Scalar::Param("min".into()),
+            high: Scalar::Param("max".into()),
+        };
+        assert_eq!(c.params(), vec!["min", "max"]);
+        assert_eq!(c.column().column, "qty");
+    }
+
+    #[test]
+    fn statement_display() {
+        let stmt = SelectStatement {
+            select: SelectList::Columns(vec![
+                ColumnRef::bare("name"),
+                ColumnRef::qualified("c", "uname"),
+            ]),
+            from: TableExpr::Relation("restaurant".into()),
+            where_clause: vec![Condition::Compare {
+                column: ColumnRef::bare("cuisine"),
+                op: CompareOp::Eq,
+                value: Scalar::Param("c".into()),
+            }],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT name, c.uname FROM restaurant WHERE cuisine = $c"
+        );
+        assert_eq!(stmt.params(), vec!["c"]);
+    }
+}

@@ -1,0 +1,290 @@
+//! Tokenizer for the PSJ SQL dialect.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively by
+    /// the parser; the lexer preserves the original spelling).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal with a fractional part, as raw text (the parser
+    /// converts it to an exact [`dash_relation::Decimal`]).
+    DecimalLit(String),
+    /// Single- or double-quoted string literal (quotes stripped).
+    StringLit(String),
+    /// `$name` parameter placeholder (the `$` is stripped).
+    Param(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::DecimalLit(s) => write!(f, "{s}"),
+            Token::StringLit(s) => write!(f, "\"{s}\""),
+            Token::Param(p) => write!(f, "${p}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ge => write!(f, ">="),
+            Token::Le => write!(f, "<="),
+        }
+    }
+}
+
+/// A lexing failure: the offending character and its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `input`.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated strings, bare `$`/`>`/`<`, or any
+/// character outside the dialect.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '>' | '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(if c == '>' { Token::Ge } else { Token::Le });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: i,
+                        message: format!("bare `{c}` (only >= and <= are supported)"),
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        offset: i,
+                        message: "unterminated string literal".to_string(),
+                    });
+                }
+                tokens.push(Token::StringLit(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError {
+                        offset: i,
+                        message: "`$` must be followed by a parameter name".to_string(),
+                    });
+                }
+                tokens.push(Token::Param(input[start..j].to_string()));
+                i = j;
+            }
+            '0'..='9' | '-' => {
+                // `-` is only valid as a numeric sign (the dialect has no
+                // binary minus).
+                if c == '-' && !(i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+                    return Err(LexError {
+                        offset: i,
+                        message: "`-` must begin a numeric literal".to_string(),
+                    });
+                }
+                let start = i;
+                let mut j = if c == '-' { i + 1 } else { i };
+                let mut saw_dot = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() {
+                        j += 1;
+                    } else if d == '.'
+                        && !saw_dot
+                        && j + 1 < bytes.len()
+                        && (bytes[j + 1] as char).is_ascii_digit()
+                    {
+                        saw_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                if saw_dot {
+                    tokens.push(Token::DecimalLit(text.to_string()));
+                } else {
+                    let value: i64 = text.parse().map_err(|_| LexError {
+                        offset: start,
+                        message: format!("integer literal `{text}` out of range"),
+                    })?;
+                    tokens.push(Token::Int(value));
+                }
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character `{other}`"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_paper_query() {
+        let tokens = tokenize(
+            "SELECT name, budget FROM (restaurant LEFT JOIN comment) JOIN customer \
+             WHERE (cuisine = \"American\") AND (budget BETWEEN 10 AND 20)",
+        )
+        .unwrap();
+        assert!(tokens.contains(&Token::Ident("LEFT".into())));
+        assert!(tokens.contains(&Token::StringLit("American".into())));
+        assert!(tokens.contains(&Token::Int(20)));
+    }
+
+    #[test]
+    fn lexes_params_and_operators() {
+        let tokens = tokenize("qty >= $min AND qty <= $max").unwrap();
+        assert_eq!(tokens[0], Token::Ident("qty".into()));
+        assert_eq!(tokens[1], Token::Ge);
+        assert_eq!(tokens[2], Token::Param("min".into()));
+        assert_eq!(tokens[5], Token::Le);
+    }
+
+    #[test]
+    fn lexes_decimals_and_qualified_names() {
+        let tokens = tokenize("C.ACCBAL = 12.50").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Ident("C".into()),
+                Token::Dot,
+                Token::Ident("ACCBAL".into()),
+                Token::Eq,
+                Token::DecimalLit("12.50".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quotes_work() {
+        let tokens = tokenize("cuisine = 'Thai food'").unwrap();
+        assert_eq!(tokens[2], Token::StringLit("Thai food".into()));
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = tokenize("a > b").unwrap_err();
+        assert_eq!(err.offset, 2);
+        assert!(tokenize("x = \"unterminated").is_err());
+        assert!(tokenize("$ x").is_err());
+        assert!(tokenize("a ; b").is_err());
+    }
+
+    #[test]
+    fn star_and_commas() {
+        let tokens = tokenize("SELECT * FROM r").unwrap();
+        assert_eq!(tokens[1], Token::Star);
+    }
+
+    #[test]
+    fn dot_not_part_of_int_without_digit() {
+        // `5.` is Int(5) followed by Dot.
+        let tokens = tokenize("5.x").unwrap();
+        assert_eq!(tokens[0], Token::Int(5));
+        assert_eq!(tokens[1], Token::Dot);
+    }
+}

@@ -1,0 +1,34 @@
+//! # dash-sql
+//!
+//! A lexer and recursive-descent parser for the SQL dialect that Dash's
+//! web-application analyzer extracts from servlet code: *parameterized
+//! project-select-join (PSJ) queries* (Definition 1 of the paper).
+//!
+//! The dialect covers exactly what the paper's application queries use —
+//! no more:
+//!
+//! * `SELECT *` or an explicit column list (optionally `rel.col` qualified),
+//! * a `FROM` clause that is a tree of `JOIN` / `LEFT JOIN` over named
+//!   relations, with optional parentheses and optional `ON a = b` clauses,
+//! * a `WHERE` clause that is a conjunction of `col = x`, `col >= x`,
+//!   `col <= x` and `col BETWEEN x AND y`, where each operand is a literal
+//!   or a `$param` placeholder.
+//!
+//! ```
+//! use dash_sql::parse_select;
+//!
+//! let stmt = parse_select(
+//!     "SELECT * FROM (customer JOIN orders) JOIN lineitem \
+//!      WHERE customer.cid = $r AND lineitem.qty BETWEEN $min AND $max",
+//! ).unwrap();
+//! assert_eq!(stmt.where_clause.len(), 2);
+//! assert_eq!(stmt.from.relations(), vec!["customer", "orders", "lineitem"]);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{ColumnRef, Condition, JoinKindAst, Scalar, SelectList, SelectStatement, TableExpr};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_select, ParseError};

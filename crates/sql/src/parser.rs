@@ -1,0 +1,418 @@
+//! Recursive-descent parser for the PSJ dialect.
+
+use std::fmt;
+
+use dash_relation::{CompareOp, Decimal, Value};
+
+use crate::ast::{
+    ColumnRef, Condition, JoinKindAst, Scalar, SelectList, SelectStatement, TableExpr,
+};
+use crate::lexer::{tokenize, LexError, Token};
+
+/// A parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of what was expected and what was found.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> Self {
+        ParseError {
+            message: err.to_string(),
+        }
+    }
+}
+
+/// Parses a parameterized PSJ `SELECT` statement.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] when the text deviates from the dialect (see the
+/// crate docs for the grammar).
+///
+/// ```
+/// use dash_sql::parse_select;
+/// let stmt = parse_select("SELECT * FROM r WHERE x = 1").unwrap();
+/// assert_eq!(stmt.where_clause.len(), 1);
+/// assert!(parse_select("DELETE FROM r").is_err());
+/// ```
+pub fn parse_select(input: &str) -> Result<SelectStatement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.error(&format!("trailing input starting at `{}`", p.tokens[p.pos])));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!(
+                "expected `{kw}`, found `{}`",
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_token(&mut self, token: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == token => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(&format!(
+                "expected `{token}`, found `{}`",
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => {
+                if is_reserved(&s) {
+                    Err(self.error(&format!("unexpected keyword `{s}`")))
+                } else {
+                    Ok(s)
+                }
+            }
+            other => Err(self.error(&format!(
+                "expected identifier, found `{}`",
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn select_statement(&mut self) -> Result<SelectStatement, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let select = self.select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.table_expr()?;
+        let mut where_clause = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                where_clause.push(self.condition()?);
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(SelectStatement {
+            select,
+            from,
+            where_clause,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<SelectList, ParseError> {
+        if matches!(self.peek(), Some(Token::Star)) {
+            self.pos += 1;
+            return Ok(SelectList::Star);
+        }
+        let mut cols = vec![self.column_ref()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            cols.push(self.column_ref()?);
+        }
+        Ok(SelectList::Columns(cols))
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.pos += 1;
+            let column = self.ident()?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    /// `table_expr := table_atom (join_kw table_atom [ON col = col])*`
+    fn table_expr(&mut self) -> Result<TableExpr, ParseError> {
+        let mut left = self.table_atom()?;
+        while let Some(kind) = self.join_keyword()? {
+            let right = self.table_atom()?;
+            let on = if self.eat_keyword("ON") {
+                let l = self.column_ref()?;
+                self.expect_token(&Token::Eq)?;
+                let r = self.column_ref()?;
+                Some((l, r))
+            } else {
+                None
+            };
+            left = TableExpr::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+            };
+        }
+        Ok(left)
+    }
+
+    fn table_atom(&mut self) -> Result<TableExpr, ParseError> {
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let inner = self.table_expr()?;
+            self.expect_token(&Token::RParen)?;
+            Ok(inner)
+        } else {
+            Ok(TableExpr::Relation(self.ident()?))
+        }
+    }
+
+    fn join_keyword(&mut self) -> Result<Option<JoinKindAst>, ParseError> {
+        if self.eat_keyword("JOIN") {
+            return Ok(Some(JoinKindAst::Inner));
+        }
+        if self.peek_keyword("INNER") {
+            self.pos += 1;
+            self.expect_keyword("JOIN")?;
+            return Ok(Some(JoinKindAst::Inner));
+        }
+        if self.peek_keyword("LEFT") {
+            self.pos += 1;
+            self.eat_keyword("OUTER");
+            self.expect_keyword("JOIN")?;
+            return Ok(Some(JoinKindAst::LeftOuter));
+        }
+        Ok(None)
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        // Each condition may be wrapped in parentheses, as the paper writes
+        // them: `(cuisine = "...") AND (budget BETWEEN ...)`.
+        if matches!(self.peek(), Some(Token::LParen)) {
+            self.pos += 1;
+            let c = self.condition()?;
+            self.expect_token(&Token::RParen)?;
+            return Ok(c);
+        }
+        let column = self.column_ref()?;
+        if self.eat_keyword("BETWEEN") {
+            let low = self.scalar()?;
+            self.expect_keyword("AND")?;
+            let high = self.scalar()?;
+            return Ok(Condition::Between { column, low, high });
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => CompareOp::Eq,
+            Some(Token::Ge) => CompareOp::Ge,
+            Some(Token::Le) => CompareOp::Le,
+            other => {
+                return Err(self.error(&format!(
+                    "expected comparison operator, found `{}`",
+                    other
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "end of input".into())
+                )))
+            }
+        };
+        let value = self.scalar()?;
+        Ok(Condition::Compare { column, op, value })
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, ParseError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Scalar::Literal(Value::Int(i))),
+            Some(Token::DecimalLit(text)) => {
+                let d = Decimal::from_str_exact(&text).map_err(|e| ParseError {
+                    message: e.to_string(),
+                })?;
+                Ok(Scalar::Literal(Value::Decimal(d)))
+            }
+            Some(Token::StringLit(s)) => Ok(Scalar::Literal(Value::Str(s))),
+            Some(Token::Param(p)) => Ok(Scalar::Param(p)),
+            other => Err(self.error(&format!(
+                "expected literal or $param, found `{}`",
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "AND", "BETWEEN", "JOIN", "LEFT", "INNER", "OUTER", "ON",
+    ];
+    RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_running_example_query() {
+        // The query Q assembled by the Search servlet (Figure 3), with
+        // parameters in place of the concatenated inputs.
+        let stmt = parse_select(
+            "SELECT name, budget, rate, comment, uname, date \
+             FROM (restaurant LEFT JOIN comment) JOIN customer \
+             WHERE (cuisine = $c) AND (budget BETWEEN $l AND $u)",
+        )
+        .unwrap();
+        assert_eq!(
+            stmt.from.relations(),
+            vec!["restaurant", "comment", "customer"]
+        );
+        assert_eq!(stmt.params(), vec!["c", "l", "u"]);
+        match &stmt.select {
+            SelectList::Columns(cols) => assert_eq!(cols.len(), 6),
+            SelectList::Star => panic!("expected column list"),
+        }
+    }
+
+    #[test]
+    fn parses_q1_q2_q3() {
+        // Table III of the paper.
+        let q1 = parse_select(
+            "select * from (region JOIN nation) JOIN customer \
+             where region.r_regionkey = $r and customer.c_acctbal between $min and $max",
+        )
+        .unwrap();
+        assert_eq!(q1.from.relations(), vec!["region", "nation", "customer"]);
+
+        let q3 = parse_select(
+            "select * from (customer JOIN orders) JOIN (lineitem JOIN part) \
+             where customer.c_custkey = $r and lineitem.l_quantity between $min and $max",
+        )
+        .unwrap();
+        assert_eq!(
+            q3.from.relations(),
+            vec!["customer", "orders", "lineitem", "part"]
+        );
+        // Right operand of the top join is itself a join.
+        match &q3.from {
+            TableExpr::Join { right, .. } => {
+                assert!(matches!(**right, TableExpr::Join { .. }))
+            }
+            _ => panic!("expected join"),
+        }
+    }
+
+    #[test]
+    fn parses_explicit_on() {
+        let stmt = parse_select("SELECT * FROM a JOIN b ON a.x = b.y WHERE a.z = 1").unwrap();
+        match &stmt.from {
+            TableExpr::Join {
+                on: Some((l, r)), ..
+            } => {
+                assert_eq!(l.to_string(), "a.x");
+                assert_eq!(r.to_string(), "b.y");
+            }
+            other => panic!("expected ON join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_left_outer_join_spelling() {
+        let a = parse_select("SELECT * FROM a LEFT JOIN b").unwrap();
+        let b = parse_select("SELECT * FROM a LEFT OUTER JOIN b").unwrap();
+        assert_eq!(a.from, b.from);
+    }
+
+    #[test]
+    fn parses_literals() {
+        let stmt = parse_select("SELECT * FROM r WHERE a = \"American\" AND b >= 12.50 AND c <= 7")
+            .unwrap();
+        assert_eq!(stmt.where_clause.len(), 3);
+        match &stmt.where_clause[1] {
+            Condition::Compare { op, value, .. } => {
+                assert_eq!(*op, CompareOp::Ge);
+                assert_eq!(*value, Scalar::Literal(Value::decimal(1250)));
+            }
+            _ => panic!("expected compare"),
+        }
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        let text = "SELECT name, budget FROM (restaurant LEFT JOIN comment) JOIN customer \
+                    WHERE cuisine = $c AND budget BETWEEN $l AND $u";
+        let stmt = parse_select(text).unwrap();
+        let reparsed = parse_select(&stmt.to_string()).unwrap();
+        assert_eq!(stmt, reparsed);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_select("SELECT FROM r").is_err());
+        assert!(parse_select("SELECT * WHERE x = 1").is_err());
+        assert!(parse_select("SELECT * FROM r WHERE x").is_err());
+        assert!(parse_select("SELECT * FROM r WHERE x BETWEEN 1").is_err());
+        assert!(parse_select("SELECT * FROM r extra").is_err());
+        assert!(parse_select("SELECT * FROM (r JOIN").is_err());
+        assert!(parse_select("UPDATE r SET x = 1").is_err());
+    }
+
+    #[test]
+    fn keywords_cannot_be_identifiers() {
+        assert!(parse_select("SELECT select FROM r").is_err());
+    }
+
+    #[test]
+    fn no_where_clause_is_fine() {
+        let stmt = parse_select("SELECT * FROM r").unwrap();
+        assert!(stmt.where_clause.is_empty());
+        assert!(stmt.params().is_empty());
+    }
+}

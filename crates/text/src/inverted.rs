@@ -1,0 +1,254 @@
+//! A conventional inverted file (Section II).
+//!
+//! For each keyword `w` an inverted list `L_w` holds the documents
+//! containing `w`, sorted by descending term frequency so high-TF
+//! documents come first and `IDF_w` is just `1 / |L_w|`. Generic over the
+//! document identifier so the same structure indexes both whole db-pages
+//! (the baseline) and fragment identifiers (Dash's inverted fragment
+//! index).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use serde::{Deserialize, Serialize};
+
+/// One entry of an inverted list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting<D> {
+    /// The document (or fragment) identifier.
+    pub doc: D,
+    /// Raw occurrence count of the keyword in the document.
+    pub occurrences: u64,
+    /// Total keywords in the document (denominator of TF).
+    pub doc_len: u64,
+}
+
+impl<D> Posting<D> {
+    /// Term frequency: occurrences normalized by document length.
+    pub fn tf(&self) -> f64 {
+        if self.doc_len == 0 {
+            0.0
+        } else {
+            self.occurrences as f64 / self.doc_len as f64
+        }
+    }
+}
+
+/// An inverted file over documents with identifiers of type `D`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedFile<D = u64> {
+    lists: HashMap<String, Vec<Posting<D>>>,
+    documents: u64,
+}
+
+impl<D> Default for InvertedFile<D> {
+    fn default() -> Self {
+        InvertedFile {
+            lists: HashMap::new(),
+            documents: 0,
+        }
+    }
+}
+
+impl<D: Clone + Eq + Ord + Hash> InvertedFile<D> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Indexes one document given its token stream. Postings are re-sorted
+    /// lazily on [`InvertedFile::finalize`] or eagerly on lookup if needed;
+    /// for simplicity this implementation keeps lists sorted on every add.
+    pub fn add_document(&mut self, doc: D, tokens: &[String]) {
+        let mut counts: HashMap<&str, u64> = HashMap::new();
+        for t in tokens {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let doc_len = tokens.len() as u64;
+        for (word, occurrences) in counts {
+            let list = self.lists.entry(word.to_string()).or_default();
+            list.push(Posting {
+                doc: doc.clone(),
+                occurrences,
+                doc_len,
+            });
+        }
+        self.documents += 1;
+    }
+
+    /// Inserts a pre-counted posting (used by the MapReduce indexing jobs,
+    /// whose reducers already hold `(keyword, (doc, occurrences))` pairs).
+    pub fn add_posting(&mut self, word: impl Into<String>, posting: Posting<D>) {
+        self.lists.entry(word.into()).or_default().push(posting);
+    }
+
+    /// Declares the total document count (needed when postings were bulk-
+    /// inserted rather than added per document).
+    pub fn set_document_count(&mut self, documents: u64) {
+        self.documents = documents;
+    }
+
+    /// Sorts every inverted list by descending TF, ties broken by
+    /// ascending document id — a total order, so the index layout is
+    /// independent of insertion order (bulk build and incremental
+    /// maintenance converge to identical lists).
+    pub fn finalize(&mut self) {
+        for list in self.lists.values_mut() {
+            list.sort_by(|a, b| {
+                b.tf()
+                    .partial_cmp(&a.tf())
+                    .expect("finite TF")
+                    .then_with(|| a.doc.cmp(&b.doc))
+            });
+        }
+    }
+
+    /// The inverted list for `word`, if any document contains it.
+    pub fn postings(&self, word: &str) -> Option<&[Posting<D>]> {
+        self.lists.get(word).map(Vec::as_slice)
+    }
+
+    /// Document frequency of `word`: `|L_w|`.
+    pub fn df(&self, word: &str) -> usize {
+        self.lists.get(word).map_or(0, Vec::len)
+    }
+
+    /// Inverse document frequency: `1 / |L_w|` (the approximation Dash
+    /// uses, with fragments as documents). Zero when no document has the
+    /// word.
+    pub fn idf(&self, word: &str) -> f64 {
+        match self.df(word) {
+            0 => 0.0,
+            n => 1.0 / n as f64,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn document_count(&self) -> u64 {
+        self.documents
+    }
+
+    /// Number of distinct keywords.
+    pub fn keyword_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Iterates over `(keyword, inverted list)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Posting<D>])> {
+        self.lists.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// All keywords sorted by descending document frequency — the basis of
+    /// the paper's hot/warm/cold keyword selection (top/middle/bottom 10%).
+    pub fn keywords_by_df(&self) -> Vec<(&str, usize)> {
+        let mut out: Vec<(&str, usize)> = self
+            .lists
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.len()))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// Removes all postings of `doc` (support for incremental updates —
+    /// the paper's first future-work item). Returns how many lists were
+    /// touched. Lists left empty are dropped.
+    pub fn remove_document(&mut self, doc: &D) -> usize {
+        let mut touched = 0;
+        self.lists.retain(|_, list| {
+            let before = list.len();
+            list.retain(|p| p.doc != *doc);
+            if list.len() != before {
+                touched += 1;
+            }
+            !list.is_empty()
+        });
+        touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn sample() -> InvertedFile<u64> {
+        let mut idx = InvertedFile::new();
+        idx.add_document(1, &tokenize("burger burger fries"));
+        idx.add_document(2, &tokenize("burger coffee"));
+        idx.add_document(3, &tokenize("coffee coffee coffee"));
+        idx.finalize();
+        idx
+    }
+
+    #[test]
+    fn postings_sorted_by_tf_desc() {
+        let idx = sample();
+        let burger = idx.postings("burger").unwrap();
+        assert_eq!(burger.len(), 2);
+        // doc 1 has TF 2/3, doc 2 has TF 1/2.
+        assert_eq!(burger[0].doc, 1);
+        assert!(burger[0].tf() > burger[1].tf());
+    }
+
+    #[test]
+    fn df_and_idf() {
+        let idx = sample();
+        assert_eq!(idx.df("burger"), 2);
+        assert!((idx.idf("burger") - 0.5).abs() < 1e-12);
+        assert_eq!(idx.df("nothing"), 0);
+        assert_eq!(idx.idf("nothing"), 0.0);
+    }
+
+    #[test]
+    fn keywords_by_df_orders_hot_first() {
+        let idx = sample();
+        let ranked = idx.keywords_by_df();
+        assert_eq!(ranked[0].1, 2); // burger or coffee, both df=2
+        assert_eq!(ranked.last().unwrap().1, 1); // fries
+    }
+
+    #[test]
+    fn counts() {
+        let idx = sample();
+        assert_eq!(idx.document_count(), 3);
+        assert_eq!(idx.keyword_count(), 3);
+        assert_eq!(idx.iter().count(), 3);
+    }
+
+    #[test]
+    fn remove_document_updates_lists() {
+        let mut idx = sample();
+        let touched = idx.remove_document(&1);
+        assert_eq!(touched, 2); // burger and fries lists
+        assert_eq!(idx.df("burger"), 1);
+        assert!(idx.postings("fries").is_none());
+    }
+
+    #[test]
+    fn bulk_postings_path() {
+        let mut idx: InvertedFile<String> = InvertedFile::new();
+        idx.add_posting(
+            "burger",
+            Posting {
+                doc: "f1".to_string(),
+                occurrences: 2,
+                doc_len: 8,
+            },
+        );
+        idx.set_document_count(1);
+        idx.finalize();
+        assert_eq!(idx.postings("burger").unwrap()[0].occurrences, 2);
+        assert_eq!(idx.document_count(), 1);
+    }
+
+    #[test]
+    fn zero_length_doc_tf_is_zero() {
+        let p = Posting {
+            doc: 1u64,
+            occurrences: 0,
+            doc_len: 0,
+        };
+        assert_eq!(p.tf(), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dash-text
+//!
+//! The information-retrieval substrate reviewed in Section II of the Dash
+//! paper: keyword tokenization, the TF/IDF weighting scheme, and a
+//! conventional **inverted file** whose postings are sorted by descending
+//! term frequency.
+//!
+//! Dash itself indexes *db-page fragments* rather than whole pages, but it
+//! reuses all three pieces: the tokenizer turns projected attribute values
+//! into keywords, the TF/IDF machinery scores assembled pages, and the
+//! inverted file both serves as the layout of the inverted *fragment*
+//! index and powers the naive all-pages baseline that fragments are
+//! compared against.
+//!
+//! ```
+//! use dash_text::{tokenize, InvertedFile};
+//!
+//! let mut index = InvertedFile::new();
+//! index.add_document(1, &tokenize("Burger experts love burger buns"));
+//! index.add_document(2, &tokenize("Nice coffee"));
+//! let postings = index.postings("burger").unwrap();
+//! assert_eq!(postings[0].doc, 1);
+//! assert_eq!(postings[0].occurrences, 2);
+//! assert!(index.idf("coffee") > index.idf("burger") / 2.0);
+//! ```
+
+pub mod inverted;
+pub mod tfidf;
+pub mod token;
+
+pub use inverted::{InvertedFile, Posting};
+pub use tfidf::{tf_idf_score, DocStats};
+pub use token::{tokenize, tokenize_into};

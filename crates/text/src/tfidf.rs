@@ -1,0 +1,127 @@
+//! TF/IDF relevance scoring (Section II of the paper).
+//!
+//! The relevance of a document `p` to keywords `W` is
+//! `Σ_{w∈W} TF_w(p) × IDF_w`, where `TF_w(p)` is the number of occurrences
+//! of `w` in `p` normalized by `p`'s length, and `IDF_w` is the inverse of
+//! the number of documents containing `w`. Dash reuses this exact form with
+//! *fragments* in the role of documents when approximating IDF.
+
+use std::collections::HashMap;
+
+/// Keyword-occurrence statistics for one document (or db-page fragment, or
+/// assembled db-page — anything with a bag of keywords).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DocStats {
+    /// Occurrences per keyword.
+    pub occurrences: HashMap<String, u64>,
+    /// Total keyword count (the fragment-graph node weight in the paper).
+    pub total_keywords: u64,
+}
+
+impl DocStats {
+    /// Builds stats from a token stream.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut stats = DocStats::default();
+        for t in tokens {
+            *stats.occurrences.entry(t.into()).or_insert(0) += 1;
+            stats.total_keywords += 1;
+        }
+        stats
+    }
+
+    /// Term frequency of `keyword`: occurrences normalized by document
+    /// length. Zero for an empty document.
+    pub fn tf(&self, keyword: &str) -> f64 {
+        if self.total_keywords == 0 {
+            return 0.0;
+        }
+        *self.occurrences.get(keyword).unwrap_or(&0) as f64 / self.total_keywords as f64
+    }
+
+    /// Merges another document's stats into this one (used when db-page
+    /// fragments combine into a db-page: occurrences and lengths add).
+    pub fn merge(&mut self, other: &DocStats) {
+        for (k, n) in &other.occurrences {
+            *self.occurrences.entry(k.clone()).or_insert(0) += n;
+        }
+        self.total_keywords += other.total_keywords;
+    }
+}
+
+/// The TF/IDF score of a document against queried keywords.
+///
+/// `idf` maps each queried keyword to its inverse document frequency;
+/// keywords missing from the map contribute nothing (they appear in no
+/// document, so no document can score on them).
+pub fn tf_idf_score(doc: &DocStats, keywords: &[String], idf: &HashMap<String, f64>) -> f64 {
+    keywords
+        .iter()
+        .map(|w| doc.tf(w) * idf.get(w).copied().unwrap_or(0.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    #[test]
+    fn tf_matches_paper_example_7() {
+        // Fragment (American, 10) has 8 keywords, "burger" occurs twice:
+        // TF = 2/8.
+        let doc = DocStats::from_tokens(tokenize("Burger Queen 10 4.3 Burger experts David 06/10"));
+        assert_eq!(doc.total_keywords, 8);
+        assert!((doc.tf("burger") - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_paper_expansion() {
+        // Expanding (American,10) with (American,12): TF becomes 3/25.
+        let f10 = DocStats::from_tokens(tokenize("Burger Queen 10 4.3 Burger experts David 06/10"));
+        // (American,12) has 17 keywords, one "burger" (Example 6/7).
+        let f12 = DocStats::from_tokens(tokenize(
+            "Wandy's 12 4.1 Wandy's 12 4.2 Unique burger Bill 05/10 Wandy's 12 4.2 Bad fries Bill 06/10",
+        ));
+        assert_eq!(f12.total_keywords, 17);
+        let mut merged = f10.clone();
+        merged.merge(&f12);
+        assert_eq!(merged.total_keywords, 25);
+        assert!((merged.tf("burger") - 3.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expansion_never_raises_tf_of_absent_words() {
+        // Monotonicity basis for Algorithm 1: adding text with no queried
+        // keyword strictly lowers TF.
+        let mut a = DocStats::from_tokens(vec!["burger", "x"]);
+        let b = DocStats::from_tokens(vec!["y", "z"]);
+        let before = a.tf("burger");
+        a.merge(&b);
+        assert!(a.tf("burger") < before);
+    }
+
+    #[test]
+    fn score_sums_over_keywords() {
+        let doc = DocStats::from_tokens(vec!["a", "b", "b", "c"]);
+        let mut idf = HashMap::new();
+        idf.insert("a".to_string(), 1.0);
+        idf.insert("b".to_string(), 0.5);
+        let score = tf_idf_score(
+            &doc,
+            &["a".to_string(), "b".to_string(), "missing".to_string()],
+            &idf,
+        );
+        assert!((score - (0.25 * 1.0 + 0.5 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_doc_scores_zero() {
+        let doc = DocStats::default();
+        assert_eq!(doc.tf("x"), 0.0);
+        assert_eq!(tf_idf_score(&doc, &["x".to_string()], &HashMap::new()), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Keyword tokenization.
+//!
+//! The paper counts *every* rendered token of a projected attribute as a
+//! keyword — Example 6 counts `Bond's`, `Cafe`, `9`, `4.3`, `Nice`,
+//! `Coffee`, `James` and `01/11` as the eight keywords of a fragment. The
+//! tokenizer therefore splits on whitespace, keeps digits and in-word
+//! punctuation (`'`, `.`, `/`, `-`), lowercases for matching, and strips
+//! leading/trailing punctuation.
+
+/// Splits `text` into normalized keyword tokens.
+///
+/// ```
+/// use dash_text::tokenize;
+/// assert_eq!(
+///     tokenize("Bond's Cafe 9 4.3 Nice coffee 01/11"),
+///     vec!["bond's", "cafe", "9", "4.3", "nice", "coffee", "01/11"],
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    tokenize_into(text, &mut out);
+    out
+}
+
+/// Appends the tokens of `text` to `out` (allocation-friendly form used by
+/// the MapReduce keyword-extraction jobs).
+pub fn tokenize_into(text: &str, out: &mut Vec<String>) {
+    for raw in text.split_whitespace() {
+        let trimmed = raw.trim_matches(|c: char| !c.is_alphanumeric());
+        if trimmed.is_empty() {
+            continue;
+        }
+        out.push(trimmed.to_lowercase());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_trims_punctuation() {
+        assert_eq!(tokenize("Burger, Queen!"), vec!["burger", "queen"]);
+    }
+
+    #[test]
+    fn keeps_inner_punctuation() {
+        assert_eq!(tokenize("Bond's 4.3 01/11"), vec!["bond's", "4.3", "01/11"]);
+    }
+
+    #[test]
+    fn numbers_are_keywords() {
+        // The paper counts `9` and `4.3` among a fragment's keywords.
+        assert_eq!(tokenize("9 4.3"), vec!["9", "4.3"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_yield_nothing() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--- ... !!").is_empty());
+    }
+
+    #[test]
+    fn tokenize_into_appends() {
+        let mut buf = vec!["pre".to_string()];
+        tokenize_into("a b", &mut buf);
+        assert_eq!(buf, vec!["pre", "a", "b"]);
+    }
+}

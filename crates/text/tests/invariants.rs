@@ -1,0 +1,90 @@
+//! Property-based tests of the inverted file and TF/IDF scheme.
+
+use proptest::prelude::*;
+
+use dash_text::{tokenize, DocStats, InvertedFile};
+
+fn doc_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(0u8..10, 0..15)
+        .prop_map(|ws| ws.iter().map(|w| format!("word{w}")).collect())
+}
+
+proptest! {
+    /// Postings are consistent with the corpus: df counts documents,
+    /// occurrences sum to the corpus totals, lists are TF-sorted.
+    #[test]
+    fn inverted_file_consistency(docs in prop::collection::vec(doc_strategy(), 0..20)) {
+        let mut index = InvertedFile::new();
+        for (i, d) in docs.iter().enumerate() {
+            index.add_document(i as u64, d);
+        }
+        index.finalize();
+
+        prop_assert_eq!(index.document_count(), docs.len() as u64);
+        for w in 0u8..10 {
+            let word = format!("word{w}");
+            let containing = docs.iter().filter(|d| d.contains(&word)).count();
+            prop_assert_eq!(index.df(&word), containing, "df({})", word);
+            if let Some(list) = index.postings(&word) {
+                // TF-sorted descending.
+                for pair in list.windows(2) {
+                    prop_assert!(pair[0].tf() >= pair[1].tf() - 1e-12);
+                }
+                // Occurrences match a recount.
+                let total: u64 = list.iter().map(|p| p.occurrences).sum();
+                let recount: u64 = docs
+                    .iter()
+                    .map(|d| d.iter().filter(|t| **t == word).count() as u64)
+                    .sum();
+                prop_assert_eq!(total, recount);
+            }
+        }
+    }
+
+    /// Removing every document empties the index.
+    #[test]
+    fn remove_all_documents(docs in prop::collection::vec(doc_strategy(), 1..12)) {
+        let mut index = InvertedFile::new();
+        for (i, d) in docs.iter().enumerate() {
+            index.add_document(i as u64, d);
+        }
+        index.finalize();
+        for i in 0..docs.len() {
+            index.remove_document(&(i as u64));
+        }
+        prop_assert_eq!(index.keyword_count(), 0);
+    }
+
+    /// DocStats::merge is associative-ish: merging in any order yields
+    /// the same totals and TFs.
+    #[test]
+    fn merge_order_independent(
+        a in doc_strategy(),
+        b in doc_strategy(),
+        c in doc_strategy(),
+    ) {
+        let (sa, sb, sc) = (
+            DocStats::from_tokens(a.clone()),
+            DocStats::from_tokens(b.clone()),
+            DocStats::from_tokens(c.clone()),
+        );
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right = sc.clone();
+        right.merge(&sa);
+        right.merge(&sb);
+        prop_assert_eq!(left.total_keywords, right.total_keywords);
+        for w in left.occurrences.keys() {
+            prop_assert!((left.tf(w) - right.tf(w)).abs() < 1e-12);
+        }
+    }
+
+    /// The tokenizer is idempotent: tokenizing rejoined tokens is stable.
+    #[test]
+    fn tokenizer_idempotent(text in "\\PC{0,60}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+}

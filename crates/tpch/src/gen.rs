@@ -1,0 +1,479 @@
+//! The dataset generator: six TPC-H relations at three laptop scales.
+
+use dash_relation::{Column, ColumnType, Database, Date, ForeignKey, Record, Schema, Table, Value};
+
+use crate::text::TextGen;
+
+/// Dataset scale, mirroring the paper's `small`/`medium`/`large` TPC-H
+/// datasets at laptop-friendly row counts with the paper's ≈1:5:10 ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// ≈1× base rows.
+    Small,
+    /// ≈5× base rows.
+    Medium,
+    /// ≈10× base rows.
+    Large,
+    /// Explicit multiplier over the base row counts (1 = Small).
+    Custom(u32),
+}
+
+impl Scale {
+    /// The row-count multiplier.
+    pub fn multiplier(self) -> u32 {
+        match self {
+            Scale::Small => 1,
+            Scale::Medium => 5,
+            Scale::Large => 10,
+            Scale::Custom(m) => m.max(1),
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+            Scale::Custom(_) => "custom",
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TpchConfig {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Master seed; every relation derives its own stream from it, so any
+    /// single relation is stable under changes to the others.
+    pub seed: u64,
+    /// Base customer count at `Scale::Small`.
+    pub base_customers: usize,
+    /// Orders per customer (average).
+    pub orders_per_customer: usize,
+    /// Lineitems per order (average).
+    pub lineitems_per_order: usize,
+    /// Base part count at `Scale::Small`.
+    pub base_parts: usize,
+    /// Vocabulary size for comment text.
+    pub vocab_size: usize,
+}
+
+impl TpchConfig {
+    /// Defaults mirroring TPC-H shape: 10 orders per customer, 4 lineitems
+    /// per order, parts ≈ 1.3 × customers.
+    pub fn new(scale: Scale) -> Self {
+        TpchConfig {
+            scale,
+            seed: 0xDA5B,
+            base_customers: 500,
+            orders_per_customer: 10,
+            lineitems_per_order: 4,
+            base_parts: 650,
+            vocab_size: 1200,
+        }
+    }
+
+    /// Overrides the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn customers(&self) -> usize {
+        self.base_customers * self.scale.multiplier() as usize
+    }
+
+    fn parts(&self) -> usize {
+        self.base_parts * self.scale.multiplier() as usize
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const STATUSES: [&str; 3] = ["O", "F", "P"];
+const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
+const PART_TYPES: [&str; 6] = [
+    "STANDARD ANODIZED",
+    "SMALL PLATED",
+    "MEDIUM POLISHED",
+    "LARGE BURNISHED",
+    "ECONOMY BRUSHED",
+    "PROMO LACQUERED",
+];
+const PART_MATERIALS: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const PART_COLORS: [&str; 10] = [
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "blanched",
+    "blush",
+    "burlywood",
+    "chartreuse",
+];
+
+/// Generates the six-relation database at the configured scale.
+///
+/// Row counts scale linearly: `|C| = base_customers × m`,
+/// `|O| = |C| × orders_per_customer`, `|L| = |O| × lineitems_per_order`,
+/// `|P| = base_parts × m`, with `|R| = 5` and `|N| = 25` fixed — matching
+/// Table II's shape where R and N are tiny and L dominates.
+pub fn generate(config: &TpchConfig) -> Database {
+    let mut db = Database::new(format!("tpch-{}", config.scale.name()));
+
+    // region ---------------------------------------------------------
+    let region_schema = Schema::builder("region")
+        .column(Column::new("r_regionkey", ColumnType::Int))
+        .column(Column::new("r_name", ColumnType::Str))
+        .column(Column::new("r_comment", ColumnType::Str))
+        .primary_key(&["r_regionkey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x01, config.vocab_size);
+    let mut region = Table::new(region_schema);
+    for (i, name) in REGIONS.iter().enumerate() {
+        region
+            .insert(Record::new(vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                Value::str(text.sentence_between(6, 12)),
+            ]))
+            .expect("static data");
+    }
+
+    // nation ----------------------------------------------------------
+    let nation_schema = Schema::builder("nation")
+        .column(Column::new("n_nationkey", ColumnType::Int))
+        .column(Column::new("n_name", ColumnType::Str))
+        .column(Column::new("n_regionkey", ColumnType::Int))
+        .column(Column::new("n_comment", ColumnType::Str))
+        .primary_key(&["n_nationkey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x02, config.vocab_size);
+    let mut nation = Table::new(nation_schema);
+    for (i, (name, region_key)) in NATIONS.iter().enumerate() {
+        nation
+            .insert(Record::new(vec![
+                Value::Int(i as i64),
+                Value::str(*name),
+                Value::Int(*region_key),
+                Value::str(text.sentence_between(8, 16)),
+            ]))
+            .expect("static data");
+    }
+
+    // customer ---------------------------------------------------------
+    let customer_schema = Schema::builder("customer")
+        .column(Column::new("c_custkey", ColumnType::Int))
+        .column(Column::new("c_name", ColumnType::Str))
+        .column(Column::new("c_address", ColumnType::Str))
+        .column(Column::new("c_nationkey", ColumnType::Int))
+        .column(Column::new("c_phone", ColumnType::Str))
+        .column(Column::new("c_acctbal", ColumnType::Decimal))
+        .column(Column::new("c_mktsegment", ColumnType::Str))
+        .column(Column::new("c_comment", ColumnType::Str))
+        .primary_key(&["c_custkey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x03, config.vocab_size);
+    let n_customers = config.customers();
+    let mut customer = Table::new(customer_schema);
+    for key in 0..n_customers as i64 {
+        let nation_key = text.int_between(0, 24);
+        customer
+            .insert(Record::new(vec![
+                Value::Int(key),
+                Value::str(format!("Customer#{key:09}")),
+                Value::str(format!(
+                    "{} {}",
+                    text.int_between(1, 9999),
+                    text.sentence(2)
+                )),
+                Value::Int(nation_key),
+                Value::str(format!(
+                    "{:02}-{:03}-{:03}-{:04}",
+                    10 + nation_key,
+                    text.int_between(100, 999),
+                    text.int_between(100, 999),
+                    text.int_between(1000, 9999)
+                )),
+                Value::decimal(text.int_between(-99_999, 999_999)),
+                Value::str(text.pick(&SEGMENTS)),
+                Value::str(text.sentence_between(18, 40)),
+            ]))
+            .expect("generated data is schema-valid");
+    }
+
+    // part --------------------------------------------------------------
+    let part_schema = Schema::builder("part")
+        .column(Column::new("p_partkey", ColumnType::Int))
+        .column(Column::new("p_name", ColumnType::Str))
+        .column(Column::new("p_mfgr", ColumnType::Str))
+        .column(Column::new("p_brand", ColumnType::Str))
+        .column(Column::new("p_type", ColumnType::Str))
+        .column(Column::new("p_size", ColumnType::Int))
+        .column(Column::new("p_retailprice", ColumnType::Decimal))
+        .column(Column::new("p_comment", ColumnType::Str))
+        .primary_key(&["p_partkey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x04, config.vocab_size);
+    let n_parts = config.parts();
+    let mut part = Table::new(part_schema);
+    for key in 0..n_parts as i64 {
+        let mfgr = text.int_between(1, 5);
+        part.insert(Record::new(vec![
+            Value::Int(key),
+            Value::str(format!(
+                "{} {} {}",
+                text.pick(&PART_COLORS),
+                text.pick(&PART_MATERIALS).to_lowercase(),
+                text.word(),
+            )),
+            Value::str(format!("Manufacturer#{mfgr}")),
+            Value::str(format!("Brand#{}{}", mfgr, text.int_between(1, 5))),
+            Value::str(text.pick(&PART_TYPES)),
+            Value::Int(text.int_between(1, 50)),
+            Value::decimal(90_000 + key % 20_000 * 10),
+            Value::str(text.sentence_between(20, 50)),
+        ]))
+        .expect("generated data is schema-valid");
+    }
+
+    // orders --------------------------------------------------------------
+    let orders_schema = Schema::builder("orders")
+        .column(Column::new("o_orderkey", ColumnType::Int))
+        .column(Column::new("o_custkey", ColumnType::Int))
+        .column(Column::new("o_orderstatus", ColumnType::Str))
+        .column(Column::new("o_totalprice", ColumnType::Decimal))
+        .column(Column::new("o_orderdate", ColumnType::Date))
+        .column(Column::new("o_orderpriority", ColumnType::Str))
+        .column(Column::new("o_clerk", ColumnType::Str))
+        .column(Column::new("o_comment", ColumnType::Str))
+        .primary_key(&["o_orderkey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x05, config.vocab_size);
+    let n_orders = n_customers * config.orders_per_customer;
+    let mut orders = Table::new(orders_schema);
+    for key in 0..n_orders as i64 {
+        let cust = text.int_between(0, n_customers as i64 - 1);
+        orders
+            .insert(Record::new(vec![
+                Value::Int(key),
+                Value::Int(cust),
+                Value::str(text.pick(&STATUSES)),
+                Value::decimal(text.int_between(85_000, 55_000_000)),
+                Value::Date(Date::new(
+                    text.int_between(1992, 1998) as u16,
+                    text.int_between(1, 12) as u8,
+                    text.int_between(1, 28) as u8,
+                )),
+                Value::str(text.pick(&PRIORITIES)),
+                Value::str(format!("Clerk#{:09}", text.int_between(1, 1000))),
+                Value::str(text.sentence_between(14, 34)),
+            ]))
+            .expect("generated data is schema-valid");
+    }
+
+    // lineitem --------------------------------------------------------------
+    let lineitem_schema = Schema::builder("lineitem")
+        .column(Column::new("l_linekey", ColumnType::Int))
+        .column(Column::new("l_orderkey", ColumnType::Int))
+        .column(Column::new("l_partkey", ColumnType::Int))
+        .column(Column::new("l_linenumber", ColumnType::Int))
+        .column(Column::new("l_quantity", ColumnType::Int))
+        .column(Column::new("l_extendedprice", ColumnType::Decimal))
+        .column(Column::new("l_discount", ColumnType::Decimal))
+        .column(Column::new("l_returnflag", ColumnType::Str))
+        .column(Column::new("l_shipdate", ColumnType::Date))
+        .column(Column::new("l_comment", ColumnType::Str))
+        .primary_key(&["l_linekey"])
+        .build()
+        .expect("static schema");
+    let mut text = TextGen::new(config.seed ^ 0x06, config.vocab_size);
+    let n_lineitems = n_orders * config.lineitems_per_order;
+    let mut lineitem = Table::new(lineitem_schema);
+    for key in 0..n_lineitems as i64 {
+        let order = key / config.lineitems_per_order as i64;
+        lineitem
+            .insert(Record::new(vec![
+                Value::Int(key),
+                Value::Int(order),
+                Value::Int(text.int_between(0, n_parts as i64 - 1)),
+                Value::Int(key % config.lineitems_per_order as i64 + 1),
+                Value::Int(text.int_between(1, 50)),
+                Value::decimal(text.int_between(90_000, 10_000_000)),
+                Value::decimal(text.int_between(0, 10)),
+                Value::str(text.pick(&RETURN_FLAGS)),
+                Value::Date(Date::new(
+                    text.int_between(1992, 1998) as u16,
+                    text.int_between(1, 12) as u8,
+                    text.int_between(1, 28) as u8,
+                )),
+                Value::str(text.sentence_between(10, 24)),
+            ]))
+            .expect("generated data is schema-valid");
+    }
+
+    db.add_table(region);
+    db.add_table(nation);
+    db.add_table(customer);
+    db.add_table(orders);
+    db.add_table(lineitem);
+    db.add_table(part);
+    db.add_foreign_key(ForeignKey::new(
+        "nation",
+        "n_regionkey",
+        "region",
+        "r_regionkey",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "customer",
+        "c_nationkey",
+        "nation",
+        "n_nationkey",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "orders",
+        "o_custkey",
+        "customer",
+        "c_custkey",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "lineitem",
+        "l_orderkey",
+        "orders",
+        "o_orderkey",
+    ));
+    db.add_foreign_key(ForeignKey::new(
+        "lineitem",
+        "l_partkey",
+        "part",
+        "p_partkey",
+    ));
+    db
+}
+
+/// Per-relation approximate sizes in bytes, in the paper's Table II column
+/// order (R, N, C, O, L, P).
+pub fn relation_sizes(db: &Database) -> Vec<(&'static str, usize)> {
+    const ORDER: [&str; 6] = ["region", "nation", "customer", "orders", "lineitem", "part"];
+    ORDER
+        .iter()
+        .map(|&name| {
+            let size = db.table(name).map(|t| t.byte_size()).unwrap_or(0);
+            (name, size)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(&TpchConfig::new(Scale::Small));
+        assert_eq!(small.table("region").unwrap().len(), 5);
+        assert_eq!(small.table("nation").unwrap().len(), 25);
+        assert_eq!(small.table("customer").unwrap().len(), 500);
+        assert_eq!(small.table("orders").unwrap().len(), 5_000);
+        assert_eq!(small.table("lineitem").unwrap().len(), 20_000);
+        assert_eq!(small.table("part").unwrap().len(), 650);
+    }
+
+    #[test]
+    fn medium_is_five_times_small() {
+        let small = generate(&TpchConfig::new(Scale::Small));
+        let medium = generate(&TpchConfig::new(Scale::Medium));
+        assert_eq!(
+            medium.table("customer").unwrap().len(),
+            5 * small.table("customer").unwrap().len()
+        );
+        assert_eq!(
+            medium.table("lineitem").unwrap().len(),
+            5 * small.table("lineitem").unwrap().len()
+        );
+    }
+
+    #[test]
+    fn foreign_keys_hold() {
+        let db = generate(&TpchConfig::new(Scale::Small));
+        db.check_foreign_keys().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TpchConfig::new(Scale::Small));
+        let b = generate(&TpchConfig::new(Scale::Small));
+        assert_eq!(
+            a.table("customer").unwrap().records()[17],
+            b.table("customer").unwrap().records()[17]
+        );
+        let c = generate(&TpchConfig::new(Scale::Small).seed(99));
+        assert_ne!(
+            a.table("customer").unwrap().records()[17],
+            c.table("customer").unwrap().records()[17]
+        );
+    }
+
+    #[test]
+    fn sizes_shape_matches_table_2() {
+        let db = generate(&TpchConfig::new(Scale::Small));
+        let sizes = relation_sizes(&db);
+        let get = |n: &str| sizes.iter().find(|(r, _)| *r == n).unwrap().1;
+        // R and N are tiny; L dominates; O > C; P modest. (Table II shape.)
+        assert!(get("region") < 2_000);
+        assert!(get("nation") < 10_000);
+        assert!(get("lineitem") > get("orders"));
+        assert!(get("orders") > get("customer"));
+        assert!(get("lineitem") > 10 * get("part"));
+    }
+
+    #[test]
+    fn custom_scale() {
+        let db = generate(&TpchConfig::new(Scale::Custom(2)));
+        assert_eq!(db.table("customer").unwrap().len(), 1000);
+        assert_eq!(Scale::Custom(0).multiplier(), 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # dash-tpch
+//!
+//! A from-scratch TPC-H-style dataset generator, standing in for the TPC-H
+//! `dbgen` datasets the Dash paper evaluates on (Section VII, Tables
+//! II–III), plus the paper's three application queries Q1/Q2/Q3 packaged
+//! as servlets so the *entire* Dash pipeline — servlet analysis included —
+//! runs against them.
+//!
+//! The paper's experiments only depend on
+//!
+//! * the *relative* sizes of the operand relations (small : medium : large
+//!   ≈ 1 : 5 : 10, with R and N tiny),
+//! * the foreign-key topology (R←N←C←O←L→P), and
+//! * realistic keyword frequency skew (for hot/warm/cold query terms),
+//!
+//! all of which this generator reproduces at laptop scale with seeded
+//! determinism. Absolute byte counts are reported by
+//! [`relation_sizes`] for the Table II regeneration.
+//!
+//! ```
+//! use dash_tpch::{generate, Scale, TpchConfig};
+//!
+//! let db = generate(&TpchConfig::new(Scale::Small));
+//! assert_eq!(db.table("region").unwrap().len(), 5);
+//! assert!(db.table("lineitem").unwrap().len() > 10_000);
+//! db.check_foreign_keys().unwrap();
+//! ```
+
+pub mod gen;
+pub mod queries;
+pub mod text;
+
+pub use gen::{generate, relation_sizes, Scale, TpchConfig};
+pub use queries::{
+    q1_application, q2_application, q3_application, Q1_SERVLET, Q2_SERVLET, Q3_SERVLET,
+};
+pub use text::TextGen;

@@ -1,0 +1,281 @@
+//! Seeded text generation with realistic keyword skew.
+//!
+//! The paper samples *hot*, *warm* and *cold* query keywords from the top,
+//! middle and bottom deciles of the document-frequency distribution —
+//! which only works if the corpus has a heavy-tailed keyword distribution
+//! in the first place. Comments here draw words Zipf-style from a fixed
+//! vocabulary, so a small set of words ends up in most fragments (hot) and
+//! a long tail appears rarely (cold), matching TPC-H's own
+//! grammar-generated text in spirit.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// TPC-H-flavored base vocabulary (nouns/verbs/adjectives/adverbs drawn
+/// from the spec's text grammar, extended for volume).
+const BASE_WORDS: &[&str] = &[
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
+    "attainments",
+    "somas",
+    "braids",
+    "grouches",
+    "sheaves",
+    "waters",
+    "escapades",
+    "sleep",
+    "wake",
+    "are",
+    "run",
+    "cajole",
+    "haggle",
+    "nag",
+    "use",
+    "boost",
+    "affix",
+    "detect",
+    "integrate",
+    "sublate",
+    "solve",
+    "was",
+    "wait",
+    "hinder",
+    "print",
+    "doze",
+    "snooze",
+    "engage",
+    "promise",
+    "furious",
+    "sly",
+    "careful",
+    "blithe",
+    "quick",
+    "fluffy",
+    "slow",
+    "quiet",
+    "ruthless",
+    "thin",
+    "close",
+    "dogged",
+    "daring",
+    "bold",
+    "stealthy",
+    "permanent",
+    "enticing",
+    "idle",
+    "busy",
+    "regular",
+    "final",
+    "ironic",
+    "even",
+    "bold",
+    "silent",
+    "sometimes",
+    "always",
+    "never",
+    "furiously",
+    "slyly",
+    "carefully",
+    "blithely",
+    "quickly",
+    "fluffily",
+    "slowly",
+    "quietly",
+    "ruthlessly",
+    "thinly",
+    "closely",
+    "doggedly",
+    "daringly",
+    "boldly",
+    "stealthily",
+    "permanently",
+    "enticingly",
+    "idly",
+    "busily",
+    "regularly",
+    "finally",
+    "ironically",
+    "evenly",
+    "silently",
+    "special",
+    "pending",
+    "unusual",
+    "express",
+    "ironic",
+    "bold",
+    "above",
+    "across",
+    "against",
+    "along",
+    "among",
+    "around",
+    "atop",
+    "before",
+    "behind",
+    "beneath",
+    "beside",
+    "besides",
+    "between",
+    "beyond",
+    "under",
+    "unusual",
+    "deposits",
+    "theodolites",
+    "gifts",
+    "requests",
+];
+
+/// A seeded word sampler with Zipfian rank weighting.
+#[derive(Debug)]
+pub struct TextGen {
+    rng: StdRng,
+    vocab: Vec<String>,
+    /// Cumulative Zipf weights for sampling.
+    cumulative: Vec<f64>,
+}
+
+impl TextGen {
+    /// Creates a generator over a vocabulary of `vocab_size` words (base
+    /// words plus numbered synthetic tail words) with Zipf exponent ~1.
+    pub fn new(seed: u64, vocab_size: usize) -> Self {
+        let mut vocab: Vec<String> = BASE_WORDS.iter().map(|s| s.to_string()).collect();
+        vocab.dedup();
+        let mut i = 0usize;
+        while vocab.len() < vocab_size {
+            vocab.push(format!("lex{i:05}"));
+            i += 1;
+        }
+        vocab.truncate(vocab_size);
+        let mut cumulative = Vec::with_capacity(vocab.len());
+        let mut acc = 0.0f64;
+        for rank in 0..vocab.len() {
+            acc += 1.0 / (rank as f64 + 1.0);
+            cumulative.push(acc);
+        }
+        TextGen {
+            rng: StdRng::seed_from_u64(seed),
+            vocab,
+            cumulative,
+        }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Samples one word, Zipf-weighted by rank.
+    pub fn word(&mut self) -> &str {
+        let total = *self.cumulative.last().expect("non-empty vocab");
+        let x: f64 = self.rng.random_range(0.0..total);
+        let idx = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        &self.vocab[idx.min(self.vocab.len() - 1)]
+    }
+
+    /// Samples a sentence of `words` space-separated words.
+    pub fn sentence(&mut self, words: usize) -> String {
+        let mut out = String::new();
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            let w = self.word().to_string();
+            out.push_str(&w);
+        }
+        out
+    }
+
+    /// Samples a sentence whose length is uniform in `lo..=hi`.
+    pub fn sentence_between(&mut self, lo: usize, hi: usize) -> String {
+        let n = self.rng.random_range(lo..=hi);
+        self.sentence(n)
+    }
+
+    /// Uniform integer in `lo..=hi` from the generator's stream.
+    pub fn int_between(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.random_range(lo..=hi)
+    }
+
+    /// Picks one element of `choices` uniformly.
+    pub fn pick<'a>(&mut self, choices: &'a [&'a str]) -> &'a str {
+        choices[self.rng.random_range(0..choices.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = TextGen::new(7, 200);
+        let mut b = TextGen::new(7, 200);
+        assert_eq!(a.sentence(20), b.sentence(20));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TextGen::new(1, 200);
+        let mut b = TextGen::new(2, 200);
+        assert_ne!(a.sentence(30), b.sentence(30));
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        // Hot words (low rank) should appear far more often than tail
+        // words — the basis for hot/warm/cold keyword selection.
+        let mut g = TextGen::new(42, 500);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.word().to_string()).or_insert(0) += 1;
+        }
+        let hot = counts.values().max().copied().unwrap_or(0);
+        let distinct = counts.len();
+        assert!(hot > 400, "hottest word should dominate, got {hot}");
+        assert!(distinct > 100, "tail should be broad, got {distinct}");
+    }
+
+    #[test]
+    fn vocab_padding() {
+        let g = TextGen::new(1, 1000);
+        assert_eq!(g.vocab_size(), 1000);
+        let g2 = TextGen::new(1, 10);
+        assert_eq!(g2.vocab_size(), 10);
+    }
+
+    #[test]
+    fn sentence_lengths() {
+        let mut g = TextGen::new(3, 100);
+        let s = g.sentence(5);
+        assert_eq!(s.split_whitespace().count(), 5);
+        let s = g.sentence_between(2, 4);
+        let n = s.split_whitespace().count();
+        assert!((2..=4).contains(&n));
+    }
+}

@@ -1,0 +1,235 @@
+//! Web-application analysis (Section III of the paper).
+//!
+//! The paper recovers a web application's logic with dataflow analysis and
+//! symbolic execution: request fields flow through `getParameter` into
+//! variables that are concatenated into an SQL string. The analyzer here
+//! does the equivalent on the servlet mini-language:
+//!
+//! 1. every `getParameter`-bound variable becomes a symbolic value,
+//! 2. the `Query` concatenation is re-assembled with `$variable`
+//!    placeholders in place of symbolic values (dropping the quote
+//!    characters the servlet wrapped them in),
+//! 3. the resulting parameterized SQL is parsed by [`dash_sql`],
+//! 4. the query-string **field ↔ parameter map** (`c ↔ $cuisine`, …) is
+//!    emitted — this is exactly the information *reverse query-string
+//!    parsing* needs to turn parameter values back into URLs.
+
+use dash_sql::{parse_select, SelectStatement};
+
+use crate::error::WebAppError;
+use crate::servlet::{ConcatPart, ServletProgram};
+
+/// The result of analyzing a servlet: its parameterized query (as SQL text
+/// and parsed form) and the field ↔ parameter correspondence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedApplication {
+    /// Servlet name.
+    pub name: String,
+    /// Servlet base URI.
+    pub base_uri: String,
+    /// GET or POST (how query strings reach the application).
+    pub method: crate::servlet::HttpMethod,
+    /// The recovered parameterized SQL text (placeholders are `$variable`).
+    pub sql: String,
+    /// The parsed statement.
+    pub statement: SelectStatement,
+    /// `(query-string field, parameter name)` pairs in `getParameter`
+    /// order — e.g. `[("c","cuisine"), ("l","min"), ("u","max")]`.
+    pub field_params: Vec<(String, String)>,
+}
+
+/// Analyzes a parsed servlet into its parameterized query.
+///
+/// # Errors
+///
+/// * [`WebAppError::Analysis`] — a concatenated variable was never bound
+///   by `getParameter`, or a bound variable never flows into the query
+///   (dead field), or the servlet discards its result.
+/// * [`WebAppError::Sql`] — the recovered SQL is outside the PSJ dialect.
+pub fn analyze_servlet(program: &ServletProgram) -> Result<AnalyzedApplication, WebAppError> {
+    if !program.outputs_result {
+        return Err(WebAppError::Analysis {
+            detail: "servlet never outputs its query result; it generates no db-pages".to_string(),
+        });
+    }
+
+    // Which variables are symbolic (request-derived)?
+    let bound: Vec<&str> = program
+        .bindings
+        .iter()
+        .map(|b| b.variable.as_str())
+        .collect();
+
+    // Re-assemble the SQL with $placeholders, stripping the quotes that
+    // surround string-typed splices (`… = "` + cuisine + `"` becomes
+    // `… = $cuisine`).
+    let mut sql = String::new();
+    let mut used: Vec<&str> = Vec::new();
+    let parts = &program.query_concat;
+    for (i, part) in parts.iter().enumerate() {
+        match part {
+            ConcatPart::Literal(lit) => {
+                let mut text = lit.as_str();
+                // Drop a trailing quote if a variable follows.
+                if matches!(parts.get(i + 1), Some(ConcatPart::Variable(_))) {
+                    if let Some(stripped) =
+                        text.strip_suffix('"').or_else(|| text.strip_suffix('\''))
+                    {
+                        text = stripped;
+                    }
+                }
+                // Drop a leading quote if a variable precedes.
+                if i > 0 && matches!(parts.get(i - 1), Some(ConcatPart::Variable(_))) {
+                    if let Some(stripped) =
+                        text.strip_prefix('"').or_else(|| text.strip_prefix('\''))
+                    {
+                        text = stripped;
+                    }
+                }
+                sql.push_str(text);
+            }
+            ConcatPart::Variable(var) => {
+                if !bound.contains(&var.as_str()) {
+                    return Err(WebAppError::Analysis {
+                        detail: format!(
+                            "variable `{var}` flows into the query but is not request-derived"
+                        ),
+                    });
+                }
+                used.push(var);
+                sql.push('$');
+                sql.push_str(var);
+            }
+        }
+    }
+
+    // Dead request fields are an analysis smell: the paper's reverse
+    // parsing needs every field to correspond to a query parameter.
+    for b in &program.bindings {
+        if !used.contains(&b.variable.as_str()) {
+            return Err(WebAppError::Analysis {
+                detail: format!(
+                    "request field `{}` (variable `{}`) never reaches the query",
+                    b.field, b.variable
+                ),
+            });
+        }
+    }
+
+    let statement = parse_select(&sql)?;
+    let field_params = program
+        .bindings
+        .iter()
+        .map(|b| (b.field.clone(), b.variable.clone()))
+        .collect();
+
+    Ok(AnalyzedApplication {
+        name: program.name.clone(),
+        base_uri: program.base_uri.clone(),
+        method: program.method,
+        sql,
+        statement,
+        field_params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::servlet::parse_servlet;
+
+    const SEARCH: &str = r#"
+        servlet Search at "www.example.com/Search" {
+            String cuisine = q.getParameter("c");
+            String min = q.getParameter("l");
+            String max = q.getParameter("u");
+            Query = "SELECT name, budget, rate, comment, uname, date "
+                  + "FROM (restaurant LEFT JOIN comment) JOIN customer "
+                  + "WHERE (cuisine = \"" + cuisine + "\") "
+                  + "AND (budget BETWEEN " + min + " AND " + max + ")";
+            output(execute(Query));
+        }
+    "#;
+
+    #[test]
+    fn recovers_parameterized_query_from_figure_3() {
+        let program = parse_servlet(SEARCH).unwrap();
+        let analyzed = analyze_servlet(&program).unwrap();
+        assert!(analyzed.sql.contains("cuisine = $cuisine"));
+        assert!(analyzed.sql.contains("BETWEEN $min AND $max"));
+        assert_eq!(analyzed.statement.params(), vec!["cuisine", "min", "max"]);
+        assert_eq!(
+            analyzed.field_params,
+            vec![
+                ("c".to_string(), "cuisine".to_string()),
+                ("l".to_string(), "min".to_string()),
+                ("u".to_string(), "max".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                Query = "SELECT * FROM r WHERE a = " + ghost;
+                output(execute(Query));
+            }
+        "#;
+        let err = analyze_servlet(&parse_servlet(src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn dead_field_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                String x = q.getParameter("x");
+                String unused = q.getParameter("y");
+                Query = "SELECT * FROM r WHERE a = " + x;
+                output(execute(Query));
+            }
+        "#;
+        let err = analyze_servlet(&parse_servlet(src).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unused"));
+    }
+
+    #[test]
+    fn non_outputting_servlet_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                String x = q.getParameter("x");
+                Query = "SELECT * FROM r WHERE a = " + x;
+            }
+        "#;
+        assert!(analyze_servlet(&parse_servlet(src).unwrap()).is_err());
+    }
+
+    #[test]
+    fn invalid_recovered_sql_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                String x = q.getParameter("x");
+                Query = "DROP TABLE r; -- " + x;
+                output(execute(Query));
+            }
+        "#;
+        assert!(matches!(
+            analyze_servlet(&parse_servlet(src).unwrap()),
+            Err(WebAppError::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn single_quoted_splice_also_stripped() {
+        let src = r#"
+            servlet S at "e/S" {
+                String c = q.getParameter("c");
+                Query = "SELECT rid FROM restaurant WHERE cuisine = '" + c + "'";
+                output(execute(Query));
+            }
+        "#;
+        let analyzed = analyze_servlet(&parse_servlet(src).unwrap()).unwrap();
+        assert!(analyzed.sql.contains("cuisine = $c"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the web-application layer.
+
+use std::fmt;
+
+use dash_relation::RelationError;
+use dash_sql::ParseError;
+
+/// Errors from servlet parsing, application analysis, query-string
+/// handling and application-query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WebAppError {
+    /// The servlet source deviates from the mini-language.
+    ServletSyntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The dataflow analysis could not recover a parameterized query.
+    Analysis {
+        /// What went wrong.
+        detail: String,
+    },
+    /// The recovered SQL failed to parse.
+    Sql(ParseError),
+    /// A relational error during resolution or execution.
+    Relation(RelationError),
+    /// A malformed query string or one missing required fields.
+    QueryString {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for WebAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebAppError::ServletSyntax { line, detail } => {
+                write!(f, "servlet syntax error at line {line}: {detail}")
+            }
+            WebAppError::Analysis { detail } => write!(f, "analysis error: {detail}"),
+            WebAppError::Sql(e) => write!(f, "recovered sql invalid: {e}"),
+            WebAppError::Relation(e) => write!(f, "relational error: {e}"),
+            WebAppError::QueryString { detail } => write!(f, "query string error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WebAppError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WebAppError::Sql(e) => Some(e),
+            WebAppError::Relation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for WebAppError {
+    fn from(e: ParseError) -> Self {
+        WebAppError::Sql(e)
+    }
+}
+
+impl From<RelationError> for WebAppError {
+    fn from(e: RelationError) -> Self {
+        WebAppError::Relation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = WebAppError::ServletSyntax {
+            line: 3,
+            detail: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e: WebAppError = RelationError::UnknownRelation {
+            relation: "r".into(),
+        }
+        .into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<WebAppError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # dash-webapp
+//!
+//! The web-application model of the Dash paper (Section III): a web
+//! application `A` is a wrapper around one *parameterized PSJ query* over a
+//! database `D`, executed in three steps — (a) query-string parsing, (b)
+//! application-query evaluation, (c) result presentation.
+//!
+//! This crate provides every piece Dash needs to reverse-engineer that
+//! pipeline:
+//!
+//! * [`servlet`] — a tiny servlet language (modeled on the paper's Figure 3
+//!   Java servlet) and its parser;
+//! * [`analyzer`] — the dataflow analysis that tracks `getParameter`
+//!   values into SQL string concatenation and recovers the parameterized
+//!   query plus the query-string field ↔ parameter map;
+//! * [`psj`] — the resolved [`PsjQuery`] form (join order, projection,
+//!   selection attributes with parameter bindings) and its evaluator;
+//! * [`query_string`] — forward parsing of `c=American&l=10&u=15` and the
+//!   *reverse query-string parsing* that turns parameter values back into
+//!   URLs (how Dash suggests results);
+//! * [`page`] — db-page construction and HTML rendering;
+//! * [`app`] — [`WebApplication`], tying it all together, able to actually
+//!   *execute* query strings against a database (the ground truth Dash's
+//!   fragment-assembled answers are validated against);
+//! * [`fooddb`] — the paper's running example: the `fooddb` database
+//!   (Figure 2) and the `Search` servlet (Figure 3).
+//!
+//! ```
+//! use dash_webapp::fooddb;
+//! use dash_webapp::QueryString;
+//!
+//! # fn main() -> Result<(), dash_webapp::WebAppError> {
+//! let db = fooddb::database();
+//! let app = fooddb::search_application()?;
+//! // Example 1 of the paper: P1 = Search?c=American&l=10&u=15
+//! let page = app.execute(&db, &QueryString::parse("c=American&l=10&u=15")?)?;
+//! assert!(page.render_text().contains("Burger experts"));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analyzer;
+pub mod app;
+pub mod error;
+pub mod fooddb;
+pub mod page;
+pub mod psj;
+pub mod query_string;
+pub mod servlet;
+
+pub use analyzer::{analyze_servlet, AnalyzedApplication};
+pub use app::WebApplication;
+pub use error::WebAppError;
+pub use page::DbPage;
+pub use psj::{
+    ParamValues, PsjQuery, ResolvedColumn, ResolvedJoin, SelectionAttr, SelectionBinding,
+};
+pub use query_string::QueryString;
+pub use servlet::{parse_servlet, ConcatPart, HttpMethod, ServletProgram};

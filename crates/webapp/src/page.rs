@@ -1,0 +1,174 @@
+//! Db-pages: the dynamic pages a web application generates (Example 1).
+
+use std::fmt;
+
+use dash_relation::{Record, Schema, Table};
+
+/// A database-generated dynamic web page: the result of one application-
+/// query evaluation, addressable by its URL.
+///
+/// The paper treats a db-page's *content* as the application-query result
+/// (third assumption of Section V); rendering wraps it in an HTML table
+/// the way the `output` function of Figure 3 would.
+#[derive(Debug, Clone)]
+pub struct DbPage {
+    /// The full URL, base URI + `?` + query string.
+    pub url: String,
+    /// Result schema (projected attributes).
+    pub schema: Schema,
+    /// Result rows.
+    pub rows: Vec<Record>,
+}
+
+impl DbPage {
+    /// Creates a page from an evaluated query result.
+    pub fn from_table(url: impl Into<String>, table: &Table) -> Self {
+        DbPage {
+            url: url.into(),
+            schema: table.schema().clone(),
+            rows: table.records().to_vec(),
+        }
+    }
+
+    /// Returns `true` when the page has no rows (a "valueless" page in the
+    /// paper's terminology — trial-query crawlers generate many of these;
+    /// Dash never does).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the page as plain text, one row per line — the form
+    /// keywords are extracted from.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the page as a minimal HTML document with a header row, the
+    /// way the `Search` servlet's `output` would.
+    pub fn render_html(&self) -> String {
+        let mut html = String::new();
+        html.push_str("<html><body>\n");
+        html.push_str(&format!("<!-- {} -->\n", self.url));
+        html.push_str("<table>\n<tr>");
+        for col in self.schema.columns() {
+            html.push_str(&format!("<th>{}</th>", escape(col.name())));
+        }
+        html.push_str("</tr>\n");
+        for row in &self.rows {
+            html.push_str("<tr>");
+            for v in row.values() {
+                html.push_str(&format!("<td>{}</td>", escape(&v.render())));
+            }
+            html.push_str("</tr>\n");
+        }
+        html.push_str("</table>\n</body></html>\n");
+        html
+    }
+
+    /// The page's keywords: every token of every rendered cell.
+    pub fn keywords(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            for v in row.values() {
+                let rendered = v.render();
+                for t in rendered.split_whitespace() {
+                    let trimmed = t.trim_matches(|c: char| !c.is_alphanumeric());
+                    if !trimmed.is_empty() {
+                        out.push(trimmed.to_lowercase());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for DbPage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.url)?;
+        write!(f, "{}", self.render_text())
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_relation::{Column, ColumnType, Value};
+
+    fn page() -> DbPage {
+        let schema = Schema::builder("result")
+            .column(Column::new("name", ColumnType::Str))
+            .column(Column::new("budget", ColumnType::Int))
+            .build()
+            .unwrap();
+        let table = Table::with_records(
+            schema,
+            vec![
+                Record::new(vec![Value::str("Burger Queen"), Value::Int(10)]),
+                Record::new(vec![Value::str("Wandy's"), Value::Null]),
+            ],
+        )
+        .unwrap();
+        DbPage::from_table("example.com/Search?c=American", &table)
+    }
+
+    #[test]
+    fn text_rendering() {
+        let p = page();
+        let text = p.render_text();
+        assert!(text.contains("Burger Queen 10"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn html_rendering_escapes() {
+        let schema = Schema::builder("r")
+            .column(Column::new("c", ColumnType::Str))
+            .build()
+            .unwrap();
+        let table =
+            Table::with_records(schema, vec![Record::new(vec![Value::str("<b>&")])]).unwrap();
+        let p = DbPage::from_table("u", &table);
+        let html = p.render_html();
+        assert!(html.contains("&lt;b&gt;&amp;"));
+        assert!(html.contains("<th>c</th>"));
+    }
+
+    #[test]
+    fn keywords_lowercased_and_trimmed() {
+        let p = page();
+        let kws = p.keywords();
+        assert!(kws.contains(&"burger".to_string()));
+        assert!(kws.contains(&"wandy's".to_string()));
+        assert!(kws.contains(&"10".to_string()));
+    }
+
+    #[test]
+    fn empty_detection() {
+        let schema = Schema::builder("r")
+            .column(Column::new("c", ColumnType::Str))
+            .build()
+            .unwrap();
+        let p = DbPage::from_table("u", &Table::new(schema));
+        assert!(p.is_empty());
+        assert!(!page().is_empty());
+    }
+
+    #[test]
+    fn display_includes_url() {
+        assert!(page()
+            .to_string()
+            .starts_with("example.com/Search?c=American"));
+    }
+}

@@ -1,0 +1,794 @@
+//! Resolved parameterized PSJ queries (Definition 1 of the paper) and
+//! their evaluation.
+//!
+//! [`PsjQuery`] is the output of web-application analysis: the join order
+//! over operand relations, the resolved projection list, and the selection
+//! attributes with their parameter bindings. Everything downstream —
+//! db-page generation, database crawling, fragment identification, URL
+//! reconstruction — is driven by this one structure.
+
+use std::collections::BTreeMap;
+
+use dash_relation::{
+    join, select, ColumnType, CompareOp, Database, JoinKind, JoinSpec, Predicate, Table, Value,
+};
+use dash_sql::{ColumnRef, Condition, JoinKindAst, Scalar, SelectList, SelectStatement, TableExpr};
+
+use crate::error::WebAppError;
+
+/// Concrete parameter values for one application-query invocation, keyed
+/// by parameter name.
+pub type ParamValues = BTreeMap<String, Value>;
+
+/// A column resolved to its owning operand relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResolvedColumn {
+    /// Operand relation name.
+    pub relation: String,
+    /// Column name within that relation.
+    pub column: String,
+    /// The column's name inside the accumulated join result (differs from
+    /// `column` when a later relation's column collided with an earlier
+    /// one and was prefixed).
+    pub joined_name: String,
+    /// Declared type.
+    pub column_type: ColumnType,
+}
+
+/// One resolved join step: the right relation is joined onto the
+/// accumulation of everything to its left.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedJoin {
+    /// Column name in the accumulated left side.
+    pub left_joined_name: String,
+    /// The operand relation that owns the left join column.
+    pub left_relation: String,
+    /// The left join column's name within its owning relation.
+    pub left_column: String,
+    /// The relation being joined in.
+    pub right_relation: String,
+    /// Join column in the right relation.
+    pub right_column: String,
+    /// Inner or left-outer.
+    pub kind: JoinKind,
+}
+
+/// How a selection attribute is bound to query parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectionBinding {
+    /// `attr = $param` — an equality parameter (e.g. `cuisine = $c`).
+    EqParam(String),
+    /// `attr = literal` — a constant baked into the application.
+    EqConst(Value),
+    /// `attr BETWEEN $low AND $high` — a range parameter pair
+    /// (e.g. `budget BETWEEN $l AND $u`).
+    RangeParams {
+        /// Lower-bound parameter name.
+        low: String,
+        /// Upper-bound parameter name.
+        high: String,
+    },
+}
+
+impl SelectionBinding {
+    /// Parameter names bound by this selection, in (low, high) order.
+    pub fn params(&self) -> Vec<&str> {
+        match self {
+            SelectionBinding::EqParam(p) => vec![p],
+            SelectionBinding::EqConst(_) => vec![],
+            SelectionBinding::RangeParams { low, high } => vec![low, high],
+        }
+    }
+
+    /// Whether this is a range binding.
+    pub fn is_range(&self) -> bool {
+        matches!(self, SelectionBinding::RangeParams { .. })
+    }
+}
+
+/// One selection attribute `c_i` with its binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionAttr {
+    /// The resolved attribute.
+    pub column: ResolvedColumn,
+    /// Its parameter binding.
+    pub binding: SelectionBinding,
+}
+
+/// A fully resolved parameterized PSJ query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsjQuery {
+    /// Operand relations in join order (`R1 ⋈ R2 ⋈ … ⋈ Rn`).
+    pub relations: Vec<String>,
+    /// Join steps (`relations.len() - 1` of them).
+    pub joins: Vec<ResolvedJoin>,
+    /// Projected attributes `a_1 … a_l` (resolved).
+    pub projection: Vec<ResolvedColumn>,
+    /// Selection attributes `c_1 … c_m` with parameter bindings, in
+    /// WHERE-clause order — this order defines fragment identifiers.
+    pub selections: Vec<SelectionAttr>,
+}
+
+impl PsjQuery {
+    /// Resolves a parsed [`SelectStatement`] against database metadata:
+    /// binds bare column names to relations, resolves implicit join
+    /// conditions through declared foreign keys, and classifies selection
+    /// bindings.
+    ///
+    /// # Errors
+    ///
+    /// * [`WebAppError::Relation`] — unknown relation/column.
+    /// * [`WebAppError::Analysis`] — ambiguous bare column, no foreign key
+    ///   linking two joined relations, an unsupported condition shape
+    ///   (e.g. `>=` without a matching `<=` on the same attribute), or a
+    ///   selection attribute that is also projected ambiguously.
+    pub fn resolve(stmt: &SelectStatement, db: &Database) -> Result<Self, WebAppError> {
+        let relations: Vec<String> = stmt
+            .from
+            .relations()
+            .into_iter()
+            .map(String::from)
+            .collect();
+        if relations.is_empty() {
+            return Err(analysis("query has no operand relations"));
+        }
+        // Map (relation -> schema) for all operands; validate existence.
+        for r in &relations {
+            db.table(r)?;
+        }
+
+        // Build the joined-name map by simulating schema accumulation.
+        let mut joined_names: BTreeMap<(String, String), String> = BTreeMap::new();
+        let mut seen_names: BTreeMap<String, usize> = BTreeMap::new();
+        for (i, rel) in relations.iter().enumerate() {
+            let schema = db.table(rel)?.schema().clone();
+            for col in schema.columns() {
+                let name = if i > 0 && seen_names.contains_key(col.name()) {
+                    format!("{rel}.{}", col.name())
+                } else {
+                    col.name().to_string()
+                };
+                seen_names.entry(name.clone()).or_insert(i);
+                joined_names.insert((rel.clone(), col.name().to_string()), name);
+            }
+        }
+
+        let resolve_col = |cref: &ColumnRef| -> Result<ResolvedColumn, WebAppError> {
+            let (relation, column) = match &cref.relation {
+                Some(rel) => {
+                    if !relations.iter().any(|r| r == rel) {
+                        return Err(analysis(&format!(
+                            "relation `{rel}` is not an operand of the query"
+                        )));
+                    }
+                    (rel.clone(), cref.column.clone())
+                }
+                None => {
+                    let mut owners = relations
+                        .iter()
+                        .filter(|r| {
+                            db.table(r)
+                                .map(|t| t.schema().contains(&cref.column))
+                                .unwrap_or(false)
+                        })
+                        .collect::<Vec<_>>();
+                    match (owners.len(), owners.pop()) {
+                        (1, Some(r)) => (r.clone(), cref.column.clone()),
+                        (0, _) => {
+                            return Err(WebAppError::Relation(
+                                dash_relation::RelationError::UnknownColumn {
+                                    column: cref.column.clone(),
+                                    relation: "any operand".to_string(),
+                                },
+                            ))
+                        }
+                        _ => {
+                            return Err(analysis(&format!(
+                                "bare column `{}` is ambiguous across operands",
+                                cref.column
+                            )))
+                        }
+                    }
+                }
+            };
+            let schema = db.table(&relation)?.table_schema();
+            let idx = schema.index_of(&column)?;
+            let joined_name = joined_names
+                .get(&(relation.clone(), column.clone()))
+                .cloned()
+                .expect("all operand columns mapped");
+            Ok(ResolvedColumn {
+                column_type: schema.columns()[idx].column_type(),
+                relation,
+                column,
+                joined_name,
+            })
+        };
+
+        // Resolve joins left-to-right.
+        let joins = resolve_joins(&stmt.from, db, &relations, &joined_names)?;
+
+        // Projection.
+        let projection: Vec<ResolvedColumn> = match &stmt.select {
+            SelectList::Star => {
+                let mut cols = Vec::new();
+                for rel in &relations {
+                    for c in db.table(rel)?.schema().columns() {
+                        cols.push(ResolvedColumn {
+                            relation: rel.clone(),
+                            column: c.name().to_string(),
+                            joined_name: joined_names[&(rel.clone(), c.name().to_string())].clone(),
+                            column_type: c.column_type(),
+                        });
+                    }
+                }
+                cols
+            }
+            SelectList::Columns(cols) => cols.iter().map(resolve_col).collect::<Result<_, _>>()?,
+        };
+
+        // Selections with bindings. `>=`/`<=` pairs on the same attribute
+        // are fused into a range binding.
+        let mut selections: Vec<SelectionAttr> = Vec::new();
+        let mut pending_half_ranges: Vec<(ResolvedColumn, CompareOp, Scalar)> = Vec::new();
+        for cond in &stmt.where_clause {
+            match cond {
+                Condition::Between { column, low, high } => {
+                    let col = resolve_col(column)?;
+                    let binding =
+                        match (low, high) {
+                            (Scalar::Param(l), Scalar::Param(h)) => SelectionBinding::RangeParams {
+                                low: l.clone(),
+                                high: h.clone(),
+                            },
+                            _ => return Err(analysis(
+                                "BETWEEN bounds must both be parameters in an application query",
+                            )),
+                        };
+                    selections.push(SelectionAttr {
+                        column: col,
+                        binding,
+                    });
+                }
+                Condition::Compare { column, op, value } => {
+                    let col = resolve_col(column)?;
+                    match (op, value) {
+                        (CompareOp::Eq, Scalar::Param(p)) => selections.push(SelectionAttr {
+                            column: col,
+                            binding: SelectionBinding::EqParam(p.clone()),
+                        }),
+                        (CompareOp::Eq, Scalar::Literal(v)) => selections.push(SelectionAttr {
+                            column: col,
+                            binding: SelectionBinding::EqConst(v.clone()),
+                        }),
+                        (CompareOp::Ge | CompareOp::Le, Scalar::Param(p)) => {
+                            // Try to fuse with a pending opposite half.
+                            let opposite = match op {
+                                CompareOp::Ge => CompareOp::Le,
+                                _ => CompareOp::Ge,
+                            };
+                            if let Some(pos) = pending_half_ranges
+                                .iter()
+                                .position(|(c, o, _)| *c == col && *o == opposite)
+                            {
+                                let (c, o, s) = pending_half_ranges.remove(pos);
+                                let other = match s {
+                                    Scalar::Param(name) => name,
+                                    Scalar::Literal(_) => unreachable!("only params pended"),
+                                };
+                                let (low, high) = if o == CompareOp::Ge {
+                                    (other, p.clone())
+                                } else {
+                                    (p.clone(), other)
+                                };
+                                selections.push(SelectionAttr {
+                                    column: c,
+                                    binding: SelectionBinding::RangeParams { low, high },
+                                });
+                            } else {
+                                pending_half_ranges.push((col, *op, value.clone()));
+                            }
+                        }
+                        _ => return Err(analysis(&format!("unsupported condition shape: {cond}"))),
+                    }
+                }
+            }
+        }
+        if let Some((col, op, _)) = pending_half_ranges.first() {
+            return Err(analysis(&format!(
+                "half-open range `{} {op} …` has no matching opposite bound",
+                col.column
+            )));
+        }
+        if selections.is_empty() {
+            return Err(analysis(
+                "application query has no parameterized selection attributes",
+            ));
+        }
+
+        Ok(PsjQuery {
+            relations,
+            joins,
+            projection,
+            selections,
+        })
+    }
+
+    /// All parameter names, in selection order (range bindings contribute
+    /// low then high).
+    pub fn param_names(&self) -> Vec<&str> {
+        self.selections
+            .iter()
+            .flat_map(|s| s.binding.params())
+            .collect()
+    }
+
+    /// The joined names of the projected attributes.
+    pub fn projection_joined_names(&self) -> Vec<&str> {
+        self.projection
+            .iter()
+            .map(|c| c.joined_name.as_str())
+            .collect()
+    }
+
+    /// The joined names of the selection attributes (fragment-identifier
+    /// order).
+    pub fn selection_joined_names(&self) -> Vec<&str> {
+        self.selections
+            .iter()
+            .map(|s| s.column.joined_name.as_str())
+            .collect()
+    }
+
+    /// Index of the (single) range-bound selection attribute, if any.
+    pub fn range_selection_index(&self) -> Option<usize> {
+        self.selections.iter().position(|s| s.binding.is_range())
+    }
+
+    /// Materializes the full join `R1 ⋈ … ⋈ Rn` (no selection, no
+    /// projection) — the substrate both db-page generation and database
+    /// crawling select from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors (missing relations/columns).
+    pub fn join_all(&self, db: &Database) -> Result<Table, WebAppError> {
+        let mut acc = db.table(&self.relations[0])?.clone();
+        for step in &self.joins {
+            let right = db.table(&step.right_relation)?;
+            acc = join(
+                &acc,
+                right,
+                &JoinSpec {
+                    left_column: step.left_joined_name.clone(),
+                    right_column: step.right_column.clone(),
+                    kind: step.kind,
+                },
+            )?;
+        }
+        Ok(acc)
+    }
+
+    /// The selection predicate for concrete `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebAppError::QueryString`] when a parameter is missing.
+    pub fn predicate(&self, params: &ParamValues) -> Result<Predicate, WebAppError> {
+        let mut parts = Vec::with_capacity(self.selections.len());
+        let need = |name: &str| -> Result<Value, WebAppError> {
+            params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| WebAppError::QueryString {
+                    detail: format!("missing value for parameter `{name}`"),
+                })
+        };
+        for sel in &self.selections {
+            let col = sel.column.joined_name.clone();
+            let p = match &sel.binding {
+                SelectionBinding::EqParam(name) => Predicate::eq(col, need(name)?),
+                SelectionBinding::EqConst(v) => Predicate::eq(col, v.clone()),
+                SelectionBinding::RangeParams { low, high } => {
+                    Predicate::between(col, need(low)?, need(high)?)
+                }
+            };
+            parts.push(p);
+        }
+        Ok(Predicate::And(parts))
+    }
+
+    /// Evaluates the query for concrete `params`: join, select, project.
+    /// This is step (b) of the application execution model and the ground
+    /// truth for db-page content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors and missing parameters.
+    pub fn evaluate(&self, db: &Database, params: &ParamValues) -> Result<Table, WebAppError> {
+        let joined = self.join_all(db)?;
+        let filtered = select(&joined, &self.predicate(params)?)?;
+        let cols = self.projection_joined_names();
+        Ok(dash_relation::project(&filtered, &cols)?)
+    }
+}
+
+fn resolve_joins(
+    from: &TableExpr,
+    db: &Database,
+    relations: &[String],
+    joined_names: &BTreeMap<(String, String), String>,
+) -> Result<Vec<ResolvedJoin>, WebAppError> {
+    // Walk the join tree in left-to-right order, flattening to a linear
+    // chain (valid because operand order is left-deep in our dialect's
+    // usage; bushy trees are linearized by joining each right-subtree
+    // relation in sequence).
+    let mut steps: Vec<ResolvedJoin> = Vec::new();
+    let mut joined_so_far: Vec<String> = Vec::new();
+    flatten(from, db, &mut joined_so_far, &mut steps, joined_names)?;
+    debug_assert_eq!(joined_so_far.len(), relations.len());
+
+    // Outer-ness propagation. The paper's db-pages keep LEFT-JOIN-padded
+    // rows through subsequent joins (Figure 5 lists `Wandy's 12 4.1` with
+    // empty comment/uname even though `customer` is inner-joined), so a
+    // join whose left link column belongs to an outer-joined relation is
+    // itself promoted to left-outer: a NULL key must pad, not drop.
+    let mut outer_relations: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for step in &mut steps {
+        let owner = step.left_relation.clone();
+        if step.kind == JoinKind::Inner && outer_relations.contains(&owner) {
+            step.kind = JoinKind::LeftOuter;
+        }
+        if step.kind == JoinKind::LeftOuter {
+            outer_relations.insert(step.right_relation.clone());
+        }
+    }
+    Ok(steps)
+}
+
+fn flatten(
+    expr: &TableExpr,
+    db: &Database,
+    joined_so_far: &mut Vec<String>,
+    steps: &mut Vec<ResolvedJoin>,
+    joined_names: &BTreeMap<(String, String), String>,
+) -> Result<(), WebAppError> {
+    match expr {
+        TableExpr::Relation(name) => {
+            if joined_so_far.is_empty() {
+                joined_so_far.push(name.clone());
+                return Ok(());
+            }
+            // Find an FK or explicit link between `name` and the joined set.
+            let (left_rel, left_col, right_col) = find_link(db, joined_so_far, name)?;
+            steps.push(ResolvedJoin {
+                left_joined_name: joined_names[&(left_rel.clone(), left_col.clone())].clone(),
+                left_relation: left_rel,
+                left_column: left_col,
+                right_relation: name.clone(),
+                right_column: right_col,
+                kind: JoinKind::Inner,
+            });
+            joined_so_far.push(name.clone());
+            Ok(())
+        }
+        TableExpr::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            flatten(left, db, joined_so_far, steps, joined_names)?;
+            // The right subtree's first relation links to the left set;
+            // handle the common case where `right` is a base relation or a
+            // join whose leftmost relation carries the link.
+            let first_right = *right.relations().first().expect("non-empty");
+            let (left_rel, left_col, right_col) = match on {
+                Some((a, b)) => resolve_on(db, joined_so_far, first_right, a, b)?,
+                None => find_link(db, joined_so_far, first_right)?,
+            };
+            steps.push(ResolvedJoin {
+                left_joined_name: joined_names[&(left_rel.clone(), left_col.clone())].clone(),
+                left_relation: left_rel,
+                left_column: left_col,
+                right_relation: first_right.to_string(),
+                right_column: right_col,
+                kind: match kind {
+                    JoinKindAst::Inner => JoinKind::Inner,
+                    JoinKindAst::LeftOuter => JoinKind::LeftOuter,
+                },
+            });
+            joined_so_far.push(first_right.to_string());
+            // Remaining relations of the right subtree chain on via FKs.
+            if let TableExpr::Join { .. } = **right {
+                flatten_rest(right, db, joined_so_far, steps, joined_names)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Processes the joins *inside* a right subtree whose leftmost relation is
+/// already joined.
+fn flatten_rest(
+    expr: &TableExpr,
+    db: &Database,
+    joined_so_far: &mut Vec<String>,
+    steps: &mut Vec<ResolvedJoin>,
+    joined_names: &BTreeMap<(String, String), String>,
+) -> Result<(), WebAppError> {
+    if let TableExpr::Join {
+        left,
+        right,
+        kind,
+        on,
+    } = expr
+    {
+        if let TableExpr::Join { .. } = **left {
+            flatten_rest(left, db, joined_so_far, steps, joined_names)?;
+        }
+        let first_right = *right.relations().first().expect("non-empty");
+        let (left_rel, left_col, right_col) = match on {
+            Some((a, b)) => resolve_on(db, joined_so_far, first_right, a, b)?,
+            None => find_link(db, joined_so_far, first_right)?,
+        };
+        steps.push(ResolvedJoin {
+            left_joined_name: joined_names[&(left_rel.clone(), left_col.clone())].clone(),
+            left_relation: left_rel,
+            left_column: left_col,
+            right_relation: first_right.to_string(),
+            right_column: right_col,
+            kind: match kind {
+                JoinKindAst::Inner => JoinKind::Inner,
+                JoinKindAst::LeftOuter => JoinKind::LeftOuter,
+            },
+        });
+        joined_so_far.push(first_right.to_string());
+        if let TableExpr::Join { .. } = **right {
+            flatten_rest(right, db, joined_so_far, steps, joined_names)?;
+        }
+    }
+    Ok(())
+}
+
+/// Resolves an explicit `ON a = b` to (left relation, left column, right
+/// column) with the right side being `right_rel`.
+fn resolve_on(
+    db: &Database,
+    joined_so_far: &[String],
+    right_rel: &str,
+    a: &ColumnRef,
+    b: &ColumnRef,
+) -> Result<(String, String, String), WebAppError> {
+    let locate = |cref: &ColumnRef| -> Result<(String, String), WebAppError> {
+        match &cref.relation {
+            Some(rel) => Ok((rel.clone(), cref.column.clone())),
+            None => {
+                let owner = joined_so_far
+                    .iter()
+                    .map(String::as_str)
+                    .chain(std::iter::once(right_rel))
+                    .find(|r| {
+                        db.table(r)
+                            .map(|t| t.schema().contains(&cref.column))
+                            .unwrap_or(false)
+                    })
+                    .ok_or_else(|| analysis(&format!("cannot locate ON column `{cref}`")))?;
+                Ok((owner.to_string(), cref.column.clone()))
+            }
+        }
+    };
+    let (ra, ca) = locate(a)?;
+    let (rb, cb) = locate(b)?;
+    if ra == right_rel {
+        Ok((rb, cb, ca))
+    } else if rb == right_rel {
+        Ok((ra, ca, cb))
+    } else {
+        Err(analysis(&format!(
+            "ON clause `{a} = {b}` does not reference joined relation `{right_rel}`"
+        )))
+    }
+}
+
+/// Finds the foreign key (in either direction) linking `new_rel` to any
+/// already-joined relation.
+fn find_link(
+    db: &Database,
+    joined_so_far: &[String],
+    new_rel: &str,
+) -> Result<(String, String, String), WebAppError> {
+    for fk in db.foreign_keys() {
+        if fk.child == new_rel && joined_so_far.contains(&fk.parent) {
+            return Ok((
+                fk.parent.clone(),
+                fk.parent_column.clone(),
+                fk.child_column.clone(),
+            ));
+        }
+        if fk.parent == new_rel && joined_so_far.contains(&fk.child) {
+            return Ok((
+                fk.child.clone(),
+                fk.child_column.clone(),
+                fk.parent_column.clone(),
+            ));
+        }
+    }
+    Err(analysis(&format!(
+        "no foreign key links `{new_rel}` to {{{}}}; declare one or use ON",
+        joined_so_far.join(", ")
+    )))
+}
+
+fn analysis(detail: &str) -> WebAppError {
+    WebAppError::Analysis {
+        detail: detail.to_string(),
+    }
+}
+
+// Small extension trait so `resolve_col` above can get a schema without
+// borrowing `db` mutably.
+trait TableSchemaExt {
+    fn table_schema(&self) -> &dash_relation::Schema;
+}
+
+impl TableSchemaExt for Table {
+    fn table_schema(&self) -> &dash_relation::Schema {
+        self.schema()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fooddb;
+    use dash_sql::parse_select;
+
+    fn resolved() -> PsjQuery {
+        let db = fooddb::database();
+        let stmt = parse_select(
+            "SELECT name, budget, rate, comment, uname, date \
+             FROM (restaurant LEFT JOIN comment) JOIN customer \
+             WHERE cuisine = $c AND budget BETWEEN $l AND $u",
+        )
+        .unwrap();
+        PsjQuery::resolve(&stmt, &db).unwrap()
+    }
+
+    #[test]
+    fn resolves_running_example() {
+        let q = resolved();
+        assert_eq!(q.relations, vec!["restaurant", "comment", "customer"]);
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].kind, JoinKind::LeftOuter);
+        assert_eq!(q.joins[0].right_relation, "comment");
+        assert_eq!(q.joins[0].left_joined_name, "rid");
+        // Promoted to left-outer because its link column (`uid`) comes from
+        // the outer-joined `comment` relation — see Figure 5 semantics.
+        assert_eq!(q.joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(q.joins[1].right_relation, "customer");
+        assert_eq!(q.projection.len(), 6);
+        assert_eq!(q.selections.len(), 2);
+        assert_eq!(q.param_names(), vec!["c", "l", "u"]);
+        assert_eq!(q.range_selection_index(), Some(1));
+    }
+
+    #[test]
+    fn evaluate_matches_paper_page_p1() {
+        // P1 = American restaurants with budget in [10, 15] (Figure 1a).
+        let db = fooddb::database();
+        let q = resolved();
+        let mut params = ParamValues::new();
+        params.insert("c".into(), Value::str("American"));
+        params.insert("l".into(), Value::Int(10));
+        params.insert("u".into(), Value::Int(15));
+        let result = q.evaluate(&db, &params).unwrap();
+        // Burger Queen (1 comment) + Wandy's 4.1 (no comment) + Wandy's 4.2
+        // (2 comments) = 4 joined rows.
+        assert_eq!(result.len(), 4);
+        let text: Vec<String> = result.iter().map(|r| r.render()).collect();
+        assert!(text.iter().any(|t| t.contains("Burger experts")));
+        assert!(text.iter().any(|t| t.contains("Bad fries")));
+        assert!(!text.iter().any(|t| t.contains("McRonald")));
+    }
+
+    #[test]
+    fn evaluate_p2_superset_of_p1() {
+        let db = fooddb::database();
+        let q = resolved();
+        let mut params = ParamValues::new();
+        params.insert("c".into(), Value::str("American"));
+        params.insert("l".into(), Value::Int(10));
+        params.insert("u".into(), Value::Int(20));
+        let p2 = q.evaluate(&db, &params).unwrap();
+        assert_eq!(p2.len(), 5); // P1's rows + McRonald's
+        let text: Vec<String> = p2.iter().map(|r| r.render()).collect();
+        assert!(text.iter().any(|t| t.contains("Regret taking it")));
+    }
+
+    #[test]
+    fn missing_param_errors() {
+        let db = fooddb::database();
+        let q = resolved();
+        let err = q.evaluate(&db, &ParamValues::new()).unwrap_err();
+        assert!(matches!(err, WebAppError::QueryString { .. }));
+    }
+
+    #[test]
+    fn ge_le_pair_fuses_into_range() {
+        let db = fooddb::database();
+        let stmt = parse_select(
+            "SELECT name FROM restaurant WHERE cuisine = $c AND budget >= $l AND budget <= $u",
+        )
+        .unwrap();
+        let q = PsjQuery::resolve(&stmt, &db).unwrap();
+        assert_eq!(q.selections.len(), 2);
+        assert!(matches!(
+            &q.selections[1].binding,
+            SelectionBinding::RangeParams { low, high } if low == "l" && high == "u"
+        ));
+    }
+
+    #[test]
+    fn half_open_range_rejected() {
+        let db = fooddb::database();
+        let stmt = parse_select("SELECT name FROM restaurant WHERE budget >= $l").unwrap();
+        assert!(PsjQuery::resolve(&stmt, &db).is_err());
+    }
+
+    #[test]
+    fn no_fk_link_rejected() {
+        let db = fooddb::database();
+        // restaurant and customer have no direct FK.
+        let stmt =
+            parse_select("SELECT * FROM restaurant JOIN customer WHERE cuisine = $c").unwrap();
+        let err = PsjQuery::resolve(&stmt, &db).unwrap_err();
+        assert!(err.to_string().contains("no foreign key"));
+    }
+
+    #[test]
+    fn explicit_on_overrides_fk() {
+        let db = fooddb::database();
+        let stmt = parse_select(
+            "SELECT * FROM comment JOIN customer ON comment.uid = customer.uid \
+             WHERE comment.rid = $r",
+        )
+        .unwrap();
+        let q = PsjQuery::resolve(&stmt, &db).unwrap();
+        assert_eq!(q.joins[0].right_column, "uid");
+    }
+
+    #[test]
+    fn star_projects_all_operand_columns() {
+        let db = fooddb::database();
+        let stmt = parse_select("SELECT * FROM restaurant WHERE cuisine = $c").unwrap();
+        let q = PsjQuery::resolve(&stmt, &db).unwrap();
+        assert_eq!(q.projection.len(), 5); // rid, name, cuisine, budget, rate
+    }
+
+    #[test]
+    fn eq_const_binding() {
+        let db = fooddb::database();
+        let stmt = parse_select(
+            "SELECT name FROM restaurant WHERE cuisine = \"Thai\" AND budget BETWEEN $l AND $u",
+        )
+        .unwrap();
+        let q = PsjQuery::resolve(&stmt, &db).unwrap();
+        assert!(matches!(
+            &q.selections[0].binding,
+            SelectionBinding::EqConst(Value::Str(s)) if s == "Thai"
+        ));
+        // Constants contribute no params.
+        assert_eq!(q.param_names(), vec!["l", "u"]);
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let db = fooddb::database();
+        // `rid` exists in both restaurant and comment.
+        let stmt =
+            parse_select("SELECT name FROM restaurant LEFT JOIN comment WHERE rid = $r").unwrap();
+        let err = PsjQuery::resolve(&stmt, &db).unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+}

@@ -1,0 +1,441 @@
+//! A servlet mini-language mirroring the paper's Figure 3.
+//!
+//! The paper analyzes Java servlets whose `doGet` (i) pulls fields out of
+//! the request query string with `getParameter`, (ii) assembles an SQL
+//! string by concatenation, and (iii) executes it and renders the result.
+//! This module defines an equivalent textual artifact and its parser — the
+//! input to [`crate::analyzer`].
+//!
+//! ```text
+//! servlet Search at "www.example.com/Search" {
+//!     String cuisine = q.getParameter("c");
+//!     String min = q.getParameter("l");
+//!     String max = q.getParameter("u");
+//!     Query = "SELECT ... WHERE (cuisine = \"" + cuisine + "\") AND "
+//!           + "(budget BETWEEN " + min + " AND " + max + ")";
+//!     output(execute(Query));
+//! }
+//! ```
+
+use crate::error::WebAppError;
+
+/// One piece of the SQL concatenation expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConcatPart {
+    /// A string literal fragment.
+    Literal(String),
+    /// A reference to a variable bound by `getParameter`.
+    Variable(String),
+}
+
+/// A variable binding `TYPE name = q.getParameter("field");`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamBinding {
+    /// Declared type name (`String`, `int`, ... — informational only; the
+    /// analyzer infers real types from the database schema).
+    pub declared_type: String,
+    /// Variable name.
+    pub variable: String,
+    /// Query-string field it reads (`"c"`, `"l"`, `"u"`).
+    pub field: String,
+}
+
+/// How the servlet receives its query string (the paper's footnote 1:
+/// query strings arrive in the URL for GET and in the request body for
+/// POST; Dash supports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HttpMethod {
+    /// Query string appended to the URL (`uri?field=value`).
+    #[default]
+    Get,
+    /// Query string carried in the request body.
+    Post,
+}
+
+/// A parsed servlet: the structured form of the three execution steps of
+/// Section III.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServletProgram {
+    /// The servlet class name (`Search`).
+    pub name: String,
+    /// The URI the servlet is served at.
+    pub base_uri: String,
+    /// GET (default) or POST.
+    pub method: HttpMethod,
+    /// Step (a): query-string parsing — `getParameter` bindings in source
+    /// order.
+    pub bindings: Vec<ParamBinding>,
+    /// Step (b): the SQL string concatenation.
+    pub query_concat: Vec<ConcatPart>,
+    /// Step (c): whether the result is rendered (`output(execute(Query))`).
+    pub outputs_result: bool,
+}
+
+/// Parses a servlet program.
+///
+/// # Errors
+///
+/// Returns [`WebAppError::ServletSyntax`] with a line number on any
+/// deviation from the mini-language.
+pub fn parse_servlet(source: &str) -> Result<ServletProgram, WebAppError> {
+    let mut lines = source
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"));
+
+    // Header: `servlet NAME at "URI" {`
+    let (line_no, header) = lines
+        .next()
+        .ok_or_else(|| syntax(0, "empty servlet source"))?;
+    let header = header
+        .strip_suffix('{')
+        .ok_or_else(|| syntax(line_no, "header must end with `{`"))?
+        .trim();
+    let rest = header
+        .strip_prefix("servlet ")
+        .ok_or_else(|| syntax(line_no, "expected `servlet NAME at \"URI\"`"))?;
+    let (name, uri_part) = rest
+        .split_once(" at ")
+        .ok_or_else(|| syntax(line_no, "expected ` at \"URI\"` in header"))?;
+    let uri_part = uri_part.trim();
+    let (uri_text, method) = match uri_part.rsplit_once(" via ") {
+        Some((uri, m)) if m.trim().eq_ignore_ascii_case("POST") => (uri.trim(), HttpMethod::Post),
+        Some((uri, m)) if m.trim().eq_ignore_ascii_case("GET") => (uri.trim(), HttpMethod::Get),
+        Some((_, m)) => {
+            return Err(syntax(line_no, &format!("unknown method `{}`", m.trim())));
+        }
+        None => (uri_part, HttpMethod::Get),
+    };
+    let base_uri =
+        parse_quoted(uri_text).ok_or_else(|| syntax(line_no, "URI must be double-quoted"))?;
+
+    let mut bindings = Vec::new();
+    let mut query_concat: Option<Vec<ConcatPart>> = None;
+    let mut outputs_result = false;
+    let mut closed = false;
+
+    // Statements may span lines (Query concatenation usually does), so we
+    // re-join until each statement's `;` and handle `}` separately.
+    let mut pending = String::new();
+    let mut pending_line = 0usize;
+    for (line_no, line) in lines {
+        if line == "}" && pending.is_empty() {
+            closed = true;
+            continue;
+        }
+        if pending.is_empty() {
+            pending_line = line_no;
+        }
+        if !pending.is_empty() {
+            pending.push(' ');
+        }
+        pending.push_str(line);
+        if !statement_complete(&pending) {
+            continue;
+        }
+        let stmt = pending.trim_end_matches(';').trim().to_string();
+        pending.clear();
+        if let Some(rest) = stmt.strip_prefix("output(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| syntax(pending_line, "unbalanced output(...)"))?;
+            if inner.trim() != "execute(Query)" {
+                return Err(syntax(pending_line, "expected output(execute(Query))"));
+            }
+            outputs_result = true;
+        } else if let Some(rest) = stmt.strip_prefix("Query =") {
+            if query_concat.is_some() {
+                return Err(syntax(pending_line, "Query assigned twice"));
+            }
+            query_concat = Some(parse_concat(rest.trim(), pending_line)?);
+        } else {
+            bindings.push(parse_binding(&stmt, pending_line)?);
+        }
+    }
+    if !pending.trim().is_empty() {
+        return Err(syntax(pending_line, "unterminated statement (missing `;`)"));
+    }
+    if !closed {
+        return Err(syntax(0, "missing closing `}`"));
+    }
+    let query_concat = query_concat.ok_or_else(|| syntax(0, "servlet never assigns Query"))?;
+    Ok(ServletProgram {
+        name: name.trim().to_string(),
+        base_uri,
+        method,
+        bindings,
+        query_concat,
+        outputs_result,
+    })
+}
+
+/// A statement is complete when its trailing `;` is outside any string
+/// literal.
+fn statement_complete(text: &str) -> bool {
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut last_meaningful = ' ';
+    for c in text.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            _ => {}
+        }
+        if !c.is_whitespace() {
+            last_meaningful = c;
+        }
+    }
+    !in_string && last_meaningful == ';'
+}
+
+fn parse_binding(stmt: &str, line: usize) -> Result<ParamBinding, WebAppError> {
+    // `TYPE var = q.getParameter("field")`
+    let (lhs, rhs) = stmt
+        .split_once('=')
+        .ok_or_else(|| syntax(line, "expected a binding `TYPE var = q.getParameter(..)`"))?;
+    let mut lhs_parts = lhs.split_whitespace();
+    let declared_type = lhs_parts
+        .next()
+        .ok_or_else(|| syntax(line, "missing declared type"))?
+        .to_string();
+    let variable = lhs_parts
+        .next()
+        .ok_or_else(|| syntax(line, "missing variable name"))?
+        .to_string();
+    if lhs_parts.next().is_some() {
+        return Err(syntax(line, "too many tokens before `=`"));
+    }
+    let rhs = rhs.trim();
+    let inner = rhs
+        .strip_prefix("q.getParameter(")
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| syntax(line, "right-hand side must be q.getParameter(\"field\")"))?;
+    let field = parse_quoted(inner.trim())
+        .ok_or_else(|| syntax(line, "getParameter argument must be double-quoted"))?;
+    Ok(ParamBinding {
+        declared_type,
+        variable,
+        field,
+    })
+}
+
+/// Parses `"lit" + var + "lit" + ...` into [`ConcatPart`]s.
+fn parse_concat(expr: &str, line: usize) -> Result<Vec<ConcatPart>, WebAppError> {
+    let mut parts = Vec::new();
+    let bytes: Vec<char> = expr.chars().collect();
+    let mut i = 0usize;
+    let mut expect_operand = true;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '+' {
+            if expect_operand {
+                return Err(syntax(line, "unexpected `+`"));
+            }
+            expect_operand = true;
+            i += 1;
+            continue;
+        }
+        if !expect_operand {
+            return Err(syntax(line, "expected `+` between concatenation operands"));
+        }
+        if c == '"' {
+            // String literal with \" and \\ escapes.
+            let mut lit = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(syntax(line, "unterminated string literal in Query"));
+                }
+                match bytes[i] {
+                    '\\' if i + 1 < bytes.len() => {
+                        lit.push(bytes[i + 1]);
+                        i += 2;
+                    }
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    other => {
+                        lit.push(other);
+                        i += 1;
+                    }
+                }
+            }
+            parts.push(ConcatPart::Literal(lit));
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let name: String = bytes[start..i].iter().collect();
+            parts.push(ConcatPart::Variable(name));
+        } else {
+            return Err(syntax(
+                line,
+                &format!("unexpected character `{c}` in Query"),
+            ));
+        }
+        expect_operand = false;
+    }
+    if expect_operand {
+        return Err(syntax(line, "Query expression ends with `+`"));
+    }
+    if parts.is_empty() {
+        return Err(syntax(line, "empty Query expression"));
+    }
+    Ok(parts)
+}
+
+fn parse_quoted(text: &str) -> Option<String> {
+    text.strip_prefix('"')?
+        .strip_suffix('"')
+        .map(str::to_string)
+}
+
+fn syntax(line: usize, detail: &str) -> WebAppError {
+    WebAppError::ServletSyntax {
+        line,
+        detail: detail.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEARCH: &str = r#"
+        servlet Search at "www.example.com/Search" {
+            String cuisine = q.getParameter("c");
+            String min = q.getParameter("l");
+            String max = q.getParameter("u");
+            Query = "SELECT name, budget FROM restaurant WHERE (cuisine = \""
+                  + cuisine + "\") AND (budget BETWEEN " + min + " AND " + max + ")";
+            output(execute(Query));
+        }
+    "#;
+
+    #[test]
+    fn parses_search_servlet() {
+        let p = parse_servlet(SEARCH).unwrap();
+        assert_eq!(p.name, "Search");
+        assert_eq!(p.base_uri, "www.example.com/Search");
+        assert_eq!(p.bindings.len(), 3);
+        assert_eq!(p.bindings[0].variable, "cuisine");
+        assert_eq!(p.bindings[0].field, "c");
+        assert!(p.outputs_result);
+        // Concat: lit, var, lit, var, lit, var, lit
+        assert_eq!(p.query_concat.len(), 7);
+        assert_eq!(p.query_concat[1], ConcatPart::Variable("cuisine".into()));
+        match &p.query_concat[0] {
+            ConcatPart::Literal(l) => assert!(l.ends_with("(cuisine = \"")),
+            _ => panic!("expected literal"),
+        }
+    }
+
+    #[test]
+    fn multiline_query_supported() {
+        // SEARCH already splits the Query across two lines.
+        let p = parse_servlet(SEARCH).unwrap();
+        let lit_count = p
+            .query_concat
+            .iter()
+            .filter(|c| matches!(c, ConcatPart::Literal(_)))
+            .count();
+        assert_eq!(lit_count, 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = r#"
+            servlet S at "example.com/S" {
+                // read field
+                String x = q.getParameter("x");
+
+                Query = "SELECT * FROM r WHERE a = " + x;
+                output(execute(Query));
+            }
+        "#;
+        let p = parse_servlet(src).unwrap();
+        assert_eq!(p.bindings.len(), 1);
+    }
+
+    #[test]
+    fn missing_query_rejected() {
+        let src = r#"
+            servlet S at "example.com/S" {
+                String x = q.getParameter("x");
+            }
+        "#;
+        let err = parse_servlet(src).unwrap_err();
+        assert!(err.to_string().contains("Query"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(parse_servlet("class S {\n}").is_err());
+        assert!(parse_servlet("servlet S {\n}").is_err());
+        assert!(parse_servlet("servlet S at example.com {\n}").is_err());
+    }
+
+    #[test]
+    fn bad_binding_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                String x = request.get("x");
+                Query = "SELECT * FROM r";
+                output(execute(Query));
+            }
+        "#;
+        assert!(matches!(
+            parse_servlet(src),
+            Err(WebAppError::ServletSyntax { .. })
+        ));
+    }
+
+    #[test]
+    fn double_query_rejected() {
+        let src = r#"
+            servlet S at "e/S" {
+                Query = "SELECT * FROM r";
+                Query = "SELECT * FROM s";
+                output(execute(Query));
+            }
+        "#;
+        assert!(parse_servlet(src).is_err());
+    }
+
+    #[test]
+    fn concat_edge_cases() {
+        assert!(parse_concat("\"a\" +", 1).is_err());
+        assert!(parse_concat("+ \"a\"", 1).is_err());
+        assert!(parse_concat("\"a\" \"b\"", 1).is_err());
+        assert!(parse_concat("\"unterminated", 1).is_err());
+        assert!(parse_concat("", 1).is_err());
+        let parts = parse_concat("\"a\" + x + \"b\"", 1).unwrap();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn semicolon_inside_string_does_not_split() {
+        let src = r#"
+            servlet S at "e/S" {
+                Query = "SELECT * FROM r WHERE a = \"x;y\"";
+                output(execute(Query));
+            }
+        "#;
+        let p = parse_servlet(src).unwrap();
+        match &p.query_concat[0] {
+            ConcatPart::Literal(l) => assert!(l.contains("x;y")),
+            _ => panic!(),
+        }
+    }
+}

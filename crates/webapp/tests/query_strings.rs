@@ -1,0 +1,67 @@
+//! Property-based tests of query-string handling: the forward-parse /
+//! reverse-parse loop at the heart of Dash's URL suggestions.
+
+use proptest::prelude::*;
+
+use dash_relation::Value;
+use dash_webapp::{fooddb, ParamValues, QueryString};
+
+fn cuisine_strategy() -> impl Strategy<Value = String> {
+    // URL-safe cuisine names, possibly with (encoded) spaces.
+    "[A-Za-z]{1,12}( [A-Za-z]{1,8})?"
+}
+
+proptest! {
+    /// reverse(parse(qs)) == qs for every well-formed query string of the
+    /// running example's application.
+    #[test]
+    fn parse_reverse_roundtrip(
+        cuisine in cuisine_strategy(),
+        lo in -1000i64..1000,
+        width in 0i64..100,
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let qs = QueryString::new()
+            .with("c", cuisine.replace(' ', "+"))
+            .with("l", lo.to_string())
+            .with("u", (lo + width).to_string());
+        let params = app.parse_query_string(&qs).unwrap();
+        let back = app.reverse_query_string(&params).unwrap();
+        prop_assert_eq!(back.to_string(), qs.to_string());
+    }
+
+    /// reverse-then-parse is the identity on parameter values.
+    #[test]
+    fn reverse_parse_roundtrip(
+        cuisine in cuisine_strategy(),
+        lo in -1000i64..1000,
+        width in 0i64..100,
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let mut params = ParamValues::new();
+        params.insert("cuisine".into(), Value::str(cuisine));
+        params.insert("min".into(), Value::Int(lo));
+        params.insert("max".into(), Value::Int(lo + width));
+        let qs = app.reverse_query_string(&params).unwrap();
+        let back = app.parse_query_string(&qs).unwrap();
+        prop_assert_eq!(back, params);
+    }
+
+    /// The parser never panics on arbitrary text.
+    #[test]
+    fn query_string_parser_never_panics(text in "\\PC{0,60}") {
+        let _ = QueryString::parse(&text);
+    }
+
+    /// Type checking rejects non-numeric range fields but accepts any
+    /// cuisine text.
+    #[test]
+    fn range_fields_must_be_numeric(junk in "[a-z]{1,8}") {
+        let app = fooddb::search_application().unwrap();
+        let qs = QueryString::new()
+            .with("c", "American")
+            .with("l", junk.clone())
+            .with("u", "10");
+        prop_assert!(app.parse_query_string(&qs).is_err());
+    }
+}

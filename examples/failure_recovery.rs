@@ -1,0 +1,75 @@
+//! MapReduce failure recovery, demonstrated on a Dash-style indexing
+//! job: tasks die mid-crawl, the scheduler retries them, the simulated
+//! clock pays for every attempt — and the inverted index comes out
+//! byte-identical.
+//!
+//! ```text
+//! cargo run --example failure_recovery
+//! ```
+
+use dash::mapreduce::{run_job_with_faults, ClusterConfig, FaultPlan, JobSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Index the running example's comment texts as (keyword, df) pairs.
+    let db = dash::webapp::fooddb::database();
+    let comments: Vec<String> = db.table("comment")?.iter().map(|r| r.render()).collect();
+    let cluster = ClusterConfig {
+        split_bytes: 64,   // tiny blocks so the toy corpus gets several map tasks
+        byte_scale: 1.0e6, // model the corpus at cluster scale so retry costs show
+        ..ClusterConfig::default()
+    };
+
+    let index_job = |plan: &FaultPlan| {
+        run_job_with_faults(
+            &cluster,
+            JobSpec::new("index comments").reduce_tasks(4),
+            &comments,
+            |doc: &String, emit| {
+                for token in dash::text::tokenize(doc) {
+                    emit(token, 1u64);
+                }
+            },
+            |word: &String, ones: Vec<u64>, emit| emit((word.clone(), ones.len() as u64)),
+            plan,
+        )
+    };
+
+    let clean = index_job(&FaultPlan::new())?;
+    println!(
+        "clean run:  {} map tasks, {} keywords, {:.2} simulated s",
+        clean.stats.map_tasks,
+        clean.output.len(),
+        clean.stats.sim_total_secs(),
+    );
+
+    // A node dies during the map wave: every map task loses one attempt,
+    // and reduce task 1 loses two.
+    let plan = FaultPlan::new()
+        .fail_first_map_attempts(clean.stats.map_tasks, 1)
+        .fail_reduce(1, 0)
+        .fail_reduce(1, 1);
+    let faulty = index_job(&plan)?;
+    println!(
+        "faulty run: {} map attempts for {} tasks, {:.2} simulated s",
+        faulty.stats.map_task_attempts,
+        faulty.stats.map_tasks,
+        faulty.stats.sim_total_secs(),
+    );
+
+    assert_eq!(clean.output, faulty.output);
+    println!(
+        "outputs identical: {} — recovery cost {:+.2} simulated s",
+        clean.output == faulty.output,
+        faulty.stats.sim_total_secs() - clean.stats.sim_total_secs(),
+    );
+
+    // A task that keeps dying aborts the job after max_attempts.
+    let mut hopeless = FaultPlan::new();
+    hopeless.max_attempts = 3;
+    let hopeless = hopeless.fail_map(0, 0).fail_map(0, 1).fail_map(0, 2);
+    match index_job(&hopeless) {
+        Err(aborted) => println!("hopeless plan: {aborted}"),
+        Ok(_) => unreachable!("job must abort"),
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! The three fragment-derivation paths — reference (in-memory), stepwise
+//! (MapReduce) and integrated (MapReduce) — must produce byte-identical
+//! fragments on every workload.
+
+use dash::core::crawl::{integrated, reference, stepwise};
+use dash::mapreduce::ClusterConfig;
+use dash::relation::Database;
+use dash::tpch::{generate, Scale, TpchConfig};
+use dash::webapp::{fooddb, WebApplication};
+
+fn tiny_tpch() -> Database {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 60;
+    config.base_parts = 80;
+    config.orders_per_customer = 5;
+    config.lineitems_per_order = 3;
+    generate(&config)
+}
+
+fn assert_equivalent(app: &WebApplication, db: &Database) {
+    let cluster = ClusterConfig::default();
+    let expected = reference::fragments(app, db).unwrap();
+    assert!(!expected.is_empty(), "workload produced no fragments");
+    let sw = stepwise::run(app, db, &cluster).unwrap();
+    let int = integrated::run(app, db, &cluster).unwrap();
+    assert_eq!(sw.fragments, expected, "stepwise deviates from reference");
+    assert_eq!(
+        int.fragments, expected,
+        "integrated deviates from reference"
+    );
+}
+
+#[test]
+fn fooddb_search() {
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    assert_equivalent(&app, &db);
+}
+
+#[test]
+fn tpch_q1() {
+    let db = tiny_tpch();
+    let app = dash::tpch::q1_application(&db).unwrap();
+    assert_equivalent(&app, &db);
+}
+
+#[test]
+fn tpch_q2() {
+    let db = tiny_tpch();
+    let app = dash::tpch::q2_application(&db).unwrap();
+    assert_equivalent(&app, &db);
+}
+
+#[test]
+fn tpch_q3_four_relations() {
+    let db = tiny_tpch();
+    let app = dash::tpch::q3_application(&db).unwrap();
+    assert_equivalent(&app, &db);
+}
+
+/// Q2 and Q3 share selection attributes, so they derive the same
+/// fragment identifiers (the paper's Table IV shows identical counts);
+/// Q3's fragments carry strictly more keywords (part attributes).
+#[test]
+fn q2_q3_fragment_relationship() {
+    let db = tiny_tpch();
+    let q2 = dash::tpch::q2_application(&db).unwrap();
+    let q3 = dash::tpch::q3_application(&db).unwrap();
+    let f2 = reference::fragments(&q2, &db).unwrap();
+    let f3 = reference::fragments(&q3, &db).unwrap();
+    assert_eq!(f2.len(), f3.len());
+    let ids2: Vec<_> = f2.iter().map(|f| &f.id).collect();
+    let ids3: Vec<_> = f3.iter().map(|f| &f.id).collect();
+    assert_eq!(ids2, ids3);
+    let total2: u64 = f2.iter().map(|f| f.total_keywords).sum();
+    let total3: u64 = f3.iter().map(|f| f.total_keywords).sum();
+    assert!(total3 > total2);
+}
+
+/// Fragment record counts always partition the join: Σ record_count =
+/// |R1 ⋈ … ⋈ Rn| — on every workload and derivation path.
+#[test]
+fn fragments_partition_the_join() {
+    let db = tiny_tpch();
+    for app in [
+        dash::tpch::q1_application(&db).unwrap(),
+        dash::tpch::q2_application(&db).unwrap(),
+        dash::tpch::q3_application(&db).unwrap(),
+    ] {
+        let joined = app.query.join_all(&db).unwrap();
+        let fragments = reference::fragments(&app, &db).unwrap();
+        let total: u64 = fragments.iter().map(|f| f.record_count).sum();
+        assert_eq!(total, joined.len() as u64, "{} partition broken", app.name);
+    }
+}
