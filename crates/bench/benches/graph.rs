@@ -1,10 +1,10 @@
 //! Criterion micro-benchmarks for fragment-graph construction (the
 //! Table IV measurement) — bulk build vs the paper's incremental
-//! insertion.
+//! insertion, plus the O(1) handle-native locate on the top-k hot path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dash_core::crawl::reference;
-use dash_core::{Fragment, FragmentGraph};
+use dash_core::{Frag, Fragment, FragmentCatalog, FragmentGraph};
 use dash_tpch::{generate, Scale, TpchConfig};
 
 fn q2_fragments() -> (Vec<Fragment>, Option<usize>) {
@@ -19,17 +19,22 @@ fn q2_fragments() -> (Vec<Fragment>, Option<usize>) {
 
 fn bench_graph(c: &mut Criterion) {
     let (fragments, range_pos) = q2_fragments();
+    let catalog = FragmentCatalog::from_fragments(&fragments);
 
     c.bench_function("graph/bulk-build", |b| {
-        b.iter(|| FragmentGraph::build(&fragments, range_pos).expect("builds"))
+        b.iter(|| FragmentGraph::build(&catalog, &fragments, range_pos).expect("builds"))
+    });
+
+    c.bench_function("graph/catalog-intern", |b| {
+        b.iter(|| FragmentCatalog::from_fragments(&fragments))
     });
 
     c.bench_function("graph/incremental-insert", |b| {
         b.iter_batched(
-            || FragmentGraph::build(&[], range_pos).expect("empty graph"),
+            || FragmentGraph::build(&catalog, &[], range_pos).expect("empty graph"),
             |mut graph| {
                 for f in &fragments {
-                    graph.insert(f);
+                    graph.insert(&catalog, f);
                 }
                 graph
             },
@@ -38,14 +43,17 @@ fn bench_graph(c: &mut Criterion) {
     });
 
     c.bench_function("graph/locate+neighbors", |b| {
-        let graph = FragmentGraph::build(&fragments, range_pos).expect("builds");
-        let ids: Vec<_> = fragments.iter().map(|f| f.id.clone()).collect();
+        let graph = FragmentGraph::build(&catalog, &fragments, range_pos).expect("builds");
+        let frags: Vec<Frag> = fragments
+            .iter()
+            .map(|f| catalog.frag(&f.id).expect("interned"))
+            .collect();
         let mut i = 0usize;
         b.iter(|| {
-            let id = &ids[i % ids.len()];
+            let frag = frags[i % frags.len()];
             i += 1;
-            let node = graph.locate(id).expect("present");
-            graph.neighbors(&node)
+            let node = graph.locate(frag).expect("present");
+            graph.neighbors(node)
         })
     });
 }

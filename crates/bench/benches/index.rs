@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks for index construction: the inverted
-//! fragment index vs the naive all-pages inverted file (the design
-//! choice Section IV motivates).
+//! Criterion micro-benchmarks for index construction: the columnar
+//! inverted fragment index (and the full catalog + inverted + graph
+//! build) vs the naive all-pages inverted file (the design choice
+//! Section IV motivates).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dash_core::baseline::NaiveEngine;
 use dash_core::crawl::reference;
 use dash_core::index::InvertedFragmentIndex;
-use dash_core::Fragment;
+use dash_core::{Fragment, FragmentCatalog, FragmentIndex};
 use dash_tpch::{generate, Scale, TpchConfig};
 use dash_webapp::WebApplication;
 
@@ -22,9 +23,16 @@ fn q1_parts() -> (WebApplication, Vec<Fragment>) {
 
 fn bench_index(c: &mut Criterion) {
     let (app, fragments) = q1_parts();
+    let catalog = FragmentCatalog::from_fragments(&fragments);
 
     c.bench_function("index/inverted-fragment-index", |b| {
-        b.iter(|| InvertedFragmentIndex::build(&fragments))
+        b.iter(|| InvertedFragmentIndex::build(&catalog, &fragments))
+    });
+
+    c.bench_function("index/full-build", |b| {
+        b.iter(|| {
+            FragmentIndex::build(&fragments, app.query.range_selection_index()).expect("builds")
+        })
     });
 
     let mut group = c.benchmark_group("index/naive-baseline");
@@ -35,7 +43,7 @@ fn bench_index(c: &mut Criterion) {
     group.finish();
 
     c.bench_function("index/idf-lookup", |b| {
-        let index = InvertedFragmentIndex::build(&fragments);
+        let index = InvertedFragmentIndex::build(&catalog, &fragments);
         let keywords: Vec<String> = index
             .keywords_by_df()
             .iter()
@@ -47,6 +55,22 @@ fn bench_index(c: &mut Criterion) {
             let w = &keywords[i % keywords.len()];
             i += 1;
             index.idf(w)
+        })
+    });
+
+    c.bench_function("index/occurrence-probe", |b| {
+        let index = InvertedFragmentIndex::build(&catalog, &fragments);
+        let hot = index.keywords_by_df()[0].0.to_string();
+        let kw = index.kw(&hot).expect("hot keyword interned");
+        let frags: Vec<_> = fragments
+            .iter()
+            .map(|f| catalog.frag(&f.id).expect("interned"))
+            .collect();
+        let mut i = 0usize;
+        b.iter(|| {
+            let frag = frags[i % frags.len()];
+            i += 1;
+            index.occurrences(kw, frag)
         })
     });
 }

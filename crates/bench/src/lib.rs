@@ -18,6 +18,12 @@
 //! and `fig11` accept an optional scale argument (`small`, `medium`,
 //! `large`) to trim runtime. Criterion micro-benchmarks live under
 //! `benches/`.
+//!
+//! Every `cargo bench` run also writes a machine-readable
+//! `BENCH_<suite>.json` (per-benchmark p50 ns/iter and ops/s) into
+//! `DASH_BENCH_DIR` (default: the working directory), so successive PRs
+//! can track the build/search perf trajectory; set `DASH_BENCH_FAST=1`
+//! for a quick smoke pass.
 
 pub mod datasets;
 pub mod experiments;

@@ -1,0 +1,201 @@
+//! Interned fragment handles.
+//!
+//! The seed implementation keyed every index structure on
+//! [`FragmentId`] = `Vec<Value>`, so each posting, graph node and top-k
+//! candidate carried (and cloned) multi-value vectors on the hot path.
+//! The [`FragmentCatalog`] assigns each crawled fragment a dense
+//! [`Frag`] handle (`u32`) once, at build/maintenance time; everything
+//! downstream — inverted lists, graph columns, search candidates — is
+//! handle-native and resolves back to identifiers only at the output
+//! boundary. Dense handles also index straight into columnar arrays
+//! (weights, node positions), which is what makes the fragment graph's
+//! `locate` O(1) and keeps the index layout shard- and mmap-friendly.
+
+use std::collections::HashMap;
+
+use crate::fragment::{Fragment, FragmentId};
+
+/// A dense interned fragment handle. `Frag(i)` indexes the catalog's
+/// columns directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frag(pub u32);
+
+impl Frag {
+    /// The handle as a column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A dense interned keyword handle (see
+/// [`KeywordInterner`](crate::index::inverted::KeywordInterner)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Kw(pub u32);
+
+impl Kw {
+    /// The handle as a column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The fragment interner: identifier ⇄ handle, plus the per-fragment
+/// columns every layer shares (total keywords = node weight, record
+/// count).
+///
+/// Handles are append-only: removing a fragment from the *index*
+/// leaves its handle interned (a tombstone), so handles held anywhere
+/// stay valid; re-adding the same identifier re-uses its handle and
+/// refreshes the columns.
+#[derive(Debug, Clone, Default)]
+pub struct FragmentCatalog {
+    ids: Vec<FragmentId>,
+    lookup: HashMap<FragmentId, Frag>,
+    total_keywords: Vec<u64>,
+    record_counts: Vec<u64>,
+}
+
+impl FragmentCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns every fragment, in order — when `fragments` is sorted by
+    /// identifier (crawls produce sorted output), handle order equals
+    /// identifier order.
+    pub fn from_fragments(fragments: &[Fragment]) -> Self {
+        let mut catalog = FragmentCatalog {
+            ids: Vec::with_capacity(fragments.len()),
+            lookup: HashMap::with_capacity(fragments.len()),
+            total_keywords: Vec::with_capacity(fragments.len()),
+            record_counts: Vec::with_capacity(fragments.len()),
+        };
+        for f in fragments {
+            catalog.intern(f);
+        }
+        catalog
+    }
+
+    /// Interns one fragment, refreshing its columns if already known.
+    pub fn intern(&mut self, fragment: &Fragment) -> Frag {
+        if let Some(&frag) = self.lookup.get(&fragment.id) {
+            self.total_keywords[frag.index()] = fragment.total_keywords;
+            self.record_counts[frag.index()] = fragment.record_count;
+            return frag;
+        }
+        let frag = Frag(u32::try_from(self.ids.len()).expect("more than u32::MAX fragments"));
+        self.ids.push(fragment.id.clone());
+        self.lookup.insert(fragment.id.clone(), frag);
+        self.total_keywords.push(fragment.total_keywords);
+        self.record_counts.push(fragment.record_count);
+        frag
+    }
+
+    /// The handle of an identifier, if interned.
+    #[inline]
+    pub fn frag(&self, id: &FragmentId) -> Option<Frag> {
+        self.lookup.get(id).copied()
+    }
+
+    /// The identifier behind a handle.
+    #[inline]
+    pub fn id(&self, frag: Frag) -> &FragmentId {
+        &self.ids[frag.index()]
+    }
+
+    /// The fragment's total keyword count (its graph node weight).
+    #[inline]
+    pub fn total_keywords(&self, frag: Frag) -> u64 {
+        self.total_keywords[frag.index()]
+    }
+
+    /// The fragment's joined-record count.
+    #[inline]
+    pub fn record_count(&self, frag: Frag) -> u64 {
+        self.record_counts[frag.index()]
+    }
+
+    /// Number of interned handles (tombstones included).
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing was ever interned.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Compares two handles by their *identifiers* — the order every
+    /// deterministic tie-break uses. Equals numeric handle order while
+    /// interning happened in identifier order.
+    #[inline]
+    pub fn cmp_ids(&self, a: Frag, b: Frag) -> std::cmp::Ordering {
+        self.ids[a.index()].cmp(&self.ids[b.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_relation::Value;
+    use std::collections::BTreeMap;
+
+    fn fragment(cuisine: &str, budget: i64, total: u64) -> Fragment {
+        let mut occ = BTreeMap::new();
+        occ.insert("w".to_string(), total);
+        Fragment::new(
+            FragmentId::new(vec![Value::str(cuisine), Value::Int(budget)]),
+            occ,
+            total,
+        )
+    }
+
+    #[test]
+    fn roundtrip_id_handle_id() {
+        let fragments = vec![
+            fragment("American", 9, 8),
+            fragment("American", 10, 8),
+            fragment("Thai", 10, 10),
+        ];
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        assert_eq!(catalog.len(), 3);
+        for f in &fragments {
+            let h = catalog.frag(&f.id).expect("interned");
+            assert_eq!(catalog.id(h), &f.id);
+            assert_eq!(catalog.total_keywords(h), f.total_keywords);
+            assert_eq!(catalog.record_count(h), f.record_count);
+        }
+        assert_eq!(
+            catalog.frag(&FragmentId::new(vec![Value::str("Nope"), Value::Int(1)])),
+            None
+        );
+    }
+
+    #[test]
+    fn handles_are_dense_and_ordered_for_sorted_input() {
+        let fragments = vec![
+            fragment("American", 9, 8),
+            fragment("American", 10, 8),
+            fragment("Thai", 10, 10),
+        ];
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        for (i, f) in fragments.iter().enumerate() {
+            assert_eq!(catalog.frag(&f.id), Some(Frag(i as u32)));
+        }
+        assert_eq!(catalog.cmp_ids(Frag(0), Frag(2)), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn reintern_refreshes_columns_and_keeps_handle() {
+        let mut catalog = FragmentCatalog::new();
+        let first = fragment("American", 9, 8);
+        let h = catalog.intern(&first);
+        let updated = fragment("American", 9, 13);
+        assert_eq!(catalog.intern(&updated), h);
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(catalog.total_keywords(h), 13);
+    }
+}

@@ -1,38 +1,62 @@
-//! The fragment graph (Section VI-A of the paper).
+//! The fragment graph (Section VI-A of the paper), columnar.
 //!
 //! Every node is one fragment, weighted by its total keyword count
 //! (Example 6: node `(American, 9)` has weight 8). An edge connects two
 //! fragments when they can combine into a db-page containing no other
-//! fragment — i.e. they agree on every equality-bound selection attribute
-//! and are **adjacent** in the sorted domain of the range-bound attribute.
-//! Fragments with different equality values (e.g. `(Thai, 10)` among
-//! American fragments) stay disconnected, exactly as in Figure 9.
+//! fragment — i.e. they agree on every equality-bound selection
+//! attribute and are **adjacent** in the sorted domain of the
+//! range-bound attribute. Fragments with different equality values
+//! (e.g. `(Thai, 10)` among American fragments) stay disconnected,
+//! exactly as in Figure 9.
 //!
-//! The graph is stored as groups (one per equality prefix) of nodes
-//! sorted by range value; adjacency is implicit in the order, which makes
-//! both bulk construction ("a lot of comparisons can be saved if
+//! Storage is handle-native and columnar: one node column of [`Frag`]
+//! handles (plus a parallel weight column the top-k expansion reads),
+//! sorted group-major with ranges `bounds[g]` marking each equality
+//! group. Group ids ([`GroupId`]) are dense ranks in group-key order —
+//! maintained across incremental inserts — so a candidate db-page is
+//! just `(group, lo, hi)`, three integers. A `node_pos` column indexed
+//! by fragment handle makes [`FragmentGraph::locate`] O(1), replacing
+//! the seed's hash-map-plus-binary-search (this sits on the hot path of
+//! every top-k seed). Adjacency stays implicit in the order, which
+//! makes both bulk construction ("a lot of comparisons can be saved if
 //! db-fragments are pre-sorted", §VI-A) and the paper's incremental
 //! insertion cheap.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::time::Instant;
 
 use dash_relation::Value;
 
 use crate::error::CoreError;
 use crate::fragment::{Fragment, FragmentId};
+use crate::index::catalog::{Frag, FragmentCatalog};
+use crate::par;
 use crate::Result;
 
-/// One node of the fragment graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GraphNode {
-    /// The fragment's identifier.
-    pub id: FragmentId,
-    /// Total keywords in the fragment (the node weight of Example 6).
-    pub total_keywords: u64,
-    /// Number of records in the fragment.
-    pub record_count: u64,
+/// A dense equality-group handle: the group's rank in key order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    /// The handle as a column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
 }
+
+/// A node's address: its equality group and offset within the group's
+/// range-sorted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeRef {
+    /// The equality group.
+    pub group: GroupId,
+    /// Index within the group's sorted node run.
+    pub position: u32,
+}
+
+/// Sentinel in `node_pos` for handles without a live node.
+const ABSENT: (u32, u32) = (u32::MAX, u32::MAX);
 
 /// The fragment graph.
 #[derive(Debug, Clone, Default)]
@@ -40,160 +64,298 @@ pub struct FragmentGraph {
     /// Position of the range attribute within fragment identifiers;
     /// `None` for all-equality queries (no edges at all).
     range_position: Option<usize>,
-    /// Equality prefix → nodes sorted by range value.
-    groups: BTreeMap<Vec<Value>, Vec<GraphNode>>,
-    /// Wall-clock seconds the last bulk build took (Table IV reports this).
+    /// Node column: fragment handles, group-major, range-sorted within
+    /// each group.
+    frags: Vec<Frag>,
+    /// Parallel weight column (total keywords per node).
+    weights: Vec<u64>,
+    /// Per group: `(start, end)` half-open range into the node columns.
+    bounds: Vec<(u32, u32)>,
+    /// Per group: the equality prefix (identifier minus the range
+    /// position), resolved only at the output boundary. Sorted — the
+    /// group id is the rank.
+    keys: Vec<Vec<Value>>,
+    /// Fragment handle → `(group, position)`; `ABSENT` when the handle
+    /// has no live node.
+    node_pos: Vec<(u32, u32)>,
+    /// Wall-clock seconds the last bulk build took (Table IV reports
+    /// this).
     build_secs: f64,
 }
 
-/// A node's address: its equality group and offset within the sorted
-/// group.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeRef {
-    /// The equality prefix identifying the group.
-    pub group: Vec<Value>,
-    /// Index within the group's sorted node vector.
-    pub position: usize,
-}
-
 impl FragmentGraph {
-    /// Bulk-builds the graph: pre-sorts fragments by identifier (the
-    /// paper's comparison-saving strategy), then splits them into
-    /// equality groups.
+    /// Bulk-builds the graph: splits fragments into equality groups and
+    /// range-sorts each group independently (in parallel); pre-sorted
+    /// input is detected and skips the per-group sorts (the paper's
+    /// comparison-saving strategy).
+    ///
+    /// Every fragment must already be interned in `catalog`.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Internal`] when `range_position` is out of
     /// bounds for some fragment identifier.
-    pub fn build(fragments: &[Fragment], range_position: Option<usize>) -> Result<Self> {
+    pub fn build(
+        catalog: &FragmentCatalog,
+        fragments: &[Fragment],
+        range_position: Option<usize>,
+    ) -> Result<Self> {
         let start = Instant::now();
-        let mut groups: BTreeMap<Vec<Value>, Vec<GraphNode>> = BTreeMap::new();
-        for f in fragments {
-            if let Some(pos) = range_position {
+        if let Some(pos) = range_position {
+            for f in fragments {
                 if pos >= f.id.values().len() {
                     return Err(CoreError::Internal {
                         detail: format!("range position {pos} out of bounds for fragment {}", f.id),
                     });
                 }
             }
-            let key = group_key(&f.id, range_position);
-            groups.entry(key).or_default().push(GraphNode {
-                id: f.id.clone(),
-                total_keywords: f.total_keywords,
-                record_count: f.record_count,
+        }
+        // Group fragments by equality prefix without materializing keys:
+        // the map is keyed by a borrowed view of the identifier minus
+        // the range position.
+        let mut group_of: HashMap<KeyRef<'_>, u32> = HashMap::new();
+        let mut members: Vec<Vec<Frag>> = Vec::new();
+        for f in fragments {
+            let frag = catalog.frag(&f.id).expect("fragment interned in catalog");
+            let key = KeyRef {
+                id: &f.id,
+                skip: range_position,
+            };
+            let g = *group_of.entry(key).or_insert_with(|| {
+                members.push(Vec::new());
+                (members.len() - 1) as u32
             });
+            members[g as usize].push(frag);
         }
-        if let Some(pos) = range_position {
-            for nodes in groups.values_mut() {
-                nodes.sort_by(|a, b| a.id.values()[pos].cmp(&b.id.values()[pos]));
+        // Rank groups by key order (the seed's BTreeMap order).
+        let mut order: Vec<u32> = (0..members.len() as u32).collect();
+        let key_views: Vec<KeyRef<'_>> = {
+            let mut views: Vec<Option<KeyRef<'_>>> = vec![None; members.len()];
+            for (key, &g) in &group_of {
+                views[g as usize] = Some(*key);
             }
+            views
+                .into_iter()
+                .map(|v| v.expect("every group keyed"))
+                .collect()
+        };
+        order.sort_unstable_by(|&a, &b| key_views[a as usize].cmp(&key_views[b as usize]));
+        // Range-sort each group's members (skipped when already sorted).
+        if let Some(pos) = range_position {
+            let range_value = |frag: Frag| -> &Value { &catalog.id(frag).values()[pos] };
+            par::for_each(
+                members.iter_mut().filter(|m| m.len() > 1).collect(),
+                |group: &mut Vec<Frag>| {
+                    if group
+                        .windows(2)
+                        .any(|w| range_value(w[0]) > range_value(w[1]))
+                    {
+                        group.sort_by(|&a, &b| range_value(a).cmp(range_value(b)));
+                    }
+                },
+            );
         }
-        Ok(FragmentGraph {
+        // Flatten into columns in group-rank order.
+        let mut graph = FragmentGraph {
             range_position,
-            groups,
-            build_secs: start.elapsed().as_secs_f64(),
-        })
+            frags: Vec::with_capacity(fragments.len()),
+            weights: Vec::with_capacity(fragments.len()),
+            bounds: Vec::with_capacity(members.len()),
+            keys: Vec::with_capacity(members.len()),
+            node_pos: vec![ABSENT; catalog.len()],
+            build_secs: 0.0,
+        };
+        for &g in &order {
+            let group = &members[g as usize];
+            let start_col = graph.frags.len() as u32;
+            let gid = graph.bounds.len() as u32;
+            for (pos, &frag) in group.iter().enumerate() {
+                graph.node_pos[frag.index()] = (gid, pos as u32);
+                graph.frags.push(frag);
+                graph.weights.push(catalog.total_keywords(frag));
+            }
+            graph.bounds.push((start_col, graph.frags.len() as u32));
+            graph.keys.push(key_views[g as usize].to_owned_key());
+        }
+        graph.build_secs = start.elapsed().as_secs_f64();
+        Ok(graph)
     }
 
-    /// The paper's incremental insertion: place the new fragment into its
-    /// group at the right position; the implicit chain edges re-splice
-    /// automatically (the edge between its new neighbors is replaced by
-    /// two edges through the new node).
-    pub fn insert(&mut self, fragment: &Fragment) {
+    /// The paper's incremental insertion: place the new fragment into
+    /// its group at the right position; the implicit chain edges
+    /// re-splice automatically (the edge between its new neighbors is
+    /// replaced by two edges through the new node). The fragment must
+    /// already be interned in `catalog`. Re-inserting a live fragment
+    /// replaces its node (weights may have changed).
+    pub fn insert(&mut self, catalog: &FragmentCatalog, fragment: &Fragment) {
+        let frag = catalog.frag(&fragment.id).expect("fragment interned");
+        // A second insert of the same fragment must not splice a
+        // duplicate node column entry.
+        self.remove(frag);
         let key = group_key(&fragment.id, self.range_position);
-        let node = GraphNode {
-            id: fragment.id.clone(),
-            total_keywords: fragment.total_keywords,
-            record_count: fragment.record_count,
+        let gid = match self.keys.binary_search(&key) {
+            Ok(g) => g,
+            Err(rank) => {
+                // New group at its key rank: later group ids shift up.
+                let at = self
+                    .bounds
+                    .get(rank)
+                    .map_or(self.frags.len() as u32, |&(s, _)| s);
+                self.keys.insert(rank, key);
+                self.bounds.insert(rank, (at, at));
+                for (g, _) in self.node_pos.iter_mut() {
+                    if *g != u32::MAX && *g >= rank as u32 {
+                        *g += 1;
+                    }
+                }
+                rank
+            }
         };
-        let nodes = self.groups.entry(key).or_default();
-        match self.range_position {
+        let (start, end) = self.bounds[gid];
+        let group = &self.frags[start as usize..end as usize];
+        let position = match self.range_position {
             Some(pos) => {
                 let range_value = &fragment.id.values()[pos];
-                let at = nodes
-                    .binary_search_by(|n| n.id.values()[pos].cmp(range_value))
-                    .unwrap_or_else(|i| i);
-                nodes.insert(at, node);
+                group
+                    .binary_search_by(|&n| catalog.id(n).values()[pos].cmp(range_value))
+                    .unwrap_or_else(|i| i)
             }
-            None => nodes.push(node),
+            None => group.len(),
+        };
+        let at = start as usize + position;
+        self.frags.insert(at, frag);
+        self.weights.insert(at, fragment.total_keywords);
+        self.bounds[gid].1 += 1;
+        for b in &mut self.bounds[gid + 1..] {
+            b.0 += 1;
+            b.1 += 1;
         }
+        if frag.index() >= self.node_pos.len() {
+            self.node_pos.resize(catalog.len(), ABSENT);
+        }
+        self.reindex_group(gid, position);
     }
 
     /// Removes a fragment's node, if present. Neighboring nodes become
     /// adjacent (the two edges collapse back into one).
-    pub fn remove(&mut self, id: &FragmentId) -> bool {
-        let key = group_key(id, self.range_position);
-        if let Some(nodes) = self.groups.get_mut(&key) {
-            let before = nodes.len();
-            nodes.retain(|n| n.id != *id);
-            let removed = nodes.len() != before;
-            if nodes.is_empty() {
-                self.groups.remove(&key);
-            }
-            return removed;
+    pub fn remove(&mut self, frag: Frag) -> bool {
+        let Some(node) = self.locate(frag) else {
+            return false;
+        };
+        let gid = node.group.index();
+        let (start, _) = self.bounds[gid];
+        let at = start as usize + node.position as usize;
+        self.frags.remove(at);
+        self.weights.remove(at);
+        self.node_pos[frag.index()] = ABSENT;
+        self.bounds[gid].1 -= 1;
+        for b in &mut self.bounds[gid + 1..] {
+            b.0 -= 1;
+            b.1 -= 1;
         }
-        false
-    }
-
-    /// Locates a fragment's node. Within a group nodes are sorted by
-    /// range value, so the lookup is a binary search (O(log group) — this
-    /// sits on the hot path of every top-k seed).
-    pub fn locate(&self, id: &FragmentId) -> Option<NodeRef> {
-        let key = group_key(id, self.range_position);
-        let nodes = self.groups.get(&key)?;
-        let position = match self.range_position {
-            Some(pos) => {
-                let target = &id.values()[pos];
-                let at = nodes
-                    .binary_search_by(|n| n.id.values()[pos].cmp(target))
-                    .ok()?;
-                // Equal range values are not possible within a group
-                // (identifiers are unique), so `at` is the node.
-                if nodes[at].id == *id {
-                    at
-                } else {
-                    return None;
+        if start == self.bounds[gid].1 {
+            // Last node of the group: the group disappears and later
+            // group ids shift down (their in-group positions are
+            // untouched).
+            self.bounds.remove(gid);
+            self.keys.remove(gid);
+            for (g, _) in self.node_pos.iter_mut() {
+                if *g != u32::MAX && *g > gid as u32 {
+                    *g -= 1;
                 }
             }
-            None => nodes.iter().position(|n| n.id == *id)?,
-        };
+        } else {
+            self.reindex_group(gid, node.position as usize);
+        }
+        true
+    }
+
+    /// Rewrites `node_pos` for the nodes of `gid` at or after
+    /// `position` (in-group positions shift after a column splice;
+    /// other groups' `(group, position)` pairs are unaffected — group
+    /// id changes are handled by the explicit shift loops).
+    fn reindex_group(&mut self, gid: usize, position: usize) {
+        let (start, end) = self.bounds[gid];
+        for p in position..(end - start) as usize {
+            let frag = self.frags[start as usize + p];
+            self.node_pos[frag.index()] = (gid as u32, p as u32);
+        }
+    }
+
+    /// Locates a fragment's node — O(1), a column lookup.
+    #[inline]
+    pub fn locate(&self, frag: Frag) -> Option<NodeRef> {
+        let &(g, p) = self.node_pos.get(frag.index())?;
+        if g == u32::MAX {
+            return None;
+        }
         Some(NodeRef {
-            group: key,
-            position,
+            group: GroupId(g),
+            position: p,
         })
     }
 
-    /// The node at a reference.
-    pub fn node(&self, node_ref: &NodeRef) -> Option<&GraphNode> {
-        self.groups.get(&node_ref.group)?.get(node_ref.position)
+    /// The fragment at a node address.
+    pub fn frag_at(&self, node: NodeRef) -> Option<Frag> {
+        let &(start, end) = self.bounds.get(node.group.index())?;
+        let at = start.checked_add(node.position)?;
+        if at >= end {
+            return None;
+        }
+        Some(self.frags[at as usize])
     }
 
-    /// The nodes of one group, sorted by range value.
-    pub fn group(&self, group: &[Value]) -> Option<&[GraphNode]> {
-        self.groups.get(group).map(Vec::as_slice)
+    /// The node run of one group, sorted by range value.
+    #[inline]
+    pub fn group_nodes(&self, group: GroupId) -> &[Frag] {
+        let (start, end) = self.bounds[group.index()];
+        &self.frags[start as usize..end as usize]
+    }
+
+    /// The weight run of one group (total keywords per node), parallel
+    /// to [`FragmentGraph::group_nodes`].
+    #[inline]
+    pub fn group_weights(&self, group: GroupId) -> &[u64] {
+        let (start, end) = self.bounds[group.index()];
+        &self.weights[start as usize..end as usize]
+    }
+
+    /// The equality prefix identifying a group.
+    #[inline]
+    pub fn group_key(&self, group: GroupId) -> &[Value] {
+        &self.keys[group.index()]
+    }
+
+    /// The group holding a given equality prefix, if any.
+    pub fn group_by_key(&self, key: &[Value]) -> Option<GroupId> {
+        self.keys
+            .binary_search_by(|k| k.as_slice().cmp(key))
+            .ok()
+            .map(|g| GroupId(g as u32))
     }
 
     /// The neighbors of a node: its predecessor and successor in range
     /// order (none for all-equality queries, where every node is
     /// isolated).
-    pub fn neighbors(&self, node_ref: &NodeRef) -> Vec<NodeRef> {
+    pub fn neighbors(&self, node: NodeRef) -> Vec<NodeRef> {
         if self.range_position.is_none() {
             return Vec::new();
         }
-        let Some(nodes) = self.groups.get(&node_ref.group) else {
+        let Some(&(start, end)) = self.bounds.get(node.group.index()) else {
             return Vec::new();
         };
+        let len = end - start;
         let mut out = Vec::with_capacity(2);
-        if node_ref.position > 0 {
+        if node.position > 0 {
             out.push(NodeRef {
-                group: node_ref.group.clone(),
-                position: node_ref.position - 1,
+                group: node.group,
+                position: node.position - 1,
             });
         }
-        if node_ref.position + 1 < nodes.len() {
+        if node.position + 1 < len {
             out.push(NodeRef {
-                group: node_ref.group.clone(),
-                position: node_ref.position + 1,
+                group: node.group,
+                position: node.position + 1,
             });
         }
         out
@@ -201,7 +363,7 @@ impl FragmentGraph {
 
     /// Total node count.
     pub fn node_count(&self) -> usize {
-        self.groups.values().map(Vec::len).sum()
+        self.frags.len()
     }
 
     /// Total edge count: each group of `n` nodes chains `n-1` edges.
@@ -209,30 +371,26 @@ impl FragmentGraph {
         if self.range_position.is_none() {
             return 0;
         }
-        self.groups
-            .values()
-            .map(|nodes| nodes.len().saturating_sub(1))
+        self.bounds
+            .iter()
+            .map(|&(s, e)| (e - s) as usize)
+            .map(|n| n.saturating_sub(1))
             .sum()
     }
 
-    /// Number of equality groups (connected components, when every group
-    /// is non-empty).
+    /// Number of equality groups (connected components, when every
+    /// group is non-empty).
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.bounds.len()
     }
 
     /// Average keywords per fragment — Table IV's third column.
     pub fn avg_keywords(&self) -> f64 {
-        let nodes = self.node_count();
-        if nodes == 0 {
+        if self.frags.is_empty() {
             return 0.0;
         }
-        let total: u64 = self
-            .groups
-            .values()
-            .flat_map(|ns| ns.iter().map(|n| n.total_keywords))
-            .sum();
-        total as f64 / nodes as f64
+        let total: u64 = self.weights.iter().sum();
+        total as f64 / self.frags.len() as f64
     }
 
     /// Seconds the bulk build took (Table IV's first column).
@@ -245,11 +403,62 @@ impl FragmentGraph {
         self.range_position
     }
 
-    /// Iterates over `(equality prefix, sorted nodes)` groups.
-    pub fn iter_groups(&self) -> impl Iterator<Item = (&[Value], &[GraphNode])> {
-        self.groups
+    /// Iterates over `(equality prefix, range-sorted node run)` groups
+    /// in key order.
+    pub fn iter_groups(&self) -> impl Iterator<Item = (&[Value], &[Frag])> {
+        self.keys
             .iter()
-            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .zip(&self.bounds)
+            .map(|(k, &(s, e))| (k.as_slice(), &self.frags[s as usize..e as usize]))
+    }
+}
+
+/// A borrowed group key: an identifier viewed with one position
+/// skipped. Hashing/comparison walk the values without allocating.
+#[derive(Debug, Clone, Copy)]
+struct KeyRef<'a> {
+    id: &'a FragmentId,
+    skip: Option<usize>,
+}
+
+impl KeyRef<'_> {
+    fn values(&self) -> impl Iterator<Item = &Value> {
+        self.id
+            .values()
+            .iter()
+            .enumerate()
+            .filter(move |(i, _)| Some(*i) != self.skip)
+            .map(|(_, v)| v)
+    }
+
+    fn to_owned_key(self) -> Vec<Value> {
+        self.values().cloned().collect()
+    }
+}
+
+impl PartialEq for KeyRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.values().eq(other.values())
+    }
+}
+impl Eq for KeyRef<'_> {}
+
+impl PartialOrd for KeyRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KeyRef<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.values().cmp(other.values())
+    }
+}
+
+impl std::hash::Hash for KeyRef<'_> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for v in self.values() {
+            v.hash(state);
+        }
     }
 }
 
@@ -286,15 +495,34 @@ mod tests {
         ]
     }
 
+    fn build(fragments: &[Fragment]) -> (FragmentCatalog, FragmentGraph) {
+        let catalog = FragmentCatalog::from_fragments(fragments);
+        let graph = FragmentGraph::build(&catalog, fragments, Some(1)).unwrap();
+        (catalog, graph)
+    }
+
+    fn frag_of(catalog: &FragmentCatalog, cuisine: &str, budget: i64) -> Frag {
+        catalog
+            .frag(&FragmentId::new(vec![
+                Value::str(cuisine),
+                Value::Int(budget),
+            ]))
+            .unwrap()
+    }
+
     #[test]
     fn figure_9_shape() {
-        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        let (catalog, g) = build(&figure_9());
         assert_eq!(g.node_count(), 5);
         // American chain has 3 edges; Thai is isolated.
         assert_eq!(g.edge_count(), 3);
         assert_eq!(g.group_count(), 2);
-        let american = g.group(&[Value::str("American")]).unwrap();
-        let budgets: Vec<&Value> = american.iter().map(|n| &n.id.values()[1]).collect();
+        let american = g.group_by_key(&[Value::str("American")]).unwrap();
+        let budgets: Vec<&Value> = g
+            .group_nodes(american)
+            .iter()
+            .map(|&n| &catalog.id(n).values()[1])
+            .collect();
         assert_eq!(
             budgets,
             vec![
@@ -304,82 +532,98 @@ mod tests {
                 &Value::Int(18)
             ]
         );
+        // Group ids rank keys: American < Thai.
+        assert_eq!(american, GroupId(0));
+        assert_eq!(g.group_by_key(&[Value::str("Thai")]), Some(GroupId(1)));
     }
 
     #[test]
     fn neighbors_follow_sorted_order() {
-        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
-        let ten = g
-            .locate(&FragmentId::new(vec![
-                Value::str("American"),
-                Value::Int(10),
-            ]))
-            .unwrap();
-        let neighbors = g.neighbors(&ten);
+        let (catalog, g) = build(&figure_9());
+        let ten = g.locate(frag_of(&catalog, "American", 10)).unwrap();
+        let neighbors = g.neighbors(ten);
         assert_eq!(neighbors.len(), 2);
-        let ids: Vec<&FragmentId> = neighbors.iter().map(|r| &g.node(r).unwrap().id).collect();
-        assert!(ids.iter().any(|id| id.values()[1] == Value::Int(9)));
-        assert!(ids.iter().any(|id| id.values()[1] == Value::Int(12)));
+        let budgets: Vec<&Value> = neighbors
+            .iter()
+            .map(|&r| &catalog.id(g.frag_at(r).unwrap()).values()[1])
+            .collect();
+        assert!(budgets.contains(&&Value::Int(9)));
+        assert!(budgets.contains(&&Value::Int(12)));
         // Thai node is isolated.
-        let thai = g
-            .locate(&FragmentId::new(vec![Value::str("Thai"), Value::Int(10)]))
-            .unwrap();
-        assert_eq!(g.neighbors(&thai).len(), 0);
+        let thai = g.locate(frag_of(&catalog, "Thai", 10)).unwrap();
+        assert_eq!(g.neighbors(thai).len(), 0);
     }
 
     #[test]
     fn incremental_insert_splices() {
-        let g0 = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
-        let mut g = FragmentGraph::build(&[], Some(1)).unwrap();
-        for f in figure_9() {
-            g.insert(&f);
+        let fragments = figure_9();
+        let mut all = fragments.clone();
+        all.push(fragment("American", 11, 5));
+        let catalog = FragmentCatalog::from_fragments(&all);
+        let g0 = FragmentGraph::build(&catalog, &fragments, Some(1)).unwrap();
+        let mut g = FragmentGraph::build(&catalog, &[], Some(1)).unwrap();
+        for f in &fragments {
+            g.insert(&catalog, f);
         }
         // Same structure as bulk build.
         assert_eq!(g.node_count(), g0.node_count());
         assert_eq!(g.edge_count(), g0.edge_count());
         // Insert (American, 11): edge (10,12) splits into (10,11),(11,12).
-        g.insert(&fragment("American", 11, 5));
+        g.insert(&catalog, &all[5]);
         assert_eq!(g.edge_count(), 4);
-        let eleven = g
-            .locate(&FragmentId::new(vec![
-                Value::str("American"),
-                Value::Int(11),
-            ]))
-            .unwrap();
+        let eleven = g.locate(frag_of(&catalog, "American", 11)).unwrap();
         assert_eq!(eleven.position, 2);
     }
 
     #[test]
+    fn insert_new_group_keeps_key_order() {
+        let fragments = figure_9();
+        let mut all = fragments.clone();
+        all.push(fragment("Cajun", 7, 4));
+        let catalog = FragmentCatalog::from_fragments(&all);
+        let mut g = FragmentGraph::build(&catalog, &fragments, Some(1)).unwrap();
+        g.insert(&catalog, &all[5]);
+        // Cajun ranks between American and Thai.
+        assert_eq!(g.group_by_key(&[Value::str("American")]), Some(GroupId(0)));
+        assert_eq!(g.group_by_key(&[Value::str("Cajun")]), Some(GroupId(1)));
+        assert_eq!(g.group_by_key(&[Value::str("Thai")]), Some(GroupId(2)));
+        // Every node still locates correctly after the shift.
+        for f in &all {
+            let frag = catalog.frag(&f.id).unwrap();
+            let node = g.locate(frag).unwrap();
+            assert_eq!(g.frag_at(node), Some(frag));
+        }
+    }
+
+    #[test]
     fn remove_collapses_edges() {
-        let mut g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
-        assert!(g.remove(&FragmentId::new(vec![
-            Value::str("American"),
-            Value::Int(10)
-        ])));
+        let (catalog, mut g) = build(&figure_9());
+        assert!(g.remove(frag_of(&catalog, "American", 10)));
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 2);
-        assert!(!g.remove(&FragmentId::new(vec![
-            Value::str("American"),
-            Value::Int(10)
-        ])));
+        assert!(!g.remove(frag_of(&catalog, "American", 10)));
         // Removing the last of a group drops the group.
-        assert!(g.remove(&FragmentId::new(vec![Value::str("Thai"), Value::Int(10)])));
+        assert!(g.remove(frag_of(&catalog, "Thai", 10)));
         assert_eq!(g.group_count(), 1);
+        // Remaining nodes still locate.
+        let nine = g.locate(frag_of(&catalog, "American", 9)).unwrap();
+        assert_eq!(g.frag_at(nine), Some(frag_of(&catalog, "American", 9)));
     }
 
     #[test]
     fn all_equality_query_has_no_edges() {
         let fragments = vec![fragment("American", 1, 3), fragment("American", 2, 4)];
-        let g = FragmentGraph::build(&fragments, None).unwrap();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let g = FragmentGraph::build(&catalog, &fragments, None).unwrap();
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 0);
-        let r = g.locate(&fragments[0].id).unwrap();
-        assert!(g.neighbors(&r).is_empty());
+        let r = g.locate(catalog.frag(&fragments[0].id).unwrap()).unwrap();
+        assert!(g.neighbors(r).is_empty());
     }
 
     #[test]
     fn avg_keywords_matches_table_4_definition() {
-        let g = FragmentGraph::build(&figure_9(), Some(1)).unwrap();
+        let (_, g) = build(&figure_9());
         // (8+8+17+8+10)/5 = 10.2
         assert!((g.avg_keywords() - 10.2).abs() < 1e-9);
         assert!(g.build_secs() >= 0.0);
@@ -387,7 +631,32 @@ mod tests {
 
     #[test]
     fn out_of_bounds_range_position_rejected() {
-        let err = FragmentGraph::build(&figure_9(), Some(7)).unwrap_err();
+        let fragments = figure_9();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let err = FragmentGraph::build(&catalog, &fragments, Some(7)).unwrap_err();
         assert!(matches!(err, CoreError::Internal { .. }));
+    }
+
+    #[test]
+    fn unsorted_input_sorts_groups() {
+        let mut fragments = figure_9();
+        fragments.swap(0, 3); // break range order within American
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let g = FragmentGraph::build(&catalog, &fragments, Some(1)).unwrap();
+        let american = g.group_by_key(&[Value::str("American")]).unwrap();
+        let budgets: Vec<&Value> = g
+            .group_nodes(american)
+            .iter()
+            .map(|&n| &catalog.id(n).values()[1])
+            .collect();
+        assert_eq!(
+            budgets,
+            vec![
+                &Value::Int(9),
+                &Value::Int(10),
+                &Value::Int(12),
+                &Value::Int(18)
+            ]
+        );
     }
 }

@@ -1,27 +1,108 @@
-//! The inverted fragment index (Figure 6 of the paper).
+//! The inverted fragment index (Figure 6 of the paper), columnar.
 //!
-//! Structurally a conventional inverted file with *fragment identifiers*
-//! in place of URLs: for each keyword, the fragments containing it with
+//! Structurally a conventional inverted file with *fragment handles* in
+//! place of URLs: for each keyword, the fragments containing it with
 //! their occurrence counts, sorted by descending TF. `IDF_w` is
 //! approximated as `1 / |L_w|` — the inverse of the number of fragments
 //! containing `w` (Section VI).
+//!
+//! Storage is two contiguous arenas sharing one offset table, indexed
+//! by interned [`Kw`] handles:
+//!
+//! * `tf_arena` — every keyword's posting list sorted by descending TF
+//!   (the order the top-k seeding cursor walks), one keyword after the
+//!   next;
+//! * `probe_arena` — the same postings sorted by fragment handle, so
+//!   the occurrence of *any* fragment (an expansion neighbor) is one
+//!   binary search away, replacing the seed's per-keyword
+//!   `HashMap<FragmentId, u64>` maps and their clone-heavy probes.
+//!
+//! Posting lists never allocate per entry; building sorts each
+//! keyword's slice independently (parallelized across lists).
 
 use std::collections::HashMap;
 
-use dash_text::{InvertedFile, Posting};
+use crate::fragment::Fragment;
+use crate::index::catalog::{Frag, FragmentCatalog, Kw};
+use crate::par;
 
-use crate::fragment::{Fragment, FragmentId};
+/// One entry of a TF-sorted inverted list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The fragment containing the keyword.
+    pub frag: Frag,
+    /// Raw occurrence count of the keyword in the fragment.
+    pub occurrences: u64,
+    /// Term frequency (occurrences / fragment keyword total),
+    /// precomputed so the hot seeding loop never divides or chases the
+    /// catalog.
+    pub tf: f64,
+}
+
+/// One entry of a fragment-sorted probe list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProbeEntry {
+    frag: Frag,
+    occurrences: u64,
+}
+
+/// The keyword interner: keyword string ⇄ dense [`Kw`] handle.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordInterner {
+    words: Vec<String>,
+    lookup: HashMap<String, Kw>,
+}
+
+impl KeywordInterner {
+    /// Interns `word`, returning its stable handle.
+    pub fn intern(&mut self, word: &str) -> Kw {
+        if let Some(&kw) = self.lookup.get(word) {
+            return kw;
+        }
+        let kw = Kw(u32::try_from(self.words.len()).expect("more than u32::MAX keywords"));
+        self.words.push(word.to_string());
+        self.lookup.insert(word.to_string(), kw);
+        kw
+    }
+
+    /// The handle of `word`, if interned.
+    #[inline]
+    pub fn kw(&self, word: &str) -> Option<Kw> {
+        self.lookup.get(word).copied()
+    }
+
+    /// The keyword behind a handle.
+    #[inline]
+    pub fn word(&self, kw: Kw) -> &str {
+        &self.words[kw.index()]
+    }
+
+    /// Number of interned keywords (including ones whose lists emptied).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing was interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Per-keyword slice bounds, shared by both arenas.
+#[derive(Debug, Clone, Copy, Default)]
+struct ListRef {
+    start: u32,
+    len: u32,
+}
 
 /// The inverted half of the fragment index.
-///
-/// Alongside each TF-sorted inverted list, a keyword → (fragment →
-/// occurrences) map is kept so the top-k search can probe *arbitrary*
-/// fragments (expansion neighbors) in O(1) without scanning or
-/// rebuilding anything per query.
 #[derive(Debug, Clone, Default)]
 pub struct InvertedFragmentIndex {
-    file: InvertedFile<FragmentId>,
-    maps: HashMap<String, HashMap<FragmentId, u64>>,
+    interner: KeywordInterner,
+    lists: Vec<ListRef>,
+    tf_arena: Vec<Posting>,
+    probe_arena: Vec<ProbeEntry>,
+    fragment_count: u64,
 }
 
 impl InvertedFragmentIndex {
@@ -30,119 +111,311 @@ impl InvertedFragmentIndex {
         Self::default()
     }
 
-    /// Builds the index from materialized fragments.
-    pub fn build(fragments: &[Fragment]) -> Self {
-        let mut file: InvertedFile<FragmentId> = InvertedFile::new();
-        let mut maps: HashMap<String, HashMap<FragmentId, u64>> = HashMap::new();
+    /// Builds the index from materialized fragments; every fragment must
+    /// already be interned in `catalog`.
+    pub fn build(catalog: &FragmentCatalog, fragments: &[Fragment]) -> Self {
+        let mut interner = KeywordInterner::default();
+        // Pass 1: intern keywords, count list lengths.
+        let mut counts: Vec<u32> = Vec::new();
         for f in fragments {
-            for (word, &occurrences) in &f.keyword_occurrences {
-                file.add_posting(
-                    word.clone(),
-                    Posting {
-                        doc: f.id.clone(),
-                        occurrences,
-                        doc_len: f.total_keywords,
-                    },
-                );
-                maps.entry(word.clone())
-                    .or_default()
-                    .insert(f.id.clone(), occurrences);
+            for word in f.keyword_occurrences.keys() {
+                let kw = interner.intern(word);
+                if kw.index() == counts.len() {
+                    counts.push(0);
+                }
+                counts[kw.index()] += 1;
             }
         }
-        file.set_document_count(fragments.len() as u64);
-        file.finalize();
-        InvertedFragmentIndex { file, maps }
+        // Offsets: one prefix sum shared by both arenas.
+        let mut lists = Vec::with_capacity(counts.len());
+        let mut total = 0u32;
+        for &len in &counts {
+            lists.push(ListRef { start: total, len });
+            total += len;
+        }
+        // Pass 2: place postings keyword-major. When fragments arrive
+        // in ascending handle order (the common case: a crawl interned
+        // in identifier order) each probe slice comes out sorted by
+        // fragment already; out-of-order input is detected and the
+        // affected slices re-sorted, since the occurrence probe binary
+        // searches them.
+        let mut probe_arena = vec![
+            ProbeEntry {
+                frag: Frag(0),
+                occurrences: 0
+            };
+            total as usize
+        ];
+        let mut cursors: Vec<u32> = lists.iter().map(|l| l.start).collect();
+        let mut monotone = true;
+        let mut prev = None;
+        for f in fragments {
+            let frag = catalog.frag(&f.id).expect("fragment interned in catalog");
+            monotone &= prev.is_none_or(|p| p < frag);
+            prev = Some(frag);
+            for (word, &occurrences) in &f.keyword_occurrences {
+                let kw = interner.kw(word).expect("interned in pass 1");
+                let at = cursors[kw.index()];
+                probe_arena[at as usize] = ProbeEntry { frag, occurrences };
+                cursors[kw.index()] = at + 1;
+            }
+        }
+        if !monotone {
+            for list in &lists {
+                let slice = &mut probe_arena[list.start as usize..(list.start + list.len) as usize];
+                slice.sort_unstable_by_key(|e| e.frag);
+            }
+        }
+        let mut index = InvertedFragmentIndex {
+            interner,
+            lists,
+            tf_arena: Vec::new(),
+            probe_arena,
+            fragment_count: fragments.len() as u64,
+        };
+        index.rebuild_tf_arena(catalog);
+        index
     }
 
-    /// The TF-sorted inverted list for `word`.
-    pub fn postings(&self, word: &str) -> Option<&[Posting<FragmentId>]> {
-        self.file.postings(word)
+    /// Recomputes the TF-sorted arena from the probe arena, sorting
+    /// every keyword's slice independently (in parallel).
+    fn rebuild_tf_arena(&mut self, catalog: &FragmentCatalog) {
+        self.tf_arena = self
+            .probe_arena
+            .iter()
+            .map(|p| Posting {
+                frag: p.frag,
+                occurrences: p.occurrences,
+                tf: tf_of(catalog, p.frag, p.occurrences),
+            })
+            .collect();
+        // Carve the arena into per-keyword slices and sort each:
+        // descending TF, ties by ascending fragment identifier (a total
+        // order — index layout is independent of insertion order).
+        let mut slices: Vec<&mut [Posting]> = Vec::with_capacity(self.lists.len());
+        let mut rest: &mut [Posting] = &mut self.tf_arena;
+        for list in &self.lists {
+            let (head, tail) = rest.split_at_mut(list.len as usize);
+            slices.push(head);
+            rest = tail;
+        }
+        par::for_each(slices, |slice| {
+            slice.sort_unstable_by(|a, b| {
+                b.tf.partial_cmp(&a.tf)
+                    .expect("finite TF")
+                    .then_with(|| catalog.cmp_ids(a.frag, b.frag))
+            });
+        });
+    }
+
+    /// The TF-sorted inverted list for `word` (`None` when no fragment
+    /// has it).
+    #[inline]
+    pub fn postings(&self, word: &str) -> Option<&[Posting]> {
+        let list = self.interner.kw(word).map(|kw| self.lists[kw.index()])?;
+        if list.len == 0 {
+            return None;
+        }
+        Some(&self.tf_arena[list.start as usize..(list.start + list.len) as usize])
+    }
+
+    /// The TF-sorted inverted list for an interned keyword.
+    #[inline]
+    pub fn postings_kw(&self, kw: Kw) -> &[Posting] {
+        let list = self.lists[kw.index()];
+        &self.tf_arena[list.start as usize..(list.start + list.len) as usize]
+    }
+
+    /// The handle of `word`, if any fragment contains it.
+    #[inline]
+    pub fn kw(&self, word: &str) -> Option<Kw> {
+        let kw = self.interner.kw(word)?;
+        if self.lists[kw.index()].len == 0 {
+            return None;
+        }
+        Some(kw)
+    }
+
+    /// The keyword behind a handle.
+    pub fn word(&self, kw: Kw) -> &str {
+        self.interner.word(kw)
+    }
+
+    /// Occurrences of keyword `kw` in fragment `frag` — the O(log L)
+    /// probe the top-k search uses for expansion neighbors (replaces
+    /// the seed's clone-per-call `occurrences_of` map API).
+    #[inline]
+    pub fn occurrences(&self, kw: Kw, frag: Frag) -> u64 {
+        let list = self.lists[kw.index()];
+        let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
+        match slice.binary_search_by(|e| e.frag.cmp(&frag)) {
+            Ok(i) => slice[i].occurrences,
+            Err(_) => 0,
+        }
     }
 
     /// Fragment frequency of `word` (`|L_w|`).
     pub fn df(&self, word: &str) -> usize {
-        self.file.df(word)
+        self.interner
+            .kw(word)
+            .map_or(0, |kw| self.lists[kw.index()].len as usize)
+    }
+
+    /// Fragment frequency of an interned keyword.
+    #[inline]
+    pub fn df_kw(&self, kw: Kw) -> usize {
+        self.lists[kw.index()].len as usize
     }
 
     /// `IDF_w = 1 / |L_w|` — Dash's fragment-based IDF approximation.
     pub fn idf(&self, word: &str) -> f64 {
-        self.file.idf(word)
+        match self.df(word) {
+            0 => 0.0,
+            n => 1.0 / n as f64,
+        }
+    }
+
+    /// IDF of an interned keyword.
+    #[inline]
+    pub fn idf_kw(&self, kw: Kw) -> f64 {
+        match self.df_kw(kw) {
+            0 => 0.0,
+            n => 1.0 / n as f64,
+        }
     }
 
     /// Number of indexed fragments.
     pub fn fragment_count(&self) -> u64 {
-        self.file.document_count()
+        self.fragment_count
     }
 
-    /// Number of distinct keywords.
+    /// Number of distinct keywords with a non-empty list.
     pub fn keyword_count(&self) -> usize {
-        self.file.keyword_count()
+        self.lists.iter().filter(|l| l.len > 0).count()
     }
 
     /// Keywords by descending fragment frequency (for hot/warm/cold
     /// keyword selection in the evaluation).
     pub fn keywords_by_df(&self) -> Vec<(&str, usize)> {
-        self.file.keywords_by_df()
+        let mut out: Vec<(&str, usize)> = self
+            .lists
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.len > 0)
+            .map(|(i, l)| (self.interner.word(Kw(i as u32)), l.len as usize))
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
     }
 
-    /// Per-fragment occurrence counts for one queried keyword — the O(1)
-    /// probe the top-k search uses for expansion neighbors. Returns the
-    /// prebuilt map, empty when no fragment has the word.
-    pub fn occurrences_of(&self, word: &str) -> HashMap<FragmentId, u64> {
-        self.maps.get(word).cloned().unwrap_or_default()
-    }
-
-    /// Borrowing variant of [`InvertedFragmentIndex::occurrences_of`]
-    /// (no clone; `None` when the keyword is unknown).
-    pub fn occurrence_map(&self, word: &str) -> Option<&HashMap<FragmentId, u64>> {
-        self.maps.get(word)
-    }
-
-    /// Removes every posting of `id` (incremental maintenance). Returns
-    /// the number of inverted lists touched.
-    pub fn remove_fragment(&mut self, id: &FragmentId) -> usize {
-        self.maps.retain(|_, m| {
-            m.remove(id);
-            !m.is_empty()
-        });
-        self.file.remove_document(id)
-    }
-
-    /// Adds the postings of a single fragment and re-sorts affected lists
-    /// (incremental maintenance).
-    pub fn add_fragment(&mut self, fragment: &Fragment) {
-        for (word, &occurrences) in &fragment.keyword_occurrences {
-            self.file.add_posting(
-                word.clone(),
-                Posting {
-                    doc: fragment.id.clone(),
-                    occurrences,
-                    doc_len: fragment.total_keywords,
-                },
-            );
-            self.maps
-                .entry(word.clone())
-                .or_default()
-                .insert(fragment.id.clone(), occurrences);
+    /// Removes every posting of `frag` (incremental maintenance).
+    /// Returns the number of inverted lists touched.
+    pub fn remove_fragment(&mut self, catalog: &FragmentCatalog, frag: Frag) -> usize {
+        let mut touched = 0usize;
+        let mut write = 0usize;
+        let mut new_lists = self.lists.clone();
+        for (i, list) in self.lists.iter().enumerate() {
+            let start = list.start as usize;
+            let mut kept = 0u32;
+            new_lists[i].start = write as u32;
+            for j in start..start + list.len as usize {
+                let entry = self.probe_arena[j];
+                if entry.frag == frag {
+                    touched += 1;
+                } else {
+                    self.probe_arena[write] = entry;
+                    write += 1;
+                    kept += 1;
+                }
+            }
+            new_lists[i].len = kept;
         }
-        self.file.set_document_count(self.file.document_count() + 1);
-        self.file.finalize();
+        if touched == 0 {
+            return 0;
+        }
+        self.probe_arena.truncate(write);
+        self.lists = new_lists;
+        self.rebuild_tf_arena(catalog);
+        touched
     }
 
-    /// Adjusts the stored fragment count (used by incremental maintenance
-    /// after removals).
+    /// Adds the postings of a single fragment and re-sorts affected
+    /// lists (incremental maintenance). The fragment must already be
+    /// interned in `catalog`.
+    pub fn add_fragment(&mut self, catalog: &FragmentCatalog, fragment: &Fragment) {
+        let frag = catalog.frag(&fragment.id).expect("fragment interned");
+        // Intern any new keywords first so `lists` covers them.
+        let mut additions: Vec<(Kw, u64)> = Vec::with_capacity(fragment.keyword_occurrences.len());
+        for (word, &occurrences) in &fragment.keyword_occurrences {
+            let kw = self.interner.intern(word);
+            if kw.index() == self.lists.len() {
+                self.lists.push(ListRef::default());
+            }
+            additions.push((kw, occurrences));
+        }
+        // Rebuild the probe arena with the new postings merged in at
+        // their fragment-sorted positions (one pass).
+        let mut add_by_kw: HashMap<Kw, u64> = additions.into_iter().collect();
+        let mut arena = Vec::with_capacity(self.probe_arena.len() + add_by_kw.len());
+        let mut lists = Vec::with_capacity(self.lists.len());
+        for (i, list) in self.lists.iter().enumerate() {
+            let start = arena.len() as u32;
+            let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
+            match add_by_kw.remove(&Kw(i as u32)) {
+                Some(occurrences) => {
+                    let entry = ProbeEntry { frag, occurrences };
+                    let at = slice
+                        .binary_search_by(|e| e.frag.cmp(&frag))
+                        .unwrap_or_else(|e| e);
+                    arena.extend_from_slice(&slice[..at]);
+                    arena.push(entry);
+                    // A re-added fragment replaces its old posting.
+                    let skip = usize::from(slice.get(at).is_some_and(|e| e.frag == frag));
+                    arena.extend_from_slice(&slice[at + skip..]);
+                }
+                None => arena.extend_from_slice(slice),
+            }
+            lists.push(ListRef {
+                start,
+                len: (arena.len() as u32) - start,
+            });
+        }
+        self.probe_arena = arena;
+        self.lists = lists;
+        self.fragment_count += 1;
+        self.rebuild_tf_arena(catalog);
+    }
+
+    /// Adjusts the stored fragment count (used by incremental
+    /// maintenance after removals).
     pub fn set_fragment_count(&mut self, count: u64) {
-        self.file.set_document_count(count);
+        self.fragment_count = count;
+    }
+
+    /// Total postings across every inverted list.
+    pub fn posting_count(&self) -> usize {
+        self.tf_arena.len()
+    }
+}
+
+#[inline]
+fn tf_of(catalog: &FragmentCatalog, frag: Frag, occurrences: u64) -> f64 {
+    let total = catalog.total_keywords(frag);
+    if total == 0 {
+        0.0
+    } else {
+        occurrences as f64 / total as f64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fragment::FragmentId;
     use dash_relation::Value;
     use std::collections::BTreeMap;
 
-    fn fragment(id: &[Value], words: &[(&str, u64)], _len_unused: u64) -> Fragment {
+    fn fragment(id: &[Value], words: &[(&str, u64)]) -> Fragment {
         let occ: BTreeMap<String, u64> = words.iter().map(|(w, n)| (w.to_string(), *n)).collect();
         Fragment::new(FragmentId::new(id.to_vec()), occ, 1)
     }
@@ -154,69 +427,146 @@ mod tests {
             fragment(
                 &[Value::str("American"), Value::Int(9)],
                 &[("coffee", 1), ("nice", 1), ("cafe", 1)],
-                8,
             ),
             fragment(
                 &[Value::str("American"), Value::Int(10)],
                 &[("burger", 2), ("queen", 1), ("experts", 1)],
-                8,
             ),
             fragment(
                 &[Value::str("American"), Value::Int(12)],
                 &[("burger", 1), ("fries", 1), ("unique", 1), ("bad", 1)],
-                17,
             ),
             fragment(
                 &[Value::str("Thai"), Value::Int(10)],
                 &[("burger", 1), ("thai", 1)],
-                10,
             ),
         ]
     }
 
+    fn build() -> (FragmentCatalog, InvertedFragmentIndex) {
+        let fragments = figure_6_fragments();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let index = InvertedFragmentIndex::build(&catalog, &fragments);
+        (catalog, index)
+    }
+
     #[test]
     fn df_and_idf_match_figure_6() {
-        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
+        let (_, idx) = build();
         assert_eq!(idx.df("burger"), 3);
         assert!((idx.idf("burger") - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(idx.df("coffee"), 1);
         assert_eq!(idx.df("fries"), 1);
         assert_eq!(idx.fragment_count(), 4);
+        assert_eq!(idx.posting_count(), 12);
     }
 
     #[test]
     fn postings_tf_sorted() {
-        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
+        let (catalog, idx) = build();
         let burger = idx.postings("burger").unwrap();
         // (American,10) has TF 2/4 here — the highest.
         assert_eq!(
-            burger[0].doc,
-            FragmentId::new(vec![Value::str("American"), Value::Int(10)])
+            catalog.id(burger[0].frag),
+            &FragmentId::new(vec![Value::str("American"), Value::Int(10)])
         );
-        assert!(burger[0].tf() >= burger[1].tf());
-        assert!(burger[1].tf() >= burger[2].tf());
+        assert!(burger[0].tf >= burger[1].tf);
+        assert!(burger[1].tf >= burger[2].tf);
     }
 
     #[test]
-    fn occurrences_lookup() {
-        let idx = InvertedFragmentIndex::build(&figure_6_fragments());
-        let occ = idx.occurrences_of("burger");
-        assert_eq!(
-            occ[&FragmentId::new(vec![Value::str("American"), Value::Int(10)])],
-            2
-        );
-        assert!(idx.occurrences_of("zzz").is_empty());
+    fn probe_finds_arbitrary_fragments() {
+        let (catalog, idx) = build();
+        let kw = idx.kw("burger").unwrap();
+        let ten = catalog
+            .frag(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(10),
+            ]))
+            .unwrap();
+        let nine = catalog
+            .frag(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(9),
+            ]))
+            .unwrap();
+        assert_eq!(idx.occurrences(kw, ten), 2);
+        assert_eq!(idx.occurrences(kw, nine), 0);
+        assert_eq!(idx.kw("zzz"), None);
     }
 
     #[test]
     fn incremental_remove_and_add() {
         let fragments = figure_6_fragments();
-        let mut idx = InvertedFragmentIndex::build(&fragments);
-        let target = FragmentId::new(vec![Value::str("American"), Value::Int(10)]);
-        let touched = idx.remove_fragment(&target);
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let mut idx = InvertedFragmentIndex::build(&catalog, &fragments);
+        let target = catalog
+            .frag(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(10),
+            ]))
+            .unwrap();
+        let touched = idx.remove_fragment(&catalog, target);
         assert_eq!(touched, 3); // burger, queen, experts
         assert_eq!(idx.df("burger"), 2);
-        idx.add_fragment(&fragments[1]);
+        assert_eq!(idx.postings("queen"), None);
+        idx.add_fragment(&catalog, &fragments[1]);
         assert_eq!(idx.df("burger"), 3);
+        let kw = idx.kw("burger").unwrap();
+        assert_eq!(idx.occurrences(kw, target), 2);
+    }
+
+    #[test]
+    fn maintenance_converges_to_bulk_layout() {
+        let fragments = figure_6_fragments();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let bulk = InvertedFragmentIndex::build(&catalog, &fragments);
+        let mut incremental = InvertedFragmentIndex::build(&catalog, &fragments);
+        let target = catalog
+            .frag(&FragmentId::new(vec![
+                Value::str("American"),
+                Value::Int(10),
+            ]))
+            .unwrap();
+        incremental.remove_fragment(&catalog, target);
+        incremental.set_fragment_count(3);
+        incremental.add_fragment(&catalog, &fragments[1]);
+        for word in ["burger", "coffee", "queen", "thai", "fries"] {
+            assert_eq!(bulk.postings(word), incremental.postings(word), "{word}");
+        }
+        assert_eq!(bulk.fragment_count(), incremental.fragment_count());
+    }
+
+    #[test]
+    fn build_tolerates_out_of_order_fragments() {
+        // The catalog interned one order; the build slice iterates
+        // another. Probe slices must still binary-search correctly.
+        let fragments = figure_6_fragments();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let mut reordered = fragments.clone();
+        reordered.reverse();
+        let idx = InvertedFragmentIndex::build(&catalog, &reordered);
+        let kw = idx.kw("burger").unwrap();
+        for f in &fragments {
+            let frag = catalog.frag(&f.id).unwrap();
+            assert_eq!(
+                idx.occurrences(kw, frag),
+                f.occurrences("burger"),
+                "probe for {}",
+                f.id
+            );
+        }
+        let sorted = InvertedFragmentIndex::build(&catalog, &fragments);
+        for word in ["burger", "coffee", "thai"] {
+            assert_eq!(idx.postings(word), sorted.postings(word), "{word}");
+        }
+    }
+
+    #[test]
+    fn keywords_by_df_ranks_hot_first() {
+        let (_, idx) = build();
+        let ranked = idx.keywords_by_df();
+        assert_eq!(ranked[0], ("burger", 3));
+        assert_eq!(idx.keyword_count(), ranked.len());
     }
 }

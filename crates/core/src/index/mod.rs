@@ -1,26 +1,39 @@
-//! The fragment index = inverted fragment index + fragment graph
-//! (Sections V–VI of the paper).
+//! The fragment index = fragment catalog + inverted fragment index +
+//! fragment graph (Sections V–VI of the paper).
+//!
+//! The [`FragmentCatalog`] interns every crawled fragment identifier
+//! into a dense [`Frag`](catalog::Frag) handle; the
+//! [`InvertedFragmentIndex`] and [`FragmentGraph`] are handle-native
+//! and columnar, so search never touches a `Vec<Value>` identifier
+//! until it emits results.
 
+pub mod catalog;
 pub mod graph;
 pub mod inverted;
 
-pub use graph::{FragmentGraph, GraphNode};
-pub use inverted::InvertedFragmentIndex;
+pub use catalog::{Frag, FragmentCatalog, Kw};
+pub use graph::{FragmentGraph, GroupId, NodeRef};
+pub use inverted::{InvertedFragmentIndex, KeywordInterner, Posting};
 
-use crate::fragment::Fragment;
+use crate::fragment::{Fragment, FragmentId};
+use crate::par;
 use crate::Result;
 
 /// The complete fragment index Dash searches over.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct FragmentIndex {
-    /// Keyword → TF-sorted fragment postings.
+    /// Identifier ⇄ handle interning plus shared per-fragment columns.
+    pub catalog: FragmentCatalog,
+    /// Keyword → TF-sorted fragment postings (arena-backed).
     pub inverted: InvertedFragmentIndex,
-    /// Which fragments combine into db-pages.
+    /// Which fragments combine into db-pages (columnar groups).
     pub graph: FragmentGraph,
 }
 
 impl FragmentIndex {
-    /// Builds both halves from materialized fragments.
+    /// Builds all parts from materialized fragments: interns handles,
+    /// then constructs the inverted index and the graph in parallel
+    /// (they share nothing but the read-only catalog).
     ///
     /// `range_position` is the index of the range-bound selection
     /// attribute within fragment identifiers (`None` when the application
@@ -31,13 +44,142 @@ impl FragmentIndex {
     /// Returns [`crate::CoreError::Internal`] on malformed fragments
     /// (identifier arity disagreement).
     pub fn build(fragments: &[Fragment], range_position: Option<usize>) -> Result<Self> {
-        let inverted = InvertedFragmentIndex::build(fragments);
-        let graph = FragmentGraph::build(fragments, range_position)?;
-        Ok(FragmentIndex { inverted, graph })
+        let catalog = FragmentCatalog::from_fragments(fragments);
+        let (inverted, graph) = par::join(
+            || InvertedFragmentIndex::build(&catalog, fragments),
+            || FragmentGraph::build(&catalog, fragments, range_position),
+        );
+        Ok(FragmentIndex {
+            catalog,
+            inverted,
+            graph: graph?,
+        })
     }
 
     /// Number of indexed fragments.
     pub fn fragment_count(&self) -> usize {
         self.graph.node_count()
+    }
+
+    /// Removes one fragment from every structure (incremental
+    /// maintenance). Returns whether anything was removed. The handle
+    /// stays interned (a tombstone), so re-adding the same identifier
+    /// later re-uses it.
+    pub fn remove_fragment(&mut self, id: &FragmentId) -> bool {
+        let Some(frag) = self.catalog.frag(id) else {
+            return false;
+        };
+        let touched = self.inverted.remove_fragment(&self.catalog, frag);
+        let removed = self.graph.remove(frag);
+        if removed {
+            self.inverted
+                .set_fragment_count(self.graph.node_count() as u64);
+        }
+        touched > 0 || removed
+    }
+
+    /// Splices one freshly derived fragment into every structure
+    /// (incremental maintenance).
+    pub fn add_fragment(&mut self, fragment: &Fragment) {
+        self.catalog.intern(fragment);
+        self.inverted.add_fragment(&self.catalog, fragment);
+        self.graph.insert(&self.catalog, fragment);
+        self.inverted
+            .set_fragment_count(self.graph.node_count() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_relation::Value;
+    use std::collections::BTreeMap;
+
+    fn fragment(cuisine: &str, budget: i64, words: &[(&str, u64)]) -> Fragment {
+        let occ: BTreeMap<String, u64> = words.iter().map(|(w, n)| (w.to_string(), *n)).collect();
+        Fragment::new(
+            FragmentId::new(vec![Value::str(cuisine), Value::Int(budget)]),
+            occ,
+            1,
+        )
+    }
+
+    fn sample() -> Vec<Fragment> {
+        vec![
+            fragment("American", 9, &[("coffee", 1), ("nice", 1)]),
+            fragment("American", 10, &[("burger", 2), ("queen", 1)]),
+            fragment("American", 12, &[("burger", 1), ("fries", 1)]),
+            fragment("Thai", 10, &[("burger", 1), ("thai", 1)]),
+        ]
+    }
+
+    #[test]
+    fn build_wires_all_parts_to_one_catalog() {
+        let fragments = sample();
+        let index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        assert_eq!(index.fragment_count(), 4);
+        assert_eq!(index.catalog.len(), 4);
+        // A posting's handle locates in the graph and resolves to an id.
+        let burger = index.inverted.postings("burger").unwrap();
+        for p in burger {
+            let node = index.graph.locate(p.frag).expect("posting node");
+            assert_eq!(index.graph.frag_at(node), Some(p.frag));
+            assert!(index.catalog.frag(index.catalog.id(p.frag)) == Some(p.frag));
+        }
+    }
+
+    #[test]
+    fn double_add_replaces_instead_of_duplicating() {
+        let fragments = sample();
+        let mut index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        // Re-adding a live fragment (no remove first) must replace its
+        // node and postings, not splice duplicates.
+        let updated = fragment("American", 10, &[("burger", 5), ("queen", 1)]);
+        index.add_fragment(&updated);
+        assert_eq!(index.fragment_count(), 4);
+        let frag = index.catalog.frag(&updated.id).unwrap();
+        let node = index.graph.locate(frag).unwrap();
+        assert_eq!(index.graph.frag_at(node), Some(frag));
+        assert_eq!(
+            index
+                .graph
+                .group_nodes(node.group)
+                .iter()
+                .filter(|&&f| f == frag)
+                .count(),
+            1
+        );
+        let kw = index.inverted.kw("burger").unwrap();
+        assert_eq!(index.inverted.occurrences(kw, frag), 5);
+        // And it can still be removed cleanly afterwards.
+        assert!(index.remove_fragment(&updated.id));
+        assert_eq!(index.fragment_count(), 3);
+    }
+
+    #[test]
+    fn maintenance_round_trip_matches_rebuild() {
+        let fragments = sample();
+        let mut index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        let id = fragments[1].id.clone();
+        assert!(index.remove_fragment(&id));
+        assert!(!index.remove_fragment(&id));
+        assert_eq!(index.fragment_count(), 3);
+        index.add_fragment(&fragments[1]);
+        assert_eq!(index.fragment_count(), 4);
+        let rebuilt = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        for word in ["burger", "coffee", "queen", "thai"] {
+            assert_eq!(
+                index.inverted.postings(word).map(|p| p
+                    .iter()
+                    .map(|x| (index.catalog.id(x.frag).clone(), x.occurrences))
+                    .collect::<Vec<_>>()),
+                rebuilt.inverted.postings(word).map(|p| p
+                    .iter()
+                    .map(|x| (rebuilt.catalog.id(x.frag).clone(), x.occurrences))
+                    .collect::<Vec<_>>()),
+                "{word}"
+            );
+        }
+        assert_eq!(index.graph.edge_count(), rebuilt.graph.edge_count());
     }
 }

@@ -12,13 +12,39 @@
 //!    disjoint building blocks of all db-pages (Definition 2) — with
 //!    MapReduce workflows: the straightforward [`crawl::stepwise`]
 //!    algorithm and the shuffle-minimizing [`crawl::integrated`] algorithm.
-//! 3. **Fragment indexing** ([`index`]) builds the *fragment index*: an
+//! 3. **Fragment indexing** ([`index`]) builds the *fragment index*: a
+//!    [fragment catalog](index::FragmentCatalog) interning every fragment
+//!    identifier into a dense [`Frag`](index::Frag) handle, an
 //!    [inverted fragment index](index::InvertedFragmentIndex) (keyword →
-//!    TF-sorted fragment postings) plus a
+//!    TF-sorted fragment postings) and a
 //!    [fragment graph](index::FragmentGraph) recording which fragments can
 //!    merge into a db-page.
 //! 4. **Top-k search** ([`search`]) assembles fragments into db-pages with
 //!    Algorithm 1 and suggests their URLs.
+//!
+//! ## Handle-native, columnar index layout
+//!
+//! Everything past the crawl is keyed on interned handles, not
+//! `Vec<Value>` identifiers:
+//!
+//! * The **catalog** assigns each fragment a `u32` [`Frag`](index::Frag)
+//!   handle (and each keyword a [`Kw`](index::Kw)) once, at build or
+//!   maintenance time. Handles index columnar arrays directly.
+//! * The **inverted index** stores all posting lists in two contiguous
+//!   arenas — TF-sorted for the seeding cursor, fragment-sorted for the
+//!   O(log L) occurrence probe — instead of nested
+//!   `HashMap<String, HashMap<FragmentId, u64>>` maps.
+//! * The **graph** stores nodes as one handle column with group-id
+//!   ranges; locating a posting's node is an O(1) column lookup.
+//! * **Top-k candidates** are six plain integers/floats (`Copy`), with
+//!   per-candidate keyword occurrences in a scratch pool — the heap loop
+//!   performs zero `Vec<Value>` clones. Identifiers are resolved back
+//!   only when a [`SearchHit`] is emitted.
+//!
+//! Index construction parallelizes across equality groups and inverted
+//! lists (scoped threads). The dense layout is also what future PRs
+//! need for sharding (partition the handle space) and zero-copy/mmap
+//! persistence (the arenas are plain `Copy` rows).
 //!
 //! [`engine::DashEngine`] packages the whole thing; [`baseline`] provides
 //! the naive materialize-every-db-page engine the fragment design is
@@ -51,6 +77,7 @@ pub mod error;
 pub mod fragment;
 pub mod index;
 pub mod multi;
+mod par;
 pub mod persist;
 pub mod scope;
 pub mod search;
@@ -61,7 +88,9 @@ pub use crawl::{CrawlAlgorithm, CrawlOutput};
 pub use engine::{DashConfig, DashEngine};
 pub use error::CoreError;
 pub use fragment::{Fragment, FragmentId};
-pub use index::{FragmentGraph, FragmentIndex, InvertedFragmentIndex};
+pub use index::{
+    Frag, FragmentCatalog, FragmentGraph, FragmentIndex, GroupId, InvertedFragmentIndex, Kw,
+};
 pub use scope::CrawlScope;
 pub use search::{SearchHit, SearchRequest};
 pub use stats::IndexStats;

@@ -1,0 +1,87 @@
+//! A small scoped-thread parallelism helper for index construction.
+//!
+//! Index building is embarrassingly parallel — per-keyword posting
+//! lists sort independently, equality groups split independently, and
+//! the inverted index and fragment graph don't share state at all. The
+//! container has no rayon, so this module provides the two primitives
+//! the build path needs on plain `std::thread::scope`: a parallel
+//! for-each over a work list and a two-way join.
+
+use std::sync::Mutex;
+
+/// How many worker threads a work list of `len` items warrants.
+fn threads_for(len: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(len)
+}
+
+/// Runs `f` over every item, work-stealing from a shared queue.
+/// Sequential when the list is small or the machine has one core.
+pub(crate) fn for_each<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    // Thread spawn overhead (~10µs each) only pays off with enough
+    // items to amortize it.
+    let threads = threads_for(items.len() / 8);
+    if threads <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match item {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Evaluates both closures, on two threads when possible.
+pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        (handle.join().expect("parallel build worker panicked"), rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let sum = AtomicU64::new(0);
+        for_each((1u64..=1000).collect(), |x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+}

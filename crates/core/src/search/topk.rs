@@ -9,29 +9,35 @@
 //! from the queue; db-pages overlapping an already-output page are
 //! suppressed (they share fragments, hence share content — the redundancy
 //! the paper's Example 1 complains about).
+//!
+//! The whole heap loop is handle-native: a [`Candidate`] is six plain
+//! integers/floats (`Copy` — pushing, popping and cloning it never
+//! allocates), per-candidate keyword occurrences live in one scratch
+//! pool indexed by offset, and fragment identifiers are resolved back
+//! to values/URLs only when a result is emitted.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-use dash_relation::Value;
 use dash_webapp::{ParamValues, SelectionBinding, WebApplication};
 
-use crate::fragment::FragmentId;
-use crate::index::graph::GraphNode;
+use crate::index::catalog::{Frag, Kw};
+use crate::index::graph::GroupId;
+use crate::index::inverted::Posting;
 use crate::index::FragmentIndex;
 use crate::search::{SearchHit, SearchRequest};
 
 /// A pending db-page: a contiguous run `[lo..=hi]` of fragments within
-/// one equality group.
-#[derive(Debug, Clone)]
+/// one equality group. Per-keyword occurrences of the assembled page
+/// live in the search's scratch pool at `occ_offset`.
+#[derive(Debug, Clone, Copy)]
 struct Candidate {
-    group: Vec<Value>,
-    lo: usize,
-    hi: usize,
-    /// Occurrences of each queried keyword in the assembled page.
-    occurrences: Vec<u64>,
-    total_keywords: u64,
     score: f64,
+    group: GroupId,
+    lo: u32,
+    hi: u32,
+    occ_offset: u32,
+    total_keywords: u64,
 }
 
 impl PartialEq for Candidate {
@@ -48,7 +54,8 @@ impl PartialOrd for Candidate {
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on score; ties resolved arbitrarily but
-        // deterministically (by interval width, then group).
+        // deterministically (by interval width, then group rank — group
+        // ids rank equality keys, so this matches ordering by key).
         self.score
             .partial_cmp(&other.score)
             .unwrap_or(Ordering::Equal)
@@ -70,18 +77,18 @@ pub fn top_k(
         return Vec::new();
     }
 
-    // IDF_w = 1 / |fragments containing w| and per-fragment occurrences.
-    let idf: Vec<f64> = request
+    // Resolve request keywords to interned handles once; `IDF_w` is
+    // 1 / |fragments containing w|.
+    let kws: Vec<Option<Kw>> = request
         .keywords
         .iter()
-        .map(|w| index.inverted.idf(w))
+        .map(|w| index.inverted.kw(w))
         .collect();
-    let empty_map: HashMap<FragmentId, u64> = HashMap::new();
-    let occurrence_maps: Vec<&HashMap<FragmentId, u64>> = request
-        .keywords
+    let idf: Vec<f64> = kws
         .iter()
-        .map(|w| index.inverted.occurrence_map(w).unwrap_or(&empty_map))
+        .map(|kw| kw.map_or(0.0, |kw| index.inverted.idf_kw(kw)))
         .collect();
+    let width = kws.len();
 
     // Lines 1–2: the relevant fragments F, seeded into the priority
     // queue *lazily*. The inverted lists are TF-sorted exactly so that
@@ -92,14 +99,24 @@ pub fn top_k(
     // head (threshold-algorithm style). Hot keywords with huge inverted
     // lists then touch only a prefix, which is what keeps Figure 11's
     // hot-term searches sub-millisecond.
-    let postings: Vec<&[dash_text::Posting<FragmentId>]> = request
-        .keywords
+    let postings: Vec<&[Posting]> = kws
         .iter()
-        .map(|w| index.inverted.postings(w).unwrap_or(&[]))
+        .map(|kw| kw.map_or(&[][..], |kw| index.inverted.postings_kw(kw)))
         .collect();
-    let mut cursors: Vec<usize> = vec![0; postings.len()];
-    let mut seeded: HashSet<FragmentId> = HashSet::new();
+    let mut cursors: Vec<usize> = vec![0; width];
+    let mut seeded = SeededSet::with_capacity(index.catalog.len());
     let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
+    // Per-candidate keyword-occurrence rows, appended as candidates are
+    // created and addressed by offset — candidates stay `Copy` and
+    // expansion never clones a vector.
+    let mut occ_pool: Vec<u64> = Vec::with_capacity(64 * width);
+
+    // Occurrences of one queried keyword in an arbitrary fragment (an
+    // expansion neighbor): a binary-search probe of the
+    // fragment-sorted arena.
+    let probe = |w: usize, frag: Frag| -> u64 {
+        kws[w].map_or(0, |kw| index.inverted.occurrences(kw, frag))
+    };
 
     // Upper bound on the initial score of any not-yet-seeded fragment:
     // per keyword, its TF is at most the TF at the list cursor.
@@ -108,23 +125,22 @@ pub fn top_k(
             .iter()
             .zip(cursors)
             .zip(&idf)
-            .map(|((list, &cur), &idf_w)| list.get(cur).map_or(0.0, |p| p.tf() * idf_w))
+            .map(|((list, &cur), &idf_w)| list.get(cur).map_or(0.0, |p| p.tf * idf_w))
             .sum()
     };
     // Draws the next seed from the list whose head posting scores
     // highest. Returns false when every list is exhausted.
     let seed_one = |cursors: &mut Vec<usize>,
-                    seeded: &mut HashSet<FragmentId>,
-                    queue: &mut BinaryHeap<Candidate>|
+                    seeded: &mut SeededSet,
+                    queue: &mut BinaryHeap<Candidate>,
+                    occ_pool: &mut Vec<u64>|
      -> bool {
         loop {
             // First strict maximum: deterministic under score ties.
             let mut best: Option<(usize, f64)> = None;
-            for (w, ((list, &cur), &idf_w)) in
-                postings.iter().zip(cursors.iter()).zip(&idf).enumerate()
-            {
+            for (w, (list, &cur)) in postings.iter().zip(cursors.iter()).enumerate() {
                 if let Some(p) = list.get(cur) {
-                    let bound = p.tf() * idf_w;
+                    let bound = p.tf * idf[w];
                     if best.is_none_or(|(_, b)| bound > b) {
                         best = Some((w, bound));
                     }
@@ -133,28 +149,28 @@ pub fn top_k(
             let Some((w, _)) = best else {
                 return false;
             };
-            let posting = &postings[w][cursors[w]];
+            let posting = postings[w][cursors[w]];
             cursors[w] += 1;
-            if !seeded.insert(posting.doc.clone()) {
+            if !seeded.insert(posting.frag) {
                 continue; // already seeded via another keyword's list
             }
-            let Some(node_ref) = index.graph.locate(&posting.doc) else {
+            let Some(node) = index.graph.locate(posting.frag) else {
                 continue;
             };
-            let node = index.graph.node(&node_ref).expect("located node exists");
-            let occurrences: Vec<u64> = occurrence_maps
-                .iter()
-                .map(|m| m.get(&posting.doc).copied().unwrap_or(0))
-                .collect();
-            let total_keywords = node.total_keywords;
-            let score = score_of(&occurrences, total_keywords, &idf);
+            let occ_offset = (occ_pool.len() / width) as u32;
+            for w in 0..width {
+                occ_pool.push(probe(w, posting.frag));
+            }
+            let total_keywords = index.catalog.total_keywords(posting.frag);
+            let row = &occ_pool[occ_offset as usize * width..];
+            let score = score_of(&row[..width], total_keywords, &idf);
             queue.push(Candidate {
-                group: node_ref.group,
-                lo: node_ref.position,
-                hi: node_ref.position,
-                occurrences,
-                total_keywords,
                 score,
+                group: node.group,
+                lo: node.position,
+                hi: node.position,
+                occ_offset,
+                total_keywords,
             });
             return true;
         }
@@ -162,9 +178,9 @@ pub fn top_k(
 
     // Fragments absorbed into an expansion: their queued singleton entry
     // is dead (paper: "it is removed from Q").
-    let mut absorbed: HashSet<(Vec<Value>, usize)> = HashSet::new();
+    let mut absorbed: HashSet<(GroupId, u32)> = HashSet::new();
     // Output intervals per group, for overlap suppression.
-    let mut output_intervals: HashMap<Vec<Value>, Vec<(usize, usize)>> = HashMap::new();
+    let mut output_intervals: HashMap<GroupId, Vec<(u32, u32)>> = HashMap::new();
     let mut output: Vec<SearchHit> = Vec::new();
 
     // Lines 4–9.
@@ -175,7 +191,7 @@ pub fn top_k(
             .peek()
             .is_none_or(|head| head.score < frontier_bound(&cursors))
         {
-            if !seed_one(&mut cursors, &mut seeded, &mut queue) {
+            if !seed_one(&mut cursors, &mut seeded, &mut queue, &mut occ_pool) {
                 break;
             }
         }
@@ -186,9 +202,7 @@ pub fn top_k(
             break;
         }
         // Dead singleton (absorbed by an earlier expansion)?
-        if candidate.lo == candidate.hi
-            && absorbed.contains(&(candidate.group.clone(), candidate.lo))
-        {
+        if candidate.lo == candidate.hi && absorbed.contains(&(candidate.group, candidate.lo)) {
             continue;
         }
         // Content overlap with an already-returned page?
@@ -201,12 +215,9 @@ pub fn top_k(
             }
         }
 
-        let group_nodes = index
-            .graph
-            .group(&candidate.group)
-            .expect("candidate groups exist");
+        let group_nodes = index.graph.group_nodes(candidate.group);
         let can_grow_left = candidate.lo > 0;
-        let can_grow_right = candidate.hi + 1 < group_nodes.len();
+        let can_grow_right = ((candidate.hi + 1) as usize) < group_nodes.len();
         let expandable =
             candidate.total_keywords < request.min_size && (can_grow_left || can_grow_right);
 
@@ -214,7 +225,7 @@ pub fn top_k(
             // Line 6–7: emit.
             if let Some(hit) = to_hit(app, index, &candidate, group_nodes) {
                 output_intervals
-                    .entry(candidate.group.clone())
+                    .entry(candidate.group)
                     .or_default()
                     .push((candidate.lo, candidate.hi));
                 output.push(hit);
@@ -223,12 +234,9 @@ pub fn top_k(
         }
 
         // Line 8: expand toward the more relevant neighbor.
-        let neighbor_relevance = |pos: usize| -> u64 {
-            let id = &group_nodes[pos].id;
-            occurrence_maps
-                .iter()
-                .map(|m| m.get(id).copied().unwrap_or(0))
-                .sum()
+        let neighbor_relevance = |pos: u32| -> u64 {
+            let frag = group_nodes[pos as usize];
+            (0..width).map(|w| probe(w, frag)).sum()
         };
         let go_left = match (can_grow_left, can_grow_right) {
             (true, false) => true,
@@ -243,23 +251,53 @@ pub fn top_k(
         } else {
             candidate.hi + 1
         };
-        let neighbor: &GraphNode = &group_nodes[new_pos];
-        let mut expanded = candidate.clone();
+        let neighbor = group_nodes[new_pos as usize];
+        let mut expanded = candidate;
         if go_left {
             expanded.lo = new_pos;
         } else {
             expanded.hi = new_pos;
         }
-        for (i, m) in occurrence_maps.iter().enumerate() {
-            expanded.occurrences[i] += m.get(&neighbor.id).copied().unwrap_or(0);
+        // New occurrence row = parent row + the neighbor's counts,
+        // appended to the pool (the parent row stays valid for its own
+        // still-queued copy).
+        let parent = candidate.occ_offset as usize * width;
+        expanded.occ_offset = (occ_pool.len() / width) as u32;
+        for w in 0..width {
+            let occ = occ_pool[parent + w] + probe(w, neighbor);
+            occ_pool.push(occ);
         }
-        expanded.total_keywords += neighbor.total_keywords;
-        expanded.score = score_of(&expanded.occurrences, expanded.total_keywords, &idf);
-        absorbed.insert((candidate.group.clone(), new_pos));
+        expanded.total_keywords += index.catalog.total_keywords(neighbor);
+        let row = expanded.occ_offset as usize * width;
+        expanded.score = score_of(&occ_pool[row..row + width], expanded.total_keywords, &idf);
+        absorbed.insert((candidate.group, new_pos));
         queue.push(expanded);
     }
 
     output
+}
+
+/// A dense seen-set over fragment handles (one bit per interned
+/// fragment — no hashing on the seeding path).
+struct SeededSet {
+    bits: Vec<u64>,
+}
+
+impl SeededSet {
+    fn with_capacity(fragments: usize) -> Self {
+        SeededSet {
+            bits: vec![0; fragments.div_ceil(64)],
+        }
+    }
+
+    /// Marks `frag`; returns whether it was newly marked.
+    fn insert(&mut self, frag: Frag) -> bool {
+        let (word, bit) = (frag.index() / 64, frag.index() % 64);
+        let mask = 1u64 << bit;
+        let fresh = self.bits[word] & mask == 0;
+        self.bits[word] |= mask;
+        fresh
+    }
 }
 
 fn score_of(occurrences: &[u64], total_keywords: u64, idf: &[f64]) -> f64 {
@@ -274,26 +312,28 @@ fn score_of(occurrences: &[u64], total_keywords: u64, idf: &[f64]) -> f64 {
 }
 
 /// Reverse-engineers a candidate into a [`SearchHit`]: parameter values →
-/// query string → URL (Line 10 of Algorithm 1 / Example 7).
+/// query string → URL (Line 10 of Algorithm 1 / Example 7). This is the
+/// output boundary — the only place handles resolve back to identifiers.
 fn to_hit(
     app: &WebApplication,
     index: &FragmentIndex,
     candidate: &Candidate,
-    group_nodes: &[GraphNode],
+    group_nodes: &[Frag],
 ) -> Option<SearchHit> {
     let range_pos = index.graph.range_position();
     let mut params = ParamValues::new();
     // Equality selections read from the group key (which is the fragment
     // identifier minus the range position); the range selection reads its
     // bounds from the interval's end fragments.
-    let mut group_iter = candidate.group.iter();
+    let group_key = index.graph.group_key(candidate.group);
+    let mut group_iter = group_key.iter();
     for (i, sel) in app.query.selections.iter().enumerate() {
         match (&sel.binding, range_pos) {
             (SelectionBinding::RangeParams { low, high }, Some(pos)) if pos == i => {
-                let lo_val = group_nodes[candidate.lo].id.values()[pos].clone();
-                let hi_val = group_nodes[candidate.hi].id.values()[pos].clone();
-                params.insert(low.clone(), lo_val);
-                params.insert(high.clone(), hi_val);
+                let lo_id = index.catalog.id(group_nodes[candidate.lo as usize]);
+                let hi_id = index.catalog.id(group_nodes[candidate.hi as usize]);
+                params.insert(low.clone(), lo_id.values()[pos].clone());
+                params.insert(high.clone(), hi_id.values()[pos].clone());
             }
             (SelectionBinding::EqParam(p), _) => {
                 let value = group_iter.next()?.clone();
@@ -314,9 +354,9 @@ fn to_hit(
         query_string: query_string.to_string(),
         score: candidate.score,
         size: candidate.total_keywords,
-        fragment_ids: group_nodes[candidate.lo..=candidate.hi]
+        fragment_ids: group_nodes[candidate.lo as usize..=candidate.hi as usize]
             .iter()
-            .map(|n| n.id.clone())
+            .map(|&frag| index.catalog.id(frag).clone())
             .collect(),
     })
 }
@@ -325,6 +365,7 @@ fn to_hit(
 mod tests {
     use super::*;
     use crate::crawl::reference;
+    use crate::fragment::FragmentId;
     use crate::index::FragmentIndex;
     use dash_webapp::fooddb;
 
@@ -412,7 +453,7 @@ mod tests {
             &SearchRequest::new(&["american"]).k(10).min_size(1),
         );
         // Pages must be pairwise fragment-disjoint.
-        let mut seen: HashSet<FragmentId> = HashSet::new();
+        let mut seen: std::collections::HashSet<FragmentId> = std::collections::HashSet::new();
         for h in &hits {
             for id in &h.fragment_ids {
                 assert!(seen.insert(id.clone()), "fragment {id} appears twice");

@@ -33,7 +33,8 @@ impl IndexStats {
         let ranked = index.inverted.keywords_by_df();
         let postings: usize = ranked.iter().map(|(_, df)| df).sum();
         let max_df = ranked.first().map(|(_, df)| *df).unwrap_or(0);
-        let inverted_bytes: usize = ranked.iter().map(|(kw, df)| kw.len() + 4 + df * 24).sum();
+        // Per posting: 24 B in the TF arena + 16 B in the probe arena.
+        let inverted_bytes: usize = ranked.iter().map(|(kw, df)| kw.len() + 4 + df * 40).sum();
         IndexStats {
             fragments: index.graph.node_count(),
             keywords: ranked.len(),

@@ -91,20 +91,14 @@ pub fn refresh(
 
     let mut stats = RefreshStats::default();
     for id in &targets {
-        let touched = index.inverted.remove_fragment(id);
-        let removed_node = index.graph.remove(id);
-        if touched > 0 || removed_node {
+        if index.remove_fragment(id) {
             stats.removed += 1;
         }
     }
     for fragment in &fresh {
-        index.inverted.add_fragment(fragment);
-        index.graph.insert(fragment);
+        index.add_fragment(fragment);
         stats.added += 1;
     }
-    index
-        .inverted
-        .set_fragment_count(index.graph.node_count() as u64);
     Ok(stats)
 }
 
@@ -210,12 +204,14 @@ mod tests {
     fn insert_comment_grows_existing_fragment() {
         let mut db = fooddb::database();
         let mut engine = rebuild(&db);
-        let before = engine
-            .index()
-            .inverted
-            .occurrences_of("burger")
-            .values()
-            .sum::<u64>();
+        let total_occurrences = |engine: &DashEngine| {
+            engine
+                .index()
+                .inverted
+                .postings("burger")
+                .map_or(0, |list| list.iter().map(|p| p.occurrences).sum::<u64>())
+        };
+        let before = total_occurrences(&engine);
         // Another burger comment for Burger Queen (rid=1, American,10).
         let record = Record::new(vec![
             Value::Int(207),
@@ -229,12 +225,7 @@ mod tests {
             .insert(record.clone())
             .unwrap();
         engine.apply_insert(&db, "comment", &record).unwrap();
-        let after = engine
-            .index()
-            .inverted
-            .occurrences_of("burger")
-            .values()
-            .sum::<u64>();
+        let after = total_occurrences(&engine);
         assert!(after > before);
         assert_same_index(&engine, &rebuild(&db));
     }

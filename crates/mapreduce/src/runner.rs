@@ -180,9 +180,9 @@ where
         let next = AtomicUsize::new(0);
         let threads = cluster.real_threads.clamp(1, map_tasks.max(1));
         let spec_ref = &spec;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= map_tasks {
                         break;
@@ -212,8 +212,7 @@ where
                     results.lock()[idx] = Some(out);
                 });
             }
-        })
-        .expect("map worker panicked");
+        });
         results
             .into_inner()
             .into_iter()
@@ -274,9 +273,9 @@ where
         let next = AtomicUsize::new(0);
         let threads = cluster.real_threads.clamp(1, reduce_tasks.max(1));
         let reducer = &reducer;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, Ordering::Relaxed);
                     if idx >= reduce_tasks {
                         break;
@@ -293,8 +292,7 @@ where
                     results.lock()[idx] = Some((out, out_bytes));
                 });
             }
-        })
-        .expect("reduce worker panicked");
+        });
         results
             .into_inner()
             .into_iter()

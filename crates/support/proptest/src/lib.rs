@@ -1,0 +1,300 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, range and tuple strategies, a small regex-subset
+//! string strategy, `prop_oneof!` / `proptest!` / `prop_assert*!` macros,
+//! `collection::vec`, `option::of` and `sample::select`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **Deterministic**: every test function derives its RNG seed from its
+//!   own name, so runs are reproducible with no persistence files —
+//!   exactly what a tier-1 CI gate wants.
+//! * **No shrinking**: a failing case reports its case number and panics.
+//!   Re-running reproduces it verbatim (see above), so shrinking is a
+//!   convenience, not a necessity.
+
+pub mod strategy;
+
+pub use strategy::{BoxedStrategy, Just, Strategy};
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default (256) is overkill for a deterministic
+            // runner with no shrinking; 64 keeps tier-1 fast.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as a vec-length specification.
+    pub trait IntoSizeRange {
+        /// The inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// A strategy generating vectors of `element` with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.min >= self.max {
+                self.min
+            } else {
+                rng.random_range(self.min..=self.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy generating `None` a quarter of the time and `Some` of
+    /// the inner value otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A strategy picking one element of `choices` uniformly.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select requires at least one choice");
+        Select { choices }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.random_range(0..self.choices.len())].clone()
+        }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's concrete type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::FullRange(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::FullRange<bool>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::FullRange(std::marker::PhantomData)
+    }
+}
+
+/// The canonical strategy for `T` (full domain for integer types).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` shorthand module.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Derives a 64-bit seed from a test's name, so each property has its own
+/// reproducible stream.
+#[doc(hidden)]
+pub fn seed_of(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The property-test entry macro. Accepts an optional
+/// `#![proptest_config(..)]` header followed by test functions whose
+/// arguments use `pattern in strategy` binders.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng = $crate::strategy::TestRng::from_seed(
+                $crate::seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+/// `prop_assert!`: panics (no shrinking) with the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// `prop_assert_eq!`: panics (no shrinking) with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// `prop_assert_ne!`: panics (no shrinking) with both values.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// `prop_oneof!`: a uniform union of same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for the workspace to compile without
+//! registry access: the `Serialize`/`Deserialize` marker traits and the
+//! derive macros (which emit marker impls). No actual serialization runs
+//! through these — Dash's persistence is the hand-rolled binary codec in
+//! `dash-core::persist`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait implemented by the stand-in `#[derive(Serialize)]`.
+pub trait Serialize {}
+
+/// Marker trait implemented by the stand-in `#[derive(Deserialize)]`.
+pub trait Deserialize {}

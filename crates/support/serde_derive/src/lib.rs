@@ -1,0 +1,90 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates-io registry is unreachable in this build environment,
+//! and nothing in the workspace actually serializes through serde (the
+//! persistence layer is a hand-rolled binary codec). The `Serialize` /
+//! `Deserialize` derives therefore only need to *exist* so that
+//! `#[derive(Serialize, Deserialize)]` attributes on workspace types
+//! compile; they emit marker-trait impls for the annotated type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, generic parameter names)` of the annotated item by
+/// scanning for the identifier after `struct`/`enum` and the parameter
+/// identifiers inside its `<...>` list (bounds and defaults are skipped).
+fn type_header(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut tokens = input.into_iter();
+    // Skip attributes and visibility until the struct/enum keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name?;
+    // Collect generic parameter names, if a `<...>` group follows.
+    let mut params = Vec::new();
+    let mut rest = tokens.peekable();
+    if matches!(rest.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        rest.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        for tt in rest.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expect_param = true,
+                TokenTree::Ident(ident) if depth == 1 && expect_param => {
+                    let word = ident.to_string();
+                    if word != "const" {
+                        params.push(word);
+                        expect_param = false;
+                    }
+                }
+                _ => {
+                    if depth == 1 {
+                        expect_param = false;
+                    }
+                }
+            }
+        }
+    }
+    Some((name, params))
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    let Some((name, params)) = type_header(input) else {
+        return TokenStream::new();
+    };
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    format!("impl{generics} {trait_path} for {name}{generics} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Stand-in `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Stand-in `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}

@@ -2,10 +2,12 @@
 //!
 //! For each keyword `w` an inverted list `L_w` holds the documents
 //! containing `w`, sorted by descending term frequency so high-TF
-//! documents come first and `IDF_w` is just `1 / |L_w|`. Generic over the
-//! document identifier so the same structure indexes both whole db-pages
-//! (the baseline) and fragment identifiers (Dash's inverted fragment
-//! index).
+//! documents come first and `IDF_w` is just `1 / |L_w|`. Generic over a
+//! `Copy` document identifier — postings are plain values that never
+//! allocate or clone, so the same structure indexes db-pages by ordinal
+//! (the baseline) or any other dense handle. Dash's own inverted
+//! fragment index (`dash-core`) is a specialized arena-backed variant
+//! over interned fragment handles.
 
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -50,7 +52,7 @@ impl<D> Default for InvertedFile<D> {
     }
 }
 
-impl<D: Clone + Eq + Ord + Hash> InvertedFile<D> {
+impl<D: Copy + Eq + Ord + Hash> InvertedFile<D> {
     /// Creates an empty index.
     pub fn new() -> Self {
         Self::default()
@@ -68,7 +70,7 @@ impl<D: Clone + Eq + Ord + Hash> InvertedFile<D> {
         for (word, occurrences) in counts {
             let list = self.lists.entry(word.to_string()).or_default();
             list.push(Posting {
-                doc: doc.clone(),
+                doc,
                 occurrences,
                 doc_len,
             });
@@ -227,11 +229,11 @@ mod tests {
 
     #[test]
     fn bulk_postings_path() {
-        let mut idx: InvertedFile<String> = InvertedFile::new();
+        let mut idx: InvertedFile<&'static str> = InvertedFile::new();
         idx.add_posting(
             "burger",
             Posting {
-                doc: "f1".to_string(),
+                doc: "f1",
                 occurrences: 2,
                 doc_len: 8,
             },

@@ -227,13 +227,14 @@ proptest! {
         rows in prop::collection::vec(restaurant_strategy(), 1..12),
         seed in 0u64..1000,
     ) {
-        use dash::core::FragmentGraph;
+        use dash::core::{FragmentCatalog, FragmentGraph};
         let db = build_db(&rows);
         let app = app_for(&db);
         let fragments = reference::fragments(&app, &db).unwrap();
         let range = app.query.range_selection_index();
 
-        let bulk = FragmentGraph::build(&fragments, range).unwrap();
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let bulk = FragmentGraph::build(&catalog, &fragments, range).unwrap();
         // Shuffle deterministically by seed and insert incrementally.
         let mut shuffled = fragments.clone();
         let n = shuffled.len();
@@ -241,16 +242,18 @@ proptest! {
             let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
             shuffled.swap(i, j);
         }
-        let mut incremental = FragmentGraph::build(&[], range).unwrap();
+        let mut incremental = FragmentGraph::build(&catalog, &[], range).unwrap();
         for f in &shuffled {
-            incremental.insert(f);
+            incremental.insert(&catalog, f);
         }
         prop_assert_eq!(bulk.node_count(), incremental.node_count());
         prop_assert_eq!(bulk.edge_count(), incremental.edge_count());
         for f in &fragments {
-            let a = bulk.locate(&f.id).unwrap();
-            let b = incremental.locate(&f.id).unwrap();
+            let frag = catalog.frag(&f.id).unwrap();
+            let a = bulk.locate(frag).unwrap();
+            let b = incremental.locate(frag).unwrap();
             prop_assert_eq!(a.position, b.position);
+            prop_assert_eq!(a.group, b.group);
         }
     }
 }
