@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for the sharded engine: top-k latency
+//! and batched throughput as a function of the shard count, against the
+//! single-engine baseline, on the TPC-H Q2 micro workload and the
+//! paper's running example. The `shards` axis is the point: on an
+//! N-core serving node the per-shard searches run on scoped threads, so
+//! `BENCH_shard.json` records how the same workload scales as the
+//! handle space is partitioned (on a single-core host the axis instead
+//! measures the partition + trace-merge overhead, which must stay
+//! small).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dash_bench::{select_keywords, KeywordTemperature};
+use dash_core::crawl::reference;
+use dash_core::{DashEngine, SearchRequest, ShardedEngine};
+use dash_mapreduce::WorkflowStats;
+use dash_tpch::{generate, Scale, TpchConfig};
+use dash_webapp::fooddb;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_shard(c: &mut Criterion) {
+    // TPC-H Q2 at micro scale, the Figure 11 workload.
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 100;
+    config.base_parts = 130;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    let single =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).expect("builds");
+
+    // A mixed 16-request batch across keyword temperatures, the
+    // `search_many` workload.
+    let mut batch: Vec<SearchRequest> = Vec::new();
+    for temperature in KeywordTemperature::all() {
+        for (i, word) in select_keywords(&single, temperature, 6, 7)
+            .iter()
+            .enumerate()
+        {
+            batch.push(
+                SearchRequest::new(&[word.as_str()])
+                    .k(10)
+                    .min_size([100u64, 1000][i % 2]),
+            );
+        }
+    }
+    batch.truncate(16);
+    let hot = select_keywords(&single, KeywordTemperature::Hot, 1, 7)
+        .pop()
+        .expect("a hot keyword");
+    let hot_request = SearchRequest::new(&[hot.as_str()]).k(10).min_size(1000);
+
+    let mut group = c.benchmark_group("shard/tpch-q2");
+    group.bench_function("single/search-hot", |b| {
+        b.iter(|| single.search(&hot_request))
+    });
+    group.bench_function("single/batch16", |b| b.iter(|| single.search_many(&batch)));
+    for shards in SHARD_COUNTS {
+        let engine =
+            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
+                .expect("sharded builds");
+        group.bench_function(format!("s{shards}/search-hot"), |b| {
+            b.iter(|| engine.search(&hot_request))
+        });
+        group.bench_function(format!("s{shards}/batch16"), |b| {
+            b.iter(|| engine.search_many(&batch))
+        });
+    }
+    group.finish();
+
+    // The paper's running example: tiny index, merge overhead dominates.
+    let db = fooddb::database();
+    let app = fooddb::search_application().expect("analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    let single =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).expect("builds");
+    let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+    let mut group = c.benchmark_group("shard/fooddb");
+    group.bench_function("single/burger-k2-s20", |b| {
+        b.iter(|| single.search(&request))
+    });
+    for shards in [1usize, 2] {
+        let engine =
+            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
+                .expect("sharded builds");
+        group.bench_function(format!("s{shards}/burger-k2-s20"), |b| {
+            b.iter(|| engine.search(&request))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

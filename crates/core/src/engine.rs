@@ -74,6 +74,30 @@ impl DashEngine {
         top_k(&self.app, &self.index, request)
     }
 
+    /// Batched top-k: answers every request with one reused scratch
+    /// (occurrence pool, seed bitset), skipping per-query allocation.
+    /// Results are position-aligned with `requests`; each equals the
+    /// corresponding [`DashEngine::search`] call.
+    pub fn search_many(&self, requests: &[SearchRequest]) -> Vec<Vec<SearchHit>> {
+        let mut scratch = crate::search::SearchScratch::new();
+        requests
+            .iter()
+            .map(|request| {
+                let idf = crate::search::topk::request_idf(&self.index, request);
+                crate::search::topk::top_k_in(
+                    &self.app,
+                    &self.index,
+                    request,
+                    &idf,
+                    request.k,
+                    0,
+                    false,
+                    &mut scratch,
+                )
+            })
+            .collect()
+    }
+
     /// The analyzed application this engine serves.
     pub fn app(&self) -> &WebApplication {
         &self.app
@@ -105,7 +129,7 @@ impl DashEngine {
     }
 }
 
-fn validate_query(app: &WebApplication) -> Result<()> {
+pub(crate) fn validate_query(app: &WebApplication) -> Result<()> {
     let ranges = app
         .query
         .selections

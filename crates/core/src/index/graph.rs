@@ -9,18 +9,26 @@
 //! (e.g. `(Thai, 10)` among American fragments) stay disconnected,
 //! exactly as in Figure 9.
 //!
-//! Storage is handle-native and columnar: one node column of [`Frag`]
-//! handles (plus a parallel weight column the top-k expansion reads),
-//! sorted group-major with ranges `bounds[g]` marking each equality
-//! group. Group ids ([`GroupId`]) are dense ranks in group-key order —
-//! maintained across incremental inserts — so a candidate db-page is
-//! just `(group, lo, hi)`, three integers. A `node_pos` column indexed
-//! by fragment handle makes [`FragmentGraph::locate`] O(1), replacing
-//! the seed's hash-map-plus-binary-search (this sits on the hot path of
-//! every top-k seed). Adjacency stays implicit in the order, which
-//! makes both bulk construction ("a lot of comparisons can be saved if
-//! db-fragments are pre-sorted", §VI-A) and the paper's incremental
-//! insertion cheap.
+//! Storage is handle-native and **group-major**: each equality group
+//! owns one contiguous node column of [`Frag`] handles (plus a parallel
+//! weight column the top-k expansion reads), range-sorted. Group ids
+//! ([`GroupId`]) are dense ranks in group-key order — maintained across
+//! incremental inserts — so a candidate db-page is just
+//! `(group, lo, hi)`, three integers, and the rank order doubles as the
+//! deterministic tie-break order of the top-k heap. A `node_pos` column
+//! indexed by fragment handle makes [`FragmentGraph::locate`] O(1)
+//! (this sits on the hot path of every top-k seed). Adjacency stays
+//! implicit in the order, which makes both bulk construction ("a lot of
+//! comparisons can be saved if db-fragments are pre-sorted", §VI-A) and
+//! the paper's incremental insertion cheap: an insert splices one
+//! *group's* column (the seed semantics), never a flat global column —
+//! the flat layout of PR 1 made every insert shift the entire node
+//! space, which is what regressed `graph/incremental-insert`.
+//!
+//! Group-major columns are also the unit the sharded engine partitions:
+//! a shard is a contiguous run of group ranks, so a shard-local rank
+//! plus the shard's offset reproduces the global rank exactly (see
+//! `crate::sharded`).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -58,26 +66,45 @@ pub struct NodeRef {
 /// Sentinel in `node_pos` for handles without a live node.
 const ABSENT: (u32, u32) = (u32::MAX, u32::MAX);
 
+/// One equality group's columns: its key and its range-sorted node and
+/// weight runs (parallel, contiguous).
+#[derive(Debug, Clone, Default)]
+struct GroupColumn {
+    /// The equality prefix (identifier minus the range position),
+    /// resolved only at the output boundary.
+    key: Vec<Value>,
+    /// Node run: fragment handles, range-sorted.
+    frags: Vec<Frag>,
+    /// Parallel weight run (total keywords per node).
+    weights: Vec<u64>,
+}
+
 /// The fragment graph.
+///
+/// Group columns live in stable *slots* (allocation order); a rank ⇄
+/// slot permutation maintains the key-sorted [`GroupId`] rank order.
+/// Creating or dropping a group therefore only splices the (tiny)
+/// permutation — `node_pos`, which is `(slot, position)`, never needs a
+/// global renumber, keeping incremental maintenance O(|group|).
 #[derive(Debug, Clone, Default)]
 pub struct FragmentGraph {
     /// Position of the range attribute within fragment identifiers;
     /// `None` for all-equality queries (no edges at all).
     range_position: Option<usize>,
-    /// Node column: fragment handles, group-major, range-sorted within
-    /// each group.
-    frags: Vec<Frag>,
-    /// Parallel weight column (total keywords per node).
-    weights: Vec<u64>,
-    /// Per group: `(start, end)` half-open range into the node columns.
-    bounds: Vec<(u32, u32)>,
-    /// Per group: the equality prefix (identifier minus the range
-    /// position), resolved only at the output boundary. Sorted — the
-    /// group id is the rank.
-    keys: Vec<Vec<Value>>,
-    /// Fragment handle → `(group, position)`; `ABSENT` when the handle
+    /// Group columns, indexed by slot (free-listed tombstones allowed).
+    groups: Vec<GroupColumn>,
+    /// Key rank → slot, sorted by group key — the rank is the
+    /// [`GroupId`].
+    slot_of_rank: Vec<u32>,
+    /// Slot → key rank (`u32::MAX` for dead slots).
+    rank_of_slot: Vec<u32>,
+    /// Dead slots available for reuse.
+    free_slots: Vec<u32>,
+    /// Fragment handle → `(slot, position)`; `ABSENT` when the handle
     /// has no live node.
     node_pos: Vec<(u32, u32)>,
+    /// Total live nodes across all groups.
+    nodes: usize,
     /// Wall-clock seconds the last bulk build took (Table IV reports
     /// this).
     build_secs: f64,
@@ -155,30 +182,48 @@ impl FragmentGraph {
                 },
             );
         }
-        // Flatten into columns in group-rank order.
+        // Assemble group columns in group-rank order (slot == rank for a
+        // bulk build; the permutation starts as the identity).
         let mut graph = FragmentGraph {
             range_position,
-            frags: Vec::with_capacity(fragments.len()),
-            weights: Vec::with_capacity(fragments.len()),
-            bounds: Vec::with_capacity(members.len()),
-            keys: Vec::with_capacity(members.len()),
+            groups: Vec::with_capacity(members.len()),
+            slot_of_rank: (0..members.len() as u32).collect(),
+            rank_of_slot: (0..members.len() as u32).collect(),
+            free_slots: Vec::new(),
             node_pos: vec![ABSENT; catalog.len()],
+            nodes: fragments.len(),
             build_secs: 0.0,
         };
         for &g in &order {
-            let group = &members[g as usize];
-            let start_col = graph.frags.len() as u32;
-            let gid = graph.bounds.len() as u32;
-            for (pos, &frag) in group.iter().enumerate() {
-                graph.node_pos[frag.index()] = (gid, pos as u32);
-                graph.frags.push(frag);
-                graph.weights.push(catalog.total_keywords(frag));
+            let frags = std::mem::take(&mut members[g as usize]);
+            let slot = graph.groups.len() as u32;
+            let mut weights = Vec::with_capacity(frags.len());
+            for (pos, &frag) in frags.iter().enumerate() {
+                graph.node_pos[frag.index()] = (slot, pos as u32);
+                weights.push(catalog.total_keywords(frag));
             }
-            graph.bounds.push((start_col, graph.frags.len() as u32));
-            graph.keys.push(key_views[g as usize].to_owned_key());
+            graph.groups.push(GroupColumn {
+                key: key_views[g as usize].to_owned_key(),
+                frags,
+                weights,
+            });
         }
         graph.build_secs = start.elapsed().as_secs_f64();
         Ok(graph)
+    }
+
+    /// The slot backing a group rank.
+    #[inline]
+    fn slot(&self, group: GroupId) -> usize {
+        self.slot_of_rank[group.index()] as usize
+    }
+
+    /// Re-derives `rank_of_slot` for every rank at or after `rank`
+    /// (called after the permutation splices; O(groups), never O(nodes)).
+    fn rerank_from(&mut self, rank: usize) {
+        for (r, &slot) in self.slot_of_rank.iter().enumerate().skip(rank) {
+            self.rank_of_slot[slot as usize] = r as u32;
+        }
     }
 
     /// The paper's incremental insertion: place the new fragment into
@@ -187,149 +232,155 @@ impl FragmentGraph {
     /// replaced by two edges through the new node). The fragment must
     /// already be interned in `catalog`. Re-inserting a live fragment
     /// replaces its node (weights may have changed).
+    ///
+    /// Cost is O(|group|) — only the receiving group's columns splice;
+    /// other groups are untouched (their ids shift only when a *new*
+    /// group is created).
     pub fn insert(&mut self, catalog: &FragmentCatalog, fragment: &Fragment) {
         let frag = catalog.frag(&fragment.id).expect("fragment interned");
         // A second insert of the same fragment must not splice a
         // duplicate node column entry.
         self.remove(frag);
-        let key = group_key(&fragment.id, self.range_position);
-        let gid = match self.keys.binary_search(&key) {
-            Ok(g) => g,
+        let slot = match self.slot_of_rank.binary_search_by(|&s| {
+            cmp_key_to_id(
+                &self.groups[s as usize].key,
+                &fragment.id,
+                self.range_position,
+            )
+        }) {
+            Ok(rank) => self.slot_of_rank[rank] as usize,
             Err(rank) => {
-                // New group at its key rank: later group ids shift up.
-                let at = self
-                    .bounds
-                    .get(rank)
-                    .map_or(self.frags.len() as u32, |&(s, _)| s);
-                self.keys.insert(rank, key);
-                self.bounds.insert(rank, (at, at));
-                for (g, _) in self.node_pos.iter_mut() {
-                    if *g != u32::MAX && *g >= rank as u32 {
-                        *g += 1;
+                // New group at its key rank: later ranks shift in the
+                // permutation only — node addresses stay untouched.
+                let column = GroupColumn {
+                    key: group_key(&fragment.id, self.range_position),
+                    frags: Vec::new(),
+                    weights: Vec::new(),
+                };
+                let slot = match self.free_slots.pop() {
+                    Some(slot) => {
+                        self.groups[slot as usize] = column;
+                        slot as usize
                     }
-                }
-                rank
+                    None => {
+                        self.groups.push(column);
+                        self.rank_of_slot.push(u32::MAX);
+                        self.groups.len() - 1
+                    }
+                };
+                self.slot_of_rank.insert(rank, slot as u32);
+                self.rerank_from(rank);
+                slot
             }
         };
-        let (start, end) = self.bounds[gid];
-        let group = &self.frags[start as usize..end as usize];
+        let group = &mut self.groups[slot];
         let position = match self.range_position {
             Some(pos) => {
                 let range_value = &fragment.id.values()[pos];
                 group
+                    .frags
                     .binary_search_by(|&n| catalog.id(n).values()[pos].cmp(range_value))
                     .unwrap_or_else(|i| i)
             }
-            None => group.len(),
+            None => group.frags.len(),
         };
-        let at = start as usize + position;
-        self.frags.insert(at, frag);
-        self.weights.insert(at, fragment.total_keywords);
-        self.bounds[gid].1 += 1;
-        for b in &mut self.bounds[gid + 1..] {
-            b.0 += 1;
-            b.1 += 1;
-        }
+        group.frags.insert(position, frag);
+        group.weights.insert(position, fragment.total_keywords);
+        self.nodes += 1;
         if frag.index() >= self.node_pos.len() {
             self.node_pos.resize(catalog.len(), ABSENT);
         }
-        self.reindex_group(gid, position);
+        self.reindex_group(slot, position);
     }
 
     /// Removes a fragment's node, if present. Neighboring nodes become
     /// adjacent (the two edges collapse back into one).
     pub fn remove(&mut self, frag: Frag) -> bool {
-        let Some(node) = self.locate(frag) else {
+        let Some((slot, position)) = self.locate_slot(frag) else {
             return false;
         };
-        let gid = node.group.index();
-        let (start, _) = self.bounds[gid];
-        let at = start as usize + node.position as usize;
-        self.frags.remove(at);
-        self.weights.remove(at);
+        let group = &mut self.groups[slot];
+        group.frags.remove(position);
+        group.weights.remove(position);
         self.node_pos[frag.index()] = ABSENT;
-        self.bounds[gid].1 -= 1;
-        for b in &mut self.bounds[gid + 1..] {
-            b.0 -= 1;
-            b.1 -= 1;
-        }
-        if start == self.bounds[gid].1 {
-            // Last node of the group: the group disappears and later
-            // group ids shift down (their in-group positions are
-            // untouched).
-            self.bounds.remove(gid);
-            self.keys.remove(gid);
-            for (g, _) in self.node_pos.iter_mut() {
-                if *g != u32::MAX && *g > gid as u32 {
-                    *g -= 1;
-                }
-            }
+        self.nodes -= 1;
+        if group.frags.is_empty() {
+            // Last node of the group: the group disappears; later key
+            // ranks shift down in the permutation, node addresses stay
+            // untouched.
+            let rank = self.rank_of_slot[slot] as usize;
+            self.slot_of_rank.remove(rank);
+            self.rerank_from(rank);
+            self.rank_of_slot[slot] = u32::MAX;
+            self.groups[slot] = GroupColumn::default();
+            self.free_slots.push(slot as u32);
         } else {
-            self.reindex_group(gid, node.position as usize);
+            self.reindex_group(slot, position);
         }
         true
     }
 
-    /// Rewrites `node_pos` for the nodes of `gid` at or after
+    /// Rewrites `node_pos` for the nodes of `slot` at or after
     /// `position` (in-group positions shift after a column splice;
-    /// other groups' `(group, position)` pairs are unaffected — group
-    /// id changes are handled by the explicit shift loops).
-    fn reindex_group(&mut self, gid: usize, position: usize) {
-        let (start, end) = self.bounds[gid];
-        for p in position..(end - start) as usize {
-            let frag = self.frags[start as usize + p];
-            self.node_pos[frag.index()] = (gid as u32, p as u32);
+    /// other groups' `(slot, position)` pairs are unaffected).
+    fn reindex_group(&mut self, slot: usize, position: usize) {
+        for (p, frag) in self.groups[slot].frags.iter().enumerate().skip(position) {
+            self.node_pos[frag.index()] = (slot as u32, p as u32);
         }
     }
 
-    /// Locates a fragment's node — O(1), a column lookup.
+    /// A fragment's `(slot, position)` address, if live.
     #[inline]
-    pub fn locate(&self, frag: Frag) -> Option<NodeRef> {
-        let &(g, p) = self.node_pos.get(frag.index())?;
-        if g == u32::MAX {
+    fn locate_slot(&self, frag: Frag) -> Option<(usize, usize)> {
+        let &(slot, p) = self.node_pos.get(frag.index())?;
+        if slot == u32::MAX {
             return None;
         }
+        Some((slot as usize, p as usize))
+    }
+
+    /// Locates a fragment's node — O(1), two column lookups.
+    #[inline]
+    pub fn locate(&self, frag: Frag) -> Option<NodeRef> {
+        let (slot, p) = self.locate_slot(frag)?;
         Some(NodeRef {
-            group: GroupId(g),
-            position: p,
+            group: GroupId(self.rank_of_slot[slot]),
+            position: p as u32,
         })
     }
 
     /// The fragment at a node address.
     pub fn frag_at(&self, node: NodeRef) -> Option<Frag> {
-        let &(start, end) = self.bounds.get(node.group.index())?;
-        let at = start.checked_add(node.position)?;
-        if at >= end {
-            return None;
-        }
-        Some(self.frags[at as usize])
+        let &slot = self.slot_of_rank.get(node.group.index())?;
+        self.groups[slot as usize]
+            .frags
+            .get(node.position as usize)
+            .copied()
     }
 
     /// The node run of one group, sorted by range value.
     #[inline]
     pub fn group_nodes(&self, group: GroupId) -> &[Frag] {
-        let (start, end) = self.bounds[group.index()];
-        &self.frags[start as usize..end as usize]
+        &self.groups[self.slot(group)].frags
     }
 
     /// The weight run of one group (total keywords per node), parallel
     /// to [`FragmentGraph::group_nodes`].
     #[inline]
     pub fn group_weights(&self, group: GroupId) -> &[u64] {
-        let (start, end) = self.bounds[group.index()];
-        &self.weights[start as usize..end as usize]
+        &self.groups[self.slot(group)].weights
     }
 
     /// The equality prefix identifying a group.
     #[inline]
     pub fn group_key(&self, group: GroupId) -> &[Value] {
-        &self.keys[group.index()]
+        &self.groups[self.slot(group)].key
     }
 
     /// The group holding a given equality prefix, if any.
     pub fn group_by_key(&self, key: &[Value]) -> Option<GroupId> {
-        self.keys
-            .binary_search_by(|k| k.as_slice().cmp(key))
+        self.slot_of_rank
+            .binary_search_by(|&s| self.groups[s as usize].key.as_slice().cmp(key))
             .ok()
             .map(|g| GroupId(g as u32))
     }
@@ -341,10 +392,10 @@ impl FragmentGraph {
         if self.range_position.is_none() {
             return Vec::new();
         }
-        let Some(&(start, end)) = self.bounds.get(node.group.index()) else {
+        let Some(&slot) = self.slot_of_rank.get(node.group.index()) else {
             return Vec::new();
         };
-        let len = end - start;
+        let len = self.groups[slot as usize].frags.len() as u32;
         let mut out = Vec::with_capacity(2);
         if node.position > 0 {
             out.push(NodeRef {
@@ -363,7 +414,7 @@ impl FragmentGraph {
 
     /// Total node count.
     pub fn node_count(&self) -> usize {
-        self.frags.len()
+        self.nodes
     }
 
     /// Total edge count: each group of `n` nodes chains `n-1` edges.
@@ -371,26 +422,29 @@ impl FragmentGraph {
         if self.range_position.is_none() {
             return 0;
         }
-        self.bounds
+        self.slot_of_rank
             .iter()
-            .map(|&(s, e)| (e - s) as usize)
-            .map(|n| n.saturating_sub(1))
+            .map(|&s| self.groups[s as usize].frags.len().saturating_sub(1))
             .sum()
     }
 
     /// Number of equality groups (connected components, when every
     /// group is non-empty).
     pub fn group_count(&self) -> usize {
-        self.bounds.len()
+        self.slot_of_rank.len()
     }
 
     /// Average keywords per fragment — Table IV's third column.
     pub fn avg_keywords(&self) -> f64 {
-        if self.frags.is_empty() {
+        if self.nodes == 0 {
             return 0.0;
         }
-        let total: u64 = self.weights.iter().sum();
-        total as f64 / self.frags.len() as f64
+        let total: u64 = self
+            .slot_of_rank
+            .iter()
+            .flat_map(|&s| &self.groups[s as usize].weights)
+            .sum();
+        total as f64 / self.nodes as f64
     }
 
     /// Seconds the bulk build took (Table IV's first column).
@@ -406,11 +460,19 @@ impl FragmentGraph {
     /// Iterates over `(equality prefix, range-sorted node run)` groups
     /// in key order.
     pub fn iter_groups(&self) -> impl Iterator<Item = (&[Value], &[Frag])> {
-        self.keys
-            .iter()
-            .zip(&self.bounds)
-            .map(|(k, &(s, e))| (k.as_slice(), &self.frags[s as usize..e as usize]))
+        self.slot_of_rank.iter().map(|&s| {
+            let g = &self.groups[s as usize];
+            (g.key.as_slice(), g.frags.as_slice())
+        })
     }
+}
+
+/// Compares a stored group key against the group key of `id` (the
+/// identifier viewed with the range position skipped), without
+/// allocating the latter.
+fn cmp_key_to_id(key: &[Value], id: &FragmentId, skip: Option<usize>) -> std::cmp::Ordering {
+    let view = KeyRef { id, skip };
+    key.iter().cmp(view.values())
 }
 
 /// A borrowed group key: an identifier viewed with one position
@@ -462,7 +524,12 @@ impl std::hash::Hash for KeyRef<'_> {
     }
 }
 
-fn group_key(id: &FragmentId, range_position: Option<usize>) -> Vec<Value> {
+/// The equality-group key of a fragment identifier: the identifier with
+/// the range position removed. This single derivation defines group
+/// membership everywhere — the graph's grouping AND the sharded
+/// engine's partition must agree on it bit for bit, or shard rank
+/// offsets stop matching global group ranks.
+pub(crate) fn group_key(id: &FragmentId, range_position: Option<usize>) -> Vec<Value> {
     match range_position {
         Some(pos) => id.without(pos),
         None => id.values().to_vec(),
@@ -658,5 +725,37 @@ mod tests {
                 &Value::Int(18)
             ]
         );
+    }
+
+    #[test]
+    fn incremental_converges_to_bulk_for_many_groups() {
+        // Dozens of groups with interleaved inserts: group ids must stay
+        // ranks and every node must stay locatable.
+        let mut fragments = Vec::new();
+        for c in 0..17 {
+            for b in 0..5 {
+                fragments.push(fragment(&format!("C{c:02}"), b * 3, (b + 1) as u64));
+            }
+        }
+        let catalog = FragmentCatalog::from_fragments(&fragments);
+        let bulk = FragmentGraph::build(&catalog, &fragments, Some(1)).unwrap();
+        let mut inc = FragmentGraph::build(&catalog, &[], Some(1)).unwrap();
+        // Insert in an order that interleaves group creation.
+        let mut shuffled = fragments.clone();
+        shuffled.sort_by(|a, b| a.id.values()[1].cmp(&b.id.values()[1]));
+        for f in &shuffled {
+            inc.insert(&catalog, f);
+        }
+        assert_eq!(inc.node_count(), bulk.node_count());
+        assert_eq!(inc.edge_count(), bulk.edge_count());
+        assert_eq!(inc.group_count(), bulk.group_count());
+        for f in &fragments {
+            let frag = catalog.frag(&f.id).unwrap();
+            assert_eq!(inc.locate(frag), bulk.locate(frag), "{}", f.id);
+        }
+        for ((ka, na), (kb, nb)) in inc.iter_groups().zip(bulk.iter_groups()) {
+            assert_eq!(ka, kb);
+            assert_eq!(na, nb);
+        }
     }
 }

@@ -34,22 +34,35 @@
 //!   arenas — TF-sorted for the seeding cursor, fragment-sorted for the
 //!   O(log L) occurrence probe — instead of nested
 //!   `HashMap<String, HashMap<FragmentId, u64>>` maps.
-//! * The **graph** stores nodes as one handle column with group-id
-//!   ranges; locating a posting's node is an O(1) column lookup.
+//! * The **graph** stores each equality group as its own contiguous
+//!   node/weight column, addressed through a key-rank permutation —
+//!   locating a posting's node is an O(1) lookup, and incremental
+//!   maintenance splices one group's column, never a global one.
 //! * **Top-k candidates** are six plain integers/floats (`Copy`), with
-//!   per-candidate keyword occurrences in a scratch pool — the heap loop
-//!   performs zero `Vec<Value>` clones. Identifiers are resolved back
-//!   only when a [`SearchHit`] is emitted.
+//!   per-candidate keyword occurrences in a pooled scratch — the heap
+//!   loop performs zero `Vec<Value>` clones. Identifiers are resolved
+//!   back only when a [`SearchHit`] is emitted.
 //!
 //! Index construction parallelizes across equality groups and inverted
-//! lists (scoped threads). The dense layout is also what future PRs
-//! need for sharding (partition the handle space) and zero-copy/mmap
-//! persistence (the arenas are plain `Copy` rows).
+//! lists (scoped threads).
 //!
-//! [`engine::DashEngine`] packages the whole thing; [`baseline`] provides
-//! the naive materialize-every-db-page engine the fragment design is
-//! motivated against; [`update`] and [`multi`] implement the paper's two
-//! future-work extensions (incremental index maintenance and
+//! ## Sharded, concurrent search
+//!
+//! [`sharded::ShardedEngine`] partitions the equality groups into `N`
+//! contiguous runs of key-rank order, builds each shard a self-contained
+//! [`FragmentIndex`], and serves search by running the heap loop per
+//! shard (scoped threads, per-shard scratch pools, adaptive per-shard
+//! `k` limits) and merging the recorded pop traces in exact global heap
+//! order. Results are **byte-identical** to [`DashEngine::search`] for
+//! any shard count — proven by the `sharded_equivalence` test tier —
+//! and both engines offer a batched `search_many` that reuses scratch
+//! across requests. `DASH_SHARDS` selects the partition width in
+//! deployments (see [`sharded::env_shards`]).
+//!
+//! [`engine::DashEngine`] packages the single-heap pipeline; [`baseline`]
+//! provides the naive materialize-every-db-page engine the fragment
+//! design is motivated against; [`update`] and [`multi`] implement the
+//! paper's two future-work extensions (incremental index maintenance and
 //! multi-application fragment sharing).
 //!
 //! ## Quickstart
@@ -81,6 +94,7 @@ mod par;
 pub mod persist;
 pub mod scope;
 pub mod search;
+pub mod sharded;
 pub mod stats;
 pub mod update;
 
@@ -93,6 +107,7 @@ pub use index::{
 };
 pub use scope::CrawlScope;
 pub use search::{SearchHit, SearchRequest};
+pub use sharded::{env_shards, ShardedEngine};
 pub use stats::IndexStats;
 
 /// Result alias for this crate.

@@ -121,9 +121,40 @@ impl MultiDash {
     /// higher-ranked page (the cross-application duplicate elimination
     /// the paper calls for).
     pub fn search(&self, request: &SearchRequest) -> Vec<MultiHit> {
+        let per_app: Vec<Vec<SearchHit>> = self.engines.iter().map(|e| e.search(request)).collect();
+        self.merge(request, per_app)
+    }
+
+    /// Batched federated top-k: answers every request, using each
+    /// engine's scratch-pooled [`DashEngine::search_many`] underneath.
+    /// Results are position-aligned with `requests`; each equals the
+    /// corresponding [`MultiDash::search`] call.
+    pub fn search_many(&self, requests: &[SearchRequest]) -> Vec<Vec<MultiHit>> {
+        // The per-application batches are independent — run them on
+        // worker threads.
+        let mut per_engine: Vec<Vec<Vec<SearchHit>>> =
+            crate::par::map(self.engines.iter().collect(), |engine: &DashEngine| {
+                engine.search_many(requests)
+            });
+        requests
+            .iter()
+            .enumerate()
+            .map(|(r, request)| {
+                let per_app: Vec<Vec<SearchHit>> = per_engine
+                    .iter_mut()
+                    .map(|engine_hits| std::mem::take(&mut engine_hits[r]))
+                    .collect();
+                self.merge(request, per_app)
+            })
+            .collect()
+    }
+
+    /// Merges per-application hit lists: sort by score, attribute to
+    /// applications, and drop content-signature duplicates.
+    fn merge(&self, request: &SearchRequest, per_app: Vec<Vec<SearchHit>>) -> Vec<MultiHit> {
         let mut all: Vec<MultiHit> = Vec::new();
-        for (i, engine) in self.engines.iter().enumerate() {
-            for hit in engine.search(request) {
+        for (i, (engine, hits)) in self.engines.iter().zip(per_app).enumerate() {
+            for hit in hits {
                 all.push(MultiHit {
                     app_index: i,
                     app_name: engine.app().name.clone(),
@@ -226,6 +257,20 @@ servlet Mirror at "www.mirror.example/Find" {
         assert_eq!(hits.len(), 2);
         // Both surviving hits come from the first (higher-priority) app.
         assert!(hits.iter().all(|h| h.app_index == 0));
+    }
+
+    #[test]
+    fn search_many_matches_search() {
+        let multi = federation();
+        let requests = vec![
+            SearchRequest::new(&["burger"]).k(4).min_size(20),
+            SearchRequest::new(&["thai"]).k(2).min_size(1),
+        ];
+        let batch = multi.search_many(&requests);
+        assert_eq!(batch.len(), 2);
+        for (request, hits) in requests.iter().zip(&batch) {
+            assert_eq!(hits, &multi.search(request));
+        }
     }
 
     #[test]

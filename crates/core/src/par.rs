@@ -7,14 +7,23 @@
 //! the build path needs on plain `std::thread::scope`: a parallel
 //! for-each over a work list and a two-way join.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// The machine's parallelism, probed once — `available_parallelism`
+/// costs a syscall (and cgroup reads), far too much to pay on every
+/// sub-millisecond search.
+fn parallelism() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
 
 /// How many worker threads a work list of `len` items warrants.
 fn threads_for(len: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(len)
+    parallelism().min(len)
 }
 
 /// Runs `f` over every item, work-stealing from a shared queue.
@@ -47,6 +56,47 @@ where
     });
 }
 
+/// Maps `f` over every item on worker threads, preserving input order.
+/// Uses `min(parallelism, items)` workers like [`for_each`], but with
+/// no small-list cutoff — intended for coarse work units (a shard's
+/// whole search pass) where even two items warrant two threads, not
+/// per-posting slices.
+pub(crate) fn map<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = threads_for(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((i, item)) => {
+                        let produced = f(item);
+                        *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(produced);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker produced a result")
+        })
+        .collect()
+}
+
 /// Evaluates both closures, on two threads when possible.
 pub(crate) fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -55,7 +105,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if std::thread::available_parallelism().map_or(1, |n| n.get()) <= 1 {
+    if parallelism() <= 1 {
         return (a(), b());
     }
     std::thread::scope(|scope| {
@@ -83,5 +133,13 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = join(|| 6 * 7, || "ok");
         assert_eq!((a, b), (42, "ok"));
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out = map((0u64..100).collect(), |x| x * 2);
+        assert_eq!(out, (0u64..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = map(Vec::new(), |x: u64| x);
+        assert!(empty.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 pub mod topk;
 
 pub use topk::top_k;
+pub(crate) use topk::{PopEvent, PopTrace, SearchScratch};
 
 use crate::fragment::FragmentId;
 

@@ -15,6 +15,22 @@
 //! allocates), per-candidate keyword occurrences live in one scratch
 //! pool indexed by offset, and fragment identifiers are resolved back
 //! to values/URLs only when a result is emitted.
+//!
+//! ## Schedule independence and sharding
+//!
+//! Seeding is lazy (threshold-algorithm style), but it seeds **through
+//! score ties** (`head.score <= bound` keeps drawing): every popped
+//! candidate therefore *strictly* dominates every not-yet-seeded
+//! fragment, which makes the pop sequence independent of the seeding
+//! schedule — lazy and eager seeding produce identical pops. Since
+//! expansion, absorption and overlap suppression are all confined to
+//! one equality group, the pop sequence restricted to any set of groups
+//! equals the pop sequence of searching those groups alone. That is the
+//! theorem the sharded engine ([`crate::sharded`]) rests on: it records
+//! each shard's pop sequence as a [`PopTrace`] and replays the global
+//! heap order by greedily merging trace heads under the exact
+//! [`Candidate`] ordering (with shard-local group ids offset back to
+//! global ranks), yielding byte-identical results for any shard count.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, HashSet};
@@ -26,6 +42,79 @@ use crate::index::graph::GroupId;
 use crate::index::inverted::Posting;
 use crate::index::FragmentIndex;
 use crate::search::{SearchHit, SearchRequest};
+
+/// One pop of the top-k priority queue, keyed exactly like
+/// [`Candidate`] but with the group id translated to its *global* rank.
+/// A shard's sequence of pops is everything the merge stage needs to
+/// interleave shards in single-heap order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PopEvent {
+    /// Candidate score at pop time.
+    pub score: f64,
+    /// Interval width (`hi - lo`).
+    pub width: u32,
+    /// Global group rank (shard-local rank + shard offset).
+    pub group: u32,
+    /// Interval start within the group.
+    pub lo: u32,
+    /// Whether this pop appended a hit to the output.
+    pub emitted: bool,
+}
+
+impl PopEvent {
+    /// The heap-priority ordering of two pops. `Greater` means `self`
+    /// pops first.
+    pub(crate) fn heap_cmp(&self, other: &PopEvent) -> Ordering {
+        heap_order(
+            (self.score, self.width, self.group, self.lo),
+            (other.score, other.width, other.group, other.lo),
+        )
+    }
+}
+
+/// THE candidate priority order, shared by the in-heap [`Candidate`]
+/// comparison and the cross-shard [`PopEvent`] merge (one definition —
+/// the sharded merge is exact only while both agree bit for bit):
+/// higher score first; ties broken by narrower interval, then lower
+/// group rank, then lower interval start. `Greater` means `a` pops
+/// first.
+fn heap_order(a: (f64, u32, u32, u32), b: (f64, u32, u32, u32)) -> Ordering {
+    a.0.partial_cmp(&b.0)
+        .unwrap_or(Ordering::Equal)
+        .then_with(|| b.1.cmp(&a.1))
+        .then_with(|| b.2.cmp(&a.2))
+        .then_with(|| b.3.cmp(&a.3))
+}
+
+/// The recorded pop sequence of one search run.
+pub(crate) type PopTrace = Vec<PopEvent>;
+
+/// Reusable per-search allocations. One search clears and refills them;
+/// pooling a scratch across requests (as the sharded engine's
+/// `search_many` does) skips the pool/bitset/trace reallocation cost on
+/// every query after the first.
+#[derive(Debug, Default)]
+pub(crate) struct SearchScratch {
+    /// Per-candidate keyword-occurrence rows, addressed by offset.
+    occ_pool: Vec<u64>,
+    /// Seen-bits over the fragment handle space (seed dedup).
+    seeded_bits: Vec<u64>,
+    /// The pop trace of the last run (empty unless recording).
+    pub(crate) trace: PopTrace,
+    /// Whether the last run stopped at its `k` limit (true) or drained
+    /// its queue (false). A truncated trace ends exactly at its last
+    /// emission — the pop that tripped the limit is never processed, so
+    /// it is not recorded; the sharded merge uses this to decide when a
+    /// shard must be re-run with a higher limit.
+    pub(crate) truncated: bool,
+}
+
+impl SearchScratch {
+    /// A fresh, empty scratch.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A pending db-page: a contiguous run `[lo..=hi]` of fragments within
 /// one equality group. Per-keyword occurrences of the assembled page
@@ -56,12 +145,10 @@ impl Ord for Candidate {
         // Max-heap on score; ties resolved arbitrarily but
         // deterministically (by interval width, then group rank — group
         // ids rank equality keys, so this matches ordering by key).
-        self.score
-            .partial_cmp(&other.score)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| (other.hi - other.lo).cmp(&(self.hi - self.lo)))
-            .then_with(|| other.group.cmp(&self.group))
-            .then_with(|| other.lo.cmp(&self.lo))
+        heap_order(
+            (self.score, self.hi - self.lo, self.group.0, self.lo),
+            (other.score, other.hi - other.lo, other.group.0, other.lo),
+        )
     }
 }
 
@@ -73,20 +160,70 @@ pub fn top_k(
     index: &FragmentIndex,
     request: &SearchRequest,
 ) -> Vec<SearchHit> {
-    if request.k == 0 || request.keywords.is_empty() {
+    let idf = request_idf(index, request);
+    top_k_in(
+        app,
+        index,
+        request,
+        &idf,
+        request.k,
+        0,
+        false,
+        &mut SearchScratch::new(),
+    )
+}
+
+/// Per-request-keyword `IDF_w = 1 / |L_w|`, read from one index (the
+/// single-engine IDF source; the sharded engine supplies global IDF
+/// computed across shards instead).
+pub(crate) fn request_idf(index: &FragmentIndex, request: &SearchRequest) -> Vec<f64> {
+    request
+        .keywords
+        .iter()
+        .map(|w| {
+            index
+                .inverted
+                .kw(w)
+                .map_or(0.0, |kw| index.inverted.idf_kw(kw))
+        })
+        .collect()
+}
+
+/// The full heap loop, parameterized for sharded execution: `idf` is
+/// supplied by the caller (a shard must score with *global* IDF, not
+/// its local fragment frequencies), `k_limit` caps emissions
+/// independently of `request.k` (shards first run with an optimistic
+/// share of the global `k`), `group_offset` translates this index's
+/// group ranks to global ranks in the recorded trace, and `record`
+/// controls whether `scratch.trace` captures the pop sequence. With
+/// `idf` computed from `index` itself, `k_limit = request.k`, offset 0
+/// and recording off, this is exactly [`top_k`].
+///
+/// Because `k_limit` only appears in the stop condition, a limited
+/// run's pop trace is a *prefix* of the unlimited run's — the property
+/// the sharded engine's adaptive re-run logic relies on.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn top_k_in(
+    app: &WebApplication,
+    index: &FragmentIndex,
+    request: &SearchRequest,
+    idf: &[f64],
+    k_limit: usize,
+    group_offset: u32,
+    record: bool,
+    scratch: &mut SearchScratch,
+) -> Vec<SearchHit> {
+    scratch.trace.clear();
+    scratch.truncated = false;
+    if k_limit == 0 || request.keywords.is_empty() {
         return Vec::new();
     }
 
-    // Resolve request keywords to interned handles once; `IDF_w` is
-    // 1 / |fragments containing w|.
+    // Resolve request keywords to interned handles once.
     let kws: Vec<Option<Kw>> = request
         .keywords
         .iter()
         .map(|w| index.inverted.kw(w))
-        .collect();
-    let idf: Vec<f64> = kws
-        .iter()
-        .map(|kw| kw.map_or(0.0, |kw| index.inverted.idf_kw(kw)))
         .collect();
     let width = kws.len();
 
@@ -104,12 +241,14 @@ pub fn top_k(
         .map(|kw| kw.map_or(&[][..], |kw| index.inverted.postings_kw(kw)))
         .collect();
     let mut cursors: Vec<usize> = vec![0; width];
-    let mut seeded = SeededSet::with_capacity(index.catalog.len());
+    let mut seeded = SeededSet::reuse(&mut scratch.seeded_bits, index.catalog.len());
     let mut queue: BinaryHeap<Candidate> = BinaryHeap::new();
     // Per-candidate keyword-occurrence rows, appended as candidates are
     // created and addressed by offset — candidates stay `Copy` and
-    // expansion never clones a vector.
-    let mut occ_pool: Vec<u64> = Vec::with_capacity(64 * width);
+    // expansion never clones a vector. The pool's allocation lives in
+    // the (possibly pooled) scratch.
+    let occ_pool: &mut Vec<u64> = &mut scratch.occ_pool;
+    occ_pool.clear();
 
     // Occurrences of one queried keyword in an arbitrary fragment (an
     // expansion neighbor): a binary-search probe of the
@@ -124,7 +263,7 @@ pub fn top_k(
         postings
             .iter()
             .zip(cursors)
-            .zip(&idf)
+            .zip(idf)
             .map(|((list, &cur), &idf_w)| list.get(cur).map_or(0.0, |p| p.tf * idf_w))
             .sum()
     };
@@ -163,7 +302,7 @@ pub fn top_k(
             }
             let total_keywords = index.catalog.total_keywords(posting.frag);
             let row = &occ_pool[occ_offset as usize * width..];
-            let score = score_of(&row[..width], total_keywords, &idf);
+            let score = score_of(&row[..width], total_keywords, idf);
             queue.push(Candidate {
                 score,
                 group: node.group,
@@ -185,21 +324,34 @@ pub fn top_k(
 
     // Lines 4–9.
     loop {
-        // Top up the queue until its head provably dominates every
-        // unseeded fragment.
+        // Top up the queue until its head *strictly* dominates every
+        // unseeded fragment. Seeding through score ties (`<=`, not `<`)
+        // is what makes the pop sequence independent of the seeding
+        // schedule — the property the sharded trace merge relies on.
         while queue
             .peek()
-            .is_none_or(|head| head.score < frontier_bound(&cursors))
+            .is_none_or(|head| head.score <= frontier_bound(&cursors))
         {
-            if !seed_one(&mut cursors, &mut seeded, &mut queue, &mut occ_pool) {
+            if !seed_one(&mut cursors, &mut seeded, &mut queue, &mut *occ_pool) {
                 break;
             }
         }
         let Some(candidate) = queue.pop() else {
             break;
         };
-        if output.len() >= request.k {
+        if output.len() >= k_limit {
+            // This pop is never processed — not recorded either.
+            scratch.truncated = true;
             break;
+        }
+        if record {
+            scratch.trace.push(PopEvent {
+                score: candidate.score,
+                width: candidate.hi - candidate.lo,
+                group: group_offset + candidate.group.0,
+                lo: candidate.lo,
+                emitted: false,
+            });
         }
         // Dead singleton (absorbed by an earlier expansion)?
         if candidate.lo == candidate.hi && absorbed.contains(&(candidate.group, candidate.lo)) {
@@ -229,6 +381,9 @@ pub fn top_k(
                     .or_default()
                     .push((candidate.lo, candidate.hi));
                 output.push(hit);
+                if record {
+                    scratch.trace.last_mut().expect("pop recorded").emitted = true;
+                }
             }
             continue;
         }
@@ -269,7 +424,7 @@ pub fn top_k(
         }
         expanded.total_keywords += index.catalog.total_keywords(neighbor);
         let row = expanded.occ_offset as usize * width;
-        expanded.score = score_of(&occ_pool[row..row + width], expanded.total_keywords, &idf);
+        expanded.score = score_of(&occ_pool[row..row + width], expanded.total_keywords, idf);
         absorbed.insert((candidate.group, new_pos));
         queue.push(expanded);
     }
@@ -278,16 +433,18 @@ pub fn top_k(
 }
 
 /// A dense seen-set over fragment handles (one bit per interned
-/// fragment — no hashing on the seeding path).
-struct SeededSet {
-    bits: Vec<u64>,
+/// fragment — no hashing on the seeding path). Backed by a borrowed,
+/// pooled bit vector.
+struct SeededSet<'a> {
+    bits: &'a mut Vec<u64>,
 }
 
-impl SeededSet {
-    fn with_capacity(fragments: usize) -> Self {
-        SeededSet {
-            bits: vec![0; fragments.div_ceil(64)],
-        }
+impl<'a> SeededSet<'a> {
+    /// Clears and resizes a pooled bit vector for `fragments` handles.
+    fn reuse(bits: &'a mut Vec<u64>, fragments: usize) -> Self {
+        bits.clear();
+        bits.resize(fragments.div_ceil(64), 0);
+        SeededSet { bits }
     }
 
     /// Marks `frag`; returns whether it was newly marked.
@@ -300,6 +457,8 @@ impl SeededSet {
     }
 }
 
+/// TF·IDF score of an assembled page: per queried keyword,
+/// `(occurrences / page size) × IDF_w`, summed.
 fn score_of(occurrences: &[u64], total_keywords: u64, idf: &[f64]) -> f64 {
     if total_keywords == 0 {
         return 0.0;

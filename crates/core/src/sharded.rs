@@ -1,0 +1,539 @@
+//! Sharded, concurrent top-k search over the fragment handle space.
+//!
+//! The dense `Frag`/`GroupId` handle space exists to be partitioned:
+//! [`ShardedEngine`] splits the equality groups into `N` contiguous
+//! runs of global key-rank order, builds each shard its own
+//! [`FragmentIndex`] (catalog, posting arenas, graph slice), runs the
+//! top-k heap loop per shard on scoped threads with pooled scratch, and
+//! merges the per-shard results into **byte-identical** output to
+//! [`DashEngine::search`](crate::engine::DashEngine::search) for any
+//! shard count.
+//!
+//! ## Why the merge is exact
+//!
+//! Algorithm 1's priority queue interleaves candidates from many
+//! equality groups, but every state transition — expansion, absorption,
+//! overlap suppression — is confined to one group. The pop sequence of
+//! the global heap restricted to any subset of groups therefore equals
+//! the pop sequence of searching that subset alone, *provided* the pop
+//! order is independent of the lazy seeding schedule — which
+//! [`top_k`](crate::search::top_k) guarantees by seeding through score
+//! ties (a popped candidate strictly dominates every unseeded
+//! fragment). Each shard records its pop sequence as a
+//! [`PopTrace`](crate::search::PopTrace); replaying the global heap is
+//! then a greedy merge: repeatedly take the shard whose next pop ranks
+//! highest under the exact candidate ordering. Three details make the
+//! per-shard runs bit-compatible with the single-heap run:
+//!
+//! * **Global IDF** — shards score with `1 / |L_w|` over *all*
+//!   fragments, not their local fragment frequencies;
+//! * **Global group ranks** — shards hold contiguous runs of key-rank
+//!   order, so `local rank + shard offset = global rank`, preserving
+//!   the heap's deterministic tie-break;
+//! * **Identical arithmetic** — a group's candidates evolve through the
+//!   same operation sequence in both runs, so every score is the same
+//!   `f64` bit pattern.
+//!
+//! The equivalence is enforced by `tests/sharded_equivalence.rs`
+//! (golden datasets + property tests over random datasets, keywords and
+//! shard counts) and exercised concurrently by `tests/sharded_stress.rs`.
+
+use std::collections::BTreeMap;
+
+use dash_mapreduce::WorkflowStats;
+use dash_relation::{Database, Value};
+use dash_webapp::WebApplication;
+use parking_lot::Mutex;
+
+use crate::crawl;
+use crate::engine::{validate_query, DashConfig};
+use crate::fragment::Fragment;
+use crate::index::FragmentIndex;
+use crate::par;
+use crate::search::topk::top_k_in;
+use crate::search::{PopEvent, PopTrace, SearchHit, SearchRequest, SearchScratch};
+use crate::Result;
+
+/// The shard count configured in the environment (`DASH_SHARDS`), if
+/// set to a positive integer. Deployments and the CI matrix use this to
+/// pick the partition width without code changes.
+pub fn env_shards() -> Option<usize> {
+    parse_shards(&std::env::var("DASH_SHARDS").ok()?)
+}
+
+/// Parses a shard-count setting: a positive integer, or nothing.
+fn parse_shards(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// One shard: a self-contained fragment index over a contiguous run of
+/// equality groups, plus the rank offset translating its local group
+/// ids back to global ranks.
+#[derive(Debug)]
+struct Shard {
+    index: FragmentIndex,
+    group_offset: u32,
+}
+
+/// A Dash engine whose handle space is partitioned into `N` shards,
+/// searched concurrently and merged deterministically. Search results
+/// are byte-identical to a single-shard [`DashEngine`] over the same
+/// fragments, for any shard count ≥ 1.
+///
+/// [`DashEngine`]: crate::engine::DashEngine
+#[derive(Debug)]
+pub struct ShardedEngine {
+    app: WebApplication,
+    shards: Vec<Shard>,
+    /// Per-shard pools of reusable search scratch (occurrence pool,
+    /// seed bitset). Concurrent searches pop a scratch, run, push it
+    /// back; `search_many` reuses one scratch across a whole batch.
+    pools: Vec<Mutex<Vec<SearchScratch>>>,
+    crawl_stats: WorkflowStats,
+    fragment_count: usize,
+}
+
+impl ShardedEngine {
+    /// Crawls the database and builds a sharded engine — the sharded
+    /// counterpart of [`DashEngine::build`](crate::DashEngine::build).
+    /// `shards` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DashEngine::build`](crate::DashEngine::build).
+    pub fn build(
+        app: &WebApplication,
+        db: &Database,
+        config: &DashConfig,
+        shards: usize,
+    ) -> Result<Self> {
+        validate_query(app)?;
+        let crawl = crawl::run_scoped(app, db, &config.cluster, config.algorithm, &config.scope)?;
+        Self::from_fragments(app.clone(), &crawl.fragments, shards, crawl.stats)
+    }
+
+    /// Builds a sharded engine from already-derived fragments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query validation and index-construction errors.
+    pub fn from_fragments(
+        app: WebApplication,
+        fragments: &[Fragment],
+        shards: usize,
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        validate_query(&app)?;
+        let range_position = app.query.range_selection_index();
+        let shards = shards.max(1);
+
+        // Partition equality groups into contiguous runs of key-rank
+        // order, balanced by fragment count; each shard's local group
+        // ranks then map to global ranks by a constant offset.
+        let parts = partition(fragments, range_position, shards);
+        let offsets: Vec<u32> = {
+            let mut offsets = Vec::with_capacity(parts.len());
+            let mut total = 0u32;
+            for part in &parts {
+                offsets.push(total);
+                total += part.groups as u32;
+            }
+            offsets
+        };
+        let built: Vec<Result<FragmentIndex>> = par::map(parts, |part| {
+            FragmentIndex::build(&part.fragments, range_position)
+        });
+        let mut shard_vec = Vec::with_capacity(built.len());
+        for (index, group_offset) in built.into_iter().zip(offsets) {
+            shard_vec.push(Shard {
+                index: index?,
+                group_offset,
+            });
+        }
+        let pools = shard_vec.iter().map(|_| Mutex::new(Vec::new())).collect();
+        Ok(ShardedEngine {
+            app,
+            shards: shard_vec,
+            pools,
+            crawl_stats,
+            fragment_count: fragments.len(),
+        })
+    }
+
+    /// Top-k db-page search — byte-identical to
+    /// [`DashEngine::search`](crate::DashEngine::search) over the same
+    /// fragments, computed as per-shard searches plus a deterministic
+    /// trace merge.
+    pub fn search(&self, request: &SearchRequest) -> Vec<SearchHit> {
+        self.search_many(std::slice::from_ref(request))
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Batched top-k: answers every request, reusing one pooled scratch
+    /// per shard across the whole batch (the per-query allocation cost
+    /// is paid once per shard, not once per request). Results are
+    /// position-aligned with `requests` and each is byte-identical to
+    /// the corresponding [`ShardedEngine::search`] call.
+    ///
+    /// Shards first run with an *adaptive* emission limit of
+    /// `⌈k / N⌉ + 2` (the global top-k rarely takes more than its share
+    /// from one shard); if the merge drains a limit-truncated trace
+    /// before `k` global emissions, that shard — and only that shard —
+    /// re-runs at the full `k` and the (cheap) merge restarts. At full
+    /// `k` a drained truncated trace implies `k` merged emissions, so
+    /// at most one re-run per shard per request.
+    pub fn search_many(&self, requests: &[SearchRequest]) -> Vec<Vec<SearchHit>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let shard_count = self.shards.len();
+        let idfs: Vec<Vec<f64>> = requests
+            .iter()
+            .map(|r| r.keywords.iter().map(|w| self.global_idf(w)).collect())
+            .collect();
+        let mut limits: Vec<Vec<usize>> = requests
+            .iter()
+            .map(|r| vec![initial_limit(r.k, shard_count); shard_count])
+            .collect();
+        let mut runs: Vec<Vec<Option<ShardRun>>> = requests
+            .iter()
+            .map(|_| (0..shard_count).map(|_| None).collect())
+            .collect();
+        // Per request: the global emission order (shard index per
+        // emitted hit), filled in by the successful shortfall walk so
+        // the final extraction never re-walks a trace.
+        let mut orders: Vec<Option<Vec<usize>>> = vec![None; requests.len()];
+        // First round runs every shard; re-run rounds only the shards a
+        // merge sent back for a deeper pass.
+        let mut pending: Vec<usize> = (0..shard_count).collect();
+        while !pending.is_empty() {
+            // Parallel phase: one scoped worker per pending shard runs
+            // that shard's pending requests with one reused scratch.
+            let produced: Vec<(usize, Vec<(usize, ShardRun)>)> =
+                par::map(std::mem::take(&mut pending), |s| {
+                    let shard = &self.shards[s];
+                    let mut scratch = self.pools[s].lock().pop().unwrap_or_default();
+                    let mut out = Vec::new();
+                    for (r, request) in requests.iter().enumerate() {
+                        if runs[r][s].is_some() {
+                            continue;
+                        }
+                        let hits = top_k_in(
+                            &self.app,
+                            &shard.index,
+                            request,
+                            &idfs[r],
+                            limits[r][s],
+                            shard.group_offset,
+                            true,
+                            &mut scratch,
+                        );
+                        out.push((
+                            r,
+                            ShardRun {
+                                hits,
+                                trace: std::mem::take(&mut scratch.trace),
+                                truncated: scratch.truncated,
+                            },
+                        ));
+                    }
+                    self.pools[s].lock().push(scratch);
+                    (s, out)
+                });
+            for (s, jobs) in produced {
+                for (r, run) in jobs {
+                    runs[r][s] = Some(run);
+                }
+            }
+            // Merge walk: fixes each request's emission order, or sends
+            // truncated shards back for a full-k pass.
+            for (r, request) in requests.iter().enumerate() {
+                if orders[r].is_some() {
+                    continue;
+                }
+                match merge_order(&runs[r], request.k) {
+                    Ok(order) => orders[r] = Some(order),
+                    Err(short) => {
+                        for s in short {
+                            limits[r][s] = request.k;
+                            runs[r][s] = None;
+                            if !pending.contains(&s) {
+                                pending.push(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        runs.into_iter()
+            .zip(orders)
+            .map(|(shard_runs, order)| {
+                extract_hits(shard_runs, order.expect("every request merged"))
+            })
+            .collect()
+    }
+
+    /// The analyzed application this engine serves.
+    pub fn app(&self) -> &WebApplication {
+        &self.app
+    }
+
+    /// Number of shards the handle space is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of indexed fragments across all shards.
+    pub fn fragment_count(&self) -> usize {
+        self.fragment_count
+    }
+
+    /// Per-shard fragment counts (the partition balance).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.index.fragment_count())
+            .collect()
+    }
+
+    /// Statistics of the crawl workflow that fed this engine.
+    pub fn crawl_stats(&self) -> &WorkflowStats {
+        &self.crawl_stats
+    }
+
+    /// Global `IDF_w = 1 / |L_w|` over all shards: every fragment lives
+    /// in exactly one shard, so the global fragment frequency is the
+    /// sum of the shards' local ones.
+    fn global_idf(&self, word: &str) -> f64 {
+        let df: usize = self.shards.iter().map(|s| s.index.inverted.df(word)).sum();
+        if df == 0 {
+            0.0
+        } else {
+            1.0 / df as f64
+        }
+    }
+}
+
+/// One shard's slice of the input: its fragments (input order
+/// preserved) and how many equality groups they span.
+struct Part {
+    fragments: Vec<Fragment>,
+    groups: usize,
+}
+
+/// Splits fragments into `shards` contiguous runs of group-key rank,
+/// balancing by fragment count (a group is never split — group-local
+/// candidate evolution is the unit of equivalence).
+fn partition(fragments: &[Fragment], range_position: Option<usize>, shards: usize) -> Vec<Part> {
+    // Group key → member fragment indices, in key order (BTreeMap) with
+    // input order preserved within each group.
+    let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fragments.iter().enumerate() {
+        // The graph's own key derivation — partition order must stay in
+        // lockstep with `FragmentGraph`'s grouping.
+        let key = crate::index::graph::group_key(&f.id, range_position);
+        groups.entry(key).or_default().push(i);
+    }
+    let total = fragments.len().max(1);
+    let mut parts: Vec<Part> = (0..shards)
+        .map(|_| Part {
+            fragments: Vec::new(),
+            groups: 0,
+        })
+        .collect();
+    let mut assigned = 0usize;
+    for members in groups.values() {
+        // Contiguous, monotone assignment: the group's shard is chosen
+        // by how much of the fragment mass precedes it.
+        let shard = (assigned * shards / total).min(shards - 1);
+        let part = &mut parts[shard];
+        part.groups += 1;
+        for &i in members {
+            part.fragments.push(fragments[i].clone());
+        }
+        assigned += members.len();
+    }
+    parts
+}
+
+/// One shard's answer to one request: its hits, its pop trace, and
+/// whether the run stopped at its emission limit.
+#[derive(Debug)]
+struct ShardRun {
+    hits: Vec<SearchHit>,
+    trace: PopTrace,
+    truncated: bool,
+}
+
+/// The optimistic first-pass emission limit per shard: the global top-k
+/// rarely takes much more than `k / N` hits from one shard, and a
+/// wrong guess only costs that shard a second (full-`k`) run.
+fn initial_limit(k: usize, shards: usize) -> usize {
+    if shards <= 1 || k == 0 {
+        return k;
+    }
+    (k.div_ceil(shards) + 2).min(k)
+}
+
+/// Replays the global heap order over per-shard pop traces: repeatedly
+/// advance the shard whose next pop ranks highest (the exact candidate
+/// ordering), invoking `on_emit(shard)` for every emitted pop, until
+/// `k` emissions or every trace drains. Returns the shards whose
+/// *limit-truncated* traces drained before `k` emissions — the true
+/// heap would process pops past their limits, so they must re-run
+/// deeper; an empty list means the walk is the exact global order.
+fn walk_merged_pops<F: FnMut(usize)>(
+    traces: &[&PopTrace],
+    truncated: &[bool],
+    k: usize,
+    mut on_emit: F,
+) -> Vec<usize> {
+    let mut cursors = vec![0usize; traces.len()];
+    let mut emitted = 0usize;
+    while emitted < k {
+        let mut best: Option<(usize, PopEvent)> = None;
+        for (s, trace) in traces.iter().enumerate() {
+            if let Some(&event) = trace.get(cursors[s]) {
+                if best.is_none_or(|(_, b)| event.heap_cmp(&b) == std::cmp::Ordering::Greater) {
+                    best = Some((s, event));
+                }
+            }
+        }
+        let Some((s, event)) = best else {
+            // Every trace drained short of k: any truncated shard may be
+            // hiding higher-ranked pops beyond its limit.
+            return (0..traces.len()).filter(|&s| truncated[s]).collect();
+        };
+        cursors[s] += 1;
+        if event.emitted {
+            emitted += 1;
+            on_emit(s);
+        }
+        if cursors[s] == traces[s].len() && truncated[s] && emitted < k {
+            return vec![s];
+        }
+    }
+    Vec::new()
+}
+
+/// One merge walk per request: `Ok` carries the global emission order
+/// (shard index per emitted hit, ready for [`extract_hits`]); `Err`
+/// carries the shards that must re-run deeper first.
+fn merge_order(runs: &[Option<ShardRun>], k: usize) -> std::result::Result<Vec<usize>, Vec<usize>> {
+    let traces: Vec<&PopTrace> = runs
+        .iter()
+        .map(|run| &run.as_ref().expect("shard run present").trace)
+        .collect();
+    let truncated: Vec<bool> = runs
+        .iter()
+        .map(|run| run.as_ref().expect("shard run present").truncated)
+        .collect();
+    let mut order = Vec::new();
+    let shortfall = walk_merged_pops(&traces, &truncated, k, |s| order.push(s));
+    if shortfall.is_empty() {
+        Ok(order)
+    } else {
+        Err(shortfall)
+    }
+}
+
+/// Moves hits out of the shard runs in the emission order a successful
+/// [`merge_order`] walk fixed — no hit is cloned, no trace re-walked.
+fn extract_hits(runs: Vec<Option<ShardRun>>, order: Vec<usize>) -> Vec<SearchHit> {
+    let mut hits: Vec<std::vec::IntoIter<SearchHit>> = runs
+        .into_iter()
+        .map(|run| run.expect("shard run present").hits.into_iter())
+        .collect();
+    order
+        .into_iter()
+        .map(|s| hits[s].next().expect("a hit per emitted pop"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DashEngine;
+    use dash_webapp::fooddb;
+
+    fn fooddb_parts() -> (WebApplication, Database) {
+        (fooddb::search_application().unwrap(), fooddb::database())
+    }
+
+    #[test]
+    fn matches_single_engine_on_running_example() {
+        let (app, db) = fooddb_parts();
+        let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
+        for shards in 1..=4 {
+            let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+            assert_eq!(sharded.shard_count(), shards);
+            assert_eq!(sharded.fragment_count(), single.fragment_count());
+            for (keywords, k, s) in [
+                (vec!["burger"], 2, 20),
+                (vec!["burger"], 10, 1),
+                (vec!["burger", "fries"], 5, 1),
+                (vec!["american"], 10, 1),
+                (vec!["zzz"], 3, 10),
+            ] {
+                let req = SearchRequest::new(&keywords).k(k).min_size(s);
+                assert_eq!(
+                    sharded.search(&req),
+                    single.search(&req),
+                    "shards={shards} keywords={keywords:?} k={k} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        let (app, db) = fooddb_parts();
+        let crawl = crawl::run(&app, &db, &Default::default(), Default::default()).unwrap();
+        let parts = partition(&crawl.fragments, app.query.range_selection_index(), 3);
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(|p| p.fragments.len()).sum();
+        assert_eq!(total, crawl.fragments.len());
+        let groups: usize = parts.iter().map(|p| p.groups).sum();
+        assert_eq!(groups, 2); // American + Thai
+    }
+
+    #[test]
+    fn search_many_matches_search() {
+        let (app, db) = fooddb_parts();
+        let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let requests = vec![
+            SearchRequest::new(&["burger"]).k(2).min_size(20),
+            SearchRequest::new(&["fries"]).k(3).min_size(1),
+            SearchRequest::new(&["burger", "thai"]).k(4).min_size(5),
+        ];
+        let batch = sharded.search_many(&requests);
+        assert_eq!(batch.len(), requests.len());
+        for (request, batch_hits) in requests.iter().zip(&batch) {
+            assert_eq!(batch_hits, &sharded.search(request));
+        }
+        assert!(sharded.search_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn more_shards_than_groups_still_works() {
+        let (app, db) = fooddb_parts();
+        let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
+        // fooddb has 2 equality groups; ask for 8 shards (most empty).
+        let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 8).unwrap();
+        let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
+        assert_eq!(sharded.search(&req), single.search(&req));
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn shard_setting_parses() {
+        // The parser alone — mutating the process environment races
+        // other test threads' getenv calls.
+        assert_eq!(parse_shards("4"), Some(4));
+        assert_eq!(parse_shards(" 2 "), Some(2));
+        assert_eq!(parse_shards("0"), None);
+        assert_eq!(parse_shards("nope"), None);
+        assert_eq!(parse_shards(""), None);
+    }
+}

@@ -59,6 +59,7 @@ pub use dash_webapp as webapp;
 pub mod prelude {
     pub use dash_core::{
         DashConfig, DashEngine, Fragment, FragmentId, FragmentIndex, SearchHit, SearchRequest,
+        ShardedEngine,
     };
     pub use dash_relation::{Database, Record, Schema, Table, Value};
     pub use dash_webapp::{DbPage, QueryString, WebApplication};

@@ -1,0 +1,147 @@
+//! Persistence round-trips through the handle-based index: fragments
+//! written with `persist::write_fragments` and read back must rebuild
+//! engines — single *and* sharded — whose searches are byte-identical
+//! to the originals. The columnar arenas (catalog columns, posting
+//! arenas, group columns) are all derived from the fragment stream, so
+//! this pins the whole save → ship → serve path the paper's hours-long
+//! crawls motivate.
+
+use dash::core::crawl::reference;
+use dash::core::persist::{read_fragments, write_fragments};
+use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::mapreduce::WorkflowStats;
+use dash::webapp::fooddb;
+use dash_tpch::{generate, Scale, TpchConfig};
+
+#[test]
+fn fooddb_roundtrip_preserves_all_search_results() {
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let fragments = reference::fragments(&app, &db).unwrap();
+
+    let mut buf = Vec::new();
+    write_fragments(&mut buf, &fragments).unwrap();
+    let loaded = read_fragments(buf.as_slice()).unwrap();
+    assert_eq!(loaded, fragments);
+
+    let original =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+    let restored = DashEngine::from_fragments(app, &loaded, WorkflowStats::new()).unwrap();
+    assert_eq!(original.fragment_count(), restored.fragment_count());
+    for (keywords, k, s) in [
+        (vec!["burger"], 2, 20u64),
+        (vec!["burger", "fries"], 5, 1),
+        (vec!["american"], 10, 1),
+        (vec!["thai"], 3, 100),
+    ] {
+        let request = SearchRequest::new(&keywords).k(k).min_size(s);
+        assert_eq!(original.search(&request), restored.search(&request));
+    }
+}
+
+#[test]
+fn tpch_q2_roundtrip_preserves_index_and_search() {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 40;
+    config.base_parts = 50;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    assert!(!fragments.is_empty());
+
+    let mut buf = Vec::new();
+    write_fragments(&mut buf, &fragments).unwrap();
+    let loaded = read_fragments(buf.as_slice()).unwrap();
+    assert_eq!(loaded, fragments);
+
+    let original =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+    let restored = DashEngine::from_fragments(app, &loaded, WorkflowStats::new()).unwrap();
+    // The rebuilt columnar arenas carry identical statistics...
+    assert_eq!(
+        original.index().inverted.posting_count(),
+        restored.index().inverted.posting_count()
+    );
+    assert_eq!(
+        original.index().graph.edge_count(),
+        restored.index().graph.edge_count()
+    );
+    assert_eq!(
+        original.index().inverted.keywords_by_df(),
+        restored.index().inverted.keywords_by_df()
+    );
+    // ...and identical search behavior across keyword temperatures.
+    let ranked = original.index().inverted.keywords_by_df();
+    for idx in [0, ranked.len() / 2, ranked.len() - 1] {
+        let word = ranked[idx].0;
+        for s in [1u64, 100, 1000] {
+            let request = SearchRequest::new(&[word]).k(10).min_size(s);
+            assert_eq!(
+                original.search(&request),
+                restored.search(&request),
+                "{word} s={s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_engine_from_persisted_fragments_matches_original() {
+    // The serving-tier story: crawl once, persist, load on a serving
+    // node, shard there — results must match the crawl-side engine.
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let fragments = reference::fragments(&app, &db).unwrap();
+    let crawl_side =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+
+    let mut buf = Vec::new();
+    write_fragments(&mut buf, &fragments).unwrap();
+    let loaded = read_fragments(buf.as_slice()).unwrap();
+
+    for shards in [1, 2, 4] {
+        let serving =
+            ShardedEngine::from_fragments(app.clone(), &loaded, shards, WorkflowStats::new())
+                .unwrap();
+        for (keywords, k, s) in [
+            (vec!["burger"], 2, 20u64),
+            (vec!["burger", "fries"], 5, 1),
+            (vec!["american"], 10, 1),
+        ] {
+            let request = SearchRequest::new(&keywords).k(k).min_size(s);
+            assert_eq!(
+                serving.search(&request),
+                crawl_side.search(&request),
+                "shards={shards} keywords={keywords:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn roundtrip_then_incremental_maintenance_matches_rebuild() {
+    // Persistence composes with maintenance: load, mutate, and the
+    // index must behave like one rebuilt from the mutated set.
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let fragments = reference::fragments(&app, &db).unwrap();
+
+    let mut buf = Vec::new();
+    write_fragments(&mut buf, &fragments).unwrap();
+    let loaded = read_fragments(buf.as_slice()).unwrap();
+
+    let mut engine =
+        DashEngine::from_fragments(app.clone(), &loaded, WorkflowStats::new()).unwrap();
+    let removed = loaded[0].id.clone();
+    assert!(engine.index_mut().remove_fragment(&removed));
+    let remaining: Vec<_> = loaded[1..].to_vec();
+    let rebuilt = DashEngine::from_fragments(app, &remaining, WorkflowStats::new()).unwrap();
+    for keywords in [vec!["burger"], vec!["american"], vec!["thai"]] {
+        let request = SearchRequest::new(&keywords).k(10).min_size(1);
+        assert_eq!(
+            engine.search(&request),
+            rebuilt.search(&request),
+            "{keywords:?}"
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The sharded-equivalence test tier: `ShardedEngine` must return
+//! **byte-identical** `SearchHit` lists to `DashEngine` over the same
+//! fragments, for every shard count — the correctness contract the
+//! whole shard layer rests on (exact tie-breaking, score-equal hits and
+//! per-shard lazy seeding are all places a sharded ranker can silently
+//! diverge).
+//!
+//! Three layers of evidence:
+//!
+//! * golden datasets — the paper's running example (fooddb) and the
+//!   TPC-H Q2 micro workload, shard counts 1–8, hot/cold keywords;
+//! * property tests — random fragment sets, random keyword mixes,
+//!   random `k`/`s`, shard counts {1, 2, 3, 8};
+//! * environment axis — when `DASH_SHARDS` is set (the CI matrix runs
+//!   the suite under `DASH_SHARDS=1` and `DASH_SHARDS=4`), that count
+//!   joins every comparison.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dash::core::crawl::reference;
+use dash::core::{
+    env_shards, DashConfig, DashEngine, Fragment, FragmentId, SearchRequest, ShardedEngine,
+};
+use dash::mapreduce::WorkflowStats;
+use dash::relation::Value;
+use dash::webapp::{fooddb, WebApplication};
+use dash_tpch::{generate, Scale, TpchConfig};
+
+/// The shard counts every comparison runs: 1–8 plus the environment's
+/// `DASH_SHARDS`, if any.
+fn shard_counts() -> Vec<usize> {
+    let mut counts: Vec<usize> = (1..=8).collect();
+    if let Some(n) = env_shards() {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    counts
+}
+
+fn assert_equivalent(
+    app: &WebApplication,
+    fragments: &[Fragment],
+    requests: &[SearchRequest],
+    context: &str,
+) {
+    let single = DashEngine::from_fragments(app.clone(), fragments, WorkflowStats::new())
+        .expect("single engine builds");
+    for shards in shard_counts() {
+        let sharded =
+            ShardedEngine::from_fragments(app.clone(), fragments, shards, WorkflowStats::new())
+                .expect("sharded engine builds");
+        for request in requests {
+            assert_eq!(
+                sharded.search(request),
+                single.search(request),
+                "{context}: shards={shards} keywords={:?} k={} s={}",
+                request.keywords,
+                request.k,
+                request.min_size
+            );
+        }
+        // The batched path must agree with itself and with the single
+        // engine, request for request.
+        let batch = sharded.search_many(requests);
+        let single_batch = single.search_many(requests);
+        for ((request, sharded_hits), single_hits) in requests.iter().zip(&batch).zip(&single_batch)
+        {
+            assert_eq!(
+                sharded_hits, single_hits,
+                "{context} (batched): shards={shards} keywords={:?}",
+                request.keywords
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_fooddb_all_shard_counts() {
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let fragments = reference::fragments(&app, &db).unwrap();
+    let requests = vec![
+        SearchRequest::new(&["burger"]).k(2).min_size(20),
+        SearchRequest::new(&["burger"]).k(3).min_size(1),
+        SearchRequest::new(&["burger"]).k(1).min_size(10_000),
+        SearchRequest::new(&["burger", "fries"]).k(2).min_size(1),
+        SearchRequest::new(&["american"]).k(10).min_size(1),
+        SearchRequest::new(&["thai", "burger"]).k(5).min_size(5),
+        SearchRequest::new(&["zzzqqq"]).k(5).min_size(1),
+    ];
+    assert_equivalent(&app, &fragments, &requests, "fooddb");
+}
+
+#[test]
+fn golden_tpch_q2_all_shard_counts() {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 60;
+    config.base_parts = 80;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+
+    // Keyword temperatures straight from the data: hottest, middling,
+    // rarest — plus a multi-keyword mix and a miss.
+    let single = DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+    let ranked = single.index().inverted.keywords_by_df();
+    assert!(ranked.len() >= 3, "Q2 corpus has keywords");
+    let hot = ranked[0].0.to_string();
+    let warm = ranked[ranked.len() / 2].0.to_string();
+    let cold = ranked[ranked.len() - 1].0.to_string();
+    let requests = vec![
+        SearchRequest::new(&[&hot]).k(10).min_size(100),
+        SearchRequest::new(&[&hot]).k(10).min_size(1000),
+        SearchRequest::new(&[&warm]).k(5).min_size(100),
+        SearchRequest::new(&[&cold]).k(3).min_size(1),
+        SearchRequest::new(&[&hot, &warm]).k(10).min_size(200),
+        SearchRequest::new(&[&hot, &cold, &warm]).k(7).min_size(50),
+        SearchRequest::new(&["nosuchkeyword"]).k(4).min_size(10),
+    ];
+    assert_equivalent(&app, &fragments, &requests, "tpch-q2");
+}
+
+#[test]
+fn sharded_engine_crawl_build_matches_single() {
+    // End-to-end parity: both engines crawl the database themselves.
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
+    let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+    assert_eq!(sharded.fragment_count(), single.fragment_count());
+    assert!(sharded.crawl_stats().sim_total_secs() > 0.0);
+    let req = SearchRequest::new(&["burger"]).k(2).min_size(20);
+    assert_eq!(sharded.search(&req), single.search(&req));
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random datasets, keywords and shard counts.
+// ---------------------------------------------------------------------
+
+const EQ_KEYS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+const VOCAB: [&str; 10] = [
+    "burger", "fries", "noodle", "spicy", "fresh", "crispy", "sweet", "salty", "ghost", "phantom",
+];
+
+/// One generated fragment: an equality key, a range value, and keyword
+/// occurrences drawn from the first 8 vocabulary words ("ghost" and
+/// "phantom" only ever appear in *queries*, covering the
+/// unknown-keyword path).
+#[derive(Debug, Clone)]
+struct GenFragment {
+    eq: usize,
+    range: i64,
+    words: Vec<(usize, u64)>,
+}
+
+fn fragment_strategy() -> impl Strategy<Value = GenFragment> {
+    (
+        0..EQ_KEYS.len(),
+        0i64..15,
+        prop::collection::vec((0usize..8, 1u64..5), 0..4),
+    )
+        .prop_map(|(eq, range, words)| GenFragment { eq, range, words })
+}
+
+/// Materializes generated rows into unique fragments (first occurrence
+/// of an identifier wins, like a crawl's distinct output).
+fn materialize(rows: &[GenFragment]) -> Vec<Fragment> {
+    let mut seen = std::collections::HashSet::new();
+    let mut fragments = Vec::new();
+    for row in rows {
+        let id = FragmentId::new(vec![Value::str(EQ_KEYS[row.eq]), Value::Int(row.range)]);
+        if !seen.insert(id.clone()) {
+            continue;
+        }
+        let mut occ: BTreeMap<String, u64> = BTreeMap::new();
+        for &(w, n) in &row.words {
+            *occ.entry(VOCAB[w].to_string()).or_insert(0) += n;
+        }
+        fragments.push(Fragment::new(id, occ, 1));
+    }
+    fragments
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The core contract: for random datasets, random keyword queries
+    /// and shard counts {1, 2, 3, 8} (plus `DASH_SHARDS`), the sharded
+    /// hit lists are byte-identical to the single engine's.
+    #[test]
+    fn sharded_matches_single_on_random_data(
+        rows in prop::collection::vec(fragment_strategy(), 1..45),
+        query in prop::collection::vec(0usize..VOCAB.len(), 1..4),
+        k in 1usize..12,
+        s in prop::sample::select(vec![1u64, 3, 10, 50]),
+        shards in prop::sample::select(vec![1usize, 2, 3, 8]),
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let fragments = materialize(&rows);
+        let keywords: Vec<&str> = query.iter().map(|&w| VOCAB[w]).collect();
+        let request = SearchRequest::new(&keywords).k(k).min_size(s);
+
+        let single =
+            DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+        let mut counts = vec![shards];
+        if let Some(n) = env_shards() {
+            counts.push(n);
+        }
+        for shards in counts {
+            let sharded =
+                ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
+                    .unwrap();
+            prop_assert_eq!(
+                sharded.search(&request),
+                single.search(&request),
+                "shards={} fragments={} keywords={:?} k={} s={}",
+                shards,
+                fragments.len(),
+                keywords,
+                k,
+                s
+            );
+        }
+    }
+
+    /// Batched search over random request mixes agrees with sequential
+    /// single-request search on both engines.
+    #[test]
+    fn search_many_matches_search_on_random_batches(
+        rows in prop::collection::vec(fragment_strategy(), 5..40),
+        queries in prop::collection::vec(
+            (prop::collection::vec(0usize..VOCAB.len(), 1..3), 1usize..8),
+            1..5
+        ),
+        shards in prop::sample::select(vec![1usize, 2, 3, 8]),
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let fragments = materialize(&rows);
+        let requests: Vec<SearchRequest> = queries
+            .iter()
+            .map(|(words, k)| {
+                let keywords: Vec<&str> = words.iter().map(|&w| VOCAB[w]).collect();
+                SearchRequest::new(&keywords).k(*k).min_size(10)
+            })
+            .collect();
+        let single =
+            DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+        let sharded =
+            ShardedEngine::from_fragments(app, &fragments, shards, WorkflowStats::new()).unwrap();
+        let batch = sharded.search_many(&requests);
+        prop_assert_eq!(batch.len(), requests.len());
+        for (request, hits) in requests.iter().zip(&batch) {
+            prop_assert_eq!(hits, &sharded.search(request));
+            prop_assert_eq!(hits, &single.search(request));
+        }
+    }
+}

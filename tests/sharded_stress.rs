@@ -1,0 +1,122 @@
+//! Concurrency stress: many threads issuing mixed `search` /
+//! `search_many` traffic against one shared `ShardedEngine`. The engine
+//! must stay consistent under contention on its per-shard
+//! `parking_lot` scratch pools — every thread must observe exactly the
+//! single-engine results on every call, with no panics.
+
+use std::sync::Arc;
+use std::thread;
+
+use dash::core::crawl::reference;
+use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::mapreduce::WorkflowStats;
+use dash::webapp::fooddb;
+use dash_tpch::{generate, Scale, TpchConfig};
+
+fn q2_engine_pair(shards: usize) -> (DashEngine, ShardedEngine, Vec<String>) {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 50;
+    config.base_parts = 60;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    let single = DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+    let sharded =
+        ShardedEngine::from_fragments(app, &fragments, shards, WorkflowStats::new()).unwrap();
+    let keywords: Vec<String> = single
+        .index()
+        .inverted
+        .keywords_by_df()
+        .iter()
+        .step_by(7)
+        .take(8)
+        .map(|(w, _)| w.to_string())
+        .collect();
+    (single, sharded, keywords)
+}
+
+#[test]
+fn mixed_concurrent_traffic_stays_consistent() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 25;
+
+    let (single, sharded, keywords) = q2_engine_pair(4);
+    let requests: Vec<SearchRequest> = keywords
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            SearchRequest::new(&[w.as_str()])
+                .k(1 + i % 7)
+                .min_size([1u64, 50, 500][i % 3])
+        })
+        .collect();
+    // Ground truth computed once, single-threaded, on the single engine.
+    let expected: Vec<_> = requests.iter().map(|r| single.search(r)).collect();
+    let expected_batch = expected.clone();
+
+    let sharded = Arc::new(sharded);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let sharded = Arc::clone(&sharded);
+            let requests = requests.clone();
+            let expected = expected.clone();
+            let expected_batch = expected_batch.clone();
+            thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    if (t + round) % 2 == 0 {
+                        // Single-request traffic, rotating through the mix.
+                        let i = (t * 31 + round * 7) % requests.len();
+                        let hits = sharded.search(&requests[i]);
+                        assert_eq!(
+                            hits, expected[i],
+                            "thread {t} round {round} request {i} diverged"
+                        );
+                    } else {
+                        // Batched traffic over the whole mix.
+                        let batch = sharded.search_many(&requests);
+                        assert_eq!(batch.len(), requests.len());
+                        for (i, hits) in batch.iter().enumerate() {
+                            assert_eq!(
+                                hits, &expected_batch[i],
+                                "thread {t} round {round} batched request {i} diverged"
+                            );
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("stress thread panicked");
+    }
+}
+
+#[test]
+fn concurrent_searches_share_scratch_pools() {
+    // Hammer one request shape from many threads: the per-shard pools
+    // hand scratches back and forth; results must never vary.
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let fragments = reference::fragments(&app, &db).unwrap();
+    let single = DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
+    let sharded =
+        Arc::new(ShardedEngine::from_fragments(app, &fragments, 2, WorkflowStats::new()).unwrap());
+    let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+    let expected = single.search(&request);
+
+    let handles: Vec<_> = (0..12)
+        .map(|_| {
+            let sharded = Arc::clone(&sharded);
+            let request = request.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                for _ in 0..50 {
+                    assert_eq!(sharded.search(&request), expected);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+}
