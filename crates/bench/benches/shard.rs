@@ -1,18 +1,21 @@
-//! Criterion micro-benchmarks for the sharded engine: top-k latency
-//! and batched throughput as a function of the shard count, against the
-//! single-engine baseline, on the TPC-H Q2 micro workload and the
-//! paper's running example. The `shards` axis is the point: on an
-//! N-core serving node the per-shard searches run on scoped threads, so
-//! `BENCH_shard.json` records how the same workload scales as the
-//! handle space is partitioned (on a single-core host the axis instead
-//! measures the partition + trace-merge overhead, which must stay
-//! small).
+//! Criterion micro-benchmarks for the sharded engine: top-k latency,
+//! batched throughput and incremental-maintenance cost as a function of
+//! the shard count, against the single-engine baseline, on the TPC-H Q2
+//! micro workload and the paper's running example. The `shards` axis is
+//! the point: on an N-core serving node the per-shard searches run on
+//! the persistent shard worker pool, so `BENCH_shard.json` records how
+//! the same workload scales as the handle space is partitioned (on a
+//! single-core host every shard runs inline on the caller, so the axis
+//! instead measures the partition + trace-merge overhead, which must
+//! stay small — the acceptance bar is fooddb s1 within 10% of the
+//! single engine).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dash_bench::{select_keywords, KeywordTemperature};
 use dash_core::crawl::reference;
-use dash_core::{DashEngine, SearchRequest, ShardedEngine};
+use dash_core::{DashConfig, DashEngine, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
+use dash_relation::{Record, Value};
 use dash_tpch::{generate, Scale, TpchConfig};
 use dash_webapp::fooddb;
 
@@ -87,6 +90,62 @@ fn bench_shard(c: &mut Criterion) {
             b.iter(|| engine.search(&request))
         });
     }
+    group.finish();
+
+    // The maintenance axis: one record insert + delete cycle through
+    // the unified delta write path, single vs sharded — shard-local
+    // application means the sharded engines pay per-shard work plus an
+    // O(shards) offset refresh, never a rebuild (`s4/full-rebuild`
+    // prices what PR 2's build-once engine had to do instead).
+    let db = fooddb::database();
+    let app = fooddb::search_application().expect("analyzes");
+    let record = Record::new(vec![
+        Value::Int(990),
+        Value::str("Churn Diner"),
+        Value::str("Mexican"),
+        Value::Int(11),
+        Value::str("4.1"),
+    ]);
+    let mut db_with = db.clone();
+    db_with
+        .table_mut("restaurant")
+        .expect("restaurant table")
+        .insert(record.clone())
+        .expect("insert");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+
+    let mut group = c.benchmark_group("shard/maintenance");
+    {
+        let mut engine = DashEngine::build(&app, &db, &DashConfig::default()).expect("builds");
+        group.bench_function("single/insert-delete", |b| {
+            b.iter(|| {
+                engine
+                    .apply_insert(&db_with, "restaurant", &record)
+                    .unwrap();
+                engine.apply_delete(&db, "restaurant", &record).unwrap();
+            })
+        });
+    }
+    for shards in [1usize, 2, 4] {
+        let mut engine =
+            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
+                .expect("sharded builds");
+        group.bench_function(format!("s{shards}/insert-delete"), |b| {
+            b.iter(|| {
+                engine
+                    .apply_insert(&db_with, "restaurant", &record)
+                    .unwrap();
+                engine.apply_delete(&db, "restaurant", &record).unwrap();
+            })
+        });
+    }
+    // What an update cost before shard-local maintenance existed.
+    group.bench_function("s4/full-rebuild", |b| {
+        b.iter(|| {
+            ShardedEngine::from_fragments(app.clone(), &fragments, 4, WorkflowStats::new())
+                .expect("sharded builds")
+        })
+    });
     group.finish();
 }
 

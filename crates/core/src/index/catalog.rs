@@ -67,6 +67,14 @@ impl FragmentCatalog {
     /// identifier (crawls produce sorted output), handle order equals
     /// identifier order.
     pub fn from_fragments(fragments: &[Fragment]) -> Self {
+        let refs: Vec<&Fragment> = fragments.iter().collect();
+        Self::from_refs(&refs)
+    }
+
+    /// [`FragmentCatalog::from_fragments`] over borrowed fragments — the
+    /// zero-copy build path the sharded partition uses (shard parts are
+    /// reference runs into one crawl output, never clones).
+    pub fn from_refs(fragments: &[&Fragment]) -> Self {
         let mut catalog = FragmentCatalog {
             ids: Vec::with_capacity(fragments.len()),
             lookup: HashMap::with_capacity(fragments.len()),

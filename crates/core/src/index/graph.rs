@@ -127,6 +127,21 @@ impl FragmentGraph {
         fragments: &[Fragment],
         range_position: Option<usize>,
     ) -> Result<Self> {
+        let refs: Vec<&Fragment> = fragments.iter().collect();
+        Self::build_refs(catalog, &refs, range_position)
+    }
+
+    /// [`FragmentGraph::build`] over borrowed fragments — the zero-copy
+    /// path shard construction uses.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FragmentGraph::build`].
+    pub fn build_refs(
+        catalog: &FragmentCatalog,
+        fragments: &[&Fragment],
+        range_position: Option<usize>,
+    ) -> Result<Self> {
         let start = Instant::now();
         if let Some(pos) = range_position {
             for f in fragments {

@@ -20,7 +20,7 @@
 //! Posting lists never allocate per entry; building sorts each
 //! keyword's slice independently (parallelized across lists).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crate::fragment::Fragment;
 use crate::index::catalog::{Frag, FragmentCatalog, Kw};
@@ -114,6 +114,13 @@ impl InvertedFragmentIndex {
     /// Builds the index from materialized fragments; every fragment must
     /// already be interned in `catalog`.
     pub fn build(catalog: &FragmentCatalog, fragments: &[Fragment]) -> Self {
+        let refs: Vec<&Fragment> = fragments.iter().collect();
+        Self::build_refs(catalog, &refs)
+    }
+
+    /// [`InvertedFragmentIndex::build`] over borrowed fragments — the
+    /// zero-copy path shard construction uses.
+    pub fn build_refs(catalog: &FragmentCatalog, fragments: &[&Fragment]) -> Self {
         let mut interner = KeywordInterner::default();
         // Pass 1: intern keywords, count list lengths.
         let mut counts: Vec<u32> = Vec::new();
@@ -308,82 +315,146 @@ impl InvertedFragmentIndex {
         out
     }
 
-    /// Removes every posting of `frag` (incremental maintenance).
-    /// Returns the number of inverted lists touched.
-    pub fn remove_fragment(&mut self, catalog: &FragmentCatalog, frag: Frag) -> usize {
-        let mut touched = 0usize;
-        let mut write = 0usize;
-        let mut new_lists = self.lists.clone();
-        for (i, list) in self.lists.iter().enumerate() {
-            let start = list.start as usize;
-            let mut kept = 0u32;
-            new_lists[i].start = write as u32;
-            for j in start..start + list.len as usize {
-                let entry = self.probe_arena[j];
-                if entry.frag == frag {
-                    touched += 1;
-                } else {
-                    self.probe_arena[write] = entry;
-                    write += 1;
-                    kept += 1;
-                }
-            }
-            new_lists[i].len = kept;
-        }
-        if touched == 0 {
+    /// Applies one batched mutation — every posting splice of an
+    /// [`IndexDelta`](crate::update::IndexDelta) — in a single pass:
+    /// drops the postings of `removes`, supersedes the postings of
+    /// re-added fragments, merges the additions at their fragment-sorted
+    /// positions, and re-sorts the TF arena **once** for the whole
+    /// batch (the per-fragment maintenance of earlier revisions paid one
+    /// full TF re-sort per fragment). Every added fragment must already
+    /// be interned in `catalog`. Returns the number of postings removed
+    /// on behalf of `removes`.
+    pub fn apply_delta(
+        &mut self,
+        catalog: &FragmentCatalog,
+        removes: &[Frag],
+        adds: &[&Fragment],
+    ) -> usize {
+        if removes.is_empty() && adds.is_empty() {
             return 0;
         }
-        self.probe_arena.truncate(write);
-        self.lists = new_lists;
-        self.rebuild_tf_arena(catalog);
-        touched
-    }
-
-    /// Adds the postings of a single fragment and re-sorts affected
-    /// lists (incremental maintenance). The fragment must already be
-    /// interned in `catalog`.
-    pub fn add_fragment(&mut self, catalog: &FragmentCatalog, fragment: &Fragment) {
-        let frag = catalog.frag(&fragment.id).expect("fragment interned");
-        // Intern any new keywords first so `lists` covers them.
-        let mut additions: Vec<(Kw, u64)> = Vec::with_capacity(fragment.keyword_occurrences.len());
-        for (word, &occurrences) in &fragment.keyword_occurrences {
-            let kw = self.interner.intern(word);
-            if kw.index() == self.lists.len() {
-                self.lists.push(ListRef::default());
-            }
-            additions.push((kw, occurrences));
+        // Cheap pre-probe: a removes-only delta whose targets carry no
+        // live postings (e.g. already-tombstoned handles) skips the
+        // whole arena rewrite — O(lists · log L) probes instead of an
+        // O(postings) copy.
+        if adds.is_empty() && !removes.iter().any(|&frag| self.has_postings(frag)) {
+            return 0;
         }
-        // Rebuild the probe arena with the new postings merged in at
-        // their fragment-sorted positions (one pass).
-        let mut add_by_kw: HashMap<Kw, u64> = additions.into_iter().collect();
-        let mut arena = Vec::with_capacity(self.probe_arena.len() + add_by_kw.len());
+        let removed_set: HashSet<Frag> = removes.iter().copied().collect();
+        // Per-keyword posting splices, interning new keywords up front so
+        // `lists` covers them; a re-added fragment's stale postings are
+        // superseded, not counted as removals.
+        let mut replacing: HashSet<Frag> = HashSet::with_capacity(adds.len());
+        let mut add_postings: HashMap<Kw, Vec<ProbeEntry>> = HashMap::new();
+        let mut added = 0usize;
+        for fragment in adds {
+            let frag = catalog.frag(&fragment.id).expect("fragment interned");
+            replacing.insert(frag);
+            for (word, &occurrences) in &fragment.keyword_occurrences {
+                let kw = self.interner.intern(word);
+                if kw.index() == self.lists.len() {
+                    self.lists.push(ListRef::default());
+                }
+                add_postings
+                    .entry(kw)
+                    .or_default()
+                    .push(ProbeEntry { frag, occurrences });
+                added += 1;
+            }
+        }
+        for entries in add_postings.values_mut() {
+            entries.sort_unstable_by_key(|e| e.frag);
+        }
+        // One rewrite of the probe arena: each list keeps its surviving
+        // postings (frag-sorted) merged with its additions.
+        let mut arena = Vec::with_capacity(self.probe_arena.len() + added);
         let mut lists = Vec::with_capacity(self.lists.len());
+        let mut touched = 0usize;
+        let mut superseded = 0usize;
         for (i, list) in self.lists.iter().enumerate() {
             let start = arena.len() as u32;
             let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
-            match add_by_kw.remove(&Kw(i as u32)) {
-                Some(occurrences) => {
-                    let entry = ProbeEntry { frag, occurrences };
-                    let at = slice
-                        .binary_search_by(|e| e.frag.cmp(&frag))
-                        .unwrap_or_else(|e| e);
-                    arena.extend_from_slice(&slice[..at]);
-                    arena.push(entry);
-                    // A re-added fragment replaces its old posting.
-                    let skip = usize::from(slice.get(at).is_some_and(|e| e.frag == frag));
-                    arena.extend_from_slice(&slice[at + skip..]);
+            let mut additions = add_postings
+                .remove(&Kw(i as u32))
+                .unwrap_or_default()
+                .into_iter()
+                .peekable();
+            for &entry in slice {
+                if replacing.contains(&entry.frag) {
+                    superseded += 1;
+                    continue;
                 }
-                None => arena.extend_from_slice(slice),
+                if removed_set.contains(&entry.frag) {
+                    touched += 1;
+                    continue;
+                }
+                while additions.peek().is_some_and(|a| a.frag < entry.frag) {
+                    arena.push(additions.next().expect("peeked"));
+                }
+                arena.push(entry);
             }
+            arena.extend(additions);
             lists.push(ListRef {
                 start,
                 len: (arena.len() as u32) - start,
             });
         }
+        if touched == 0 && superseded == 0 && added == 0 {
+            // Nothing matched (e.g. removing an already-tombstoned id):
+            // keep the existing arenas, skip the TF re-sort.
+            return 0;
+        }
         self.probe_arena = arena;
         self.lists = lists;
-        self.fragment_count += 1;
         self.rebuild_tf_arena(catalog);
+        touched
+    }
+
+    /// Removes every posting of `frag` (incremental maintenance).
+    /// Returns the number of inverted lists touched.
+    pub fn remove_fragment(&mut self, catalog: &FragmentCatalog, frag: Frag) -> usize {
+        self.apply_delta(catalog, &[frag], &[])
+    }
+
+    /// Adds the postings of a single fragment (incremental maintenance),
+    /// replacing any live postings it already had. The fragment must
+    /// already be interned in `catalog`.
+    pub fn add_fragment(&mut self, catalog: &FragmentCatalog, fragment: &Fragment) {
+        self.apply_delta(catalog, &[], &[fragment]);
+        self.fragment_count += 1;
+    }
+
+    /// The keyword-occurrence maps of **every** live fragment,
+    /// reconstructed in one pass over the probe arena — O(total
+    /// postings). This is the dump path of per-shard persistence: the
+    /// index stores no fragment-major copy of the occurrence maps, so
+    /// a shard's fragments are re-derived keyword-major (probing
+    /// per-fragment instead would cost O(fragments × keywords log L)).
+    pub fn all_fragment_terms(&self) -> HashMap<Frag, BTreeMap<String, u64>> {
+        let mut terms: HashMap<Frag, BTreeMap<String, u64>> = HashMap::new();
+        for (i, list) in self.lists.iter().enumerate() {
+            if list.len == 0 {
+                continue;
+            }
+            let word = self.interner.word(Kw(i as u32));
+            let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
+            for entry in slice {
+                terms
+                    .entry(entry.frag)
+                    .or_default()
+                    .insert(word.to_string(), entry.occurrences);
+            }
+        }
+        terms
+    }
+
+    /// Whether any inverted list holds a posting for `frag` (one binary
+    /// search per list — the no-op-removal pre-probe).
+    fn has_postings(&self, frag: Frag) -> bool {
+        self.lists.iter().any(|list| {
+            let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
+            slice.binary_search_by(|e| e.frag.cmp(&frag)).is_ok()
+        })
     }
 
     /// Adjusts the stored fragment count (used by incremental

@@ -15,8 +15,11 @@ pub use catalog::{Frag, FragmentCatalog, Kw};
 pub use graph::{FragmentGraph, GroupId, NodeRef};
 pub use inverted::{InvertedFragmentIndex, KeywordInterner, Posting};
 
+use std::collections::HashSet;
+
 use crate::fragment::{Fragment, FragmentId};
 use crate::par;
+use crate::update::{IndexDelta, RefreshStats};
 use crate::Result;
 
 /// The complete fragment index Dash searches over.
@@ -44,10 +47,22 @@ impl FragmentIndex {
     /// Returns [`crate::CoreError::Internal`] on malformed fragments
     /// (identifier arity disagreement).
     pub fn build(fragments: &[Fragment], range_position: Option<usize>) -> Result<Self> {
-        let catalog = FragmentCatalog::from_fragments(fragments);
+        let refs: Vec<&Fragment> = fragments.iter().collect();
+        Self::build_refs(&refs, range_position)
+    }
+
+    /// [`FragmentIndex::build`] over borrowed fragments — the zero-copy
+    /// path the sharded partition uses (shard parts are reference runs
+    /// into one crawl output; nothing is cloned until interning).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FragmentIndex::build`].
+    pub fn build_refs(fragments: &[&Fragment], range_position: Option<usize>) -> Result<Self> {
+        let catalog = FragmentCatalog::from_refs(fragments);
         let (inverted, graph) = par::join(
-            || InvertedFragmentIndex::build(&catalog, fragments),
-            || FragmentGraph::build(&catalog, fragments, range_position),
+            || InvertedFragmentIndex::build_refs(&catalog, fragments),
+            || FragmentGraph::build_refs(&catalog, fragments, range_position),
         );
         Ok(FragmentIndex {
             catalog,
@@ -61,31 +76,72 @@ impl FragmentIndex {
         self.graph.node_count()
     }
 
+    /// Applies one [`IndexDelta`] atomically: every structure sees the
+    /// whole batch — removals first, then (re)insertions — before any
+    /// search can observe the index again (`&mut self` guarantees
+    /// exclusivity), and the inverted arenas are rewritten **once** for
+    /// the batch rather than once per fragment. A delta may carry
+    /// several recomputations of the same identifier (e.g. two record
+    /// deltas concatenated); the **last** add for an identifier wins,
+    /// so applying a concatenation equals applying the parts in order.
+    /// This is the single mutation path both engines use;
+    /// [`FragmentIndex::remove_fragment`] and
+    /// [`FragmentIndex::add_fragment`] are one-element deltas.
+    pub fn apply(&mut self, delta: &IndexDelta) -> RefreshStats {
+        let mut stats = RefreshStats::default();
+        if delta.removes.is_empty() && delta.adds.is_empty() {
+            return stats;
+        }
+        // Last-wins dedup: a duplicated add must splice exactly one
+        // posting per keyword, or df/IDF would drift from a rebuild.
+        let mut adds: Vec<&Fragment> = Vec::with_capacity(delta.adds.len());
+        let mut seen: HashSet<&FragmentId> = HashSet::with_capacity(delta.adds.len());
+        for fragment in delta.adds.iter().rev() {
+            if seen.insert(&fragment.id) {
+                adds.push(fragment);
+            }
+        }
+        adds.reverse();
+        // Graph first (it owns liveness): splice out removed nodes,
+        // splice in fresh ones — each touches only its own group column.
+        // Only frags with a live node go to the posting splice — a
+        // tombstoned handle has no postings, and skipping it here lets
+        // an all-tombstone delta bypass the arena rewrite entirely.
+        let mut removed_frags = Vec::with_capacity(delta.removes.len());
+        for id in &delta.removes {
+            if let Some(frag) = self.catalog.frag(id) {
+                if self.graph.remove(frag) {
+                    removed_frags.push(frag);
+                    stats.removed += 1;
+                }
+            }
+        }
+        for fragment in &adds {
+            self.catalog.intern(fragment);
+            self.graph.insert(&self.catalog, fragment);
+            stats.added += 1;
+        }
+        // One batched posting splice for the whole delta.
+        self.inverted
+            .apply_delta(&self.catalog, &removed_frags, &adds);
+        self.inverted
+            .set_fragment_count(self.graph.node_count() as u64);
+        stats
+    }
+
     /// Removes one fragment from every structure (incremental
     /// maintenance). Returns whether anything was removed. The handle
     /// stays interned (a tombstone), so re-adding the same identifier
     /// later re-uses it.
     pub fn remove_fragment(&mut self, id: &FragmentId) -> bool {
-        let Some(frag) = self.catalog.frag(id) else {
-            return false;
-        };
-        let touched = self.inverted.remove_fragment(&self.catalog, frag);
-        let removed = self.graph.remove(frag);
-        if removed {
-            self.inverted
-                .set_fragment_count(self.graph.node_count() as u64);
-        }
-        touched > 0 || removed
+        let stats = self.apply(&IndexDelta::removing(vec![id.clone()]));
+        stats.removed > 0
     }
 
     /// Splices one freshly derived fragment into every structure
     /// (incremental maintenance).
     pub fn add_fragment(&mut self, fragment: &Fragment) {
-        self.catalog.intern(fragment);
-        self.inverted.add_fragment(&self.catalog, fragment);
-        self.graph.insert(&self.catalog, fragment);
-        self.inverted
-            .set_fragment_count(self.graph.node_count() as u64);
+        self.apply(&IndexDelta::adding(vec![fragment.clone()]));
     }
 }
 
@@ -153,6 +209,43 @@ mod tests {
         assert_eq!(index.inverted.occurrences(kw, frag), 5);
         // And it can still be removed cleanly afterwards.
         assert!(index.remove_fragment(&updated.id));
+        assert_eq!(index.fragment_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_adds_dedupe_last_wins() {
+        // A delta carrying two recomputations of one identifier must
+        // splice exactly one posting set — the later one — or df/IDF
+        // would drift from a rebuild.
+        let fragments = sample();
+        let mut index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        let stale = fragment("American", 10, &[("burger", 3), ("queen", 1)]);
+        let fresh = fragment("American", 10, &[("burger", 7), ("queen", 2)]);
+        let stats = index.apply(&IndexDelta::new(
+            vec![stale.id.clone()],
+            vec![stale.clone(), fresh.clone()],
+        ));
+        assert_eq!((stats.removed, stats.added), (1, 1));
+        assert_eq!(index.fragment_count(), 4);
+        // df sees ONE posting for the id; occurrences are the latest.
+        assert_eq!(index.inverted.df("burger"), 3);
+        let frag = index.catalog.frag(&fresh.id).unwrap();
+        let kw = index.inverted.kw("burger").unwrap();
+        assert_eq!(index.inverted.occurrences(kw, frag), 7);
+        assert_eq!(index.catalog.total_keywords(frag), 9);
+    }
+
+    #[test]
+    fn removing_tombstoned_id_is_cheap_noop() {
+        let fragments = sample();
+        let mut index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        let id = fragments[0].id.clone();
+        assert!(index.remove_fragment(&id));
+        let postings_before = index.inverted.posting_count();
+        // Second removal: the id still resolves (tombstoned handle) but
+        // nothing matches — arenas must be untouched.
+        assert!(!index.remove_fragment(&id));
+        assert_eq!(index.inverted.posting_count(), postings_before);
         assert_eq!(index.fragment_count(), 3);
     }
 

@@ -46,20 +46,44 @@
 //! Index construction parallelizes across equality groups and inverted
 //! lists (scoped threads).
 //!
-//! ## Sharded, concurrent search
+//! ## Sharded, concurrent search on a persistent worker pool
 //!
 //! [`sharded::ShardedEngine`] partitions the equality groups into `N`
-//! contiguous runs of key-rank order, builds each shard a self-contained
+//! contiguous runs of key-rank order (zero-copy: shard parts borrow
+//! the crawl output), builds each shard a self-contained
 //! [`FragmentIndex`], and serves search by running the heap loop per
-//! shard (scoped threads, per-shard scratch pools, adaptive per-shard
-//! `k` limits) and merging the recorded pop traces in exact global heap
-//! order. Results are **byte-identical** to [`DashEngine::search`] for
-//! any shard count — proven by the `sharded_equivalence` test tier —
-//! and both engines offer a batched `search_many` that reuses scratch
-//! across requests. `DASH_SHARDS` selects the partition width in
-//! deployments (see [`sharded::env_shards`]).
+//! shard and merging the recorded pop traces in exact global heap
+//! order. Every shard owns a long-lived, channel-fed worker thread
+//! with its own pooled scratch; the calling thread executes the first
+//! shard inline, so single-shard (and single-core) searches never
+//! touch a channel. Results are **byte-identical** to
+//! [`DashEngine::search`] for any shard count — proven by the
+//! `sharded_equivalence` test tier — and both engines offer a batched
+//! `search_many` that reuses scratch across requests. `DASH_SHARDS`
+//! selects the partition width in deployments (see
+//! [`sharded::env_shards`]).
 //!
-//! [`engine::DashEngine`] packages the single-heap pipeline; [`baseline`]
+//! ## The unified delta write path
+//!
+//! Both engines mutate through one abstraction: an
+//! [`IndexDelta`](update::IndexDelta) (stale identifiers out, fresh
+//! fragments in), built from a base-table change by [`update`] and
+//! applied atomically by [`FragmentIndex::apply`] — posting splices
+//! batched into one arena rewrite, graph splices confined to the
+//! affected groups' columns. [`DashEngine`] applies deltas to its one
+//! index; [`ShardedEngine`](sharded::ShardedEngine) routes each entry
+//! to the shard owning its equality group (a static key-range table)
+//! and applies sub-deltas on the worker pool, refreshing global group
+//! ranks and IDF incrementally — per-shard work only, no rebuild, with
+//! post-update searches byte-identical to a freshly built single
+//! engine (the `sharded_maintenance` test tier). Per-shard persistence
+//! ([`persist`]) round-trips a maintained partition without
+//! re-partitioning.
+//!
+//! [`engine::DashEngine`] packages the single-heap pipeline; both
+//! engines implement [`SearchEngine`](engine::SearchEngine), the
+//! serving trait [`multi::MultiDash`] federates over (so
+//! multi-application scoping composes with sharding); [`baseline`]
 //! provides the naive materialize-every-db-page engine the fragment
 //! design is motivated against; [`update`] and [`multi`] implement the
 //! paper's two future-work extensions (incremental index maintenance and
@@ -99,16 +123,18 @@ pub mod stats;
 pub mod update;
 
 pub use crawl::{CrawlAlgorithm, CrawlOutput};
-pub use engine::{DashConfig, DashEngine};
+pub use engine::{DashConfig, DashEngine, SearchEngine};
 pub use error::CoreError;
 pub use fragment::{Fragment, FragmentId};
 pub use index::{
     Frag, FragmentCatalog, FragmentGraph, FragmentIndex, GroupId, InvertedFragmentIndex, Kw,
 };
+pub use multi::MultiDash;
 pub use scope::CrawlScope;
 pub use search::{SearchHit, SearchRequest};
 pub use sharded::{env_shards, ShardedEngine};
 pub use stats::IndexStats;
+pub use update::{IndexDelta, RefreshStats};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -9,6 +9,14 @@
 //! searches all applications at once, suppressing result pages whose
 //! content signature duplicates a higher-ranked page from another
 //! application.
+//!
+//! The federation is generic over the
+//! [`SearchEngine`](crate::engine::SearchEngine) backing each
+//! application: [`MultiDash::build`] federates single-index
+//! [`DashEngine`]s, [`MultiDash::build_sharded`] federates
+//! [`ShardedEngine`](crate::sharded::ShardedEngine)s — multi-application
+//! scoping composes with sharding (and with the shard worker pools
+//! underneath) without the merge layer knowing.
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -17,9 +25,10 @@ use dash_relation::Database;
 use dash_webapp::WebApplication;
 
 use crate::crawl::{self, CrawlAlgorithm};
-use crate::engine::DashEngine;
+use crate::engine::{DashEngine, SearchEngine};
 use crate::fragment::{Fragment, FragmentId};
 use crate::search::{SearchHit, SearchRequest};
+use crate::sharded::ShardedEngine;
 use crate::Result;
 
 /// Cross-application content-sharing statistics.
@@ -44,18 +53,19 @@ pub struct MultiHit {
     pub hit: SearchHit,
 }
 
-/// A federation of Dash engines over one database.
+/// A federation of Dash engines over one database, generic over the
+/// engine kind backing each application (single-index by default).
 #[derive(Debug)]
-pub struct MultiDash {
-    engines: Vec<DashEngine>,
+pub struct MultiDash<E: SearchEngine = DashEngine> {
+    engines: Vec<E>,
     /// Per application: fragment id → content signature.
     signatures: Vec<HashMap<FragmentId, u64>>,
     stats: SharingStats,
 }
 
-impl MultiDash {
-    /// Builds one engine per application (all crawled with the same
-    /// algorithm and cluster) and computes sharing statistics.
+impl MultiDash<DashEngine> {
+    /// Builds one single-index engine per application (all crawled with
+    /// the same algorithm and cluster) and computes sharing statistics.
     ///
     /// # Errors
     ///
@@ -65,6 +75,45 @@ impl MultiDash {
         db: &Database,
         cluster: &ClusterConfig,
         algorithm: CrawlAlgorithm,
+    ) -> Result<Self> {
+        Self::build_with(apps, db, cluster, algorithm, DashEngine::from_fragments)
+    }
+}
+
+impl MultiDash<ShardedEngine> {
+    /// Builds one *sharded* engine per application — multi-application
+    /// scoping composed with sharding: every application's handle space
+    /// is partitioned into `shards` worker-pool-served shards, and the
+    /// federation's merge/dedup layer runs unchanged on top (per-app
+    /// results are byte-identical to the single-index build, so the
+    /// federated results are too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-application build errors.
+    pub fn build_sharded(
+        apps: &[WebApplication],
+        db: &Database,
+        cluster: &ClusterConfig,
+        algorithm: CrawlAlgorithm,
+        shards: usize,
+    ) -> Result<Self> {
+        Self::build_with(apps, db, cluster, algorithm, |app, fragments, stats| {
+            ShardedEngine::from_fragments(app, fragments, shards, stats)
+        })
+    }
+}
+
+impl<E: SearchEngine> MultiDash<E> {
+    /// The shared build pipeline: crawl each application, compute
+    /// content-sharing statistics, and hand the fragments to
+    /// `make_engine` for indexing.
+    fn build_with(
+        apps: &[WebApplication],
+        db: &Database,
+        cluster: &ClusterConfig,
+        algorithm: CrawlAlgorithm,
+        make_engine: impl Fn(WebApplication, &[Fragment], dash_mapreduce::WorkflowStats) -> Result<E>,
     ) -> Result<Self> {
         let mut engines = Vec::with_capacity(apps.len());
         let mut signatures = Vec::with_capacity(apps.len());
@@ -80,11 +129,7 @@ impl MultiDash {
                 content_owners.entry(sig).or_default().push(i);
             }
             total_fragments += crawl.fragments.len();
-            engines.push(DashEngine::from_fragments(
-                app.clone(),
-                &crawl.fragments,
-                crawl.stats,
-            )?);
+            engines.push(make_engine(app.clone(), &crawl.fragments, crawl.stats)?);
             signatures.push(sig_map);
         }
 
@@ -107,7 +152,7 @@ impl MultiDash {
     }
 
     /// The per-application engines.
-    pub fn engines(&self) -> &[DashEngine] {
+    pub fn engines(&self) -> &[E] {
         &self.engines
     }
 
@@ -133,7 +178,7 @@ impl MultiDash {
         // The per-application batches are independent — run them on
         // worker threads.
         let mut per_engine: Vec<Vec<Vec<SearchHit>>> =
-            crate::par::map(self.engines.iter().collect(), |engine: &DashEngine| {
+            crate::par::map(self.engines.iter().collect(), |engine: &E| {
                 engine.search_many(requests)
             });
         requests
@@ -239,6 +284,20 @@ servlet Mirror at "www.mirror.example/Find" {
         .unwrap()
     }
 
+    fn sharded_federation(shards: usize) -> MultiDash<ShardedEngine> {
+        let db = fooddb::database();
+        let search = fooddb::search_application().unwrap();
+        let mirror = WebApplication::from_servlet_source(MIRROR_SERVLET, &db).unwrap();
+        MultiDash::build_sharded(
+            &[search, mirror],
+            &db,
+            &ClusterConfig::default(),
+            CrawlAlgorithm::Integrated,
+            shards,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn sharing_stats_detect_full_overlap() {
         let multi = federation();
@@ -270,6 +329,39 @@ servlet Mirror at "www.mirror.example/Find" {
         assert_eq!(batch.len(), 2);
         for (request, hits) in requests.iter().zip(&batch) {
             assert_eq!(hits, &multi.search(request));
+        }
+    }
+
+    #[test]
+    fn sharded_federation_matches_single_index_federation() {
+        // Multi-application scoping composes with sharding: the
+        // federated results over ShardedEngines are byte-identical to
+        // the single-index federation, for any shard count.
+        let single = federation();
+        let requests = vec![
+            SearchRequest::new(&["burger"]).k(4).min_size(20),
+            SearchRequest::new(&["thai"]).k(2).min_size(1),
+            SearchRequest::new(&["fries", "burger"]).k(3).min_size(5),
+        ];
+        for shards in [1usize, 2, 4] {
+            let sharded = sharded_federation(shards);
+            assert_eq!(sharded.stats(), single.stats());
+            assert_eq!(
+                sharded.engines().iter().map(|e| e.shard_count()).max(),
+                Some(shards)
+            );
+            for request in &requests {
+                assert_eq!(
+                    sharded.search(request),
+                    single.search(request),
+                    "shards={shards} keywords={:?}",
+                    request.keywords
+                );
+            }
+            assert_eq!(
+                sharded.search_many(&requests),
+                single.search_many(&requests)
+            );
         }
     }
 

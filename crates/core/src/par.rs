@@ -11,8 +11,10 @@ use std::sync::{Mutex, OnceLock};
 
 /// The machine's parallelism, probed once — `available_parallelism`
 /// costs a syscall (and cgroup reads), far too much to pay on every
-/// sub-millisecond search.
-fn parallelism() -> usize {
+/// sub-millisecond search. The sharded worker pool consults this too:
+/// on a single-core host, fanning a search out to worker threads only
+/// buys context switches, so the caller runs every shard inline.
+pub(crate) fn parallelism() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
         std::thread::available_parallelism()

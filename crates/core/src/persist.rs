@@ -9,6 +9,19 @@
 //! identifiers, keyword occurrence maps, record counts — round-trips
 //! exactly, so a loaded engine is byte-for-byte the engine that was
 //! saved (tested).
+//!
+//! Two container layouts share the record codec:
+//!
+//! * **flat** ([`write_fragments`] / [`read_fragments`]) — one fragment
+//!   list, the single-engine path;
+//! * **sharded** ([`write_sharded_fragments`] /
+//!   [`read_sharded_fragments`]) — one fragment list *per shard*,
+//!   preserving a [`ShardedEngine`](crate::ShardedEngine)'s exact
+//!   partition (which drifts under incremental maintenance), so a
+//!   maintained sharded engine round-trips through
+//!   [`ShardedEngine::dump_shards`](crate::ShardedEngine::dump_shards) /
+//!   [`ShardedEngine::from_shard_fragments`](crate::ShardedEngine::from_shard_fragments)
+//!   without re-partitioning.
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -18,6 +31,7 @@ use dash_relation::{Date, Decimal, Value};
 use crate::fragment::{Fragment, FragmentId};
 
 const MAGIC: &[u8; 8] = b"DASHFRG1";
+const SHARDED_MAGIC: &[u8; 8] = b"DASHSHR1";
 
 /// Serializes fragments into `writer`.
 ///
@@ -26,20 +40,7 @@ const MAGIC: &[u8; 8] = b"DASHFRG1";
 /// Propagates I/O errors from the writer.
 pub fn write_fragments<W: Write>(mut writer: W, fragments: &[Fragment]) -> io::Result<()> {
     writer.write_all(MAGIC)?;
-    write_u64(&mut writer, fragments.len() as u64)?;
-    for f in fragments {
-        write_u64(&mut writer, f.id.values().len() as u64)?;
-        for v in f.id.values() {
-            write_value(&mut writer, v)?;
-        }
-        write_u64(&mut writer, f.record_count)?;
-        write_u64(&mut writer, f.keyword_occurrences.len() as u64)?;
-        for (kw, &n) in &f.keyword_occurrences {
-            write_str(&mut writer, kw)?;
-            write_u64(&mut writer, n)?;
-        }
-    }
-    Ok(())
+    write_fragment_list(&mut writer, fragments)
 }
 
 /// Deserializes fragments from `reader`.
@@ -55,20 +56,86 @@ pub fn read_fragments<R: Read>(mut reader: R) -> io::Result<Vec<Fragment>> {
     if &magic != MAGIC {
         return Err(invalid("bad magic number; not a Dash fragment file"));
     }
-    let count = read_u64(&mut reader)?;
+    read_fragment_list(&mut reader)
+}
+
+/// Serializes per-shard fragment lists (the output of
+/// [`ShardedEngine::dump_shards`](crate::ShardedEngine::dump_shards))
+/// into `writer`, preserving the shard partition exactly.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_sharded_fragments<W: Write>(
+    mut writer: W,
+    shards: &[Vec<Fragment>],
+) -> io::Result<()> {
+    writer.write_all(SHARDED_MAGIC)?;
+    write_u64(&mut writer, shards.len() as u64)?;
+    for fragments in shards {
+        write_fragment_list(&mut writer, fragments)?;
+    }
+    Ok(())
+}
+
+/// Deserializes per-shard fragment lists from `reader` — feed the
+/// result to
+/// [`ShardedEngine::from_shard_fragments`](crate::ShardedEngine::from_shard_fragments).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic number, an out-of-bounds shard
+/// count, unknown value tags or malformed UTF-8, and propagates
+/// underlying I/O errors (including `UnexpectedEof` on truncation).
+pub fn read_sharded_fragments<R: Read>(mut reader: R) -> io::Result<Vec<Vec<Fragment>>> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != SHARDED_MAGIC {
+        return Err(invalid("bad magic number; not a Dash sharded dump"));
+    }
+    let shards = read_u64(&mut reader)?;
+    if shards > (1 << 16) {
+        return Err(invalid("shard count out of bounds"));
+    }
+    (0..shards)
+        .map(|_| read_fragment_list(&mut reader))
+        .collect()
+}
+
+/// The shared record codec: a length-prefixed fragment list.
+fn write_fragment_list<W: Write>(writer: &mut W, fragments: &[Fragment]) -> io::Result<()> {
+    write_u64(writer, fragments.len() as u64)?;
+    for f in fragments {
+        write_u64(writer, f.id.values().len() as u64)?;
+        for v in f.id.values() {
+            write_value(writer, v)?;
+        }
+        write_u64(writer, f.record_count)?;
+        write_u64(writer, f.keyword_occurrences.len() as u64)?;
+        for (kw, &n) in &f.keyword_occurrences {
+            write_str(writer, kw)?;
+            write_u64(writer, n)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed fragment list.
+fn read_fragment_list<R: Read>(reader: &mut R) -> io::Result<Vec<Fragment>> {
+    let count = read_u64(reader)?;
     let mut fragments = Vec::with_capacity(count.min(1 << 20) as usize);
     for _ in 0..count {
-        let arity = read_u64(&mut reader)?;
+        let arity = read_u64(reader)?;
         let mut values = Vec::with_capacity(arity.min(64) as usize);
         for _ in 0..arity {
-            values.push(read_value(&mut reader)?);
+            values.push(read_value(reader)?);
         }
-        let record_count = read_u64(&mut reader)?;
-        let keywords = read_u64(&mut reader)?;
+        let record_count = read_u64(reader)?;
+        let keywords = read_u64(reader)?;
         let mut occ = BTreeMap::new();
         for _ in 0..keywords {
-            let kw = read_str(&mut reader)?;
-            let n = read_u64(&mut reader)?;
+            let kw = read_str(reader)?;
+            let n = read_u64(reader)?;
             occ.insert(kw, n);
         }
         fragments.push(Fragment::new(FragmentId::new(values), occ, record_count));
@@ -242,5 +309,24 @@ mod tests {
         let mut buf = Vec::new();
         write_fragments(&mut buf, &[]).unwrap();
         assert!(read_fragments(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sharded_dump_roundtrips_with_empty_shards() {
+        let fragments = fooddb_fragments();
+        let shards = vec![
+            fragments[..2].to_vec(),
+            Vec::new(), // an empty shard survives the codec
+            fragments[2..].to_vec(),
+        ];
+        let mut buf = Vec::new();
+        write_sharded_fragments(&mut buf, &shards).unwrap();
+        let back = read_sharded_fragments(buf.as_slice()).unwrap();
+        assert_eq!(back, shards);
+        // A flat reader must reject a sharded dump, and vice versa.
+        assert!(read_fragments(buf.as_slice()).is_err());
+        let mut flat = Vec::new();
+        write_fragments(&mut flat, &fragments).unwrap();
+        assert!(read_sharded_fragments(flat.as_slice()).is_err());
     }
 }

@@ -1,13 +1,45 @@
-//! Sharded, concurrent top-k search over the fragment handle space.
+//! Sharded, concurrent top-k search over the fragment handle space,
+//! with shard-local incremental maintenance on a persistent worker
+//! pool.
 //!
 //! The dense `Frag`/`GroupId` handle space exists to be partitioned:
 //! [`ShardedEngine`] splits the equality groups into `N` contiguous
 //! runs of global key-rank order, builds each shard its own
 //! [`FragmentIndex`] (catalog, posting arenas, graph slice), runs the
-//! top-k heap loop per shard on scoped threads with pooled scratch, and
-//! merges the per-shard results into **byte-identical** output to
+//! top-k heap loop per shard, and merges the per-shard results into
+//! **byte-identical** output to
 //! [`DashEngine::search`](crate::engine::DashEngine::search) for any
 //! shard count.
+//!
+//! ## The shard worker pool
+//!
+//! Every shard owns one long-lived worker thread, fed over a channel
+//! ([`ShardJob`]) and holding its own reusable [`SearchScratch`] —
+//! single queries no longer pay a thread spawn (PR 2 spawned scoped
+//! threads per call, ~10µs each, dwarfing a µs-scale search). The
+//! calling thread always executes the first pending shard *inline*
+//! (with a pooled scratch), so a 1-shard engine never touches a
+//! channel at all and an N-shard engine keeps the caller's core busy
+//! instead of blocking on replies. The same pool applies maintenance
+//! deltas, so shard mutation parallelizes identically to search.
+//!
+//! ## The delta write path (shard-local maintenance)
+//!
+//! Mutations arrive as [`IndexDelta`]s (see [`crate::update`]): stale
+//! identifiers out, fresh fragments in. [`ShardedEngine::apply_delta`]
+//! routes every entry to the shard owning its equality group — routing
+//! is a static key-range table fixed at construction
+//! ([`ShardedEngine::route_bounds`] stores each shard's lowest group
+//! key), so a shard's key range never changes and the partition stays
+//! contiguous in key order forever. Each affected shard applies its
+//! sub-delta to its own arenas only (per-shard work, never O(total)),
+//! then the engine refreshes the *global* coordinates incrementally:
+//! group-rank offsets are re-prefix-summed over per-shard group counts
+//! (O(shards)), and global IDF is always computed per request by
+//! summing per-shard fragment frequencies. Post-update searches are
+//! therefore byte-identical to a [`DashEngine`] freshly rebuilt over
+//! the mutated fragment set — proven by `tests/sharded_maintenance.rs`
+//! (golden + property tests, shard counts {1, 2, 4, 8}).
 //!
 //! ## Why the merge is exact
 //!
@@ -36,22 +68,30 @@
 //!
 //! The equivalence is enforced by `tests/sharded_equivalence.rs`
 //! (golden datasets + property tests over random datasets, keywords and
-//! shard counts) and exercised concurrently by `tests/sharded_stress.rs`.
+//! shard counts), exercised concurrently by `tests/sharded_stress.rs`,
+//! and extended across mutation histories by
+//! `tests/sharded_maintenance.rs`.
+//!
+//! [`DashEngine`]: crate::engine::DashEngine
 
-use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 
 use dash_mapreduce::WorkflowStats;
-use dash_relation::{Database, Value};
+use dash_relation::{Database, Record, Value};
 use dash_webapp::WebApplication;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::crawl;
 use crate::engine::{validate_query, DashConfig};
+use crate::error::CoreError;
 use crate::fragment::Fragment;
-use crate::index::FragmentIndex;
+use crate::index::graph::group_key;
+use crate::index::{FragmentIndex, GroupId};
 use crate::par;
 use crate::search::topk::top_k_in;
 use crate::search::{PopEvent, PopTrace, SearchHit, SearchRequest, SearchScratch};
+use crate::update::{affected_fragment_ids, build_delta, IndexDelta, RefreshStats};
 use crate::Result;
 
 /// The shard count configured in the environment (`DASH_SHARDS`), if
@@ -68,27 +108,189 @@ fn parse_shards(raw: &str) -> Option<usize> {
 
 /// One shard: a self-contained fragment index over a contiguous run of
 /// equality groups, plus the rank offset translating its local group
-/// ids back to global ranks.
+/// ids back to global ranks. Lives behind an `Arc<RwLock<_>>` shared
+/// with the shard's worker thread; searches take read guards,
+/// maintenance takes write guards (and `&mut ShardedEngine` already
+/// excludes search/maintenance races at the borrow level).
 #[derive(Debug)]
 struct Shard {
     index: FragmentIndex,
     group_offset: u32,
 }
 
+/// One batch of search work, shared with worker threads by `Arc` (the
+/// workers are `'static`, so they cannot borrow the caller's slices).
+#[derive(Debug)]
+struct SearchBatch {
+    requests: Vec<SearchRequest>,
+    /// Per request, per keyword: global `IDF_w` across all shards.
+    idfs: Vec<Vec<f64>>,
+}
+
+/// One shard's search reply: its index plus the `(request, run)` pairs
+/// it produced.
+type SearchReply = (usize, Vec<(usize, ShardRun)>);
+
+/// Work items a shard worker accepts over its channel.
+enum ShardJob {
+    /// Run `(request index, emission limit)` searches against the shard
+    /// and send the recorded runs back.
+    Search {
+        batch: Arc<SearchBatch>,
+        tasks: Vec<(usize, usize)>,
+        reply: mpsc::Sender<SearchReply>,
+    },
+    /// Apply a routed sub-delta to the shard's index.
+    Delta {
+        delta: IndexDelta,
+        reply: mpsc::Sender<RefreshStats>,
+    },
+}
+
+/// The persistent worker pool: one long-lived thread per shard, each
+/// owning a reusable search scratch and draining its job channel until
+/// the engine drops.
+#[derive(Debug)]
+struct WorkerPool {
+    senders: Vec<mpsc::Sender<ShardJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns one worker per shard. On a single-core host, or for a
+    /// 1-shard engine, the pool is empty: dispatch checks the same
+    /// cached `par::parallelism()` and runs every shard inline (and a
+    /// single shard is always the inline one), so the threads would
+    /// only ever park — spawning them per engine (benches rebuild
+    /// engines in a loop) would be pure overhead.
+    fn spawn(shards: &[Arc<RwLock<Shard>>], app: &Arc<WebApplication>) -> Self {
+        if par::parallelism() <= 1 || shards.len() <= 1 {
+            return WorkerPool {
+                senders: Vec::new(),
+                handles: Vec::new(),
+            };
+        }
+        let mut senders = Vec::with_capacity(shards.len());
+        let mut handles = Vec::with_capacity(shards.len());
+        for (s, shard) in shards.iter().enumerate() {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            let shard = Arc::clone(shard);
+            let app = Arc::clone(app);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dash-shard-{s}"))
+                    .spawn(move || {
+                        let mut scratch = SearchScratch::new();
+                        while let Ok(job) = rx.recv() {
+                            match job {
+                                ShardJob::Search {
+                                    batch,
+                                    tasks,
+                                    reply,
+                                } => {
+                                    let guard = shard.read();
+                                    let runs = run_shard_tasks(
+                                        &app,
+                                        &guard,
+                                        &batch.requests,
+                                        &batch.idfs,
+                                        &tasks,
+                                        &mut scratch,
+                                    );
+                                    let _ = reply.send((s, runs));
+                                }
+                                ShardJob::Delta { delta, reply } => {
+                                    let stats = shard.write().index.apply(&delta);
+                                    let _ = reply.send(stats);
+                                }
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Enqueues a job on shard `s`'s worker.
+    fn send(&self, s: usize, job: ShardJob) {
+        self.senders[s].send(job).expect("shard worker alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops; join to make the
+        // engine's drop a full quiesce.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs one shard's portion of a search batch: every `(request,
+/// limit)` task against the shard's index, with one reused scratch.
+fn run_shard_tasks(
+    app: &WebApplication,
+    shard: &Shard,
+    requests: &[SearchRequest],
+    idfs: &[Vec<f64>],
+    tasks: &[(usize, usize)],
+    scratch: &mut SearchScratch,
+) -> Vec<(usize, ShardRun)> {
+    tasks
+        .iter()
+        .map(|&(r, limit)| {
+            let hits = top_k_in(
+                app,
+                &shard.index,
+                &requests[r],
+                &idfs[r],
+                limit,
+                shard.group_offset,
+                true,
+                scratch,
+            );
+            (
+                r,
+                ShardRun {
+                    hits,
+                    trace: std::mem::take(&mut scratch.trace),
+                    truncated: scratch.truncated,
+                },
+            )
+        })
+        .collect()
+}
+
 /// A Dash engine whose handle space is partitioned into `N` shards,
-/// searched concurrently and merged deterministically. Search results
-/// are byte-identical to a single-shard [`DashEngine`] over the same
-/// fragments, for any shard count ≥ 1.
+/// searched concurrently on a persistent worker pool and merged
+/// deterministically. Search results are byte-identical to a
+/// single-shard [`DashEngine`] over the same fragments, for any shard
+/// count ≥ 1 — including after any sequence of incremental updates
+/// ([`ShardedEngine::apply_insert`] / [`ShardedEngine::apply_delete`] /
+/// [`ShardedEngine::apply_delta`]).
 ///
 /// [`DashEngine`]: crate::engine::DashEngine
 #[derive(Debug)]
 pub struct ShardedEngine {
-    app: WebApplication,
-    shards: Vec<Shard>,
-    /// Per-shard pools of reusable search scratch (occurrence pool,
-    /// seed bitset). Concurrent searches pop a scratch, run, push it
-    /// back; `search_many` reuses one scratch across a whole batch.
+    app: Arc<WebApplication>,
+    shards: Vec<Arc<RwLock<Shard>>>,
+    /// Static routing table fixed at construction: `(lowest group key,
+    /// shard index)` for every shard non-empty at build, in key order.
+    /// A delta entry routes to the last shard whose bound does not
+    /// exceed its group key (the first shard catches smaller keys), so
+    /// shards keep disjoint, contiguous, key-ordered ranges across any
+    /// mutation history — the invariant the trace merge's global group
+    /// ranks rest on.
+    route_bounds: Vec<(Vec<Value>, usize)>,
+    /// Per-shard pools of reusable search scratch for the *inline*
+    /// shard (the one the calling thread executes itself); worker
+    /// threads own their scratch outright.
     pools: Vec<Mutex<Vec<SearchScratch>>>,
+    workers: WorkerPool,
     crawl_stats: WorkflowStats,
     fragment_count: usize,
 }
@@ -129,34 +331,107 @@ impl ShardedEngine {
 
         // Partition equality groups into contiguous runs of key-rank
         // order, balanced by fragment count; each shard's local group
-        // ranks then map to global ranks by a constant offset.
+        // ranks then map to global ranks by a constant offset. Parts are
+        // reference runs — no fragment is cloned; interning copies the
+        // data exactly once, into each shard's own catalog.
         let parts = partition(fragments, range_position, shards);
-        let offsets: Vec<u32> = {
-            let mut offsets = Vec::with_capacity(parts.len());
-            let mut total = 0u32;
-            for part in &parts {
-                offsets.push(total);
-                total += part.groups as u32;
-            }
-            offsets
-        };
         let built: Vec<Result<FragmentIndex>> = par::map(parts, |part| {
-            FragmentIndex::build(&part.fragments, range_position)
+            FragmentIndex::build_refs(&part.fragments, range_position)
         });
-        let mut shard_vec = Vec::with_capacity(built.len());
-        for (index, group_offset) in built.into_iter().zip(offsets) {
-            shard_vec.push(Shard {
-                index: index?,
-                group_offset,
-            });
+        let mut indexes = Vec::with_capacity(built.len());
+        for index in built {
+            indexes.push(index?);
         }
-        let pools = shard_vec.iter().map(|_| Mutex::new(Vec::new())).collect();
+        Self::assemble(app, indexes, range_position, crawl_stats)
+    }
+
+    /// Rebuilds a sharded engine from per-shard fragment lists — the
+    /// load half of per-shard persistence
+    /// ([`ShardedEngine::dump_shards`] is the dump half): the partition
+    /// is taken exactly as given, **not** re-derived, so a maintained
+    /// engine round-trips with its (drifted) shard balance intact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query validation and index-construction errors, and
+    /// returns [`CoreError::Internal`] when the given shards are not
+    /// contiguous, disjoint runs of group-key order (e.g. a corrupted
+    /// or hand-edited dump).
+    pub fn from_shard_fragments(
+        app: WebApplication,
+        shard_fragments: &[Vec<Fragment>],
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        validate_query(&app)?;
+        let range_position = app.query.range_selection_index();
+        let built: Vec<Result<FragmentIndex>> =
+            par::map(shard_fragments.iter().collect(), |frags: &Vec<Fragment>| {
+                FragmentIndex::build(frags, range_position)
+            });
+        let mut indexes = Vec::with_capacity(built.len());
+        for index in built {
+            indexes.push(index?);
+        }
+        Self::assemble(app, indexes, range_position, crawl_stats)
+    }
+
+    /// Wires built per-shard indexes into an engine: global group-rank
+    /// offsets, the static routing table, scratch pools and the worker
+    /// pool. An empty index list (e.g. a hand-made empty dump) is
+    /// clamped to one empty shard, mirroring `shards.max(1)` on the
+    /// build path — a zero-shard engine could answer nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Internal`] when the shards' group-key
+    /// ranges are not disjoint and ascending.
+    fn assemble(
+        app: WebApplication,
+        mut indexes: Vec<FragmentIndex>,
+        range_position: Option<usize>,
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        if indexes.is_empty() {
+            indexes.push(FragmentIndex::build(&[], range_position)?);
+        }
+        let mut shards = Vec::with_capacity(indexes.len());
+        let mut route_bounds = Vec::new();
+        let mut group_offset = 0u32;
+        let mut fragment_count = 0usize;
+        let mut prev_max: Option<Vec<Value>> = None;
+        for (s, index) in indexes.into_iter().enumerate() {
+            let groups = index.graph.group_count() as u32;
+            if groups > 0 {
+                let lowest = index.graph.group_key(GroupId(0)).to_vec();
+                let highest = index.graph.group_key(GroupId(groups - 1)).to_vec();
+                if prev_max.as_ref().is_some_and(|p| *p >= lowest) {
+                    return Err(CoreError::Internal {
+                        detail: format!(
+                            "shard {s} group-key range is not disjoint/ascending with its predecessor"
+                        ),
+                    });
+                }
+                prev_max = Some(highest);
+                route_bounds.push((lowest, s));
+            }
+            fragment_count += index.graph.node_count();
+            shards.push(Arc::new(RwLock::new(Shard {
+                index,
+                group_offset,
+            })));
+            group_offset += groups;
+        }
+        let pools = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let app = Arc::new(app);
+        let workers = WorkerPool::spawn(&shards, &app);
         Ok(ShardedEngine {
             app,
-            shards: shard_vec,
+            shards,
+            route_bounds,
             pools,
+            workers,
             crawl_stats,
-            fragment_count: fragments.len(),
+            fragment_count,
         })
     }
 
@@ -170,11 +445,11 @@ impl ShardedEngine {
             .unwrap_or_default()
     }
 
-    /// Batched top-k: answers every request, reusing one pooled scratch
-    /// per shard across the whole batch (the per-query allocation cost
-    /// is paid once per shard, not once per request). Results are
-    /// position-aligned with `requests` and each is byte-identical to
-    /// the corresponding [`ShardedEngine::search`] call.
+    /// Batched top-k: answers every request, reusing one scratch per
+    /// shard across the whole batch (worker-owned for pool shards,
+    /// pooled for the inline shard). Results are position-aligned with
+    /// `requests` and each is byte-identical to the corresponding
+    /// [`ShardedEngine::search`] call.
     ///
     /// Shards first run with an *adaptive* emission limit of
     /// `⌈k / N⌉ + 2` (the global top-k rarely takes more than its share
@@ -188,10 +463,53 @@ impl ShardedEngine {
             return Vec::new();
         }
         let shard_count = self.shards.len();
-        let idfs: Vec<Vec<f64>> = requests
-            .iter()
-            .map(|r| r.keywords.iter().map(|w| self.global_idf(w)).collect())
-            .collect();
+        // One read pass over all shards for the global IDFs.
+        let idfs: Vec<Vec<f64>> = {
+            let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+            requests
+                .iter()
+                .map(|r| {
+                    r.keywords
+                        .iter()
+                        .map(|w| {
+                            let df: usize = guards.iter().map(|g| g.index.inverted.df(w)).sum();
+                            if df == 0 {
+                                0.0
+                            } else {
+                                1.0 / df as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        if shard_count == 1 {
+            // Single-shard fast path: the shard's own emission order IS
+            // the global order, so the trace/merge machinery would only
+            // re-derive the hits it already has — run the heap loop
+            // straight, without recording, at the full k.
+            let mut scratch = self.pools[0].lock().pop().unwrap_or_default();
+            let guard = self.shards[0].read();
+            let results = requests
+                .iter()
+                .enumerate()
+                .map(|(r, request)| {
+                    top_k_in(
+                        &self.app,
+                        &guard.index,
+                        request,
+                        &idfs[r],
+                        request.k,
+                        0,
+                        false,
+                        &mut scratch,
+                    )
+                })
+                .collect();
+            drop(guard);
+            self.pools[0].lock().push(scratch);
+            return results;
+        }
         let mut limits: Vec<Vec<usize>> = requests
             .iter()
             .map(|r| vec![initial_limit(r.k, shard_count); shard_count])
@@ -207,43 +525,78 @@ impl ShardedEngine {
         // First round runs every shard; re-run rounds only the shards a
         // merge sent back for a deeper pass.
         let mut pending: Vec<usize> = (0..shard_count).collect();
+        // The worker-bound copies of the batch, plus the reply channel
+        // — built lazily on the first real dispatch, so a 1-shard
+        // engine (and any engine on a single-core host, where fanning
+        // out only buys context switches) never clones a request or
+        // touches a channel.
+        let use_workers = par::parallelism() > 1;
+        let mut batch: Option<Arc<SearchBatch>> = None;
+        let mut reply: Option<(mpsc::Sender<SearchReply>, mpsc::Receiver<SearchReply>)> = None;
         while !pending.is_empty() {
-            // Parallel phase: one scoped worker per pending shard runs
-            // that shard's pending requests with one reused scratch.
-            let produced: Vec<(usize, Vec<(usize, ShardRun)>)> =
-                par::map(std::mem::take(&mut pending), |s| {
-                    let shard = &self.shards[s];
-                    let mut scratch = self.pools[s].lock().pop().unwrap_or_default();
-                    let mut out = Vec::new();
-                    for (r, request) in requests.iter().enumerate() {
-                        if runs[r][s].is_some() {
-                            continue;
-                        }
-                        let hits = top_k_in(
-                            &self.app,
-                            &shard.index,
-                            request,
-                            &idfs[r],
-                            limits[r][s],
-                            shard.group_offset,
-                            true,
-                            &mut scratch,
-                        );
-                        out.push((
-                            r,
-                            ShardRun {
-                                hits,
-                                trace: std::mem::take(&mut scratch.trace),
-                                truncated: scratch.truncated,
-                            },
-                        ));
-                    }
-                    self.pools[s].lock().push(scratch);
-                    (s, out)
-                });
-            for (s, jobs) in produced {
-                for (r, run) in jobs {
+            let round = std::mem::take(&mut pending);
+            // This round's tasks per shard: the requests still missing
+            // this shard's run, at their current limits.
+            let shard_tasks = |s: usize, runs: &[Vec<Option<ShardRun>>]| -> Vec<(usize, usize)> {
+                (0..requests.len())
+                    .filter(|&r| runs[r][s].is_none())
+                    .map(|r| (r, limits[r][s]))
+                    .collect()
+            };
+            // Dispatch every shard but the first to its worker; the
+            // calling thread runs the first inline.
+            let mut dispatched = 0usize;
+            let (inline, pool_bound) = round.split_first().expect("non-empty round");
+            if use_workers {
+                for &s in pool_bound {
+                    let batch = batch.get_or_insert_with(|| {
+                        Arc::new(SearchBatch {
+                            requests: requests.to_vec(),
+                            idfs: idfs.clone(),
+                        })
+                    });
+                    let reply_tx = &reply.get_or_insert_with(mpsc::channel).0;
+                    self.workers.send(
+                        s,
+                        ShardJob::Search {
+                            batch: Arc::clone(batch),
+                            tasks: shard_tasks(s, &runs),
+                            reply: reply_tx.clone(),
+                        },
+                    );
+                    dispatched += 1;
+                }
+            }
+            let run_inline = |s: usize, runs: &mut Vec<Vec<Option<ShardRun>>>| {
+                let tasks = shard_tasks(s, runs);
+                let mut scratch = self.pools[s].lock().pop().unwrap_or_default();
+                let guard = self.shards[s].read();
+                let produced =
+                    run_shard_tasks(&self.app, &guard, requests, &idfs, &tasks, &mut scratch);
+                drop(guard);
+                self.pools[s].lock().push(scratch);
+                for (r, run) in produced {
                     runs[r][s] = Some(run);
+                }
+            };
+            run_inline(*inline, &mut runs);
+            if !use_workers {
+                for &s in pool_bound {
+                    run_inline(s, &mut runs);
+                }
+            }
+            if dispatched > 0 {
+                // Drop the caller-held Sender first: if a worker dies
+                // mid-job its clone drops with the job, the channel
+                // disconnects, and recv fails loudly instead of
+                // blocking this thread forever.
+                let (reply_tx, reply_rx) = reply.take().expect("reply channel built");
+                drop(reply_tx);
+                for _ in 0..dispatched {
+                    let (s, produced) = reply_rx.recv().expect("a shard worker panicked");
+                    for (r, run) in produced {
+                        runs[r][s] = Some(run);
+                    }
                 }
             }
             // Merge walk: fixes each request's emission order, or sends
@@ -274,6 +627,190 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Applies a record insertion: `db` must already contain the
+    /// record. The sharded counterpart of
+    /// [`DashEngine::apply_insert`](crate::DashEngine::apply_insert) —
+    /// same delta pipeline, applied to the owning shards only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_insert(
+        &mut self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        let delta = self.record_delta(db, relation, record)?;
+        Ok(self.apply_delta(delta))
+    }
+
+    /// Applies a record deletion: `db` must already have the record
+    /// removed, while `record` is the deleted row (captured
+    /// beforehand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_delete(
+        &mut self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        let delta = self.record_delta(db, relation, record)?;
+        Ok(self.apply_delta(delta))
+    }
+
+    /// Builds the delta for one base-table record change (find affected
+    /// identifiers, recompute them) without applying it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn record_delta(
+        &self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<IndexDelta> {
+        let ids = affected_fragment_ids(&self.app, db, relation, record)?;
+        build_delta(&self.app, db, &ids)
+    }
+
+    /// Applies a prebuilt delta: every entry is routed to the shard
+    /// owning its equality group, the affected shards apply their
+    /// sub-deltas (first inline, the rest in parallel on the worker
+    /// pool), and the global group-rank offsets + fragment count are
+    /// refreshed incrementally — per-shard work plus an O(shards)
+    /// prefix sum, never a rebuild. Post-update searches are
+    /// byte-identical to a [`DashEngine`](crate::DashEngine) freshly
+    /// built over the mutated fragment set.
+    pub fn apply_delta(&mut self, delta: IndexDelta) -> RefreshStats {
+        let range_position = self.app.query.range_selection_index();
+        let mut per_shard: Vec<IndexDelta> = (0..self.shards.len())
+            .map(|_| IndexDelta::default())
+            .collect();
+        for id in delta.removes {
+            let shard = self.route(&group_key(&id, range_position));
+            per_shard[shard].removes.push(id);
+        }
+        for fragment in delta.adds {
+            let shard = self.route(&group_key(&fragment.id, range_position));
+            per_shard[shard].adds.push(fragment);
+        }
+        let affected: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(s, _)| s)
+            .collect();
+        let mut stats = RefreshStats::default();
+        if !affected.is_empty() {
+            // First affected shard inline, the rest on their workers
+            // (inline throughout on a single-core host, like search).
+            let mut dispatched = 0usize;
+            let (inline, pool_bound) = affected.split_first().expect("non-empty");
+            let mut reply = None;
+            if par::parallelism() > 1 {
+                for &s in pool_bound {
+                    let reply_tx = &reply.get_or_insert_with(mpsc::channel).0;
+                    self.workers.send(
+                        s,
+                        ShardJob::Delta {
+                            delta: std::mem::take(&mut per_shard[s]),
+                            reply: reply_tx.clone(),
+                        },
+                    );
+                    dispatched += 1;
+                }
+            }
+            stats.merge(
+                self.shards[*inline]
+                    .write()
+                    .index
+                    .apply(&std::mem::take(&mut per_shard[*inline])),
+            );
+            for &s in pool_bound {
+                // Anything not dispatched (single-core) applies inline.
+                let sub = std::mem::take(&mut per_shard[s]);
+                if !sub.is_empty() {
+                    stats.merge(self.shards[s].write().index.apply(&sub));
+                }
+            }
+            if dispatched > 0 {
+                // As in search: drop the caller's Sender so a worker
+                // panic disconnects the channel instead of hanging.
+                let (reply_tx, reply_rx) = reply.take().expect("reply channel built");
+                drop(reply_tx);
+                for _ in 0..dispatched {
+                    stats.merge(reply_rx.recv().expect("a shard worker panicked"));
+                }
+            }
+            self.refresh_offsets();
+        }
+        stats
+    }
+
+    /// The shard owning an equality-group key under the static routing
+    /// table: the last shard whose lower bound does not exceed the key
+    /// (the first routed shard also catches keys below every bound).
+    fn route(&self, key: &[Value]) -> usize {
+        if self.route_bounds.is_empty() {
+            return 0;
+        }
+        let at = self
+            .route_bounds
+            .partition_point(|(bound, _)| bound.as_slice() <= key);
+        self.route_bounds[at.max(1) - 1].1
+    }
+
+    /// Re-derives every shard's global group-rank offset and the total
+    /// fragment count after maintenance — a prefix sum over per-shard
+    /// group counts, O(shards).
+    fn refresh_offsets(&mut self) {
+        let mut group_offset = 0u32;
+        let mut fragment_count = 0usize;
+        for shard in &self.shards {
+            let mut guard = shard.write();
+            guard.group_offset = group_offset;
+            group_offset += guard.index.graph.group_count() as u32;
+            fragment_count += guard.index.graph.node_count();
+        }
+        self.fragment_count = fragment_count;
+    }
+
+    /// Dumps every shard's live fragments, per shard, in group-rank +
+    /// range order — the exact partition, ready for
+    /// [`persist::write_sharded_fragments`](crate::persist::write_sharded_fragments)
+    /// and [`ShardedEngine::from_shard_fragments`]. A maintained engine
+    /// round-trips without re-partitioning (shard balance drifts with
+    /// maintenance; re-partitioning would shuffle groups between
+    /// shards).
+    pub fn dump_shards(&self) -> Vec<Vec<Fragment>> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.read();
+                let index = &guard.index;
+                // One arena pass recovers every fragment's terms at
+                // once — O(postings), not O(fragments × keywords).
+                let mut terms = index.inverted.all_fragment_terms();
+                let mut fragments = Vec::with_capacity(index.graph.node_count());
+                for (_, frags) in index.graph.iter_groups() {
+                    for &frag in frags {
+                        fragments.push(Fragment::new(
+                            index.catalog.id(frag).clone(),
+                            terms.remove(&frag).unwrap_or_default(),
+                            index.catalog.record_count(frag),
+                        ));
+                    }
+                }
+                fragments
+            })
+            .collect()
+    }
+
     /// The analyzed application this engine serves.
     pub fn app(&self) -> &WebApplication {
         &self.app
@@ -293,7 +830,7 @@ impl ShardedEngine {
     pub fn shard_sizes(&self) -> Vec<usize> {
         self.shards
             .iter()
-            .map(|s| s.index.fragment_count())
+            .map(|s| s.read().index.fragment_count())
             .collect()
     }
 
@@ -304,9 +841,16 @@ impl ShardedEngine {
 
     /// Global `IDF_w = 1 / |L_w|` over all shards: every fragment lives
     /// in exactly one shard, so the global fragment frequency is the
-    /// sum of the shards' local ones.
+    /// sum of the shards' local ones. (`search_many` computes the same
+    /// quantity over one set of read guards; this entry point serves
+    /// the unit tests.)
+    #[cfg(test)]
     fn global_idf(&self, word: &str) -> f64 {
-        let df: usize = self.shards.iter().map(|s| s.index.inverted.df(word)).sum();
+        let df: usize = self
+            .shards
+            .iter()
+            .map(|s| s.read().index.inverted.df(word))
+            .sum();
         if df == 0 {
             0.0
         } else {
@@ -315,31 +859,35 @@ impl ShardedEngine {
     }
 }
 
-/// One shard's slice of the input: its fragments (input order
-/// preserved) and how many equality groups they span.
-struct Part {
-    fragments: Vec<Fragment>,
-    groups: usize,
+/// One shard's slice of the input: its fragments, borrowed (input order
+/// preserved within groups — nothing is cloned until interning).
+struct Part<'a> {
+    fragments: Vec<&'a Fragment>,
 }
 
 /// Splits fragments into `shards` contiguous runs of group-key rank,
 /// balancing by fragment count (a group is never split — group-local
-/// candidate evolution is the unit of equivalence).
-fn partition(fragments: &[Fragment], range_position: Option<usize>, shards: usize) -> Vec<Part> {
+/// candidate evolution is the unit of equivalence). Zero-copy: parts
+/// borrow the input fragments.
+fn partition(
+    fragments: &[Fragment],
+    range_position: Option<usize>,
+    shards: usize,
+) -> Vec<Part<'_>> {
     // Group key → member fragment indices, in key order (BTreeMap) with
     // input order preserved within each group.
-    let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+    let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, f) in fragments.iter().enumerate() {
         // The graph's own key derivation — partition order must stay in
         // lockstep with `FragmentGraph`'s grouping.
-        let key = crate::index::graph::group_key(&f.id, range_position);
+        let key = group_key(&f.id, range_position);
         groups.entry(key).or_default().push(i);
     }
     let total = fragments.len().max(1);
-    let mut parts: Vec<Part> = (0..shards)
+    let mut parts: Vec<Part<'_>> = (0..shards)
         .map(|_| Part {
             fragments: Vec::new(),
-            groups: 0,
         })
         .collect();
     let mut assigned = 0usize;
@@ -347,10 +895,8 @@ fn partition(fragments: &[Fragment], range_position: Option<usize>, shards: usiz
         // Contiguous, monotone assignment: the group's shard is chosen
         // by how much of the fragment mass precedes it.
         let shard = (assigned * shards / total).min(shards - 1);
-        let part = &mut parts[shard];
-        part.groups += 1;
         for &i in members {
-            part.fragments.push(fragments[i].clone());
+            parts[shard].fragments.push(&fragments[i]);
         }
         assigned += members.len();
     }
@@ -494,7 +1040,19 @@ mod tests {
         assert_eq!(parts.len(), 3);
         let total: usize = parts.iter().map(|p| p.fragments.len()).sum();
         assert_eq!(total, crawl.fragments.len());
-        let groups: usize = parts.iter().map(|p| p.groups).sum();
+        // A group is never split across parts: counting distinct group
+        // keys part by part equals counting them globally.
+        let rp = app.query.range_selection_index();
+        let groups: usize = parts
+            .iter()
+            .map(|p| {
+                p.fragments
+                    .iter()
+                    .map(|f| group_key(&f.id, rp))
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
+            })
+            .sum();
         assert_eq!(groups, 2); // American + Thai
     }
 
@@ -535,5 +1093,121 @@ mod tests {
         assert_eq!(parse_shards("0"), None);
         assert_eq!(parse_shards("nope"), None);
         assert_eq!(parse_shards(""), None);
+    }
+
+    #[test]
+    fn routing_is_static_and_contiguous() {
+        let (app, db) = fooddb_parts();
+        // 2 groups (American, Thai) over 2 shards: American → 0, Thai → 1.
+        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        assert_eq!(engine.route(&[Value::str("American")]), 0);
+        assert_eq!(engine.route(&[Value::str("Thai")]), 1);
+        // Keys outside the built ranges route to the nearest run:
+        // below-all to the first routed shard, between/above to the
+        // last bound not exceeding them.
+        assert_eq!(engine.route(&[Value::str("Aaa")]), 0);
+        assert_eq!(engine.route(&[Value::str("Mexican")]), 0);
+        assert_eq!(engine.route(&[Value::str("Zulu")]), 1);
+    }
+
+    #[test]
+    fn incremental_insert_touches_one_shard_only() {
+        let (app, db) = fooddb_parts();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let sizes = engine.shard_sizes();
+        // A new (Zulu, 30) fragment routes past every bound → last shard.
+        let fragment = Fragment::new(
+            crate::fragment::FragmentId::new(vec![Value::str("Zulu"), Value::Int(30)]),
+            [("zebra".to_string(), 2u64)].into_iter().collect(),
+            1,
+        );
+        let stats = engine.apply_delta(IndexDelta::adding(vec![fragment]));
+        assert_eq!((stats.removed, stats.added), (0, 1));
+        let after = engine.shard_sizes();
+        assert_eq!(after[0], sizes[0]);
+        assert_eq!(after[1], sizes[1] + 1);
+        assert_eq!(engine.fragment_count(), sizes.iter().sum::<usize>() + 1);
+        let hits = engine.search(&SearchRequest::new(&["zebra"]).k(1).min_size(1));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].url.contains("c=Zulu"), "got {}", hits[0].url);
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let (app, db) = fooddb_parts();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+        let before = engine.shard_sizes();
+        let stats = engine.apply_delta(IndexDelta::default());
+        assert_eq!(stats, RefreshStats::default());
+        assert_eq!(engine.shard_sizes(), before);
+    }
+
+    #[test]
+    fn empty_dump_loads_as_one_empty_shard() {
+        // A hand-made empty dump must not produce a zero-shard engine
+        // (which could answer nothing); it clamps to one empty shard
+        // that searches cleanly and accepts deltas.
+        let (app, _) = fooddb_parts();
+        let mut engine =
+            ShardedEngine::from_shard_fragments(app, &[], WorkflowStats::new()).unwrap();
+        assert_eq!(engine.shard_count(), 1);
+        assert!(engine
+            .search(&SearchRequest::new(&["anything"]).k(3).min_size(1))
+            .is_empty());
+        let fragment = Fragment::new(
+            crate::fragment::FragmentId::new(vec![Value::str("Nordic"), Value::Int(5)]),
+            [("herring".to_string(), 1u64)].into_iter().collect(),
+            1,
+        );
+        engine.apply_delta(IndexDelta::adding(vec![fragment]));
+        assert_eq!(
+            engine
+                .search(&SearchRequest::new(&["herring"]).k(1).min_size(1))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn empty_engine_accepts_deltas() {
+        // No fragments at build: the routing table is empty, so every
+        // delta lands in shard 0 and the other shards stay empty.
+        let (app, _) = fooddb_parts();
+        let mut engine =
+            ShardedEngine::from_fragments(app.clone(), &[], 3, WorkflowStats::new()).unwrap();
+        assert_eq!(engine.fragment_count(), 0);
+        let fragments: Vec<Fragment> = [("American", 9i64), ("Thai", 10), ("Cajun", 7)]
+            .iter()
+            .map(|&(cuisine, budget)| {
+                Fragment::new(
+                    crate::fragment::FragmentId::new(vec![Value::str(cuisine), Value::Int(budget)]),
+                    [("gumbo".to_string(), 1u64)].into_iter().collect(),
+                    1,
+                )
+            })
+            .collect();
+        engine.apply_delta(IndexDelta::adding(fragments.clone()));
+        assert_eq!(engine.shard_sizes(), vec![3, 0, 0]);
+        let single =
+            crate::engine::DashEngine::from_fragments(app, &fragments, WorkflowStats::new())
+                .unwrap();
+        let req = SearchRequest::new(&["gumbo"]).k(5).min_size(1);
+        assert_eq!(engine.search(&req), single.search(&req));
+    }
+
+    #[test]
+    fn global_idf_survives_maintenance() {
+        let (app, db) = fooddb_parts();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let before = engine.global_idf("burger");
+        assert!(before > 0.0);
+        let fragment = Fragment::new(
+            crate::fragment::FragmentId::new(vec![Value::str("Zulu"), Value::Int(30)]),
+            [("burger".to_string(), 1u64)].into_iter().collect(),
+            1,
+        );
+        engine.apply_delta(IndexDelta::adding(vec![fragment]));
+        let after = engine.global_idf("burger");
+        assert!(after < before, "df grew, idf must shrink");
     }
 }

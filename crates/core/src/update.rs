@@ -3,13 +3,31 @@
 //! that can efficiently update (affected portions of) a fragment index
 //! are desirable".
 //!
-//! The approach: a base-table delta (inserted or deleted record) touches
-//! exactly the fragments whose identifiers appear in the join rows the
-//! record participates in. [`affected_fragment_ids`] finds those
-//! identifiers by joining a one-record shadow of the delta's relation
-//! against the rest of the database; [`refresh`] then recomputes just
-//! those fragments and splices them into the inverted index and the
-//! fragment graph — no full rebuild.
+//! ## The delta write path
+//!
+//! Every mutation — single-engine or sharded — flows through one
+//! abstraction, the [`IndexDelta`]: the set of fragment identifiers
+//! whose index entries are stale (`removes`) plus the freshly derived
+//! fragments to splice in (`adds`). The pipeline is
+//!
+//! 1. **find** — a base-table delta (inserted or deleted record)
+//!    touches exactly the fragments whose identifiers appear in the
+//!    join rows the record participates in; [`affected_fragment_ids`]
+//!    finds them by joining a one-record shadow of the delta's relation
+//!    against the rest of the database;
+//! 2. **build** — [`build_delta`] recomputes the affected fragments
+//!    from the current database and packages them as an [`IndexDelta`];
+//! 3. **apply** — [`FragmentIndex::apply`] splices the delta into every
+//!    structure atomically: per-keyword posting splices are batched
+//!    into **one** arena rewrite + one TF re-sort, and per-group graph
+//!    splices touch only the affected groups' columns. No full rebuild.
+//!
+//! [`DashEngine`] applies a delta to its one index;
+//! [`ShardedEngine`](crate::sharded::ShardedEngine) routes each delta
+//! entry to the shard owning its equality group and applies the
+//! sub-deltas on the shard worker pool — per-shard work only, with
+//! search results staying byte-identical to a freshly built single
+//! engine (see `crate::sharded`).
 
 use std::collections::BTreeSet;
 
@@ -18,17 +36,72 @@ use dash_webapp::WebApplication;
 
 use crate::crawl::reference;
 use crate::engine::DashEngine;
-use crate::fragment::FragmentId;
+use crate::fragment::{Fragment, FragmentId};
 use crate::index::FragmentIndex;
 use crate::Result;
 
-/// What a refresh did.
+/// A batched, atomic mutation of a fragment index: which identifiers'
+/// entries are stale, and the fresh fragments replacing them. The unit
+/// of the unified write path — built once per database change
+/// ([`build_delta`]), applied per index ([`FragmentIndex::apply`]) or
+/// routed per shard
+/// ([`ShardedEngine::apply_delta`](crate::sharded::ShardedEngine::apply_delta)).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IndexDelta {
+    /// Identifiers whose current index entries must go (stale versions
+    /// and emptied identifiers). An identifier that is also re-added
+    /// below is replaced, not dropped.
+    pub removes: Vec<FragmentId>,
+    /// Freshly derived fragments to (re)insert. Duplicated identifiers
+    /// are allowed (concatenated deltas produce them); the last entry
+    /// for an identifier wins.
+    pub adds: Vec<Fragment>,
+}
+
+impl IndexDelta {
+    /// A delta that removes and (re)inserts the given sets.
+    pub fn new(removes: Vec<FragmentId>, adds: Vec<Fragment>) -> Self {
+        IndexDelta { removes, adds }
+    }
+
+    /// A pure-removal delta.
+    pub fn removing(removes: Vec<FragmentId>) -> Self {
+        IndexDelta {
+            removes,
+            adds: Vec::new(),
+        }
+    }
+
+    /// A pure-insertion delta.
+    pub fn adding(adds: Vec<Fragment>) -> Self {
+        IndexDelta {
+            removes: Vec::new(),
+            adds,
+        }
+    }
+
+    /// Whether the delta mutates nothing.
+    pub fn is_empty(&self) -> bool {
+        self.removes.is_empty() && self.adds.is_empty()
+    }
+}
+
+/// What applying a delta did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RefreshStats {
     /// Fragments removed from the index (stale versions + emptied ids).
     pub removed: usize,
     /// Fragments (re)inserted.
     pub added: usize,
+}
+
+impl RefreshStats {
+    /// Accumulates another application's counts (per-shard sub-deltas
+    /// sum into the engine-level stats).
+    pub fn merge(&mut self, other: RefreshStats) {
+        self.removed += other.removed;
+        self.added += other.added;
+    }
 }
 
 /// The fragment identifiers affected by one record of `relation`.
@@ -64,10 +137,29 @@ pub fn affected_fragment_ids(
     Ok(fragments.into_iter().map(|f| f.id).collect())
 }
 
-/// Recomputes `ids` from the current `db` and splices them into `index`.
+/// Builds the [`IndexDelta`] bringing the entries of `ids` up to date
+/// with the current `db`: every target identifier is marked stale, and
+/// the ones that still derive fragments are re-added fresh.
 ///
-/// Identifiers that no longer exist in the data are removed; the rest are
-/// replaced with freshly derived fragments.
+/// # Errors
+///
+/// Propagates relational errors from the recomputation join.
+pub fn build_delta(app: &WebApplication, db: &Database, ids: &[FragmentId]) -> Result<IndexDelta> {
+    if ids.is_empty() {
+        return Ok(IndexDelta::default());
+    }
+    let targets: BTreeSet<&FragmentId> = ids.iter().collect();
+    // Current truth for the affected identifiers.
+    let adds: Vec<Fragment> = reference::fragments(app, db)?
+        .into_iter()
+        .filter(|f| targets.contains(&f.id))
+        .collect();
+    let removes: Vec<FragmentId> = targets.into_iter().cloned().collect();
+    Ok(IndexDelta::new(removes, adds))
+}
+
+/// Recomputes `ids` from the current `db` and splices them into `index`
+/// — [`build_delta`] followed by [`FragmentIndex::apply`].
 ///
 /// # Errors
 ///
@@ -78,28 +170,8 @@ pub fn refresh(
     db: &Database,
     ids: &[FragmentId],
 ) -> Result<RefreshStats> {
-    if ids.is_empty() {
-        return Ok(RefreshStats::default());
-    }
-    let targets: BTreeSet<&FragmentId> = ids.iter().collect();
-
-    // Current truth for the affected identifiers.
-    let fresh: Vec<crate::fragment::Fragment> = reference::fragments(app, db)?
-        .into_iter()
-        .filter(|f| targets.contains(&f.id))
-        .collect();
-
-    let mut stats = RefreshStats::default();
-    for id in &targets {
-        if index.remove_fragment(id) {
-            stats.removed += 1;
-        }
-    }
-    for fragment in &fresh {
-        index.add_fragment(fragment);
-        stats.added += 1;
-    }
-    Ok(stats)
+    let delta = build_delta(app, db, ids)?;
+    Ok(index.apply(&delta))
 }
 
 impl DashEngine {
@@ -114,12 +186,8 @@ impl DashEngine {
         relation: &str,
         record: &Record,
     ) -> Result<RefreshStats> {
-        let ids = affected_fragment_ids(self.app(), db, relation, record)?;
-        let app = self.app().clone();
-        let stats = refresh(self.index_mut(), &app, db, &ids)?;
-        let count = self.index().graph.node_count();
-        self.set_fragment_count(count);
-        Ok(stats)
+        let delta = self.record_delta(db, relation, record)?;
+        Ok(self.apply_delta(&delta))
     }
 
     /// Applies a record deletion: `db` must already have the record
@@ -136,12 +204,32 @@ impl DashEngine {
     ) -> Result<RefreshStats> {
         // The shadow join needs the record's FK parents, which are still
         // in `db`; the record itself lives only in the shadow.
+        let delta = self.record_delta(db, relation, record)?;
+        Ok(self.apply_delta(&delta))
+    }
+
+    /// Builds the delta for one base-table record change (find affected
+    /// identifiers, recompute them).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn record_delta(
+        &self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<IndexDelta> {
         let ids = affected_fragment_ids(self.app(), db, relation, record)?;
-        let app = self.app().clone();
-        let stats = refresh(self.index_mut(), &app, db, &ids)?;
+        build_delta(self.app(), db, &ids)
+    }
+
+    /// Applies a prebuilt delta to the index.
+    pub fn apply_delta(&mut self, delta: &IndexDelta) -> RefreshStats {
+        let stats = self.index_mut().apply(delta);
         let count = self.index().graph.node_count();
         self.set_fragment_count(count);
-        Ok(stats)
+        stats
     }
 }
 
@@ -277,5 +365,43 @@ mod tests {
         let app = engine.app().clone();
         let stats = refresh(engine.index_mut(), &app, &db, &[]).unwrap();
         assert_eq!(stats, RefreshStats::default());
+    }
+
+    #[test]
+    fn delta_batches_match_one_by_one_application() {
+        // One big delta applied atomically equals the same mutations
+        // applied as one-element deltas — and both equal a rebuild.
+        let mut db = fooddb::database();
+        let batched = {
+            let mut engine = rebuild(&db);
+            let mut removes = Vec::new();
+            let mut adds = Vec::new();
+            for (rid, name, cuisine, budget) in [
+                (40i64, "Pad Thai Hut", "Thai", 12i64),
+                (41, "Fry Shack", "American", 11),
+            ] {
+                let record = Record::new(vec![
+                    Value::Int(rid),
+                    Value::str(name),
+                    Value::str(cuisine),
+                    Value::Int(budget),
+                    Value::str("3.5"),
+                ]);
+                db.table_mut("restaurant")
+                    .unwrap()
+                    .insert(record.clone())
+                    .unwrap();
+                let delta = engine.record_delta(&db, "restaurant", &record).unwrap();
+                removes.extend(delta.removes);
+                adds.extend(delta.adds);
+            }
+            // Concatenating deltas duplicates recomputed ids; `apply`
+            // deduplicates last-wins, so no caller-side hygiene needed.
+            let delta = IndexDelta::new(removes, adds);
+            assert!(!delta.is_empty());
+            engine.apply_delta(&delta);
+            engine
+        };
+        assert_same_index(&batched, &rebuild(&db));
     }
 }

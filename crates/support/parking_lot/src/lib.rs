@@ -5,7 +5,7 @@
 //! panicking worker thread; propagating that panic matches parking_lot's
 //! behavior closely enough for the simulated cluster.
 
-use std::sync::{self, MutexGuard};
+use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
@@ -35,9 +35,42 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose guards never report poisoning.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    /// Creates a lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, ignoring poisoning.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_round_trips() {
@@ -60,5 +93,17 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 800);
+    }
+
+    #[test]
+    fn rwlock_reads_and_writes() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        let readers = (l.read(), l.read());
+        assert_eq!((*readers.0, *readers.1), (42, 42));
+        drop(readers);
+        assert_eq!(l.into_inner(), 42);
     }
 }

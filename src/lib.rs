@@ -58,8 +58,8 @@ pub use dash_webapp as webapp;
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use dash_core::{
-        DashConfig, DashEngine, Fragment, FragmentId, FragmentIndex, SearchHit, SearchRequest,
-        ShardedEngine,
+        DashConfig, DashEngine, Fragment, FragmentId, FragmentIndex, IndexDelta, MultiDash,
+        SearchEngine, SearchHit, SearchRequest, ShardedEngine,
     };
     pub use dash_relation::{Database, Record, Schema, Table, Value};
     pub use dash_webapp::{DbPage, QueryString, WebApplication};

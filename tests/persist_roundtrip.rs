@@ -7,9 +7,12 @@
 //! crawls motivate.
 
 use dash::core::crawl::reference;
-use dash::core::persist::{read_fragments, write_fragments};
-use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::core::persist::{
+    read_fragments, read_sharded_fragments, write_fragments, write_sharded_fragments,
+};
+use dash::core::{DashConfig, DashEngine, SearchRequest, ShardedEngine};
 use dash::mapreduce::WorkflowStats;
+use dash::relation::{Record, Value};
 use dash::webapp::fooddb;
 use dash_tpch::{generate, Scale, TpchConfig};
 
@@ -115,6 +118,57 @@ fn sharded_engine_from_persisted_fragments_matches_original() {
                 "shards={shards} keywords={keywords:?}"
             );
         }
+    }
+}
+
+#[test]
+fn maintained_sharded_engine_roundtrips_per_shard_without_repartitioning() {
+    // A maintained engine's partition has drifted from what a fresh
+    // `partition()` would choose (the new Mexican group landed wherever
+    // the static routing table put it). The per-shard dump must
+    // preserve that drifted partition exactly — same shard sizes, same
+    // byte-identical searches — instead of re-balancing on load.
+    let mut db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+    for (rid, budget) in [(120i64, 7i64), (121, 9), (122, 13)] {
+        let record = Record::new(vec![
+            Value::Int(rid),
+            Value::str("Taqueria"),
+            Value::str("Mexican"),
+            Value::Int(budget),
+            Value::str("4.2"),
+        ]);
+        db.table_mut("restaurant")
+            .unwrap()
+            .insert(record.clone())
+            .unwrap();
+        engine.apply_insert(&db, "restaurant", &record).unwrap();
+    }
+
+    let dumped = engine.dump_shards();
+    let mut buf = Vec::new();
+    write_sharded_fragments(&mut buf, &dumped).unwrap();
+    let loaded = read_sharded_fragments(buf.as_slice()).unwrap();
+    assert_eq!(loaded, dumped);
+
+    let restored =
+        ShardedEngine::from_shard_fragments(app.clone(), &loaded, WorkflowStats::new()).unwrap();
+    assert_eq!(restored.shard_count(), engine.shard_count());
+    assert_eq!(restored.shard_sizes(), engine.shard_sizes());
+    assert_eq!(restored.fragment_count(), engine.fragment_count());
+    for (keywords, k, s) in [
+        (vec!["burger"], 2, 20u64),
+        (vec!["taqueria"], 5, 1),
+        (vec!["burger", "fries"], 5, 1),
+        (vec!["american"], 10, 1),
+    ] {
+        let request = SearchRequest::new(&keywords).k(k).min_size(s);
+        assert_eq!(
+            restored.search(&request),
+            engine.search(&request),
+            "keywords={keywords:?}"
+        );
     }
 }
 

@@ -1,0 +1,501 @@
+//! The sharded-maintenance test tier: after ANY sequence of
+//! incremental updates, `ShardedEngine` search results must be
+//! **byte-identical** to a `DashEngine` freshly rebuilt over the
+//! mutated fragment set — for every shard count. This is the contract
+//! of the unified delta write path: deltas route to their owning shard
+//! (per-shard work only, no rebuild), global group ranks and IDF
+//! refresh incrementally, and the trace merge stays exact even as the
+//! shard balance drifts away from what a fresh partition would choose.
+//!
+//! Three layers of evidence:
+//!
+//! * golden sequences — the fooddb mutation scenarios of
+//!   `tests/maintenance.rs` replayed against sharded engines at shard
+//!   counts {1, 2, 4, 8}, with searches interleaved between mutations
+//!   and run concurrently on the shard worker pool;
+//! * property tests — random initial datasets and random
+//!   insert/replace/remove delta sequences, applied identically to all
+//!   shard counts and compared against a from-scratch rebuild;
+//! * round-trip composition — maintenance after a per-shard dump/load
+//!   (see `tests/persist_roundtrip.rs` for the dump itself).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dash::core::{
+    DashConfig, DashEngine, Fragment, FragmentId, IndexDelta, SearchRequest, ShardedEngine,
+};
+use dash::mapreduce::WorkflowStats;
+use dash::relation::{Database, Record, Value};
+use dash::webapp::fooddb;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn rebuild_single(db: &Database) -> DashEngine {
+    let app = fooddb::search_application().unwrap();
+    DashEngine::build(&app, db, &DashConfig::default()).unwrap()
+}
+
+/// The request battery every comparison runs: hot/cold keywords, size
+/// thresholds spanning no-expansion to whole-group, multi-keyword.
+fn battery() -> Vec<SearchRequest> {
+    let mut requests = Vec::new();
+    for kw in ["burger", "fries", "coffee", "thai", "taco", "pho", "nice"] {
+        for s in [1u64, 20, 60] {
+            requests.push(SearchRequest::new(&[kw]).k(6).min_size(s));
+        }
+    }
+    requests.push(SearchRequest::new(&["burger", "taco"]).k(8).min_size(10));
+    requests.push(SearchRequest::new(&["zzzmissing"]).k(3).min_size(1));
+    requests
+}
+
+/// Sequential + batched + concurrent search comparison: the sharded
+/// engine must agree with the rebuilt single engine request for
+/// request, including under concurrent worker-pool traffic.
+fn assert_equivalent(sharded: &ShardedEngine, rebuilt: &DashEngine, context: &str) {
+    assert_eq!(
+        sharded.fragment_count(),
+        rebuilt.fragment_count(),
+        "{context}: fragment counts"
+    );
+    let requests = battery();
+    let expected: Vec<_> = requests.iter().map(|r| rebuilt.search(r)).collect();
+    for (request, expected) in requests.iter().zip(&expected) {
+        assert_eq!(
+            &sharded.search(request),
+            expected,
+            "{context}: keywords={:?} k={} s={}",
+            request.keywords,
+            request.k,
+            request.min_size
+        );
+    }
+    assert_eq!(
+        sharded.search_many(&requests),
+        expected,
+        "{context}: batched"
+    );
+    // Concurrent traffic on the persistent worker pool: four client
+    // threads issue the whole battery at once.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let requests = &requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (request, expected) in requests.iter().zip(expected) {
+                    assert_eq!(
+                        &sharded.search(request),
+                        expected,
+                        "{context}: concurrent client {t} keywords={:?}",
+                        request.keywords
+                    );
+                }
+            });
+        }
+    });
+}
+
+fn restaurant(rid: i64, name: &str, cuisine: &str, budget: i64) -> Record {
+    Record::new(vec![
+        Value::Int(rid),
+        Value::str(name),
+        Value::str(cuisine),
+        Value::Int(budget),
+        Value::str("4.0"),
+    ])
+}
+
+fn comment(cid: i64, rid: i64, uid: i64, text: &str) -> Record {
+    Record::new(vec![
+        Value::Int(cid),
+        Value::Int(rid),
+        Value::Int(uid),
+        Value::str(text),
+        Value::str("02/12"),
+    ])
+}
+
+#[test]
+fn golden_interleaved_mutations_match_rebuild_for_all_shard_counts() {
+    for shards in SHARD_COUNTS {
+        let mut db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+        let context = |step: &str| format!("shards={shards}: {step}");
+
+        // 1. Insert a chain of Mexican restaurants spanning budgets
+        //    5..9 — a brand-new equality group grows inside one shard's
+        //    key range, with searches after every single insert.
+        for (i, budget) in (5..10).enumerate() {
+            let r = restaurant(100 + i as i64, "Taco Tower", "Mexican", budget);
+            db.table_mut("restaurant")
+                .unwrap()
+                .insert(r.clone())
+                .unwrap();
+            engine.apply_insert(&db, "restaurant", &r).unwrap();
+            let hits = engine.search(&SearchRequest::new(&["taco"]).k(1).min_size(100));
+            assert_eq!(hits.len(), 1, "{}", context("taco findable"));
+            assert_eq!(hits[0].fragment_ids.len(), i + 1);
+        }
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &context("after mexican chain"),
+        );
+
+        // 2. Grow one fragment's content (comment insert).
+        let c = comment(301, 102, 132, "Great taco pho fusion");
+        db.table_mut("comment").unwrap().insert(c.clone()).unwrap();
+        engine.apply_insert(&db, "comment", &c).unwrap();
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &context("after comment insert"),
+        );
+
+        // 3. Delete the middle of the Mexican chain — the edge
+        //    re-splices inside the owning shard only.
+        let victim = db
+            .table("restaurant")
+            .unwrap()
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::Int(102)))
+            .cloned()
+            .unwrap();
+        db.table_mut("comment")
+            .unwrap()
+            .delete_where(|r| r.get(1) == Some(&Value::Int(102)));
+        engine.apply_delete(&db, "comment", &c).unwrap();
+        db.table_mut("restaurant")
+            .unwrap()
+            .delete_where(|r| r.get(0) == Some(&Value::Int(102)));
+        engine.apply_delete(&db, "restaurant", &victim).unwrap();
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &context("after middle delete"),
+        );
+
+        // 4. Delete an entire cuisine (Thai) — whole groups disappear
+        //    from their shard; later shards' global ranks must slide.
+        for rid in [5i64, 6] {
+            let comments: Vec<Record> = db
+                .table("comment")
+                .unwrap()
+                .iter()
+                .filter(|r| r.get(1) == Some(&Value::Int(rid)))
+                .cloned()
+                .collect();
+            for c in comments {
+                db.table_mut("comment")
+                    .unwrap()
+                    .delete_where(|r| r.get(0) == c.get(0));
+                engine.apply_delete(&db, "comment", &c).unwrap();
+            }
+            let r = db
+                .table("restaurant")
+                .unwrap()
+                .iter()
+                .find(|r| r.get(0) == Some(&Value::Int(rid)))
+                .cloned()
+                .unwrap();
+            db.table_mut("restaurant")
+                .unwrap()
+                .delete_where(|rec| rec.get(0) == Some(&Value::Int(rid)));
+            engine.apply_delete(&db, "restaurant", &r).unwrap();
+        }
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &context("after thai removal"),
+        );
+        assert!(engine
+            .search(&SearchRequest::new(&["thai"]).k(3).min_size(1))
+            .is_empty());
+    }
+}
+
+#[test]
+fn golden_budget_move_and_churn_match_rebuild() {
+    for shards in SHARD_COUNTS {
+        let mut db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+
+        // A budget change moves a restaurant between fragments of the
+        // same group (delete + insert).
+        let old = db
+            .table("restaurant")
+            .unwrap()
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::Int(1)))
+            .cloned()
+            .unwrap();
+        db.table_mut("restaurant")
+            .unwrap()
+            .delete_where(|r| r.get(0) == Some(&Value::Int(1)));
+        engine.apply_delete(&db, "restaurant", &old).unwrap();
+        let new = restaurant(1, "Burger Queen", "American", 11);
+        db.table_mut("restaurant")
+            .unwrap()
+            .insert(new.clone())
+            .unwrap();
+        engine.apply_insert(&db, "restaurant", &new).unwrap();
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &format!("shards={shards}: after budget move"),
+        );
+        let hits = engine.search(&SearchRequest::new(&["experts"]).k(1).min_size(1));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].url.contains("l=11&u=11"), "got {}", hits[0].url);
+
+        // Repeated insert/delete churn of one fragment is stable.
+        let r = restaurant(200, "Pho Palace", "Vietnamese", 9);
+        for round in 0..3 {
+            db.table_mut("restaurant")
+                .unwrap()
+                .insert(r.clone())
+                .unwrap();
+            engine.apply_insert(&db, "restaurant", &r).unwrap();
+            assert_eq!(
+                engine
+                    .search(&SearchRequest::new(&["pho"]).k(5).min_size(1))
+                    .len(),
+                1,
+                "shards={shards} round={round}"
+            );
+            db.table_mut("restaurant")
+                .unwrap()
+                .delete_where(|rec| rec.get(0) == Some(&Value::Int(200)));
+            engine.apply_delete(&db, "restaurant", &r).unwrap();
+            assert!(engine
+                .search(&SearchRequest::new(&["pho"]).k(5).min_size(1))
+                .is_empty());
+        }
+        assert_equivalent(
+            &engine,
+            &rebuild_single(&db),
+            &format!("shards={shards}: after churn"),
+        );
+    }
+}
+
+#[test]
+fn maintenance_composes_with_per_shard_roundtrip() {
+    // Mutate → dump per shard → reload (no re-partitioning) → mutate
+    // again: the reloaded engine keeps accepting deltas and stays
+    // byte-identical to a rebuild.
+    let mut db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 4).unwrap();
+
+    let r = restaurant(150, "Quesadilla Queen", "Mexican", 14);
+    db.table_mut("restaurant")
+        .unwrap()
+        .insert(r.clone())
+        .unwrap();
+    engine.apply_insert(&db, "restaurant", &r).unwrap();
+
+    let dumped = engine.dump_shards();
+    let mut reloaded =
+        ShardedEngine::from_shard_fragments(app.clone(), &dumped, WorkflowStats::new()).unwrap();
+    assert_eq!(reloaded.shard_sizes(), engine.shard_sizes());
+
+    let r2 = restaurant(151, "Churro Chapel", "Mexican", 16);
+    db.table_mut("restaurant")
+        .unwrap()
+        .insert(r2.clone())
+        .unwrap();
+    engine.apply_insert(&db, "restaurant", &r2).unwrap();
+    reloaded.apply_insert(&db, "restaurant", &r2).unwrap();
+
+    let rebuilt = rebuild_single(&db);
+    assert_equivalent(&engine, &rebuilt, "original after roundtrip-era mutations");
+    assert_equivalent(&reloaded, &rebuilt, "reloaded after mutations");
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random datasets, random delta sequences.
+// ---------------------------------------------------------------------
+
+const EQ_KEYS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+const VOCAB: [&str; 8] = [
+    "burger", "fries", "noodle", "spicy", "fresh", "crispy", "sweet", "salty",
+];
+
+/// One generated fragment row.
+#[derive(Debug, Clone)]
+struct GenFragment {
+    eq: usize,
+    range: i64,
+    words: Vec<(usize, u64)>,
+}
+
+impl GenFragment {
+    fn id(&self) -> FragmentId {
+        FragmentId::new(vec![Value::str(EQ_KEYS[self.eq]), Value::Int(self.range)])
+    }
+
+    fn materialize(&self) -> Fragment {
+        let mut occ: BTreeMap<String, u64> = BTreeMap::new();
+        for &(w, n) in &self.words {
+            *occ.entry(VOCAB[w].to_string()).or_insert(0) += n;
+        }
+        Fragment::new(self.id(), occ, 1)
+    }
+}
+
+/// One maintenance operation against the engines and the ground truth.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert (or replace) a fragment.
+    Upsert(GenFragment),
+    /// Remove the fragment with this (eq, range) coordinate, if live.
+    Remove(usize, i64),
+}
+
+fn fragment_strategy() -> impl Strategy<Value = GenFragment> {
+    (
+        0..EQ_KEYS.len(),
+        0i64..12,
+        prop::collection::vec((0usize..VOCAB.len(), 1u64..5), 1..4),
+    )
+        .prop_map(|(eq, range, words)| GenFragment { eq, range, words })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The stand-in's `prop_oneof!` is uniform; repeating the upsert arm
+    // biases the mix toward insert/replace ops.
+    prop_oneof![
+        fragment_strategy().prop_map(Op::Upsert),
+        fragment_strategy().prop_map(Op::Upsert),
+        fragment_strategy().prop_map(Op::Upsert),
+        (0..EQ_KEYS.len(), 0i64..12).prop_map(|(eq, range)| Op::Remove(eq, range)),
+    ]
+}
+
+/// First occurrence of an identifier wins, like a crawl's distinct
+/// output.
+fn materialize(rows: &[GenFragment]) -> Vec<Fragment> {
+    let mut seen = std::collections::HashSet::new();
+    let mut fragments = Vec::new();
+    for row in rows {
+        if seen.insert(row.id()) {
+            fragments.push(row.materialize());
+        }
+    }
+    fragments
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    /// The tier's core contract: random initial data, a random delta
+    /// sequence applied incrementally at every shard count, searches
+    /// byte-identical to a from-scratch rebuild over the final set.
+    #[test]
+    fn update_then_search_matches_rebuild_then_search(
+        rows in prop::collection::vec(fragment_strategy(), 1..30),
+        ops in prop::collection::vec(op_strategy(), 1..12),
+        query in prop::collection::vec(0usize..VOCAB.len(), 1..4),
+        k in 1usize..10,
+        s in prop::sample::select(vec![1u64, 3, 10, 50]),
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let initial = materialize(&rows);
+        let mut truth: Vec<Fragment> = initial.clone();
+        let mut engines: Vec<ShardedEngine> = SHARD_COUNTS
+            .iter()
+            .map(|&n| {
+                ShardedEngine::from_fragments(app.clone(), &initial, n, WorkflowStats::new())
+                    .unwrap()
+            })
+            .collect();
+        for op in &ops {
+            let delta = match op {
+                Op::Upsert(row) => {
+                    let fragment = row.materialize();
+                    truth.retain(|f| f.id != fragment.id);
+                    truth.push(fragment.clone());
+                    IndexDelta::new(vec![row.id()], vec![fragment])
+                }
+                Op::Remove(eq, range) => {
+                    let id =
+                        FragmentId::new(vec![Value::str(EQ_KEYS[*eq]), Value::Int(*range)]);
+                    truth.retain(|f| f.id != id);
+                    IndexDelta::removing(vec![id])
+                }
+            };
+            for engine in &mut engines {
+                engine.apply_delta(delta.clone());
+            }
+        }
+        let rebuilt =
+            DashEngine::from_fragments(app.clone(), &truth, WorkflowStats::new()).unwrap();
+        let keywords: Vec<&str> = query.iter().map(|&w| VOCAB[w]).collect();
+        let request = SearchRequest::new(&keywords).k(k).min_size(s);
+        let expected = rebuilt.search(&request);
+        for (engine, &shards) in engines.iter().zip(&SHARD_COUNTS) {
+            prop_assert_eq!(engine.fragment_count(), truth.len(), "shards={}", shards);
+            prop_assert_eq!(
+                engine.search(&request),
+                expected.clone(),
+                "shards={} truth={} ops={} keywords={:?} k={} s={}",
+                shards,
+                truth.len(),
+                ops.len(),
+                &keywords,
+                k,
+                s
+            );
+        }
+    }
+
+    /// Interleaving searches *between* delta applications never
+    /// perturbs later results (scratch pools, worker state and offsets
+    /// carry no stale cross-request state).
+    #[test]
+    fn interleaved_search_and_update_is_stateless(
+        rows in prop::collection::vec(fragment_strategy(), 5..25),
+        ops in prop::collection::vec(op_strategy(), 1..6),
+        shards in prop::sample::select(vec![2usize, 4, 8]),
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let initial = materialize(&rows);
+        let mut truth = initial.clone();
+        let mut engine =
+            ShardedEngine::from_fragments(app.clone(), &initial, shards, WorkflowStats::new())
+                .unwrap();
+        let request = SearchRequest::new(&["burger", "spicy"]).k(5).min_size(3);
+        for op in &ops {
+            let delta = match op {
+                Op::Upsert(row) => {
+                    let fragment = row.materialize();
+                    truth.retain(|f| f.id != fragment.id);
+                    truth.push(fragment.clone());
+                    IndexDelta::new(vec![row.id()], vec![fragment])
+                }
+                Op::Remove(eq, range) => {
+                    let id =
+                        FragmentId::new(vec![Value::str(EQ_KEYS[*eq]), Value::Int(*range)]);
+                    truth.retain(|f| f.id != id);
+                    IndexDelta::removing(vec![id])
+                }
+            };
+            engine.apply_delta(delta);
+            // Search immediately after every delta, against a rebuild.
+            let rebuilt =
+                DashEngine::from_fragments(app.clone(), &truth, WorkflowStats::new()).unwrap();
+            prop_assert_eq!(
+                engine.search(&request),
+                rebuilt.search(&request),
+                "shards={} after {} fragments",
+                shards,
+                truth.len()
+            );
+        }
+    }
+}
