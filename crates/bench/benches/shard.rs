@@ -10,10 +10,10 @@
 //! stay small — the acceptance bar is fooddb s1 within 10% of the
 //! single engine).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dash_bench::{select_keywords, KeywordTemperature};
 use dash_core::crawl::reference;
-use dash_core::{DashConfig, DashEngine, SearchRequest, ShardedEngine};
+use dash_core::{DashConfig, DashEngine, RecordChange, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
 use dash_relation::{Record, Value};
 use dash_tpch::{generate, Scale, TpchConfig};
@@ -145,6 +145,58 @@ fn bench_shard(c: &mut Criterion) {
             ShardedEngine::from_fragments(app.clone(), &fragments, 4, WorkflowStats::new())
                 .expect("sharded builds")
         })
+    });
+    group.finish();
+
+    // The bulk write path: an 8-record batch applied as ONE bulk delta
+    // (shadow joins batched per relation + one scoped re-crawl) versus
+    // the same batch fed through the per-record loop (a shadow join
+    // AND a full-corpus recompute join per record). The gap is the
+    // ROADMAP's "batch the shadow joins" win, and it widens linearly
+    // with batch size.
+    let batch_records: Vec<Record> = (0..8)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(900 + i),
+                Value::str("Bulk Cantina"),
+                Value::str(["Mexican", "Korean"][i as usize % 2]),
+                Value::Int(6 + i),
+                Value::str("4.0"),
+            ])
+        })
+        .collect();
+    let mut db_bulk = db.clone();
+    for record in &batch_records {
+        db_bulk
+            .table_mut("restaurant")
+            .expect("restaurant table")
+            .insert(record.clone())
+            .expect("insert");
+    }
+    let changes: Vec<RecordChange> = batch_records
+        .iter()
+        .map(|r| RecordChange::new("restaurant", r.clone()))
+        .collect();
+    let base = ShardedEngine::from_fragments(app.clone(), &fragments, 4, WorkflowStats::new())
+        .expect("sharded builds");
+    let mut group = c.benchmark_group("shard/maintenance-bulk");
+    group.bench_function("s4/bulk-8-inserts", |b| {
+        b.iter_batched(
+            || base.fork(),
+            |mut engine| engine.apply_changes(&db_bulk, &changes).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("s4/per-record-8-inserts", |b| {
+        b.iter_batched(
+            || base.fork(),
+            |mut engine| {
+                for record in &batch_records {
+                    engine.apply_insert(&db_bulk, "restaurant", record).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        )
     });
     group.finish();
 }

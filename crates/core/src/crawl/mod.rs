@@ -13,7 +13,7 @@
 //!   consolidate. Payloads never enter a join shuffle.
 //!
 //! Both produce identical fragments (tested against each other and
-//! against the in-memory [`reference`] crawler); they differ — by design —
+//! against the in-memory [`reference`](mod@reference) crawler); they differ — by design —
 //! in their [`WorkflowStats`].
 
 pub mod integrated;
@@ -71,7 +71,7 @@ pub fn run(
     )
 }
 
-/// [`run`] restricted to a [`CrawlScope`] — the selective-crawling
+/// [`run`] restricted to a [`CrawlScope`](crate::scope::CrawlScope) — the selective-crawling
 /// tradeoff of Section VIII. Out-of-scope fragments are dropped *early*
 /// (at grouping time for stepwise, before extraction for integrated), so
 /// the scope shrinks the downstream jobs, not just the output.

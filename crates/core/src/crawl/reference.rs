@@ -42,6 +42,28 @@ pub fn fragments_scoped(
         .collect())
 }
 
+/// Derives only the fragments whose identifiers appear in `targets` —
+/// the bulk re-crawl behind delta building. One `join_all` feeds every
+/// target (instead of one reference crawl per record change), and rows
+/// outside the target groups are discarded *before* keyword counting,
+/// so the expensive tokenization runs only over the affected equality
+/// groups' rows.
+///
+/// # Errors
+///
+/// Same as [`fragments`].
+pub fn fragments_for_ids(
+    app: &WebApplication,
+    db: &Database,
+    targets: &std::collections::BTreeSet<FragmentId>,
+) -> Result<Vec<Fragment>> {
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
+    let joined = app.query.join_all(db).map_err(crate::CoreError::from)?;
+    fragments_of_joined_filtered(app, &joined, |id| targets.contains(id))
+}
+
 /// Derives the fragments present in an already-joined table (used by the
 /// incremental refresher, which filters the join first).
 ///
@@ -49,6 +71,17 @@ pub fn fragments_scoped(
 ///
 /// Propagates column-lookup errors.
 pub fn fragments_of_joined(app: &WebApplication, joined: &Table) -> Result<Vec<Fragment>> {
+    fragments_of_joined_filtered(app, joined, |_| true)
+}
+
+/// The Definition-2 grouping core both entry points share: rows whose
+/// identifier fails `admit` are skipped *before* keyword counting, so
+/// scoped derivations never pay tokenization for rows they discard.
+fn fragments_of_joined_filtered(
+    app: &WebApplication,
+    joined: &Table,
+    admit: impl Fn(&FragmentId) -> bool,
+) -> Result<Vec<Fragment>> {
     let schema = joined.schema();
     let sel_idx: Vec<usize> = app
         .query
@@ -73,6 +106,9 @@ pub fn fragments_of_joined(app: &WebApplication, joined: &Table) -> Result<Vec<F
                 .map(|&i| record.values()[i].clone())
                 .collect(),
         );
+        if !admit(&id) {
+            continue;
+        }
         let projected: Vec<Value> = proj_idx
             .iter()
             .map(|&i| record.values()[i].clone())
@@ -144,6 +180,29 @@ mod tests {
         let thai = by_id("(Thai,10)");
         assert_eq!(thai.total_keywords, 10);
         assert_eq!(thai.occurrences("burger"), 1);
+    }
+
+    #[test]
+    fn fragments_for_ids_match_the_full_derivation() {
+        // The bulk re-crawl must produce byte-identical fragments to
+        // deriving everything and filtering — it only skips work.
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let all = fragments(&app, &db).unwrap();
+        let targets: std::collections::BTreeSet<FragmentId> = all
+            .iter()
+            .filter(|f| f.id.to_string().contains("American"))
+            .map(|f| f.id.clone())
+            .collect();
+        let expected: Vec<Fragment> = all
+            .into_iter()
+            .filter(|f| targets.contains(&f.id))
+            .collect();
+        assert_eq!(expected.len(), 4);
+        assert_eq!(fragments_for_ids(&app, &db, &targets).unwrap(), expected);
+        assert!(fragments_for_ids(&app, &db, &Default::default())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -541,10 +541,11 @@ impl std::hash::Hash for KeyRef<'_> {
 
 /// The equality-group key of a fragment identifier: the identifier with
 /// the range position removed. This single derivation defines group
-/// membership everywhere — the graph's grouping AND the sharded
-/// engine's partition must agree on it bit for bit, or shard rank
-/// offsets stop matching global group ranks.
-pub(crate) fn group_key(id: &FragmentId, range_position: Option<usize>) -> Vec<Value> {
+/// membership everywhere — the graph's grouping, the sharded engine's
+/// partition AND the serving layer's cache-invalidation signatures must
+/// agree on it bit for bit, or shard rank offsets stop matching global
+/// group ranks (and stale cached pages could survive a delta).
+pub fn group_key(id: &FragmentId, range_position: Option<usize>) -> Vec<Value> {
     match range_position {
         Some(pos) => id.without(pos),
         None => id.values().to_vec(),

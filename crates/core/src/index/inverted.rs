@@ -448,6 +448,27 @@ impl InvertedFragmentIndex {
         terms
     }
 
+    /// The live keywords of **one** fragment, with occurrence counts —
+    /// one binary search per inverted list, O(keywords · log L). The
+    /// serving layer uses this to widen a delta's invalidation
+    /// signature with the terms a removed fragment is about to take out
+    /// of the index (for whole-index dumps use
+    /// [`InvertedFragmentIndex::all_fragment_terms`], which amortizes
+    /// the arena walk across every fragment at once).
+    pub fn fragment_terms(&self, frag: Frag) -> Vec<(&str, u64)> {
+        let mut terms = Vec::new();
+        for (i, list) in self.lists.iter().enumerate() {
+            if list.len == 0 {
+                continue;
+            }
+            let slice = &self.probe_arena[list.start as usize..(list.start + list.len) as usize];
+            if let Ok(at) = slice.binary_search_by(|e| e.frag.cmp(&frag)) {
+                terms.push((self.interner.word(Kw(i as u32)), slice[at].occurrences));
+            }
+        }
+        terms
+    }
+
     /// Whether any inverted list holds a posting for `frag` (one binary
     /// search per list — the no-op-removal pre-probe).
     fn has_postings(&self, frag: Frag) -> bool {

@@ -2,7 +2,7 @@
 //! fragment graph (Sections V–VI of the paper).
 //!
 //! The [`FragmentCatalog`] interns every crawled fragment identifier
-//! into a dense [`Frag`](catalog::Frag) handle; the
+//! into a dense [`catalog::Frag`] handle; the
 //! [`InvertedFragmentIndex`] and [`FragmentGraph`] are handle-native
 //! and columnar, so search never touches a `Vec<Value>` identifier
 //! until it emits results.

@@ -14,7 +14,7 @@
 //!    algorithm and the shuffle-minimizing [`crawl::integrated`] algorithm.
 //! 3. **Fragment indexing** ([`index`]) builds the *fragment index*: a
 //!    [fragment catalog](index::FragmentCatalog) interning every fragment
-//!    identifier into a dense [`Frag`](index::Frag) handle, an
+//!    identifier into a dense [`index::Frag`] handle, an
 //!    [inverted fragment index](index::InvertedFragmentIndex) (keyword →
 //!    TF-sorted fragment postings) and a
 //!    [fragment graph](index::FragmentGraph) recording which fragments can
@@ -27,8 +27,8 @@
 //! Everything past the crawl is keyed on interned handles, not
 //! `Vec<Value>` identifiers:
 //!
-//! * The **catalog** assigns each fragment a `u32` [`Frag`](index::Frag)
-//!   handle (and each keyword a [`Kw`](index::Kw)) once, at build or
+//! * The **catalog** assigns each fragment a `u32` [`index::Frag`]
+//!   handle (and each keyword a [`index::Kw`]) once, at build or
 //!   maintenance time. Handles index columnar arrays directly.
 //! * The **inverted index** stores all posting lists in two contiguous
 //!   arenas — TF-sorted for the seeding cursor, fragment-sorted for the
@@ -66,12 +66,12 @@
 //! ## The unified delta write path
 //!
 //! Both engines mutate through one abstraction: an
-//! [`IndexDelta`](update::IndexDelta) (stale identifiers out, fresh
+//! [`update::IndexDelta`] (stale identifiers out, fresh
 //! fragments in), built from a base-table change by [`update`] and
 //! applied atomically by [`FragmentIndex::apply`] — posting splices
 //! batched into one arena rewrite, graph splices confined to the
 //! affected groups' columns. [`DashEngine`] applies deltas to its one
-//! index; [`ShardedEngine`](sharded::ShardedEngine) routes each entry
+//! index; [`sharded::ShardedEngine`] routes each entry
 //! to the shard owning its equality group (a static key-range table)
 //! and applies sub-deltas on the worker pool, refreshing global group
 //! ranks and IDF incrementally — per-shard work only, no rebuild, with
@@ -81,7 +81,7 @@
 //! re-partitioning.
 //!
 //! [`engine::DashEngine`] packages the single-heap pipeline; both
-//! engines implement [`SearchEngine`](engine::SearchEngine), the
+//! engines implement [`engine::SearchEngine`], the
 //! serving trait [`multi::MultiDash`] federates over (so
 //! multi-application scoping composes with sharding); [`baseline`]
 //! provides the naive materialize-every-db-page engine the fragment
@@ -134,7 +134,7 @@ pub use scope::CrawlScope;
 pub use search::{SearchHit, SearchRequest};
 pub use sharded::{env_shards, ShardedEngine};
 pub use stats::IndexStats;
-pub use update::{IndexDelta, RefreshStats};
+pub use update::{DeltaSignature, IndexDelta, RecordChange, RefreshStats};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

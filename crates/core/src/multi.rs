@@ -11,10 +11,10 @@
 //! application.
 //!
 //! The federation is generic over the
-//! [`SearchEngine`](crate::engine::SearchEngine) backing each
+//! [`crate::engine::SearchEngine`] backing each
 //! application: [`MultiDash::build`] federates single-index
 //! [`DashEngine`]s, [`MultiDash::build_sharded`] federates
-//! [`ShardedEngine`](crate::sharded::ShardedEngine)s — multi-application
+//! [`crate::sharded::ShardedEngine`]s — multi-application
 //! scoping composes with sharding (and with the shard worker pools
 //! underneath) without the merge layer knowing.
 

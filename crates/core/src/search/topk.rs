@@ -10,7 +10,7 @@
 //! suppressed (they share fragments, hence share content — the redundancy
 //! the paper's Example 1 complains about).
 //!
-//! The whole heap loop is handle-native: a [`Candidate`] is six plain
+//! The whole heap loop is handle-native: a `Candidate` is six plain
 //! integers/floats (`Copy` — pushing, popping and cloning it never
 //! allocates), per-candidate keyword occurrences live in one scratch
 //! pool indexed by offset, and fragment identifiers are resolved back
@@ -27,9 +27,9 @@
 //! one equality group, the pop sequence restricted to any set of groups
 //! equals the pop sequence of searching those groups alone. That is the
 //! theorem the sharded engine ([`crate::sharded`]) rests on: it records
-//! each shard's pop sequence as a [`PopTrace`] and replays the global
+//! each shard's pop sequence as a `PopTrace` and replays the global
 //! heap order by greedily merging trace heads under the exact
-//! [`Candidate`] ordering (with shard-local group ids offset back to
+//! `Candidate` ordering (with shard-local group ids offset back to
 //! global ranks), yielding byte-identical results for any shard count.
 
 use std::cmp::Ordering;

@@ -14,7 +14,7 @@
 //! ## The shard worker pool
 //!
 //! Every shard owns one long-lived worker thread, fed over a channel
-//! ([`ShardJob`]) and holding its own reusable [`SearchScratch`] —
+//! (`ShardJob`) and holding its own reusable `SearchScratch` —
 //! single queries no longer pay a thread spawn (PR 2 spawned scoped
 //! threads per call, ~10µs each, dwarfing a µs-scale search). The
 //! calling thread always executes the first pending shard *inline*
@@ -29,7 +29,7 @@
 //! identifiers out, fresh fragments in. [`ShardedEngine::apply_delta`]
 //! routes every entry to the shard owning its equality group — routing
 //! is a static key-range table fixed at construction
-//! ([`ShardedEngine::route_bounds`] stores each shard's lowest group
+//! (`ShardedEngine::route_bounds` stores each shard's lowest group
 //! key), so a shard's key range never changes and the partition stays
 //! contiguous in key order forever. Each affected shard applies its
 //! sub-delta to its own arenas only (per-shard work, never O(total)),
@@ -52,7 +52,7 @@
 //! [`top_k`](crate::search::top_k) guarantees by seeding through score
 //! ties (a popped candidate strictly dominates every unseeded
 //! fragment). Each shard records its pop sequence as a
-//! [`PopTrace`](crate::search::PopTrace); replaying the global heap is
+//! `PopTrace`; replaying the global heap is
 //! then a greedy merge: repeatedly take the shard whose next pop ranks
 //! highest under the exact candidate ordering. Three details make the
 //! per-shard runs bit-compatible with the single-heap run:
@@ -91,7 +91,10 @@ use crate::index::{FragmentIndex, GroupId};
 use crate::par;
 use crate::search::topk::top_k_in;
 use crate::search::{PopEvent, PopTrace, SearchHit, SearchRequest, SearchScratch};
-use crate::update::{affected_fragment_ids, build_delta, IndexDelta, RefreshStats};
+use crate::update::{
+    affected_fragment_ids, build_delta, bulk_delta, DeltaSignature, IndexDelta, RecordChange,
+    RefreshStats,
+};
 use crate::Result;
 
 /// The shard count configured in the environment (`DASH_SHARDS`), if
@@ -750,6 +753,108 @@ impl ShardedEngine {
             self.refresh_offsets();
         }
         stats
+    }
+
+    /// Applies a whole batch of record changes through one bulk delta
+    /// (shadow joins batched per relation, one scoped re-crawl) — the
+    /// sharded counterpart of
+    /// [`DashEngine::apply_changes`](crate::DashEngine::apply_changes).
+    /// `db` must already reflect every change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_changes(
+        &mut self,
+        db: &Database,
+        changes: &[RecordChange],
+    ) -> Result<RefreshStats> {
+        let delta = bulk_delta(&self.app, db, changes)?;
+        Ok(self.apply_delta(delta))
+    }
+
+    /// A deep, independent copy of this engine: every shard's index is
+    /// cloned (contiguous arenas — a memcpy, no re-derivation, no
+    /// re-partitioning), the static routing table and group-rank
+    /// offsets are carried over verbatim, and the copy gets its own
+    /// scratch pools and worker pool. This is the serving layer's
+    /// shadow: a snapshot-swapping front-end forks once at startup and
+    /// thereafter keeps two sides in lockstep by applying every delta
+    /// to each, so publication is an `Arc` pointer swap and searches
+    /// never wait on maintenance.
+    pub fn fork(&self) -> ShardedEngine {
+        let shards: Vec<Arc<RwLock<Shard>>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.read();
+                Arc::new(RwLock::new(Shard {
+                    index: guard.index.clone(),
+                    group_offset: guard.group_offset,
+                }))
+            })
+            .collect();
+        let pools = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let workers = WorkerPool::spawn(&shards, &self.app);
+        ShardedEngine {
+            app: Arc::clone(&self.app),
+            shards,
+            route_bounds: self.route_bounds.clone(),
+            pools,
+            workers,
+            crawl_stats: self.crawl_stats.clone(),
+            fragment_count: self.fragment_count,
+        }
+    }
+
+    /// The equality-group keys currently holding at least one posting
+    /// of any of `keywords` — the groups where a candidate page for
+    /// those keywords can arise. A result cache keys its invalidation
+    /// on exactly this set: a delta whose touched groups miss it (and
+    /// whose keywords miss the request's) provably cannot change the
+    /// result.
+    pub fn keyword_groups(&self, keywords: &[String]) -> std::collections::BTreeSet<Vec<Value>> {
+        let mut groups = std::collections::BTreeSet::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            let mut seen: std::collections::HashSet<GroupId> = std::collections::HashSet::new();
+            for word in keywords {
+                let Some(kw) = guard.index.inverted.kw(word) else {
+                    continue;
+                };
+                for posting in guard.index.inverted.postings_kw(kw) {
+                    let Some(node) = guard.index.graph.locate(posting.frag) else {
+                        continue;
+                    };
+                    if seen.insert(node.group) {
+                        groups.insert(guard.index.graph.group_key(node.group).to_vec());
+                    }
+                }
+            }
+        }
+        groups
+    }
+
+    /// The invalidation signature of `delta` against the engine's
+    /// *current* state: the touched equality groups plus every keyword
+    /// the delta adds **or removes** — the removed fragments' live
+    /// terms are looked up in the owning shards before application
+    /// (removes carry only identifiers). Compute this *before*
+    /// [`ShardedEngine::apply_delta`]; afterwards the removed terms are
+    /// gone.
+    pub fn delta_signature(&self, delta: &IndexDelta) -> DeltaSignature {
+        let range_position = self.app.query.range_selection_index();
+        let mut signature = delta.signature(range_position);
+        for id in &delta.removes {
+            let shard = self.route(&group_key(id, range_position));
+            let guard = self.shards[shard].read();
+            if let Some(frag) = guard.index.catalog.frag(id) {
+                for (word, _) in guard.index.inverted.fragment_terms(frag) {
+                    signature.keywords.insert(word.to_string());
+                }
+            }
+        }
+        signature
     }
 
     /// The shard owning an equality-group key under the static routing

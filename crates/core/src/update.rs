@@ -29,14 +29,15 @@
 //! search results staying byte-identical to a freshly built single
 //! engine (see `crate::sharded`).
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
-use dash_relation::{Database, Record, Table};
+use dash_relation::{Database, Record, Table, Value};
 use dash_webapp::WebApplication;
 
 use crate::crawl::reference;
 use crate::engine::DashEngine;
 use crate::fragment::{Fragment, FragmentId};
+use crate::index::graph::group_key;
 use crate::index::FragmentIndex;
 use crate::Result;
 
@@ -83,6 +84,87 @@ impl IndexDelta {
     /// Whether the delta mutates nothing.
     pub fn is_empty(&self) -> bool {
         self.removes.is_empty() && self.adds.is_empty()
+    }
+
+    /// The equality-group keys this delta touches — every remove's and
+    /// every add's identifier reduced by [`group_key`]. This is the
+    /// group half of a [`DeltaSignature`]; the serving layer's result
+    /// cache invalidates exactly the entries whose candidate groups
+    /// intersect it.
+    pub fn touched_groups(&self, range_position: Option<usize>) -> BTreeSet<Vec<Value>> {
+        self.removes
+            .iter()
+            .chain(self.adds.iter().map(|f| &f.id))
+            .map(|id| group_key(id, range_position))
+            .collect()
+    }
+
+    /// The add-side half of a [`DeltaSignature`]: the group keys plus
+    /// every keyword the delta's fresh fragments introduce. Keywords a
+    /// *removal* takes out of the index are not in the delta itself
+    /// (removes carry only identifiers) — engines widen the signature
+    /// with the removed fragments' live terms before applying (see
+    /// [`ShardedEngine::delta_signature`](crate::sharded::ShardedEngine::delta_signature)).
+    pub fn signature(&self, range_position: Option<usize>) -> DeltaSignature {
+        DeltaSignature {
+            groups: self.touched_groups(range_position),
+            keywords: self
+                .adds
+                .iter()
+                .flat_map(|f| f.keyword_occurrences.keys().cloned())
+                .collect(),
+        }
+    }
+}
+
+/// What a published delta can possibly perturb: the equality groups it
+/// touches and the keywords whose document frequencies (hence IDF and
+/// every score built on it) it shifts. A cached search result is
+/// provably still byte-identical after a delta whose signature is
+/// disjoint from the entry's dependencies — candidate pages only arise
+/// in groups holding a request keyword, and scores only move when a
+/// request keyword's posting set changes — which is what lets the
+/// serving cache invalidate precisely instead of flushing wholesale.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSignature {
+    /// Equality-group keys with at least one removed or (re)added
+    /// fragment.
+    pub groups: BTreeSet<Vec<Value>>,
+    /// Keywords entering the index (from adds) or leaving it (from the
+    /// removed fragments' live terms, filled in by the engine).
+    pub keywords: BTreeSet<String>,
+}
+
+impl DeltaSignature {
+    /// Whether the signature could affect an entry depending on
+    /// `groups` (its candidate equality groups) and `keywords` (its
+    /// request keywords): any overlap on either axis.
+    pub fn hits(&self, groups: &BTreeSet<Vec<Value>>, keywords: &BTreeSet<String>) -> bool {
+        self.groups.iter().any(|g| groups.contains(g))
+            || self.keywords.iter().any(|w| keywords.contains(w))
+    }
+}
+
+/// One base-table record change — the unit of the bulk maintenance
+/// path. `db` must already reflect the change (record inserted /
+/// removed), exactly as for
+/// [`DashEngine::apply_insert`] / [`DashEngine::apply_delete`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordChange {
+    /// The relation the record was inserted into or deleted from.
+    pub relation: String,
+    /// The inserted record, or the deleted row captured beforehand.
+    pub record: Record,
+}
+
+impl RecordChange {
+    /// A change of `record` in `relation` (insert or delete — the
+    /// delta pipeline recomputes affected fragments either way).
+    pub fn new(relation: impl Into<String>, record: Record) -> Self {
+        RecordChange {
+            relation: relation.into(),
+            record,
+        }
     }
 }
 
@@ -137,6 +219,69 @@ pub fn affected_fragment_ids(
     Ok(fragments.into_iter().map(|f| f.id).collect())
 }
 
+/// The fragment identifiers affected by a *batch* of record changes —
+/// the bulk counterpart of [`affected_fragment_ids`]. The shadow joins
+/// are batched per relation: all of a relation's delta records join the
+/// rest of the database **once**, instead of once per record, so a
+/// bulk re-crawl of N changes pays one shadow join per touched relation
+/// rather than N.
+///
+/// # Errors
+///
+/// Propagates relational errors (unknown relation, schema mismatch).
+pub fn bulk_affected_ids(
+    app: &WebApplication,
+    db: &Database,
+    changes: &[RecordChange],
+) -> Result<BTreeSet<FragmentId>> {
+    let mut by_relation: BTreeMap<&str, Vec<Record>> = BTreeMap::new();
+    for change in changes {
+        by_relation
+            .entry(change.relation.as_str())
+            .or_default()
+            .push(change.record.clone());
+    }
+    let mut ids = BTreeSet::new();
+    for (relation, records) in by_relation {
+        // Shadow database: `relation` holds only this batch's delta
+        // records; their FK parents are still in `db`. Distinct delta
+        // records of ONE relation never join each other (a PSJ query
+        // joins a relation against the others, not itself), so one
+        // shadow join covers the whole batch exactly.
+        let mut shadow = db.clone();
+        let schema = db.table(relation)?.schema().clone();
+        let table = Table::with_records(schema, records)?;
+        shadow.add_table(table);
+        for fragment in reference::fragments(app, &shadow)? {
+            ids.insert(fragment.id);
+        }
+    }
+    Ok(ids)
+}
+
+/// Builds one [`IndexDelta`] bringing a whole batch of record changes
+/// up to date: batched shadow joins find the affected identifiers
+/// ([`bulk_affected_ids`]), then **one** scoped re-crawl
+/// ([`reference::fragments_for_ids`]) recomputes them — N changes cost
+/// one join per touched relation plus one recompute join, where the
+/// per-record path pays N of each.
+///
+/// # Errors
+///
+/// Propagates relational errors.
+pub fn bulk_delta(
+    app: &WebApplication,
+    db: &Database,
+    changes: &[RecordChange],
+) -> Result<IndexDelta> {
+    if changes.is_empty() {
+        return Ok(IndexDelta::default());
+    }
+    let ids = bulk_affected_ids(app, db, changes)?;
+    let adds = reference::fragments_for_ids(app, db, &ids)?;
+    Ok(IndexDelta::new(ids.into_iter().collect(), adds))
+}
+
 /// Builds the [`IndexDelta`] bringing the entries of `ids` up to date
 /// with the current `db`: every target identifier is marked stale, and
 /// the ones that still derive fragments are re-added fresh.
@@ -148,14 +293,11 @@ pub fn build_delta(app: &WebApplication, db: &Database, ids: &[FragmentId]) -> R
     if ids.is_empty() {
         return Ok(IndexDelta::default());
     }
-    let targets: BTreeSet<&FragmentId> = ids.iter().collect();
-    // Current truth for the affected identifiers.
-    let adds: Vec<Fragment> = reference::fragments(app, db)?
-        .into_iter()
-        .filter(|f| targets.contains(&f.id))
-        .collect();
-    let removes: Vec<FragmentId> = targets.into_iter().cloned().collect();
-    Ok(IndexDelta::new(removes, adds))
+    let targets: BTreeSet<FragmentId> = ids.iter().cloned().collect();
+    // Current truth for the affected identifiers — a scoped re-crawl
+    // that never tokenizes rows outside the target groups.
+    let adds = reference::fragments_for_ids(app, db, &targets)?;
+    Ok(IndexDelta::new(targets.into_iter().collect(), adds))
 }
 
 /// Recomputes `ids` from the current `db` and splices them into `index`
@@ -230,6 +372,25 @@ impl DashEngine {
         let count = self.index().graph.node_count();
         self.set_fragment_count(count);
         stats
+    }
+
+    /// Applies a whole batch of record changes through one
+    /// [`bulk_delta`]: one shadow join per touched relation plus one
+    /// scoped re-crawl, where a loop over
+    /// [`DashEngine::apply_insert`] / [`DashEngine::apply_delete`]
+    /// pays a shadow join *and* a recompute join per record. `db` must
+    /// already reflect every change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_changes(
+        &mut self,
+        db: &Database,
+        changes: &[RecordChange],
+    ) -> Result<RefreshStats> {
+        let delta = bulk_delta(self.app(), db, changes)?;
+        Ok(self.apply_delta(&delta))
     }
 }
 
@@ -365,6 +526,83 @@ mod tests {
         let app = engine.app().clone();
         let stats = refresh(engine.index_mut(), &app, &db, &[]).unwrap();
         assert_eq!(stats, RefreshStats::default());
+    }
+
+    #[test]
+    fn bulk_changes_match_per_record_application() {
+        // apply_changes (batched shadow joins + one scoped re-crawl)
+        // must land on the same index as the per-record loop and as a
+        // rebuild — across relations and mixed insert/delete.
+        let mut db = fooddb::database();
+        let mut per_record = rebuild(&db);
+        let mut changes = Vec::new();
+        for (rid, name, cuisine, budget) in [
+            (60i64, "Bulk Bistro", "American", 13i64),
+            (61, "Batch Bar", "Korean", 9),
+        ] {
+            let record = Record::new(vec![
+                Value::Int(rid),
+                Value::str(name),
+                Value::str(cuisine),
+                Value::Int(budget),
+                Value::str("4.2"),
+            ]);
+            db.table_mut("restaurant")
+                .unwrap()
+                .insert(record.clone())
+                .unwrap();
+            changes.push(RecordChange::new("restaurant", record));
+        }
+        let comment = Record::new(vec![
+            Value::Int(400),
+            Value::Int(60),
+            Value::Int(120),
+            Value::str("Bulk burger bonanza"),
+            Value::str("03/12"),
+        ]);
+        db.table_mut("comment")
+            .unwrap()
+            .insert(comment.clone())
+            .unwrap();
+        changes.push(RecordChange::new("comment", comment));
+
+        let mut bulk = rebuild(&fooddb::database());
+        let stats = bulk.apply_changes(&db, &changes).unwrap();
+        assert!(stats.added >= 2);
+        for change in &changes {
+            per_record
+                .apply_insert(&db, &change.relation, &change.record)
+                .unwrap();
+        }
+        assert_same_index(&bulk, &per_record);
+        assert_same_index(&bulk, &rebuild(&db));
+        // An empty batch is a no-op.
+        assert_eq!(
+            bulk.apply_changes(&db, &[]).unwrap(),
+            RefreshStats::default()
+        );
+    }
+
+    #[test]
+    fn delta_signature_covers_groups_and_keywords() {
+        let delta = IndexDelta::new(
+            vec![FragmentId::new(vec![Value::str("Thai"), Value::Int(10)])],
+            vec![Fragment::new(
+                FragmentId::new(vec![Value::str("American"), Value::Int(7)]),
+                [("waffle".to_string(), 2u64)].into_iter().collect(),
+                1,
+            )],
+        );
+        let sig = delta.signature(Some(1));
+        assert!(sig.groups.contains(&vec![Value::str("Thai")]));
+        assert!(sig.groups.contains(&vec![Value::str("American")]));
+        assert!(sig.keywords.contains("waffle"));
+        // hits(): group overlap OR keyword overlap, nothing else.
+        let groups = |g: &str| [vec![Value::str(g)]].into_iter().collect();
+        let kws = |w: &str| [w.to_string()].into_iter().collect();
+        assert!(sig.hits(&groups("Thai"), &kws("zzz")));
+        assert!(sig.hits(&groups("Nordic"), &kws("waffle")));
+        assert!(!sig.hits(&groups("Nordic"), &kws("zzz")));
     }
 
     #[test]

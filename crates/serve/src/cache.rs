@@ -1,0 +1,325 @@
+//! The keyed LRU result cache, invalidated *precisely* by published
+//! delta signatures instead of flushed wholesale.
+//!
+//! An entry remembers the two things a future delta could perturb:
+//!
+//! * its **candidate groups** — the equality groups that held at least
+//!   one posting of a request keyword when the result was computed
+//!   (every page Algorithm 1 can emit or even consider lives in one of
+//!   them, and absorption/expansion never leaves a group);
+//! * its **request keywords** — whose document frequencies (hence IDF,
+//!   hence every score) a delta shifts exactly when it adds or removes
+//!   postings for them.
+//!
+//! A published [`DeltaSignature`] carries the touched groups and the
+//! added/removed keywords; an entry survives iff both intersections
+//! are empty — in which case the cached hit list is provably still
+//! byte-identical to a fresh search (`tests/serve_equivalence.rs`
+//! proves it over random interleavings). Insertions are epoch-checked:
+//! a result computed against a snapshot that is no longer the latest
+//! published state is dropped rather than cached, closing the race
+//! between a long-running batch and a concurrent publication.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use dash_core::{DeltaSignature, SearchHit, SearchRequest};
+use dash_relation::Value;
+use parking_lot::Mutex;
+
+/// Cache identity of a search: the full request, field by field — two
+/// requests hit the same entry only when byte-identical answers are
+/// guaranteed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    keywords: Vec<String>,
+    k: usize,
+    min_size: u64,
+}
+
+impl From<&SearchRequest> for CacheKey {
+    fn from(request: &SearchRequest) -> Self {
+        CacheKey {
+            keywords: request.keywords.clone(),
+            k: request.k,
+            min_size: request.min_size,
+        }
+    }
+}
+
+/// One cached result with its invalidation dependencies.
+#[derive(Debug)]
+struct Entry {
+    hits: Vec<SearchHit>,
+    /// Candidate groups at computation time (see module docs).
+    groups: BTreeSet<Vec<Value>>,
+    /// The request's keywords, set-shaped for signature intersection.
+    keywords: BTreeSet<String>,
+    /// Recency stamp; an entry is LRU-evictable when its stamp is the
+    /// oldest live one.
+    tick: u64,
+}
+
+/// Counters the serving layer exposes (see
+/// [`DashServer::stats`](crate::DashServer::stats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the engine.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Insertions dropped because their snapshot epoch was stale.
+    pub rejected_stale: u64,
+    /// Entries removed by delta-signature invalidation.
+    pub invalidated: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evicted: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// The latest published epoch the cache has been synchronized to.
+    epoch: u64,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    /// Lazy LRU order: `(tick, key)` pairs, stale ones skipped at
+    /// eviction time (an entry's authoritative stamp lives in the map).
+    order: VecDeque<(u64, CacheKey)>,
+    stats: CacheStats,
+}
+
+impl Inner {
+    /// Drops stale recency records once they outnumber live entries
+    /// 2:1 — hits append to `order` but eviction only pops it while
+    /// *over* capacity, so a hit-heavy steady state would otherwise
+    /// grow the queue without bound. Rebuilding from the map's
+    /// authoritative stamps is O(n log n), amortized over the ≥ n
+    /// touches it took to trigger.
+    fn compact(&mut self) {
+        if self.order.len() <= 2 * self.map.len() + 16 {
+            return;
+        }
+        let mut live: Vec<(u64, CacheKey)> = self
+            .map
+            .iter()
+            .map(|(key, entry)| (entry.tick, key.clone()))
+            .collect();
+        live.sort_unstable_by_key(|(tick, _)| *tick);
+        self.order = live.into();
+    }
+}
+
+/// The keyed LRU result cache fronting the snapshot handle.
+#[derive(Debug)]
+pub(crate) struct ResultCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results; 0 disables caching
+    /// entirely (every lookup misses, every insert is dropped).
+    pub(crate) fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Whether inserts can ever be stored.
+    pub(crate) fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up a request, refreshing its recency on a hit.
+    pub(crate) fn get(&self, request: &SearchRequest) -> Option<Vec<SearchHit>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let key = CacheKey::from(request);
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                let hits = entry.hits.clone();
+                inner.order.push_back((tick, key));
+                inner.stats.hits += 1;
+                inner.compact();
+                Some(hits)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result computed against snapshot `epoch`, with its
+    /// candidate groups as invalidation dependencies. Dropped when the
+    /// cache has already synchronized past that epoch (the result may
+    /// predate a delta whose signature would have invalidated it).
+    pub(crate) fn insert(
+        &self,
+        request: &SearchRequest,
+        hits: Vec<SearchHit>,
+        groups: BTreeSet<Vec<Value>>,
+        epoch: u64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if epoch != inner.epoch {
+            inner.stats.rejected_stale += 1;
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = CacheKey::from(request);
+        let entry = Entry {
+            hits,
+            groups,
+            keywords: request.keywords.iter().cloned().collect(),
+            tick,
+        };
+        inner.order.push_back((tick, key.clone()));
+        inner.map.insert(key, entry);
+        inner.stats.insertions += 1;
+        while inner.map.len() > self.capacity {
+            let Some((tick, key)) = inner.order.pop_front() else {
+                break;
+            };
+            // Only the entry's *current* stamp is authoritative; older
+            // queue records for a re-touched key are skipped.
+            if inner.map.get(&key).is_some_and(|e| e.tick == tick) {
+                inner.map.remove(&key);
+                inner.stats.evicted += 1;
+            }
+        }
+        inner.compact();
+    }
+
+    /// Applies a published delta's signature: removes every entry whose
+    /// dependencies intersect it and advances the cache to the new
+    /// epoch (stale in-flight insertions are rejected from then on).
+    pub(crate) fn invalidate(&self, signature: &DeltaSignature, epoch: u64) {
+        let mut inner = self.inner.lock();
+        inner.epoch = epoch;
+        if self.capacity == 0 {
+            return;
+        }
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|_, entry| !signature.hits(&entry.groups, &entry.keywords));
+        inner.stats.invalidated += (before - inner.map.len()) as u64;
+    }
+
+    /// A copy of the counters.
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Live entry count.
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(words: &[&str]) -> SearchRequest {
+        SearchRequest::new(words).k(3).min_size(10)
+    }
+
+    fn entry_groups(names: &[&str]) -> BTreeSet<Vec<Value>> {
+        names.iter().map(|n| vec![Value::str(*n)]).collect()
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let cache = ResultCache::new(2);
+        let (a, b, c) = (request(&["a"]), request(&["b"]), request(&["c"]));
+        cache.insert(&a, Vec::new(), entry_groups(&["g1"]), 0);
+        cache.insert(&b, Vec::new(), entry_groups(&["g2"]), 0);
+        assert!(cache.get(&a).is_some()); // touch a: b is now LRU
+        cache.insert(&c, Vec::new(), entry_groups(&["g3"]), 0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&a).is_some());
+        assert!(cache.get(&b).is_none());
+        assert!(cache.get(&c).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn signature_invalidation_is_precise() {
+        let cache = ResultCache::new(8);
+        let by_group = request(&["x"]);
+        let by_keyword = request(&["shared"]);
+        let untouched = request(&["y"]);
+        cache.insert(&by_group, Vec::new(), entry_groups(&["hot"]), 0);
+        cache.insert(&by_keyword, Vec::new(), entry_groups(&["cold"]), 0);
+        cache.insert(&untouched, Vec::new(), entry_groups(&["cold"]), 0);
+        let signature = DeltaSignature {
+            groups: entry_groups(&["hot"]),
+            keywords: ["shared".to_string()].into_iter().collect(),
+        };
+        cache.invalidate(&signature, 1);
+        assert!(cache.get(&by_group).is_none(), "group overlap must die");
+        assert!(cache.get(&by_keyword).is_none(), "keyword overlap must die");
+        assert!(cache.get(&untouched).is_some(), "disjoint entry survives");
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn stale_epoch_insertions_are_rejected() {
+        let cache = ResultCache::new(8);
+        cache.invalidate(&DeltaSignature::default(), 3);
+        let r = request(&["late"]);
+        cache.insert(&r, Vec::new(), entry_groups(&["g"]), 2);
+        assert!(cache.get(&r).is_none());
+        assert_eq!(cache.stats().rejected_stale, 1);
+        cache.insert(&r, Vec::new(), entry_groups(&["g"]), 3);
+        assert!(cache.get(&r).is_some());
+    }
+
+    #[test]
+    fn hit_heavy_traffic_does_not_grow_the_order_queue_unboundedly() {
+        let cache = ResultCache::new(4);
+        let r = request(&["hot"]);
+        cache.insert(&r, Vec::new(), entry_groups(&["g"]), 0);
+        for _ in 0..10_000 {
+            assert!(cache.get(&r).is_some());
+        }
+        let order_len = cache.inner.lock().order.len();
+        // One live entry: compact() keeps the queue at ≤ 2·len + 16
+        // (+1 for the record pushed right after a compaction).
+        assert!(
+            order_len <= 19,
+            "recency queue must stay bounded, got {order_len}"
+        );
+        // LRU semantics survive compaction.
+        let (b, c) = (request(&["b"]), request(&["c"]));
+        cache.insert(&b, Vec::new(), entry_groups(&["g"]), 0);
+        cache.insert(&c, Vec::new(), entry_groups(&["g"]), 0);
+        cache.insert(&request(&["d"]), Vec::new(), entry_groups(&["g"]), 0);
+        cache.insert(&request(&["e"]), Vec::new(), entry_groups(&["g"]), 0);
+        assert_eq!(cache.len(), 4);
+        assert!(cache.get(&r).is_none(), "oldest-by-recency evicted first");
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = ResultCache::new(0);
+        let r = request(&["a"]);
+        cache.insert(&r, Vec::new(), entry_groups(&["g"]), 0);
+        assert!(cache.get(&r).is_none());
+        assert!(!cache.enabled());
+        assert_eq!(cache.len(), 0);
+    }
+}

@@ -1,0 +1,638 @@
+//! # dash-serve
+//!
+//! The query-serving front-end the paper actually promises: keyword
+//! searches from concurrent web users answered with db-page URLs,
+//! while the index keeps absorbing database changes underneath. This
+//! is the first crate *above* both `dash-core` and `dash-webapp` in
+//! the dependency graph — the servlet-side serving layer the core
+//! engines were built for.
+//!
+//! [`DashServer`] composes four mechanisms, each in its own module:
+//!
+//! * **Epoch snapshots** ([`snapshot`]) — the engine lives behind an
+//!   `Arc` snapshot handle; readers grab the current snapshot and
+//!   search it lock-free, writers apply each [`IndexDelta`] to a
+//!   shadow copy ([`ShardedEngine::fork`]) and publish with one atomic
+//!   pointer swap. Searches never block on maintenance and can never
+//!   observe a half-applied delta.
+//! * **Micro-batching** ([`batch`]) — concurrent requests are
+//!   collected from a bounded queue into one
+//!   [`ShardedEngine::search_many`] call (batch window + size cap),
+//!   amortizing the per-call shard fan-out; identical requests in a
+//!   batch are computed once.
+//! * **Precise result caching** ([`cache`]) — a keyed LRU fronting the
+//!   engine, invalidated entry-by-entry using each published delta's
+//!   [`DeltaSignature`] (touched equality groups + added/removed
+//!   keywords) intersected with each entry's candidate groups and
+//!   request keywords — never a wholesale flush.
+//! * **Closed-loop load generation** ([`loadgen`]) — a deterministic
+//!   mixed search/update traffic harness reporting p50/p99 latency and
+//!   qps (the `serve` bench suite and CI's load smoke drive it).
+//!
+//! The whole stack is **exact**: `tests/serve_equivalence.rs` proves
+//! that served hit lists — cached, batched, and across any
+//! interleaving of snapshot publications — are byte-identical to a
+//! fresh [`DashEngine::search`] over the same fragments, at shard
+//! counts 1 and 4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dash_serve::{DashServer, ServeConfig};
+//! use dash_core::{DashConfig, SearchRequest};
+//! use dash_webapp::fooddb;
+//!
+//! # fn main() -> Result<(), dash_core::CoreError> {
+//! let db = fooddb::database();
+//! let app = fooddb::search_application()?;
+//! let server = DashServer::build(&app, &db, &DashConfig::default(), ServeConfig::default())?;
+//! let hits = server.search(&SearchRequest::new(&["burger"]).k(2).min_size(20));
+//! assert_eq!(hits.len(), 2);
+//! // The same request again is answered from the result cache.
+//! assert_eq!(server.search(&SearchRequest::new(&["burger"]).k(2).min_size(20)), hits);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`DashEngine::search`]: dash_core::DashEngine::search
+//! [`ShardedEngine::fork`]: dash_core::ShardedEngine::fork
+//! [`ShardedEngine::search_many`]: dash_core::ShardedEngine::search_many
+//! [`IndexDelta`]: dash_core::IndexDelta
+//! [`DeltaSignature`]: dash_core::DeltaSignature
+
+pub mod batch;
+pub mod cache;
+pub mod loadgen;
+pub mod snapshot;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dash_core::update::bulk_delta;
+use dash_core::{
+    env_shards, DashConfig, Fragment, IndexDelta, RecordChange, RefreshStats, Result, SearchHit,
+    SearchRequest, ShardedEngine,
+};
+use dash_mapreduce::WorkflowStats;
+use dash_relation::{Database, Record};
+use dash_webapp::WebApplication;
+use parking_lot::Mutex;
+
+pub use cache::CacheStats;
+pub use loadgen::{LoadOp, LoadProfile, LoadReport};
+pub use snapshot::EngineSnapshot;
+
+use cache::ResultCache;
+use snapshot::{try_drain, SnapshotHandle};
+
+/// How many scheduler yields a publication waits for the retired
+/// snapshot's readers before falling back to forking the new live
+/// engine. In-flight micro-batches hold snapshots for microseconds, so
+/// real drains finish in a handful of yields; the bound only matters
+/// when a caller retains a [`DashServer::snapshot`] long-term.
+const DRAIN_ATTEMPTS: usize = 4096;
+
+/// Tunables of the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard count of the underlying engines. The default reads
+    /// `DASH_SHARDS` (like the CI matrix) and falls back to 1.
+    pub shards: usize,
+    /// How long the batcher waits for more requests after the first
+    /// one before serving the batch.
+    pub batch_window: Duration,
+    /// Maximum requests per micro-batch.
+    pub max_batch: usize,
+    /// Bound of the request queue; senders block (closed-loop
+    /// backpressure) when serving falls this far behind.
+    pub queue_bound: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: env_shards().unwrap_or(1),
+            batch_window: Duration::from_micros(100),
+            max_batch: 16,
+            queue_bound: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the shard count (builder style).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the cache capacity (builder style; 0 disables).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// Serving-layer counters (monotonic since server construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Micro-batches served.
+    pub batches: u64,
+    /// Requests answered through batches (≥ batches; the ratio is the
+    /// achieved batching factor).
+    pub batched_requests: u64,
+    /// Deltas published.
+    pub published: u64,
+}
+
+/// State shared between callers, the batcher thread and the writer.
+#[derive(Debug)]
+pub(crate) struct ServerShared {
+    pub(crate) handle: SnapshotHandle,
+    pub(crate) cache: ResultCache,
+    writer: Mutex<WriterSide>,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    published: AtomicU64,
+}
+
+/// The writer's exclusive half of the double buffer.
+#[derive(Debug)]
+struct WriterSide {
+    /// The retired engine being kept in lockstep with the live one.
+    /// `None` only transiently inside a publication.
+    shadow: Option<ShardedEngine>,
+    /// Publication count (the live snapshot's epoch).
+    epoch: u64,
+}
+
+/// A serving front-end over a [`ShardedEngine`]: cached, micro-batched
+/// top-k search that never blocks on index maintenance, plus the
+/// writer-side publish path. See the [crate docs](crate) for the
+/// architecture.
+#[derive(Debug)]
+pub struct DashServer {
+    shared: Arc<ServerShared>,
+    jobs: Option<SyncSender<batch::Job>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl DashServer {
+    /// Crawls `db` and opens a server — the serving counterpart of
+    /// [`ShardedEngine::build`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedEngine::build`].
+    pub fn build(
+        app: &WebApplication,
+        db: &Database,
+        config: &DashConfig,
+        serve: ServeConfig,
+    ) -> Result<Self> {
+        let engine = ShardedEngine::build(app, db, config, serve.shards)?;
+        Ok(Self::from_engine(engine, serve))
+    }
+
+    /// Opens a server over already-derived fragments.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedEngine::from_fragments`].
+    pub fn from_fragments(
+        app: WebApplication,
+        fragments: &[Fragment],
+        serve: ServeConfig,
+    ) -> Result<Self> {
+        let engine =
+            ShardedEngine::from_fragments(app, fragments, serve.shards, WorkflowStats::new())?;
+        Ok(Self::from_engine(engine, serve))
+    }
+
+    /// Wraps a built engine: forks the shadow side, wires the snapshot
+    /// handle and cache, and starts the batcher thread.
+    pub fn from_engine(engine: ShardedEngine, serve: ServeConfig) -> Self {
+        let shadow = engine.fork();
+        let shared = Arc::new(ServerShared {
+            handle: SnapshotHandle::new(engine),
+            cache: ResultCache::new(serve.cache_capacity),
+            writer: Mutex::new(WriterSide {
+                shadow: Some(shadow),
+                epoch: 0,
+            }),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+        });
+        let (jobs, queue) = mpsc::sync_channel(serve.queue_bound.max(1));
+        let batcher_shared = Arc::clone(&shared);
+        let batcher = std::thread::Builder::new()
+            .name("dash-serve-batcher".to_string())
+            .spawn(move || batch::run(queue, batcher_shared, serve.batch_window, serve.max_batch))
+            .expect("spawn batcher thread");
+        DashServer {
+            shared,
+            jobs: Some(jobs),
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Top-k db-page search through the full serving path: result
+    /// cache, then the micro-batcher against the current snapshot.
+    /// Byte-identical to [`DashEngine::search`](dash_core::DashEngine::search)
+    /// over the engine's current fragments — cached or not, whatever
+    /// batch it lands in, before or after any published delta.
+    pub fn search(&self, request: &SearchRequest) -> Vec<SearchHit> {
+        if request.k == 0 || request.keywords.is_empty() {
+            return Vec::new();
+        }
+        if let Some(hits) = self.shared.cache.get(request) {
+            return hits;
+        }
+        let (reply, answer) = mpsc::channel();
+        self.jobs
+            .as_ref()
+            .expect("queue open while server alive")
+            .send(batch::Job {
+                request: request.clone(),
+                reply,
+            })
+            .expect("batcher alive");
+        answer.recv().expect("batcher answers every job")
+    }
+
+    /// Batched client-side search: enqueues every cache-missing request
+    /// before collecting any answer, so one caller's burst can share a
+    /// micro-batch instead of serializing. Results are position-aligned
+    /// with `requests`, each byte-identical to [`DashServer::search`].
+    pub fn search_many(&self, requests: &[SearchRequest]) -> Vec<Vec<SearchHit>> {
+        let mut results: Vec<Option<Vec<SearchHit>>> = Vec::with_capacity(requests.len());
+        let mut pending: Vec<(usize, mpsc::Receiver<Vec<SearchHit>>)> = Vec::new();
+        for (at, request) in requests.iter().enumerate() {
+            if request.k == 0 || request.keywords.is_empty() {
+                results.push(Some(Vec::new()));
+                continue;
+            }
+            if let Some(hits) = self.shared.cache.get(request) {
+                results.push(Some(hits));
+                continue;
+            }
+            let (reply, answer) = mpsc::channel();
+            self.jobs
+                .as_ref()
+                .expect("queue open while server alive")
+                .send(batch::Job {
+                    request: request.clone(),
+                    reply,
+                })
+                .expect("batcher alive");
+            results.push(None);
+            pending.push((at, answer));
+        }
+        for (at, answer) in pending {
+            results[at] = Some(answer.recv().expect("batcher answers every job"));
+        }
+        results
+            .into_iter()
+            .map(|hits| hits.expect("every slot answered"))
+            .collect()
+    }
+
+    /// Publishes a prebuilt delta: applies it to the shadow engine,
+    /// atomically swaps the shadow in as the new live snapshot,
+    /// invalidates exactly the cache entries the delta's signature can
+    /// touch, then catches the retired side up with the same delta.
+    /// Concurrent searches keep running against whichever snapshot
+    /// they grabbed; once `publish` returns, every *new* search
+    /// observes the delta.
+    pub fn publish(&self, delta: IndexDelta) -> RefreshStats {
+        let mut writer = self.shared.writer.lock();
+        self.publish_locked(&mut writer, delta)
+    }
+
+    /// Builds and publishes the delta for one record insertion (`db`
+    /// must already contain the record) — the serving counterpart of
+    /// [`ShardedEngine::apply_insert`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_insert(
+        &self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        self.apply_changes(db, &[RecordChange::new(relation, record.clone())])
+    }
+
+    /// Builds and publishes the delta for one record deletion (`db`
+    /// must already have the record removed; `record` is the deleted
+    /// row captured beforehand).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_delete(
+        &self,
+        db: &Database,
+        relation: &str,
+        record: &Record,
+    ) -> Result<RefreshStats> {
+        self.apply_changes(db, &[RecordChange::new(relation, record.clone())])
+    }
+
+    /// Builds one bulk delta for a batch of record changes (shadow
+    /// joins batched per relation, one scoped re-crawl) and publishes
+    /// it as a single atomic snapshot swap. `db` must already reflect
+    /// every change.
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_changes(&self, db: &Database, changes: &[RecordChange]) -> Result<RefreshStats> {
+        let mut writer = self.shared.writer.lock();
+        let delta = {
+            let shadow = writer
+                .shadow
+                .as_ref()
+                .expect("shadow present outside publish");
+            bulk_delta(shadow.app(), db, changes)?
+        };
+        Ok(self.publish_locked(&mut writer, delta))
+    }
+
+    /// The publish protocol, under the writer lock.
+    fn publish_locked(&self, writer: &mut WriterSide, delta: IndexDelta) -> RefreshStats {
+        if delta.is_empty() {
+            return RefreshStats::default();
+        }
+        let mut shadow = writer
+            .shadow
+            .take()
+            .expect("shadow present outside publish");
+        // The signature must see the *pre-delta* index: removed
+        // fragments' terms widen the keyword axis and are gone after
+        // application.
+        let signature = shadow.delta_signature(&delta);
+        let stats = shadow.apply_delta(delta.clone());
+        writer.epoch += 1;
+        // Invalidate before the swap: from this instant the cache
+        // rejects insertions computed against older snapshots, so no
+        // stale entry can slip in behind the sweep.
+        self.shared.cache.invalidate(&signature, writer.epoch);
+        let next = Arc::new(EngineSnapshot {
+            engine: shadow,
+            epoch: writer.epoch,
+        });
+        let retired = self.shared.handle.swap(Arc::clone(&next));
+        // Grace period: wait out the retired snapshot's readers and
+        // replay the delta so the next publication starts in lockstep.
+        // The wait is bounded: a caller may legitimately hold a
+        // `DashServer::snapshot` forever, and the writer must not
+        // livelock on it — if the retired side does not drain, abandon
+        // it to its holders and fork the freshly published engine as
+        // the next shadow instead (an O(index) memcpy, the same cost
+        // as server startup).
+        match try_drain(retired, DRAIN_ATTEMPTS) {
+            Some(mut retired) => {
+                retired.engine.apply_delta(delta);
+                writer.shadow = Some(retired.engine);
+            }
+            None => writer.shadow = Some(next.engine.fork()),
+        }
+        self.shared.published.fetch_add(1, Ordering::Relaxed);
+        stats
+    }
+
+    /// The current live snapshot (engine + epoch). Useful for
+    /// inspection and for bypassing the cache/batcher in tests; the
+    /// snapshot stays valid however long the caller keeps it.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.shared.handle.snapshot()
+    }
+
+    /// The current publication epoch (0 = freshly built).
+    pub fn epoch(&self) -> u64 {
+        self.shared.handle.snapshot().epoch
+    }
+
+    /// Number of indexed fragments in the live snapshot.
+    pub fn fragment_count(&self) -> usize {
+        self.shared.handle.snapshot().engine.fragment_count()
+    }
+
+    /// A copy of the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            cache: self.shared.cache.stats(),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
+            published: self.shared.published.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live result-cache entry count.
+    pub fn cached_results(&self) -> usize {
+        self.shared.cache.len()
+    }
+}
+
+impl Drop for DashServer {
+    fn drop(&mut self) {
+        // Closing the queue ends the batcher loop; join for a full
+        // quiesce (mirrors the shard worker pool's drop).
+        self.jobs = None;
+        if let Some(batcher) = self.batcher.take() {
+            let _ = batcher.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_core::{DashEngine, FragmentId};
+    use dash_relation::Value;
+    use dash_webapp::fooddb;
+
+    fn server(shards: usize) -> DashServer {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(shards),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn serves_the_running_example() {
+        let server = server(2);
+        let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+        let hits = server.search(&request);
+        assert_eq!(hits.len(), 2);
+        // Second time around: same bytes, answered from the cache.
+        assert_eq!(server.search(&request), hits);
+        let stats = server.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.cache.misses, 1);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn degenerate_requests_short_circuit() {
+        let server = server(1);
+        assert!(server.search(&SearchRequest::new(&[]).k(5)).is_empty());
+        assert!(server
+            .search(&SearchRequest::new(&["burger"]).k(0))
+            .is_empty());
+        assert_eq!(server.stats().batches, 0);
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_new_pages_become_findable() {
+        let server = server(2);
+        assert_eq!(server.epoch(), 0);
+        let before = server.fragment_count();
+        let fragment = Fragment::new(
+            FragmentId::new(vec![Value::str("Nordic"), Value::Int(7)]),
+            [("herring".to_string(), 3u64)].into_iter().collect(),
+            1,
+        );
+        let stats = server.publish(IndexDelta::adding(vec![fragment]));
+        assert_eq!((stats.removed, stats.added), (0, 1));
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.fragment_count(), before + 1);
+        let hits = server.search(&SearchRequest::new(&["herring"]).k(3).min_size(1));
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].url.contains("c=Nordic"), "got {}", hits[0].url);
+        // Empty deltas publish nothing.
+        assert_eq!(
+            server.publish(IndexDelta::default()),
+            RefreshStats::default()
+        );
+        assert_eq!(server.epoch(), 1);
+    }
+
+    #[test]
+    fn publish_survives_a_long_held_snapshot() {
+        // A caller may keep a snapshot indefinitely; the writer must
+        // not livelock waiting for it — it forks the new live engine
+        // instead and keeps publishing.
+        let server = server(2);
+        let held = server.snapshot();
+        let fragment = |cuisine: &str, word: &str| {
+            Fragment::new(
+                FragmentId::new(vec![Value::str(cuisine), Value::Int(7)]),
+                [(word.to_string(), 2u64)].into_iter().collect(),
+                1,
+            )
+        };
+        let stats = server.publish(IndexDelta::adding(vec![fragment("Nordic", "herring")]));
+        assert_eq!(stats.added, 1);
+        // The held snapshot still serves its own epoch, untouched.
+        assert_eq!(held.epoch, 0);
+        assert!(held
+            .engine
+            .search(&SearchRequest::new(&["herring"]).k(1).min_size(1))
+            .is_empty());
+        // And the server keeps accepting publications (the shadow was
+        // rebuilt by fork, not reclaimed from the held snapshot).
+        let stats = server.publish(IndexDelta::adding(vec![fragment("Basque", "txakoli")]));
+        assert_eq!(stats.added, 1);
+        assert_eq!(server.epoch(), 2);
+        for word in ["herring", "txakoli"] {
+            assert_eq!(
+                server
+                    .search(&SearchRequest::new(&[word]).k(1).min_size(1))
+                    .len(),
+                1,
+                "{word} must be served post-publish"
+            );
+        }
+        drop(held);
+    }
+
+    #[test]
+    fn cached_results_never_go_stale_across_publications() {
+        let server = server(2);
+        let request = SearchRequest::new(&["burger"]).k(5).min_size(1);
+        let first = server.search(&request);
+        assert_eq!(server.search(&request), first); // cached now
+                                                    // A new burger-bearing fragment changes IDF and the result set;
+                                                    // the publication must invalidate the cached entry.
+        let fragment = Fragment::new(
+            FragmentId::new(vec![Value::str("Zulu"), Value::Int(30)]),
+            [("burger".to_string(), 9u64)].into_iter().collect(),
+            1,
+        );
+        server.publish(IndexDelta::adding(vec![fragment.clone()]));
+        let app = fooddb::search_application().unwrap();
+        let db = fooddb::database();
+        let mut fragments = dash_core::crawl::reference::fragments(&app, &db).unwrap();
+        fragments.push(fragment);
+        let fresh = DashEngine::from_fragments(app, &fragments, WorkflowStats::new()).unwrap();
+        let expected = fresh.search(&request);
+        assert_ne!(expected, first, "the delta must actually change the result");
+        assert_eq!(server.search(&request), expected);
+    }
+
+    #[test]
+    fn search_many_mixes_cached_and_fresh() {
+        let server = server(2);
+        let warm = SearchRequest::new(&["burger"]).k(2).min_size(20);
+        let warm_hits = server.search(&warm);
+        let requests = vec![
+            warm.clone(),
+            SearchRequest::new(&["thai"]).k(2).min_size(5),
+            SearchRequest::new(&[]).k(3),
+            warm.clone(),
+        ];
+        let results = server.search_many(&requests);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], warm_hits);
+        assert_eq!(results[3], warm_hits);
+        assert!(results[2].is_empty());
+        assert_eq!(results[1], server.search(&requests[1]));
+    }
+
+    #[test]
+    fn concurrent_clients_get_identical_answers() {
+        let server = server(4);
+        let requests: Vec<SearchRequest> = [
+            ("burger", 2usize, 20u64),
+            ("fries", 3, 1),
+            ("thai", 2, 5),
+            ("american", 10, 1),
+        ]
+        .iter()
+        .map(|&(w, k, s)| SearchRequest::new(&[w]).k(k).min_size(s))
+        .collect();
+        let expected: Vec<_> = requests.iter().map(|r| server.search(r)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..6 {
+                let requests = &requests;
+                let expected = &expected;
+                let server = &server;
+                scope.spawn(move || {
+                    for (request, expected) in requests.iter().zip(expected) {
+                        assert_eq!(&server.search(request), expected);
+                    }
+                });
+            }
+        });
+        let stats = server.stats();
+        assert!(stats.cache.hits >= 1, "repeat traffic must hit the cache");
+    }
+}

@@ -191,6 +191,29 @@ impl Criterion {
         &self.measurements
     }
 
+    /// Records an externally measured value under the standard report
+    /// schema (printed and written to the JSON like any benchmark).
+    /// Suites whose harness produces its own statistics — e.g. a
+    /// closed-loop load generator reporting p99 latency and sustained
+    /// qps, which no `iter()` loop can express — use this to land
+    /// their rows in the same `BENCH_<suite>.json` trajectory.
+    pub fn record_measurement(&mut self, name: &str, p50_ns: f64, ops_per_sec: f64) -> &mut Self {
+        let m = Measurement {
+            name: name.to_string(),
+            p50_ns,
+            ops_per_sec,
+            samples: 1,
+        };
+        println!(
+            "{:<48} time: [{}]  ({:.0} ops/s)",
+            m.name,
+            format_ns(m.p50_ns),
+            m.ops_per_sec
+        );
+        self.measurements.push(m);
+        self
+    }
+
     /// Writes `BENCH_<suite>.json` into `DASH_BENCH_DIR` (default: cwd).
     pub fn write_report(&self, suite: &str) {
         if self.measurements.is_empty() {

@@ -23,6 +23,7 @@
 //! | [`text`] | `dash-text` | tokenizer, TF/IDF, conventional inverted file |
 //! | [`tpch`] | `dash-tpch` | TPC-H-style dataset generator + the paper's Q1/Q2/Q3 |
 //! | [`core`] | `dash-core` | fragments, crawling (stepwise & integrated), fragment index, top-k search |
+//! | [`serve`] | `dash-serve` | snapshot-swapping serving front-end: result cache, micro-batching, closed-loop load harness |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use dash_core as core;
 pub use dash_mapreduce as mapreduce;
 pub use dash_relation as relation;
+pub use dash_serve as serve;
 pub use dash_sql as sql;
 pub use dash_text as text;
 pub use dash_tpch as tpch;
@@ -58,9 +60,10 @@ pub use dash_webapp as webapp;
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use dash_core::{
-        DashConfig, DashEngine, Fragment, FragmentId, FragmentIndex, IndexDelta, MultiDash,
-        SearchEngine, SearchHit, SearchRequest, ShardedEngine,
+        DashConfig, DashEngine, DeltaSignature, Fragment, FragmentId, FragmentIndex, IndexDelta,
+        MultiDash, RecordChange, SearchEngine, SearchHit, SearchRequest, ShardedEngine,
     };
     pub use dash_relation::{Database, Record, Schema, Table, Value};
+    pub use dash_serve::{DashServer, ServeConfig};
     pub use dash_webapp::{DbPage, QueryString, WebApplication};
 }

@@ -1,0 +1,427 @@
+//! The serve test tier: everything `dash-serve` adds on top of the
+//! engines — snapshot swapping, micro-batching, result caching —
+//! must be **invisible** in the results. A served hit list, whether it
+//! came from the cache, from whatever micro-batch the request landed
+//! in, or from either side of a snapshot swap, is byte-identical to a
+//! fresh `DashEngine::search` over the server's current fragment set,
+//! at shard counts {1, 4}.
+//!
+//! Three layers of evidence:
+//!
+//! * golden serving — the fooddb running example behind a server:
+//!   sequential, repeated (cache-hitting), client-batched and
+//!   concurrent traffic against a freshly built single engine;
+//! * golden publications — fooddb mutation sequences published through
+//!   the server (per-record and bulk), with every request battery
+//!   re-verified after every publication (a stale cached page would
+//!   fail the comparison bit for bit);
+//! * property tests — random interleavings of search / delta-publish /
+//!   search over random fragment sets (the `sharded_maintenance`
+//!   delta-history generator), asserting a request cached before a
+//!   publication is never served stale after it.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dash::core::crawl::reference;
+use dash::mapreduce::WorkflowStats;
+use dash::prelude::*;
+use dash::webapp::fooddb;
+
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+
+fn fresh_single(fragments: &[Fragment]) -> DashEngine {
+    let app = fooddb::search_application().unwrap();
+    DashEngine::from_fragments(app, fragments, WorkflowStats::new()).unwrap()
+}
+
+fn server_over(fragments: &[Fragment], shards: usize) -> DashServer {
+    let app = fooddb::search_application().unwrap();
+    DashServer::from_fragments(app, fragments, ServeConfig::default().shards(shards)).unwrap()
+}
+
+fn crawled_fragments() -> Vec<Fragment> {
+    let db = fooddb::database();
+    let app = fooddb::search_application().unwrap();
+    reference::fragments(&app, &db).unwrap()
+}
+
+/// The request battery every comparison runs: hot/cold keywords, size
+/// thresholds from no-expansion to whole-group, multi-keyword, missing.
+fn battery() -> Vec<SearchRequest> {
+    let mut requests = Vec::new();
+    for kw in ["burger", "fries", "coffee", "thai", "taco", "nice"] {
+        for s in [1u64, 20, 60] {
+            requests.push(SearchRequest::new(&[kw]).k(6).min_size(s));
+        }
+    }
+    requests.push(SearchRequest::new(&["burger", "taco"]).k(8).min_size(10));
+    requests.push(SearchRequest::new(&["zzzmissing"]).k(3).min_size(1));
+    requests
+}
+
+/// Serves the battery every way the front-end can — one by one (twice:
+/// the repeat answers from the cache), client-batched, and from
+/// concurrent threads — and requires byte-identity with the fresh
+/// single engine each time.
+fn assert_served_equivalent(server: &DashServer, fresh: &DashEngine, context: &str) {
+    let requests = battery();
+    let expected: Vec<_> = requests.iter().map(|r| fresh.search(r)).collect();
+    for pass in ["miss", "cached"] {
+        for (request, expected) in requests.iter().zip(&expected) {
+            assert_eq!(
+                &server.search(request),
+                expected,
+                "{context}: pass={pass} keywords={:?} k={} s={}",
+                request.keywords,
+                request.k,
+                request.min_size
+            );
+        }
+    }
+    assert_eq!(
+        server.search_many(&requests),
+        expected,
+        "{context}: client-batched"
+    );
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let requests = &requests;
+            let expected = &expected;
+            scope.spawn(move || {
+                for (request, expected) in requests.iter().zip(expected) {
+                    assert_eq!(
+                        &server.search(request),
+                        expected,
+                        "{context}: concurrent client {t} keywords={:?}",
+                        request.keywords
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn served_results_match_fresh_engine_for_all_shard_counts() {
+    let fragments = crawled_fragments();
+    let fresh = fresh_single(&fragments);
+    for shards in SHARD_COUNTS {
+        let server = server_over(&fragments, shards);
+        assert_served_equivalent(&server, &fresh, &format!("shards={shards}"));
+        let stats = server.stats();
+        assert!(stats.cache.hits > 0, "repeat passes must hit the cache");
+        assert!(stats.batches > 0, "misses must flow through the batcher");
+    }
+}
+
+#[test]
+fn served_results_match_fresh_engine_at_env_shards() {
+    // `ServeConfig::default()` reads DASH_SHARDS — this is the test
+    // that makes the CI matrix legs (shards = 1 and 4) exercise the
+    // serving stack at genuinely different widths, on top of the
+    // explicit SHARD_COUNTS coverage above.
+    let fragments = crawled_fragments();
+    let fresh = fresh_single(&fragments);
+    let app = fooddb::search_application().unwrap();
+    let server = DashServer::from_fragments(app, &fragments, ServeConfig::default()).unwrap();
+    let width = server.snapshot().engine.shard_count();
+    assert_eq!(width, dash::core::env_shards().unwrap_or(1));
+    assert_served_equivalent(&server, &fresh, &format!("env shards={width}"));
+}
+
+#[test]
+fn serving_stays_exact_across_delta_publications() {
+    // The golden mutation scenario, published through the server: grow
+    // a new cuisine record by record, grow one fragment's content,
+    // then delete the chain's middle — with the full battery
+    // (cache-warming double pass included) re-verified after every
+    // single publication, at every shard count.
+    for shards in SHARD_COUNTS {
+        let mut db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let server = DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(shards),
+        )
+        .unwrap();
+        let context = |step: &str| format!("shards={shards}: {step}");
+
+        let restaurant = |rid: i64, name: &str, cuisine: &str, budget: i64| {
+            Record::new(vec![
+                Value::Int(rid),
+                Value::str(name),
+                Value::str(cuisine),
+                Value::Int(budget),
+                Value::str("4.0"),
+            ])
+        };
+        let mut epoch = 0;
+        for (i, budget) in (5..8).enumerate() {
+            let r = restaurant(100 + i as i64, "Taco Tower", "Mexican", budget);
+            db.table_mut("restaurant")
+                .unwrap()
+                .insert(r.clone())
+                .unwrap();
+            server.apply_insert(&db, "restaurant", &r).unwrap();
+            epoch += 1;
+            assert_eq!(server.epoch(), epoch);
+            let fresh = fresh_single(&reference::fragments(&app, &db).unwrap());
+            assert_served_equivalent(&server, &fresh, &context("after taco insert"));
+        }
+
+        let comment = Record::new(vec![
+            Value::Int(301),
+            Value::Int(101),
+            Value::Int(132),
+            Value::str("Great taco pho fusion"),
+            Value::str("02/12"),
+        ]);
+        db.table_mut("comment")
+            .unwrap()
+            .insert(comment.clone())
+            .unwrap();
+        server.apply_insert(&db, "comment", &comment).unwrap();
+        let fresh = fresh_single(&reference::fragments(&app, &db).unwrap());
+        assert_served_equivalent(&server, &fresh, &context("after comment insert"));
+
+        db.table_mut("comment")
+            .unwrap()
+            .delete_where(|r| r.get(1) == Some(&Value::Int(101)));
+        let victim = db
+            .table("restaurant")
+            .unwrap()
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::Int(101)))
+            .cloned()
+            .unwrap();
+        db.table_mut("restaurant")
+            .unwrap()
+            .delete_where(|r| r.get(0) == Some(&Value::Int(101)));
+        server
+            .apply_changes(
+                &db,
+                &[
+                    RecordChange::new("comment", comment),
+                    RecordChange::new("restaurant", victim),
+                ],
+            )
+            .unwrap();
+        let fresh = fresh_single(&reference::fragments(&app, &db).unwrap());
+        assert_served_equivalent(&server, &fresh, &context("after bulk delete"));
+    }
+}
+
+#[test]
+fn precise_invalidation_spares_unrelated_entries() {
+    // The caching contract has two halves: correctness (no stale
+    // pages — everywhere else in this tier) and precision (a delta
+    // must NOT wipe entries it provably cannot affect).
+    let fragments = crawled_fragments();
+    let server = server_over(&fragments, 2);
+    let thai = SearchRequest::new(&["thai"]).k(3).min_size(5);
+    let coffee = SearchRequest::new(&["coffee"]).k(3).min_size(1);
+    server.search(&thai);
+    server.search(&coffee);
+    let cached = server.cached_results();
+    assert_eq!(cached, 2);
+    // A brand-new group with brand-new keywords: disjoint from both
+    // entries on both signature axes.
+    server.publish(IndexDelta::adding(vec![Fragment::new(
+        FragmentId::new(vec![Value::str("Nordic"), Value::Int(7)]),
+        [("herring".to_string(), 2u64)].into_iter().collect(),
+        1,
+    )]));
+    assert_eq!(
+        server.cached_results(),
+        cached,
+        "a disjoint delta must not invalidate unrelated entries"
+    );
+    assert_eq!(server.stats().cache.invalidated, 0);
+    // Touching the Thai group invalidates the thai entry, not coffee.
+    server.publish(IndexDelta::removing(vec![FragmentId::new(vec![
+        Value::str("Thai"),
+        Value::Int(10),
+    ])]));
+    assert_eq!(server.stats().cache.invalidated, 1);
+    // And the served results are still exact on both.
+    let mut truth: Vec<Fragment> = fragments
+        .iter()
+        .filter(|f| f.id.to_string() != "(Thai,10)")
+        .cloned()
+        .collect();
+    truth.push(Fragment::new(
+        FragmentId::new(vec![Value::str("Nordic"), Value::Int(7)]),
+        [("herring".to_string(), 2u64)].into_iter().collect(),
+        1,
+    ));
+    let fresh = fresh_single(&truth);
+    for request in [&thai, &coffee] {
+        assert_eq!(&server.search(request), &fresh.search(request));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random interleavings of search / publish / search.
+// ---------------------------------------------------------------------
+
+const EQ_KEYS: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+const VOCAB: [&str; 8] = [
+    "burger", "fries", "noodle", "spicy", "fresh", "crispy", "sweet", "salty",
+];
+
+/// One generated fragment row (the `sharded_maintenance` generator).
+#[derive(Debug, Clone)]
+struct GenFragment {
+    eq: usize,
+    range: i64,
+    words: Vec<(usize, u64)>,
+}
+
+impl GenFragment {
+    fn id(&self) -> FragmentId {
+        FragmentId::new(vec![Value::str(EQ_KEYS[self.eq]), Value::Int(self.range)])
+    }
+
+    fn materialize(&self) -> Fragment {
+        let mut occ: BTreeMap<String, u64> = BTreeMap::new();
+        for &(w, n) in &self.words {
+            *occ.entry(VOCAB[w].to_string()).or_insert(0) += n;
+        }
+        Fragment::new(self.id(), occ, 1)
+    }
+}
+
+/// One step of an interleaving: a search (cache-warming, repeated) or
+/// a delta publication.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Search these VOCAB indices with (k, s) — issued twice, so the
+    /// second answer exercises the cache and a later publication has a
+    /// warm entry to invalidate (or precisely spare).
+    Search(Vec<usize>, usize, u64),
+    /// Publish an upsert of this fragment.
+    Upsert(GenFragment),
+    /// Publish a removal of this (eq, range) coordinate.
+    Remove(usize, i64),
+}
+
+fn fragment_strategy() -> impl Strategy<Value = GenFragment> {
+    (
+        0..EQ_KEYS.len(),
+        0i64..12,
+        prop::collection::vec((0usize..VOCAB.len(), 1u64..5), 1..4),
+    )
+        .prop_map(|(eq, range, words)| GenFragment { eq, range, words })
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (
+            prop::collection::vec(0usize..VOCAB.len(), 1..3),
+            1usize..8,
+            prop::sample::select(vec![1u64, 3, 10, 50]),
+        )
+            .prop_map(|(q, k, s)| Step::Search(q, k, s)),
+        (
+            prop::collection::vec(0usize..VOCAB.len(), 1..3),
+            1usize..8,
+            prop::sample::select(vec![1u64, 3, 10, 50]),
+        )
+            .prop_map(|(q, k, s)| Step::Search(q, k, s)),
+        fragment_strategy().prop_map(Step::Upsert),
+        (0..EQ_KEYS.len(), 0i64..12).prop_map(|(eq, range)| Step::Remove(eq, range)),
+    ]
+}
+
+/// First occurrence of an identifier wins, like a crawl's output.
+fn materialize(rows: &[GenFragment]) -> Vec<Fragment> {
+    let mut seen = std::collections::HashSet::new();
+    let mut fragments = Vec::new();
+    for row in rows {
+        if seen.insert(row.id()) {
+            fragments.push(row.materialize());
+        }
+    }
+    fragments
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The tier's core contract, interleaved: searches before and
+    /// after every publication are byte-identical to a fresh engine
+    /// over the then-current truth — so a page cached before a delta
+    /// is never served stale after it, and precise invalidation never
+    /// over-trusts a surviving entry.
+    #[test]
+    fn interleaved_search_publish_search_never_serves_stale(
+        rows in prop::collection::vec(fragment_strategy(), 1..25),
+        steps in prop::collection::vec(step_strategy(), 1..15),
+        shards in prop::sample::select(vec![1usize, 4]),
+    ) {
+        let app = fooddb::search_application().unwrap();
+        let initial = materialize(&rows);
+        let mut truth: Vec<Fragment> = initial.clone();
+        let server = DashServer::from_fragments(
+            app.clone(),
+            &initial,
+            ServeConfig::default().shards(shards),
+        )
+        .unwrap();
+        for step in &steps {
+            match step {
+                Step::Search(query, k, s) => {
+                    let keywords: Vec<&str> = query.iter().map(|&w| VOCAB[w]).collect();
+                    let request = SearchRequest::new(&keywords).k(*k).min_size(*s);
+                    let fresh = DashEngine::from_fragments(
+                        app.clone(),
+                        &truth,
+                        WorkflowStats::new(),
+                    )
+                    .unwrap();
+                    let expected = fresh.search(&request);
+                    // Twice: miss (or earlier-cached) and guaranteed-cached.
+                    prop_assert_eq!(
+                        server.search(&request),
+                        expected.clone(),
+                        "shards={} truth={} first pass {:?}",
+                        shards, truth.len(), &keywords
+                    );
+                    prop_assert_eq!(
+                        server.search(&request),
+                        expected,
+                        "shards={} truth={} cached pass {:?}",
+                        shards, truth.len(), &keywords
+                    );
+                }
+                Step::Upsert(row) => {
+                    let fragment = row.materialize();
+                    truth.retain(|f| f.id != fragment.id);
+                    truth.push(fragment.clone());
+                    server.publish(IndexDelta::new(vec![row.id()], vec![fragment]));
+                }
+                Step::Remove(eq, range) => {
+                    let id = FragmentId::new(vec![Value::str(EQ_KEYS[*eq]), Value::Int(*range)]);
+                    truth.retain(|f| f.id != id);
+                    server.publish(IndexDelta::removing(vec![id]));
+                }
+            }
+        }
+        // Final sweep: every vocabulary word, against the final truth.
+        let fresh =
+            DashEngine::from_fragments(app, &truth, WorkflowStats::new()).unwrap();
+        for word in VOCAB {
+            let request = SearchRequest::new(&[word]).k(5).min_size(3);
+            prop_assert_eq!(
+                server.search(&request),
+                fresh.search(&request),
+                "final sweep shards={} word={}",
+                shards, word
+            );
+        }
+    }
+}
