@@ -1,0 +1,117 @@
+//! The `net` suite: closed-loop serving performance **over real
+//! sockets** — end-to-end p50/p99 search latency and sustained qps of
+//! the HTTP front-end under mixed search/update traffic, at 1 and 4
+//! shards, plus the micro-costs of the socket path itself (an HTTP
+//! round-trip for a cache hit vs the in-process call — the price of
+//! the wire).
+//!
+//! Rows mirror `BENCH_serve.json` (`serve/s{n}/mixed-*` ↔
+//! `net/s{n}/socket-*`), so diffing the two files prices HTTP framing,
+//! JSON (de)serialization and kernel socket hops in isolation. CI's
+//! `net` job regenerates this file every run and fails if qps reads
+//! zero.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dash_bench::{select_keywords, KeywordTemperature};
+use dash_core::crawl::reference;
+use dash_core::{DashEngine, SearchRequest};
+use dash_mapreduce::WorkflowStats;
+use dash_net::{loadgen as netload, NetClient, NetConfig, NetServer};
+use dash_serve::loadgen::LoadProfile;
+use dash_serve::{DashServer, ServeConfig};
+use dash_tpch::{generate, Scale, TpchConfig};
+
+fn bench_net(c: &mut Criterion) {
+    // The serve suite's workload, behind sockets: TPC-H Q2 at micro
+    // scale, hot/warm/cold keyword mix, update churn from the crawl.
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 100;
+    config.base_parts = 130;
+    let db = generate(&config);
+    let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
+    let fragments = reference::fragments(&app, &db).expect("crawl");
+    let single =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).expect("builds");
+
+    let mut vocab: Vec<String> = Vec::new();
+    for temperature in KeywordTemperature::all() {
+        vocab.extend(select_keywords(&single, temperature, 8, 11));
+    }
+    let update_pool: Vec<_> = fragments.iter().take(32).cloned().collect();
+    let fast = std::env::var_os("DASH_BENCH_FAST").is_some();
+    let profile = LoadProfile {
+        clients: 4,
+        ops_per_client: if fast { 200 } else { 800 },
+        update_every: 20,
+        seed: 11,
+        ..LoadProfile::default()
+    };
+
+    for shards in [1usize, 4] {
+        let server = Arc::new(
+            DashServer::from_fragments(
+                app.clone(),
+                &fragments,
+                ServeConfig::default().shards(shards),
+            )
+            .expect("server builds"),
+        );
+        let net = NetServer::serve_primary(
+            server,
+            db.clone(),
+            TcpListener::bind("127.0.0.1:0").expect("ephemeral port"),
+            NetConfig::default(),
+        )
+        .expect("net server starts");
+        let report = netload::run(net.addr(), &vocab, &update_pool, &profile);
+        assert_eq!(report.errors, 0, "socket load must run clean");
+        c.record_measurement(
+            &format!("net/s{shards}/socket-p50"),
+            report.p50_ns as f64,
+            1e9 / (report.p50_ns as f64).max(1.0),
+        );
+        c.record_measurement(
+            &format!("net/s{shards}/socket-p99"),
+            report.p99_ns as f64,
+            1e9 / (report.p99_ns as f64).max(1.0),
+        );
+        c.record_measurement(
+            &format!("net/s{shards}/socket-qps"),
+            1e9 / report.qps.max(1e-9),
+            report.qps,
+        );
+    }
+
+    // Micro-costs: one HTTP round-trip for a cache-hit search vs the
+    // same request in-process — the socket layer's floor.
+    let server = Arc::new(
+        DashServer::from_fragments(app, &fragments, ServeConfig::default()).expect("server builds"),
+    );
+    let net = NetServer::serve_primary(
+        Arc::clone(&server),
+        db,
+        TcpListener::bind("127.0.0.1:0").expect("ephemeral port"),
+        NetConfig::default(),
+    )
+    .expect("net server starts");
+    let hot = select_keywords(&single, KeywordTemperature::Hot, 1, 7)
+        .pop()
+        .expect("a hot keyword");
+    let request = SearchRequest::new(&[hot.as_str()]).k(10).min_size(1000);
+    server.search(&request); // warm the cache
+    let mut client = NetClient::connect(net.addr()).expect("client connects");
+    let mut group = c.benchmark_group("net/path");
+    group.bench_function("http-cache-hit", |b| {
+        b.iter(|| client.search(&request).expect("search over socket"))
+    });
+    group.bench_function("in-process-cache-hit", |b| {
+        b.iter(|| server.search(&request))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

@@ -121,6 +121,7 @@ pub mod search;
 pub mod sharded;
 pub mod stats;
 pub mod update;
+pub mod wire;
 
 pub use crawl::{CrawlAlgorithm, CrawlOutput};
 pub use engine::{DashConfig, DashEngine, SearchEngine};

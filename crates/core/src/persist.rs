@@ -103,7 +103,10 @@ pub fn read_sharded_fragments<R: Read>(mut reader: R) -> io::Result<Vec<Vec<Frag
 }
 
 /// The shared record codec: a length-prefixed fragment list.
-fn write_fragment_list<W: Write>(writer: &mut W, fragments: &[Fragment]) -> io::Result<()> {
+pub(crate) fn write_fragment_list<W: Write>(
+    writer: &mut W,
+    fragments: &[Fragment],
+) -> io::Result<()> {
     write_u64(writer, fragments.len() as u64)?;
     for f in fragments {
         write_u64(writer, f.id.values().len() as u64)?;
@@ -121,7 +124,7 @@ fn write_fragment_list<W: Write>(writer: &mut W, fragments: &[Fragment]) -> io::
 }
 
 /// Reads one length-prefixed fragment list.
-fn read_fragment_list<R: Read>(reader: &mut R) -> io::Result<Vec<Fragment>> {
+pub(crate) fn read_fragment_list<R: Read>(reader: &mut R) -> io::Result<Vec<Fragment>> {
     let count = read_u64(reader)?;
     let mut fragments = Vec::with_capacity(count.min(1 << 20) as usize);
     for _ in 0..count {
@@ -143,7 +146,7 @@ fn read_fragment_list<R: Read>(reader: &mut R) -> io::Result<Vec<Fragment>> {
     Ok(fragments)
 }
 
-fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
+pub(crate) fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
     match v {
         Value::Null => w.write_all(&[0]),
         Value::Int(i) => {
@@ -166,7 +169,7 @@ fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
     }
 }
 
-fn read_value<R: Read>(r: &mut R) -> io::Result<Value> {
+pub(crate) fn read_value<R: Read>(r: &mut R) -> io::Result<Value> {
     let mut tag = [0u8; 1];
     r.read_exact(&mut tag)?;
     Ok(match tag[0] {
@@ -185,28 +188,28 @@ fn read_value<R: Read>(r: &mut R) -> io::Result<Value> {
     })
 }
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+pub(crate) fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
+pub(crate) fn read_i64<R: Read>(r: &mut R) -> io::Result<i64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(i64::from_le_bytes(buf))
 }
 
-fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+pub(crate) fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
     write_u64(w, s.len() as u64)?;
     w.write_all(s.as_bytes())
 }
 
-fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+pub(crate) fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
     let len = read_u64(r)?;
     if len > (1 << 24) {
         return Err(invalid("string length out of bounds"));
@@ -216,7 +219,7 @@ fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
     String::from_utf8(buf).map_err(|_| invalid("string is not UTF-8"))
 }
 
-fn invalid(msg: &str) -> io::Error {
+pub(crate) fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 

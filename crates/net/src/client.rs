@@ -1,0 +1,199 @@
+//! `NetClient` — the socket-level client of the HTTP front-end: a
+//! persistent keep-alive connection, requests framed by
+//! `Content-Length`, JSON decoded back into the same [`SearchHit`]
+//! structs the engine produces (bit-exact — see [`crate::json`]).
+//! On a broken connection the client reconnects and, for idempotent
+//! GETs only, retries once — a server restart costs one retried read.
+//! `POST /update` is never silently resent (see
+//! [`NetClient::publish`]'s error contract): the server may have
+//! applied an update whose response was lost, and a blind resend
+//! would double-apply it.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use dash_core::{IndexDelta, RecordChange, SearchHit, SearchRequest};
+use dash_relation::Record;
+
+use crate::http::{self, percent_encode};
+use crate::json;
+use crate::server::{ack_from_json, encode_update, NetChange, UpdateAck, UpdateBody};
+
+/// A persistent-connection HTTP client for the Dash serving routes.
+#[derive(Debug)]
+pub struct NetClient {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+}
+
+#[derive(Debug)]
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`](crate::NetServer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<NetClient> {
+        let mut client = NetClient { addr, conn: None };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true).ok();
+        self.conn = Some(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        });
+        Ok(())
+    }
+
+    /// Issues one request. `idempotent` requests (GETs) are
+    /// transparently retried once on a fresh connection if the
+    /// persistent one died since the last call; non-idempotent ones
+    /// (`POST /update`) are never silently resent — a connection that
+    /// dies after the server applied the update but before the
+    /// response arrived would otherwise double-apply the change. Such
+    /// failures surface as errors for the caller to reconcile (e.g.
+    /// via `GET /stats` epoch inspection).
+    fn roundtrip(&mut self, request: &[u8], idempotent: bool) -> io::Result<(u16, Vec<u8>)> {
+        let attempts = if idempotent { 2 } else { 1 };
+        for attempt in 0..attempts {
+            if self.conn.is_none() {
+                self.reconnect()?;
+            }
+            let conn = self.conn.as_mut().expect("connected above");
+            let result = (|| {
+                conn.writer.write_all(request)?;
+                conn.writer.flush()?;
+                http::read_response(&mut conn.reader)
+            })();
+            match result {
+                Ok(answer) => return Ok(answer),
+                Err(e) => {
+                    // The connection is in an unknown state: drop it so
+                    // the next call starts fresh.
+                    self.conn = None;
+                    if attempt + 1 == attempts {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on its final attempt")
+    }
+
+    /// `GET /search` — returns the served hit list, decoded to the
+    /// exact structs the engine produced.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses, malformed JSON.
+    pub fn search(&mut self, request: &SearchRequest) -> io::Result<Vec<SearchHit>> {
+        let body = self.search_json(request)?;
+        json::hits_from_json(&body)
+    }
+
+    /// `GET /search` — the raw JSON response body. Two servers holding
+    /// identical state answer with identical bytes (the encoder is
+    /// byte-stable), which the equivalence tier asserts directly.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses.
+    pub fn search_json(&mut self, request: &SearchRequest) -> io::Result<String> {
+        let mut target = String::from("/search?");
+        for keyword in &request.keywords {
+            target.push_str("kw=");
+            target.push_str(&percent_encode(keyword));
+            target.push('&');
+        }
+        target.push_str(&format!("k={}&s={}", request.k, request.min_size));
+        self.get(&target)
+    }
+
+    /// `POST /update` with a prebuilt delta ([`DashServer::publish`]
+    /// on the primary).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses (including `503` from a replica).
+    ///
+    /// [`DashServer::publish`]: dash_serve::DashServer::publish
+    pub fn publish(&mut self, delta: &IndexDelta) -> io::Result<UpdateAck> {
+        self.update(&UpdateBody::Publish(delta.clone()))
+    }
+
+    /// `POST /update` inserting one record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::publish`].
+    pub fn insert(&mut self, relation: &str, record: Record) -> io::Result<UpdateAck> {
+        self.apply(vec![NetChange::Insert(RecordChange::new(relation, record))])
+    }
+
+    /// `POST /update` deleting one (exact) record.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::publish`].
+    pub fn delete(&mut self, relation: &str, record: Record) -> io::Result<UpdateAck> {
+        self.apply(vec![NetChange::Delete(RecordChange::new(relation, record))])
+    }
+
+    /// `POST /update` with a batch of record changes (one bulk delta,
+    /// one publication on the server).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::publish`].
+    pub fn apply(&mut self, changes: Vec<NetChange>) -> io::Result<UpdateAck> {
+        self.update(&UpdateBody::Changes(changes))
+    }
+
+    fn update(&mut self, body: &UpdateBody) -> io::Result<UpdateAck> {
+        let payload = encode_update(body);
+        let request = format!(
+            "POST /update HTTP/1.1\r\nHost: dash\r\nContent-Length: {}\r\n\r\n",
+            payload.len()
+        );
+        let mut bytes = request.into_bytes();
+        bytes.extend(payload);
+        let (status, body) = self.roundtrip(&bytes, false)?;
+        let text = String::from_utf8_lossy(&body).into_owned();
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "update failed ({status}): {text}"
+            )));
+        }
+        ack_from_json(&text)
+    }
+
+    /// `GET /stats` — the raw JSON counters document.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses.
+    pub fn stats_json(&mut self) -> io::Result<String> {
+        self.get("/stats")
+    }
+
+    fn get(&mut self, target: &str) -> io::Result<String> {
+        let request = format!("GET {target} HTTP/1.1\r\nHost: dash\r\n\r\n");
+        let (status, body) = self.roundtrip(request.as_bytes(), true)?;
+        let text = String::from_utf8_lossy(&body).into_owned();
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "request failed ({status}): {text}"
+            )));
+        }
+        Ok(text)
+    }
+}

@@ -1,0 +1,335 @@
+//! A minimal HTTP/1.1 implementation over `std::net` — just enough
+//! protocol for the Dash serving endpoints and their clients, with no
+//! external dependencies (the build environment has no registry
+//! access, and the serving surface is three fixed routes).
+//!
+//! Supported: request-line + header parsing, `Content-Length` bodies,
+//! persistent connections (`keep-alive` is the HTTP/1.1 default;
+//! `Connection: close` honored), percent-decoded query strings with
+//! repeated keys (`?kw=a&kw=b`). Not supported, by design: chunked
+//! transfer, trailers, pipelining beyond request-at-a-time, TLS.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on header bytes and body bytes — a malformed or hostile
+/// peer cannot make the server buffer unboundedly.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component (`/search`).
+    pub path: String,
+    /// Percent-decoded query parameters in request order; keys repeat
+    /// (`?kw=a&kw=b` yields two `kw` entries).
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Every value of a repeated query parameter, in order.
+    pub fn params(&self, key: &str) -> Vec<&str> {
+        self.query
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+}
+
+/// Reads one request off a persistent connection. `Ok(None)` means the
+/// peer closed cleanly between requests (normal keep-alive shutdown).
+///
+/// # Errors
+///
+/// `InvalidData` on malformed request lines, oversized headers or
+/// bodies; propagates I/O errors (including timeouts, which callers
+/// poll through).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if read_line_bounded(reader, &mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
+        _ => return Err(invalid(&format!("malformed request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(&format!("unsupported version: {version:?}")));
+    }
+    // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
+    loop {
+        let mut header = String::new();
+        if read_line_bounded(reader, &mut header)? == 0 {
+            return Err(invalid("connection closed inside headers"));
+        }
+        header_bytes += header.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(invalid("headers too large"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(invalid(&format!("malformed header: {header:?}")));
+        };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| invalid(&format!("bad content-length: {value:?}")))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(invalid("body too large"));
+                }
+            }
+            "connection" => {
+                let value = value.to_ascii_lowercase();
+                if value.contains("close") {
+                    keep_alive = false;
+                } else if value.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let (path, query) = split_target(&target)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+/// One HTTP response: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text error response with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain",
+            body: message.as_bytes().to_vec(),
+        }
+    }
+}
+
+/// Writes a response, honoring the request's keep-alive choice.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the stream.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason,
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(&response.body)?;
+    writer.flush()
+}
+
+/// Reads the status line + headers + body of one HTTP *response* (the
+/// client half of the exchange). Returns the status code and body.
+///
+/// # Errors
+///
+/// `InvalidData` on malformed framing; propagates I/O errors.
+pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<u8>)> {
+    let mut line = String::new();
+    if read_line_bounded(reader, &mut line)? == 0 {
+        return Err(invalid("connection closed before response"));
+    }
+    let mut parts = line.split_whitespace();
+    let status: u16 = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => code
+            .parse()
+            .map_err(|_| invalid(&format!("bad status code: {code:?}")))?,
+        _ => return Err(invalid(&format!("malformed status line: {line:?}"))),
+    };
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if read_line_bounded(reader, &mut header)? == 0 {
+            return Err(invalid("connection closed inside response headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad response content-length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(invalid("response body too large"));
+                }
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+/// Splits a request target into its decoded path and query pairs.
+fn split_target(target: &str) -> io::Result<(String, Vec<(String, String)>)> {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut pairs = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        pairs.push((percent_decode(key)?, percent_decode(value)?));
+    }
+    Ok((percent_decode(path)?, pairs))
+}
+
+/// Percent-decodes one URL component (`%XX` escapes and `+` as space).
+pub fn percent_decode(s: &str) -> io::Result<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut at = 0;
+    while at < bytes.len() {
+        match bytes[at] {
+            b'%' => {
+                let hex = s
+                    .get(at + 1..at + 3)
+                    .ok_or_else(|| invalid("truncated percent escape"))?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| invalid(&format!("bad percent escape: %{hex}")))?;
+                out.push(byte);
+                at += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                at += 1;
+            }
+            byte => {
+                out.push(byte);
+                at += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| invalid("decoded component is not UTF-8"))
+}
+
+/// Percent-encodes one URL component (everything but unreserved chars).
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &byte in s.as_bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char);
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+/// `read_line` with the header-size bound applied per line.
+fn read_line_bounded(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<usize> {
+    let mut limited = reader.by_ref().take(MAX_HEADER_BYTES as u64 + 1);
+    let n = limited.read_line(line)?;
+    if n > MAX_HEADER_BYTES {
+        return Err(invalid("line too long"));
+    }
+    Ok(n)
+}
+
+pub(crate) fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_roundtrip() {
+        for s in ["plain", "two words", "kw=a&b", "ünïcode", "100%"] {
+            assert_eq!(percent_decode(&percent_encode(s)).unwrap(), s);
+        }
+        assert_eq!(percent_decode("a+b").unwrap(), "a b");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+    }
+
+    #[test]
+    fn target_splitting_decodes_repeated_keys() {
+        let (path, query) = split_target("/search?kw=thai%20curry&kw=burger&k=2").unwrap();
+        assert_eq!(path, "/search");
+        assert_eq!(
+            query,
+            vec![
+                ("kw".to_string(), "thai curry".to_string()),
+                ("kw".to_string(), "burger".to_string()),
+                ("k".to_string(), "2".to_string()),
+            ]
+        );
+    }
+}

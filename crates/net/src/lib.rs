@@ -1,0 +1,80 @@
+//! # dash-net
+//!
+//! DASH on real sockets — the distributed-systems half the ICDCS
+//! source paper's deployment story implies. Everything below this
+//! crate is a single process: `dash-core` proved the engine
+//! (sharded, incrementally maintained, byte-exact), `dash-serve`
+//! proved the serving semantics (snapshot swaps, micro-batching,
+//! precise cache invalidation). This crate puts both on the network
+//! with `std::net` alone — the build environment has no registry
+//! access, so HTTP, JSON and the replication protocol are small
+//! hand-rolled implementations, each tested in isolation.
+//!
+//! Three pieces:
+//!
+//! * **HTTP front-end** ([`server`]) — a `TcpListener` accept loop
+//!   feeding a fixed worker-thread pool; `GET /search` (byte-stable
+//!   JSON hit lists), `POST /update` (binary [`RecordChange`] batches
+//!   through the bulk delta path, or prebuilt [`IndexDelta`]s through
+//!   publish), `GET /stats` (qps, cache hit rate, snapshot epoch).
+//! * **Primary→replica replication** ([`repl`]) — the primary streams
+//!   every published delta (epoch + [`IndexDelta`] +
+//!   [`DeltaSignature`]) to connected replicas over a length-prefixed
+//!   binary TCP stream; a joining replica bootstraps from
+//!   `dump_shards` bytes on the same socket (no re-partitioning, no
+//!   re-crawl), then tails the delta stream. Disconnected replicas
+//!   keep serving their last published snapshot and re-sync on
+//!   reconnect.
+//! * **Socket client + load harness** ([`client`], [`loadgen`]) — a
+//!   persistent-connection [`NetClient`] decoding responses back into
+//!   the engine's own structs bit-exactly, and a closed-loop load
+//!   generator driving the serve-layer scripts over real connections
+//!   (the `net` bench suite records it to `BENCH_net.json`).
+//!
+//! The acceptance bar is the same as every layer below:
+//! `tests/net_equivalence.rs` proves that hit lists served over HTTP —
+//! from the primary and from a replica that joined mid-stream, across
+//! concurrent publications — are **byte-identical** to a fresh
+//! [`DashEngine::search`] over the same fragments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//! use dash_net::{NetClient, NetConfig, NetServer};
+//! use dash_serve::{DashServer, ServeConfig};
+//! use dash_core::{DashConfig, SearchRequest};
+//! use dash_webapp::fooddb;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let db = fooddb::database();
+//! let app = fooddb::search_application()?;
+//! let server = Arc::new(DashServer::build(
+//!     &app, &db, &DashConfig::default(), ServeConfig::default())?);
+//! let net = NetServer::serve_primary(
+//!     Arc::clone(&server), db, TcpListener::bind("127.0.0.1:0")?, NetConfig::default())?;
+//! let mut client = NetClient::connect(net.addr())?;
+//! let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+//! // Socket-served results are the in-process results, bit for bit.
+//! assert_eq!(client.search(&request)?, server.search(&request));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`DashEngine::search`]: dash_core::DashEngine::search
+//! [`RecordChange`]: dash_core::RecordChange
+//! [`IndexDelta`]: dash_core::IndexDelta
+//! [`DeltaSignature`]: dash_core::DeltaSignature
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod repl;
+pub mod server;
+
+pub use client::NetClient;
+pub use loadgen::NetLoadReport;
+pub use repl::{Replica, ReplicaConfig, ReplicationHub};
+pub use server::{Backend, NetChange, NetConfig, NetServer, UpdateAck, UpdateBody};

@@ -1,0 +1,137 @@
+//! Closed-loop load generation over **real sockets**: the same
+//! deterministic per-client scripts as [`dash_serve::loadgen`], driven
+//! through [`NetClient`] connections against a running
+//! [`NetServer`](crate::NetServer) — so the measured p50/p99/qps
+//! include HTTP framing, JSON
+//! (de)serialization and kernel socket hops, not just the in-process
+//! serving path. The `net` bench suite records the results to
+//! `BENCH_net.json`; comparing them against `BENCH_serve.json` prices
+//! the socket layer itself.
+//!
+//! Determinism carries over unchanged: scripts are a pure function of
+//! the [`LoadProfile`], updates come from client 0 only (through
+//! `POST /update` publish bodies), so the final server state is
+//! deterministic and post-run equivalence checks remain possible.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use dash_core::Fragment;
+use dash_serve::loadgen::{percentile, scripts, LoadOp, LoadProfile};
+
+use crate::client::NetClient;
+
+/// What a socket load run measured.
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// Searches completed (across all clients).
+    pub searches: u64,
+    /// Deltas published through `POST /update`.
+    pub updates: u64,
+    /// Total hits decoded (a cheap checksum that the run did work).
+    pub total_hits: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Median end-to-end (socket-to-socket) search latency, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile search latency, ns.
+    pub p99_ns: u64,
+    /// Sustained search throughput over the run.
+    pub qps: f64,
+    /// Requests that errored (any I/O or decode failure; 0 in a
+    /// healthy run).
+    pub errors: u64,
+}
+
+impl NetLoadReport {
+    /// Renders the report as one human-readable line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} searches + {} updates over sockets in {:.2?}: {:.0} qps, p50 {:.1}µs, \
+             p99 {:.1}µs, {} errors",
+            self.searches,
+            self.updates,
+            self.elapsed,
+            self.qps,
+            self.p50_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.errors,
+        )
+    }
+}
+
+/// Runs the profile's scripts against a served address, one
+/// [`NetClient`] (one persistent connection) per closed-loop client.
+///
+/// # Panics
+///
+/// Panics if a client cannot establish its initial connection — load
+/// generation against a dead server is a harness bug, not a data
+/// point.
+pub fn run(
+    addr: SocketAddr,
+    vocab: &[String],
+    update_pool: &[Fragment],
+    profile: &LoadProfile,
+) -> NetLoadReport {
+    let scripts = scripts(profile, vocab, update_pool);
+    let started = Instant::now();
+    let per_client: Vec<(Vec<u64>, u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .into_iter()
+            .map(|script| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect(addr).expect("load client connects");
+                    let mut latencies = Vec::with_capacity(script.len());
+                    let mut updates = 0u64;
+                    let mut total_hits = 0u64;
+                    let mut errors = 0u64;
+                    for op in script {
+                        match op {
+                            LoadOp::Search(request) => {
+                                let begin = Instant::now();
+                                match client.search(&request) {
+                                    Ok(hits) => {
+                                        latencies.push(begin.elapsed().as_nanos() as u64);
+                                        total_hits += hits.len() as u64;
+                                    }
+                                    Err(_) => errors += 1,
+                                }
+                            }
+                            LoadOp::Update(delta) => match client.publish(&delta) {
+                                Ok(_) => updates += 1,
+                                Err(_) => errors += 1,
+                            },
+                        }
+                    }
+                    (latencies, updates, total_hits, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut updates, mut total_hits, mut errors) = (0u64, 0u64, 0u64);
+    for (lat, up, hits, errs) in per_client {
+        latencies.extend(lat);
+        updates += up;
+        total_hits += hits;
+        errors += errs;
+    }
+    latencies.sort_unstable();
+    let searches = latencies.len() as u64;
+    NetLoadReport {
+        searches,
+        updates,
+        total_hits,
+        elapsed,
+        p50_ns: percentile(&latencies, 50),
+        p99_ns: percentile(&latencies, 99),
+        qps: searches as f64 / elapsed.as_secs_f64().max(1e-9),
+        errors,
+    }
+}

@@ -1,0 +1,581 @@
+//! Primary→replica delta replication over TCP.
+//!
+//! The unit a distributed DASH deployment ships between nodes is
+//! exactly the unit PRs 3–4 built the write path around: one
+//! [`IndexDelta`] per publication, stamped with a monotonic epoch and
+//! its [`DeltaSignature`]. The protocol is two frame kinds on one
+//! length-prefixed binary stream (the `dash-core` wire codec):
+//!
+//! * `SNAPSHOT` — sent once per connection, first: the primary's live
+//!   epoch plus its [`ShardedEngine::dump_shards`] bytes (the exact
+//!   per-shard partition, so the replica rebuilds **without
+//!   re-partitioning** — its shard layout, and therefore its search
+//!   byte-stream, is the primary's);
+//! * `DELTA` — one per publication after the snapshot: epoch, delta,
+//!   signature. The tap is registered under the primary's writer lock
+//!   ([`DashServer::replication_feed`]), so the first delta's epoch is
+//!   always `snapshot_epoch + 1` — no publication is lost or
+//!   duplicated however the join interleaves with concurrent writers.
+//!
+//! The replica applies each delta through its *own* [`DashServer`]
+//! publish path (shadow apply → atomic snapshot swap → precise cache
+//! invalidation), so a replica search can never observe a
+//! half-applied delta: a torn TCP stream dies in the framing layer
+//! before anything touches the engine. On disconnect the replica keeps
+//! serving its last published snapshot (stale-but-consistent) and
+//! re-syncs from a fresh snapshot frame when the primary comes back.
+//!
+//! [`ShardedEngine::dump_shards`]: dash_core::ShardedEngine::dump_shards
+//! [`IndexDelta`]: dash_core::IndexDelta
+//! [`DeltaSignature`]: dash_core::DeltaSignature
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dash_core::{persist, wire, SearchHit, SearchRequest, ShardedEngine};
+use dash_mapreduce::WorkflowStats;
+use dash_serve::{DashServer, PublishEvent, ServeConfig};
+use dash_webapp::WebApplication;
+use parking_lot::{Mutex, RwLock};
+
+use crate::http::invalid;
+
+/// Frame tags of the replication stream.
+const FRAME_SNAPSHOT: u8 = 1;
+const FRAME_DELTA: u8 = 2;
+
+/// Frames larger than this are protocol errors (a fooddb-scale dump is
+/// kilobytes; even a million-fragment dump stays far below).
+const MAX_FRAME_BYTES: u64 = 1 << 32;
+
+/// How long a streamer waits on the publication channel between
+/// stop-flag checks.
+const TAP_POLL: Duration = Duration::from_millis(50);
+
+// ---------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------
+
+/// Writes one `tag + u64 length + payload` frame.
+fn write_frame<W: Write>(writer: &mut W, tag: u8, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&[tag])?;
+    writer.write_all(&(payload.len() as u64).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one frame, tolerating read timeouts (the poll loop re-enters)
+/// but never tearing: a timeout mid-frame resumes exactly where the
+/// partial read stopped. Returns `None` when `stop` was raised.
+fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<(u8, Vec<u8>)>> {
+    let mut header = [0u8; 9];
+    if !read_full(stream, &mut header, stop)? {
+        return Ok(None);
+    }
+    let tag = header[0];
+    let len = u64::from_le_bytes(header[1..9].try_into().expect("8 bytes"));
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid("replication frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_full(stream, &mut payload, stop)? {
+        return Ok(None);
+    }
+    Ok(Some((tag, payload)))
+}
+
+/// `read_exact` that survives read timeouts without losing the bytes
+/// already read. `Ok(false)` means `stop` was raised mid-read.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut at = 0;
+    while at < buf.len() {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        match stream.read(&mut buf[at..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "replication peer closed",
+                ))
+            }
+            Ok(n) => at += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn snapshot_payload(epoch: u64, shards: &[Vec<dash_core::Fragment>]) -> Vec<u8> {
+    let mut payload = epoch.to_le_bytes().to_vec();
+    persist::write_sharded_fragments(&mut payload, shards).expect("Vec<u8> writes are infallible");
+    payload
+}
+
+fn delta_payload(event: &PublishEvent) -> Vec<u8> {
+    let mut payload = event.epoch.to_le_bytes().to_vec();
+    wire::write_delta(&mut payload, &event.delta).expect("Vec<u8> writes are infallible");
+    wire::write_signature(&mut payload, &event.signature).expect("Vec<u8> writes are infallible");
+    payload
+}
+
+fn read_epoch(payload: &[u8]) -> io::Result<(u64, &[u8])> {
+    if payload.len() < 8 {
+        return Err(invalid("frame payload missing epoch"));
+    }
+    let epoch = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+    Ok((epoch, &payload[8..]))
+}
+
+// ---------------------------------------------------------------------
+// Primary side
+// ---------------------------------------------------------------------
+
+/// The primary's replication listener: accepts replica connections and
+/// streams each one a snapshot + every later publication. One streamer
+/// thread per replica; a slow or dead replica never delays the
+/// publish path (the tap channel is unbounded and the send never
+/// blocks) or the other replicas.
+#[derive(Debug)]
+pub struct ReplicationHub {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Write halves of the live replica sockets, for failure
+    /// injection and shutdown.
+    peers: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ReplicationHub {
+    /// Starts streaming on an already-bound listener (bind to port 0
+    /// for an ephemeral port; [`ReplicationHub::addr`] reports it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn start(server: Arc<DashServer>, listener: TcpListener) -> io::Result<ReplicationHub> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let peers: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let peers = Arc::clone(&peers);
+            std::thread::Builder::new()
+                .name("dash-repl-accept".to_string())
+                .spawn(move || {
+                    while let Ok((stream, _)) = listener.accept() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let server = Arc::clone(&server);
+                        let stop = Arc::clone(&stop);
+                        let peers_for_thread = Arc::clone(&peers);
+                        if let Ok(handle) = stream.try_clone() {
+                            peers.lock().push(handle);
+                        }
+                        let _ = std::thread::Builder::new()
+                            .name("dash-repl-stream".to_string())
+                            .spawn(move || {
+                                let _ =
+                                    stream_to_replica(&server, stream, &stop, &peers_for_thread);
+                            });
+                    }
+                })
+                .expect("spawn replication accept thread")
+        };
+        Ok(ReplicationHub {
+            addr,
+            stop,
+            peers,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address replicas connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Severs every live replica connection (they see EOF immediately)
+    /// without stopping the listener — replicas reconnect and re-sync.
+    /// This is the failure-injection hook the replica failure tests
+    /// use; operationally it is a rolling "resync everyone".
+    pub fn disconnect_all(&self) {
+        for peer in self.peers.lock().drain(..) {
+            let _ = peer.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Live replica connection count.
+    pub fn replica_count(&self) -> usize {
+        self.peers.lock().len()
+    }
+}
+
+impl Drop for ReplicationHub {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.disconnect_all();
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// One replica's streamer: snapshot first, then every publication.
+fn stream_to_replica(
+    server: &DashServer,
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    peers: &Mutex<Vec<TcpStream>>,
+) -> io::Result<()> {
+    // Captured before streaming: the peer (replica-side) address is
+    // the connection's unique identity — every accepted socket shares
+    // the listener's *local* address — and it becomes unreadable once
+    // the socket dies.
+    let peer = stream.peer_addr().ok();
+    let result = (|| {
+        // Registered atomically: every event the feed will deliver has
+        // epoch > snapshot.epoch, gap-free.
+        let feed = server.replication_feed();
+        let payload = snapshot_payload(feed.snapshot.epoch, &feed.snapshot.engine.dump_shards());
+        write_frame(&mut stream, FRAME_SNAPSHOT, &payload)?;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            match feed.events.recv_timeout(TAP_POLL) {
+                Ok(event) => write_frame(&mut stream, FRAME_DELTA, &delta_payload(&event))?,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    })();
+    // Deregister exactly this connection's handle, whatever ended the
+    // stream (handles whose peer address is unreadable are dead too —
+    // drop them along the way).
+    if peer.is_some() {
+        peers
+            .lock()
+            .retain(|p| p.peer_addr().ok().is_some_and(|a| Some(a) != peer));
+    }
+    result
+}
+
+// ---------------------------------------------------------------------
+// Replica side
+// ---------------------------------------------------------------------
+
+/// Tunables of a replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Serving configuration of the replica's local [`DashServer`]
+    /// (cache, batching — shard count is dictated by the primary's
+    /// dump and ignored here).
+    pub serve: ServeConfig,
+    /// Delay between reconnect attempts after a lost primary.
+    pub retry: Duration,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            serve: ServeConfig::default(),
+            retry: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Replica-side counters and state.
+#[derive(Debug)]
+struct ReplicaInner {
+    app: WebApplication,
+    config: ReplicaConfig,
+    /// The local serving stack over the mirrored engine. `None` until
+    /// the first bootstrap completes; *replaced* (never mutated in
+    /// place) on re-bootstrap, so readers always hold a fully
+    /// consistent server.
+    server: RwLock<Option<Arc<DashServer>>>,
+    /// Primary epoch of the last applied snapshot or delta.
+    epoch: AtomicU64,
+    connected: AtomicBool,
+    bootstraps: AtomicU64,
+    deltas_applied: AtomicU64,
+    stop: AtomicBool,
+}
+
+/// A read replica: connects to a [`ReplicationHub`], bootstraps from
+/// the snapshot frame, tails the delta stream, and serves reads from
+/// its own [`DashServer`] — identical bytes to the primary at every
+/// epoch. Reconnects forever (with [`ReplicaConfig::retry`] backoff)
+/// until dropped; while disconnected it keeps serving the last
+/// published snapshot.
+#[derive(Debug)]
+pub struct Replica {
+    inner: Arc<ReplicaInner>,
+    sync: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Connects to a primary's replication address and starts the sync
+    /// loop. `app` is the web application the fragments came from
+    /// (application analysis artifacts ship out of band — they are
+    /// static per deployment, unlike the index).
+    pub fn connect(addr: SocketAddr, app: WebApplication, config: ReplicaConfig) -> Replica {
+        let inner = Arc::new(ReplicaInner {
+            app,
+            config,
+            server: RwLock::new(None),
+            epoch: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+            bootstraps: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let sync = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("dash-replica-sync".to_string())
+                .spawn(move || sync_loop(addr, &inner))
+                .expect("spawn replica sync thread")
+        };
+        Replica {
+            inner,
+            sync: Some(sync),
+        }
+    }
+
+    /// The local serving stack, once bootstrapped. The returned server
+    /// stays valid (and serves its last state) even if the replica
+    /// re-bootstraps behind it.
+    pub fn server(&self) -> Option<Arc<DashServer>> {
+        self.inner.server.read().clone()
+    }
+
+    /// Serves a search from the replica's current state. Empty before
+    /// the first bootstrap completes (use [`Replica::wait_ready`]).
+    pub fn search(&self, request: &SearchRequest) -> Vec<SearchHit> {
+        match self.server() {
+            Some(server) => server.search(request),
+            None => Vec::new(),
+        }
+    }
+
+    /// Primary epoch of the replica's current state.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether the replication stream is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.inner.connected.load(Ordering::SeqCst)
+    }
+
+    /// How many times the replica bootstrapped (1 = initial sync only;
+    /// each reconnect re-bootstraps).
+    pub fn bootstraps(&self) -> u64 {
+        self.inner.bootstraps.load(Ordering::SeqCst)
+    }
+
+    /// Deltas applied through the replication stream (across all
+    /// connections).
+    pub fn deltas_applied(&self) -> u64 {
+        self.inner.deltas_applied.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until the first bootstrap completes (true) or the
+    /// timeout elapses (false).
+    pub fn wait_ready(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.server().is_none() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Blocks until the replica has reached at least `epoch` (true) or
+    /// the timeout elapses (false).
+    pub fn wait_epoch(&self, epoch: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.epoch() < epoch || self.server().is_none() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Blocks until the connected flag reads `want` (true) or the
+    /// timeout elapses (false).
+    pub fn wait_connected(&self, want: bool, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.is_connected() != want {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        if let Some(sync) = self.sync.take() {
+            let _ = sync.join();
+        }
+    }
+}
+
+/// The replica's connect → bootstrap → tail → retry loop.
+fn sync_loop(addr: SocketAddr, inner: &ReplicaInner) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            // Short read timeout: the tail loop polls the stop flag
+            // between timeouts, and read_full resumes partial frames.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            let _ = sync_once(stream, inner);
+        }
+        inner.connected.store(false, Ordering::SeqCst);
+        // Interruptible retry sleep.
+        let deadline = Instant::now() + inner.config.retry;
+        while Instant::now() < deadline && !inner.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// One connection's worth of replication: bootstrap, then tail deltas
+/// until the stream dies or the replica stops.
+fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
+    // Bootstrap: the snapshot frame must come first.
+    let Some((tag, payload)) = read_frame(&mut stream, &inner.stop)? else {
+        return Ok(());
+    };
+    if tag != FRAME_SNAPSHOT {
+        return Err(invalid("replication stream must start with a snapshot"));
+    }
+    let (epoch, rest) = read_epoch(&payload)?;
+    let shards = persist::read_sharded_fragments(rest)?;
+    let engine =
+        ShardedEngine::from_shard_fragments(inner.app.clone(), &shards, WorkflowStats::new())
+            .map_err(|e| invalid(&format!("snapshot rebuild failed: {e}")))?;
+    let server = Arc::new(DashServer::from_engine(engine, inner.config.serve.clone()));
+    *inner.server.write() = Some(server);
+    inner.epoch.store(epoch, Ordering::SeqCst);
+    inner.bootstraps.fetch_add(1, Ordering::SeqCst);
+    inner.connected.store(true, Ordering::SeqCst);
+    // Tail: apply every delta through the local publish path.
+    loop {
+        let Some((tag, payload)) = read_frame(&mut stream, &inner.stop)? else {
+            return Ok(());
+        };
+        if tag != FRAME_DELTA {
+            return Err(invalid(&format!("unexpected frame tag {tag}")));
+        }
+        let (epoch, rest) = read_epoch(&payload)?;
+        let mut rest = rest;
+        let delta = wire::read_delta(&mut rest)?;
+        // The signature rides along for protocol completeness (a
+        // non-DashServer consumer needs it to invalidate caches); the
+        // local publish path recomputes an identical one from the
+        // mirrored pre-delta state.
+        let _signature = wire::read_signature(&mut rest)?;
+        if epoch <= inner.epoch.load(Ordering::SeqCst) {
+            continue; // replayed frame from a reconnect race
+        }
+        let server = inner
+            .server
+            .read()
+            .clone()
+            .expect("server present after bootstrap");
+        server.publish(delta);
+        inner.epoch.store(epoch, Ordering::SeqCst);
+        inner.deltas_applied.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_core::IndexDelta;
+
+    #[test]
+    fn frame_codec_roundtrips_and_resumes_across_timeouts() {
+        // Loopback socket pair; 10ms read timeout on the read half.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        let stop = AtomicBool::new(false);
+
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        // Write the frame in two chunks with a pause: the reader must
+        // time out mid-frame and resume without tearing.
+        let mut framed = vec![FRAME_DELTA];
+        framed.extend((payload.len() as u64).to_le_bytes());
+        framed.extend(&payload);
+        let half = framed.len() / 2;
+        let (first, second) = framed.split_at(half);
+        let first = first.to_vec();
+        let second = second.to_vec();
+        let writer = std::thread::spawn(move || {
+            tx.write_all(&first).unwrap();
+            tx.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(40));
+            tx.write_all(&second).unwrap();
+            tx.flush().unwrap();
+        });
+        let (tag, got) = read_frame(&mut rx, &stop).unwrap().unwrap();
+        writer.join().unwrap();
+        assert_eq!(tag, FRAME_DELTA);
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn torn_stream_is_an_error_not_a_partial_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (mut rx, _) = listener.accept().unwrap();
+        let stop = AtomicBool::new(false);
+        let mut framed = vec![FRAME_SNAPSHOT];
+        framed.extend(100u64.to_le_bytes());
+        framed.extend(vec![7u8; 30]); // 30 of the promised 100 bytes
+        tx.write_all(&framed).unwrap();
+        drop(tx); // mid-frame kill
+        assert!(read_frame(&mut rx, &stop).is_err());
+    }
+
+    #[test]
+    fn delta_payload_roundtrips_through_epoch_framing() {
+        let event = PublishEvent {
+            epoch: 42,
+            delta: IndexDelta::default(),
+            signature: Default::default(),
+        };
+        let payload = delta_payload(&event);
+        let (epoch, mut rest) = read_epoch(&payload).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(wire::read_delta(&mut rest).unwrap(), event.delta);
+        assert_eq!(wire::read_signature(&mut rest).unwrap(), event.signature);
+        assert!(rest.is_empty());
+    }
+}

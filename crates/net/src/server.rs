@@ -1,0 +1,568 @@
+//! The HTTP front-end: a `TcpListener` accept loop feeding a fixed
+//! worker-thread pool, serving three routes over a [`DashServer`] (or
+//! a [`Replica`] mirroring one):
+//!
+//! * `GET /search?kw=…&kw=…&k=…&s=…` — top-k db-page search through
+//!   the full serving path (cache → micro-batcher → snapshot); the
+//!   response is the byte-stable JSON hit list of [`json::hits_to_json`].
+//! * `POST /update` — a binary [`UpdateBody`]: either a
+//!   [`RecordChange`] batch applied to the primary's database and
+//!   routed through [`DashServer::apply_changes`], or a raw
+//!   [`IndexDelta`] routed through [`DashServer::publish`]. Replicas
+//!   answer `503` (writes go to the primary; replication carries them
+//!   over).
+//! * `GET /stats` — serving counters: qps over uptime, cache hit
+//!   rate, snapshot epoch, batching factor.
+//!
+//! Connections are persistent (HTTP/1.1 keep-alive), one worker thread
+//! per live connection up to the pool size; further connections queue
+//! on the accept channel. Workers poll a short read timeout so
+//! shutdown never hangs on an idle keep-alive peer.
+
+use std::io::{self, BufReader, BufWriter, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dash_core::{wire, IndexDelta, RecordChange, SearchRequest};
+use dash_relation::Database;
+use dash_serve::DashServer;
+use parking_lot::Mutex;
+
+use crate::http::{self, invalid, Request, Response};
+use crate::json;
+use crate::repl::Replica;
+
+/// Update-body kind tags (first byte of a `POST /update` body).
+const UPDATE_CHANGES: u8 = 0;
+const UPDATE_PUBLISH: u8 = 1;
+/// Change-op tags inside a changes body.
+const OP_INSERT: u8 = 0;
+const OP_DELETE: u8 = 1;
+
+/// Tunables of the socket front-end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker threads — the bound on concurrently served persistent
+    /// connections (further accepted connections wait on the queue).
+    pub workers: usize,
+    /// Bound of the accepted-connection queue.
+    pub backlog: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 8,
+            backlog: 64,
+        }
+    }
+}
+
+/// One base-table change shipped to `POST /update`: the operation
+/// plus the record (`RecordChange` carries relation + record; the op
+/// tells the server whether to insert it into or delete it from its
+/// database before re-crawling the affected fragments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetChange {
+    /// Insert the record.
+    Insert(RecordChange),
+    /// Delete the (exact) record.
+    Delete(RecordChange),
+}
+
+/// A decoded `POST /update` body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateBody {
+    /// Base-table record changes: applied to the primary's database,
+    /// then routed through the bulk delta path
+    /// ([`DashServer::apply_changes`]).
+    Changes(Vec<NetChange>),
+    /// A prebuilt delta published as-is ([`DashServer::publish`]) —
+    /// the path synthetic update traffic (loadgen) uses.
+    Publish(IndexDelta),
+}
+
+/// Encodes an update body (the client half).
+pub fn encode_update(body: &UpdateBody) -> Vec<u8> {
+    let mut out = Vec::new();
+    match body {
+        UpdateBody::Changes(changes) => {
+            out.push(UPDATE_CHANGES);
+            out.extend((changes.len() as u64).to_le_bytes());
+            for change in changes {
+                let (op, change) = match change {
+                    NetChange::Insert(c) => (OP_INSERT, c),
+                    NetChange::Delete(c) => (OP_DELETE, c),
+                };
+                out.push(op);
+                wire::write_change(&mut out, change).expect("Vec<u8> writes are infallible");
+            }
+        }
+        UpdateBody::Publish(delta) => {
+            out.push(UPDATE_PUBLISH);
+            wire::write_delta(&mut out, delta).expect("Vec<u8> writes are infallible");
+        }
+    }
+    out
+}
+
+/// Decodes an update body (the server half).
+///
+/// # Errors
+///
+/// `InvalidData` on unknown tags or torn payloads.
+pub fn decode_update(bytes: &[u8]) -> io::Result<UpdateBody> {
+    let mut reader = bytes;
+    let mut tag = [0u8; 1];
+    reader.read_exact(&mut tag)?;
+    match tag[0] {
+        UPDATE_CHANGES => {
+            let mut count = [0u8; 8];
+            reader.read_exact(&mut count)?;
+            let count = u64::from_le_bytes(count);
+            if count > (1 << 24) {
+                return Err(invalid("change count out of bounds"));
+            }
+            let mut changes = Vec::with_capacity(count.min(1 << 16) as usize);
+            for _ in 0..count {
+                let mut op = [0u8; 1];
+                reader.read_exact(&mut op)?;
+                let change = wire::read_change(&mut reader)?;
+                changes.push(match op[0] {
+                    OP_INSERT => NetChange::Insert(change),
+                    OP_DELETE => NetChange::Delete(change),
+                    other => return Err(invalid(&format!("unknown change op {other}"))),
+                });
+            }
+            Ok(UpdateBody::Changes(changes))
+        }
+        UPDATE_PUBLISH => Ok(UpdateBody::Publish(wire::read_delta(&mut reader)?)),
+        other => Err(invalid(&format!("unknown update tag {other}"))),
+    }
+}
+
+/// What the server answers an update with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Fragments removed by the resulting delta.
+    pub removed: usize,
+    /// Fragments (re)inserted.
+    pub added: usize,
+    /// The publication epoch after the update.
+    pub epoch: u64,
+}
+
+pub(crate) fn ack_to_json(ack: &UpdateAck) -> String {
+    format!(
+        "{{\"removed\":{},\"added\":{},\"epoch\":{}}}",
+        ack.removed, ack.added, ack.epoch
+    )
+}
+
+pub(crate) fn ack_from_json(text: &str) -> io::Result<UpdateAck> {
+    let doc = json::parse(text)?;
+    let get = |key: &str| {
+        doc.get(key)
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| invalid(&format!("missing {key}")))
+    };
+    Ok(UpdateAck {
+        removed: get("removed")? as usize,
+        added: get("added")? as usize,
+        epoch: get("epoch")?,
+    })
+}
+
+/// What the front-end serves: a writable primary (server + the
+/// database the record changes mutate) or a read replica.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// The writable primary.
+    Primary {
+        /// The serving stack.
+        server: Arc<DashServer>,
+        /// The authoritative database record changes apply to, kept in
+        /// lockstep with the engine under one lock.
+        db: Arc<Mutex<Database>>,
+    },
+    /// A read replica (writes answer `503`).
+    Replica(Arc<Replica>),
+}
+
+impl Backend {
+    fn search(&self, request: &SearchRequest) -> Result<Vec<dash_core::SearchHit>, Response> {
+        match self {
+            Backend::Primary { server, .. } => Ok(server.search(request)),
+            Backend::Replica(replica) => match replica.server() {
+                Some(server) => Ok(server.search(request)),
+                None => Err(Response::error(503, "replica not bootstrapped yet")),
+            },
+        }
+    }
+
+    fn update(&self, body: UpdateBody) -> Result<UpdateAck, Response> {
+        let Backend::Primary { server, db } = self else {
+            return Err(Response::error(
+                503,
+                "read replica: updates go to the primary",
+            ));
+        };
+        match body {
+            UpdateBody::Publish(delta) => {
+                let (stats, epoch) = server.publish_with_epoch(delta);
+                Ok(UpdateAck {
+                    removed: stats.removed,
+                    added: stats.added,
+                    epoch,
+                })
+            }
+            UpdateBody::Changes(changes) => {
+                // One lock span across db mutation + delta publication
+                // keeps database and engine in lockstep for concurrent
+                // updaters. The batch is applied to a staged copy
+                // first: a mid-batch failure (unknown relation, schema
+                // mismatch) must leave the authoritative database
+                // untouched — a half-applied batch would diverge db
+                // and engine forever, since nothing gets published.
+                let mut db = db.lock();
+                let mut staged = db.clone();
+                let mut batch = Vec::with_capacity(changes.len());
+                for change in changes {
+                    match change {
+                        NetChange::Insert(change) => {
+                            let applied = staged
+                                .table_mut(&change.relation)
+                                .and_then(|t| t.insert(change.record.clone()));
+                            if let Err(e) = applied {
+                                return Err(Response::error(400, &format!("insert failed: {e}")));
+                            }
+                            batch.push(change);
+                        }
+                        NetChange::Delete(change) => {
+                            match staged.table_mut(&change.relation) {
+                                Ok(table) => {
+                                    table.delete_where(|r| *r == change.record);
+                                }
+                                Err(e) => {
+                                    return Err(Response::error(
+                                        400,
+                                        &format!("delete failed: {e}"),
+                                    ))
+                                }
+                            }
+                            batch.push(change);
+                        }
+                    }
+                }
+                match server.apply_changes_with_epoch(&staged, &batch) {
+                    Ok((stats, epoch)) => {
+                        *db = staged;
+                        Ok(UpdateAck {
+                            removed: stats.removed,
+                            added: stats.added,
+                            epoch,
+                        })
+                    }
+                    Err(e) => Err(Response::error(400, &format!("apply failed: {e}"))),
+                }
+            }
+        }
+    }
+
+    fn stats_json(&self) -> String {
+        let (role, server) = match self {
+            Backend::Primary { server, .. } => ("primary", Some(Arc::clone(server))),
+            Backend::Replica(replica) => ("replica", replica.server()),
+        };
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{{\"role\":\"{role}\""));
+        if let Some(server) = server {
+            let stats = server.stats();
+            let uptime = server.uptime().as_secs_f64();
+            let lookups = stats.cache.hits + stats.cache.misses;
+            out.push_str(&format!(
+                ",\"epoch\":{},\"searches\":{},\"qps\":{:.2},\"cache_hits\":{},\
+                 \"cache_misses\":{},\"cache_hit_rate\":{:.4},\"batches\":{},\
+                 \"batched_requests\":{},\"published\":{},\"cached_results\":{},\
+                 \"uptime_ms\":{}",
+                server.epoch(),
+                stats.searches,
+                stats.searches as f64 / uptime.max(1e-9),
+                stats.cache.hits,
+                stats.cache.misses,
+                stats.cache.hits as f64 / (lookups.max(1)) as f64,
+                stats.batches,
+                stats.batched_requests,
+                stats.published,
+                server.cached_results(),
+                server.uptime().as_millis(),
+            ));
+        }
+        if let Backend::Replica(replica) = self {
+            out.push_str(&format!(
+                ",\"connected\":{},\"replica_epoch\":{},\"bootstraps\":{},\"deltas_applied\":{}",
+                replica.is_connected(),
+                replica.epoch(),
+                replica.bootstraps(),
+                replica.deltas_applied(),
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The socket front-end: accept loop + worker pool over a [`Backend`].
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Serves a primary on an already-bound listener (bind `:0` for an
+    /// ephemeral port). `db` is the database the engine was built from;
+    /// `POST /update` record changes mutate it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn serve_primary(
+        server: Arc<DashServer>,
+        db: Database,
+        listener: TcpListener,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        Self::serve(
+            Backend::Primary {
+                server,
+                db: Arc::new(Mutex::new(db)),
+            },
+            listener,
+            config,
+        )
+    }
+
+    /// Serves a replica on an already-bound listener.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn serve_replica(
+        replica: Arc<Replica>,
+        listener: TcpListener,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        Self::serve(Backend::Replica(replica), listener, config)
+    }
+
+    /// Serves any backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn serve(
+        backend: Backend,
+        listener: TcpListener,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (queue, conns) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
+        let conns = Arc::new(Mutex::new(conns));
+        let workers = (0..config.workers.max(1))
+            .map(|at| {
+                let conns: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&conns);
+                let backend = backend.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("dash-net-worker-{at}"))
+                    .spawn(move || loop {
+                        let Ok(conn) = ({
+                            let guard = conns.lock();
+                            guard.recv()
+                        }) else {
+                            return;
+                        };
+                        let _ = serve_connection(conn, &backend, &stop);
+                    })
+                    .expect("spawn net worker")
+            })
+            .collect();
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("dash-net-accept".to_string())
+                .spawn(move || {
+                    while let Ok((stream, _)) = listener.accept() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if queue.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Dropping `queue` closes the worker channel.
+                })
+                .expect("spawn net accept thread")
+        };
+        Ok(NetServer {
+            addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the accept loop so it observes the stop flag and drops
+        // the queue sender, which in turn ends every idle worker.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// How often an idle keep-alive connection polls the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Per-request read budget once the first byte has arrived — a stalled
+/// peer mid-request errors out instead of pinning a worker forever.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One persistent connection: requests until close, EOF or shutdown.
+/// Idle waiting uses a short poll timeout (so shutdown never hangs on
+/// a silent peer); once a request's first bytes arrive the timeout
+/// widens to the full request budget, so a request spanning several
+/// TCP segments is never torn by the poll interval.
+fn serve_connection(stream: TcpStream, backend: &Backend, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        // Peek without consuming: a timeout here means an idle
+        // keep-alive peer, not a torn request.
+        match std::io::BufRead::fill_buf(&mut reader) {
+            Ok([]) => return Ok(()), // clean close between requests
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        reader.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT))?;
+        let request = match http::read_request(&mut reader)? {
+            Some(request) => request,
+            None => return Ok(()),
+        };
+        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
+        let keep_alive = request.keep_alive;
+        let response = route(&request, backend);
+        http::write_response(&mut writer, &response, keep_alive)?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one request.
+fn route(request: &Request, backend: &Backend) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/search") => match parse_search(request) {
+            Ok(search) => match backend.search(&search) {
+                Ok(hits) => Response::json(json::hits_to_json(&hits)),
+                Err(error) => error,
+            },
+            Err(e) => Response::error(400, &e.to_string()),
+        },
+        ("POST", "/update") => match decode_update(&request.body) {
+            Ok(body) => match backend.update(body) {
+                Ok(ack) => Response::json(ack_to_json(&ack)),
+                Err(error) => error,
+            },
+            Err(e) => Response::error(400, &e.to_string()),
+        },
+        ("GET", "/stats") => Response::json(backend.stats_json()),
+        ("GET", _) | ("POST", _) => Response::error(404, "unknown route"),
+        _ => Response::error(405, "unsupported method"),
+    }
+}
+
+/// Decodes `GET /search` query parameters into a [`SearchRequest`].
+fn parse_search(request: &Request) -> io::Result<SearchRequest> {
+    let keywords = request.params("kw");
+    if keywords.is_empty() {
+        return Err(invalid("at least one kw parameter required"));
+    }
+    let mut search = SearchRequest::new(&keywords);
+    if let Some(k) = request.param("k") {
+        search = search.k(k.parse().map_err(|_| invalid("bad k"))?);
+    }
+    if let Some(s) = request.param("s") {
+        search = search.min_size(s.parse().map_err(|_| invalid("bad s"))?);
+    }
+    Ok(search)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dash_core::{Fragment, FragmentId};
+    use dash_relation::{Record, Value};
+
+    #[test]
+    fn update_bodies_roundtrip() {
+        let changes = UpdateBody::Changes(vec![
+            NetChange::Insert(RecordChange::new(
+                "restaurant",
+                Record::new(vec![Value::Int(1), Value::str("A")]),
+            )),
+            NetChange::Delete(RecordChange::new("comment", Record::new(vec![Value::Null]))),
+        ]);
+        assert_eq!(decode_update(&encode_update(&changes)).unwrap(), changes);
+        let publish = UpdateBody::Publish(IndexDelta::new(
+            vec![FragmentId::new(vec![Value::str("Thai"), Value::Int(10)])],
+            vec![Fragment::new(
+                FragmentId::new(vec![Value::str("Lao"), Value::Int(3)]),
+                [("larb".to_string(), 2u64)].into_iter().collect(),
+                1,
+            )],
+        ));
+        assert_eq!(decode_update(&encode_update(&publish)).unwrap(), publish);
+        assert!(decode_update(&[9, 9, 9]).is_err());
+        assert!(decode_update(&[]).is_err());
+    }
+
+    #[test]
+    fn acks_roundtrip_through_json() {
+        let ack = UpdateAck {
+            removed: 3,
+            added: 7,
+            epoch: 12,
+        };
+        assert_eq!(ack_from_json(&ack_to_json(&ack)).unwrap(), ack);
+    }
+}

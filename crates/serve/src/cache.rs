@@ -73,8 +73,11 @@ pub struct CacheStats {
     pub rejected_stale: u64,
     /// Entries removed by delta-signature invalidation.
     pub invalidated: u64,
-    /// Entries evicted by the LRU capacity bound.
+    /// Entries evicted by the LRU capacity bound or the hit budget.
     pub evicted: u64,
+    /// Insertions refused because one result set alone would exceed
+    /// the total cached-hit budget.
+    pub rejected_oversize: u64,
 }
 
 #[derive(Debug, Default)]
@@ -82,6 +85,10 @@ struct Inner {
     /// The latest published epoch the cache has been synchronized to.
     epoch: u64,
     tick: u64,
+    /// Total `SearchHit`s across all live entries — the quantity the
+    /// admission budget bounds (entry count alone says nothing about
+    /// memory when one entry can hold a thousand-hit result set).
+    total_hits: usize,
     map: HashMap<CacheKey, Entry>,
     /// Lazy LRU order: `(tick, key)` pairs, stale ones skipped at
     /// eviction time (an entry's authoritative stamp lives in the map).
@@ -114,15 +121,22 @@ impl Inner {
 #[derive(Debug)]
 pub(crate) struct ResultCache {
     capacity: usize,
+    /// Admission budget on total cached hits (0 = unlimited): an
+    /// insert whose result set alone exceeds it is refused; an
+    /// admissible insert evicts LRU entries until the total fits.
+    hit_budget: usize,
     inner: Mutex<Inner>,
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` results; 0 disables caching
-    /// entirely (every lookup misses, every insert is dropped).
-    pub(crate) fn new(capacity: usize) -> Self {
+    /// A cache holding at most `capacity` results totalling at most
+    /// `hit_budget` hits; capacity 0 disables caching entirely (every
+    /// lookup misses, every insert is dropped), budget 0 disables the
+    /// hit bound.
+    pub(crate) fn new(capacity: usize, hit_budget: usize) -> Self {
         ResultCache {
             capacity,
+            hit_budget,
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -176,6 +190,14 @@ impl ResultCache {
             inner.stats.rejected_stale += 1;
             return;
         }
+        // Admission control: a result set that alone blows the hit
+        // budget must not be admitted — storing it would evict the
+        // whole rest of the cache for one entry that still violates
+        // the bound.
+        if self.hit_budget > 0 && hits.len() > self.hit_budget {
+            inner.stats.rejected_oversize += 1;
+            return;
+        }
         inner.tick += 1;
         let tick = inner.tick;
         let key = CacheKey::from(request);
@@ -186,16 +208,26 @@ impl ResultCache {
             tick,
         };
         inner.order.push_back((tick, key.clone()));
-        inner.map.insert(key, entry);
+        inner.total_hits += entry.hits.len();
+        if let Some(replaced) = inner.map.insert(key, entry) {
+            inner.total_hits -= replaced.hits.len();
+        }
         inner.stats.insertions += 1;
-        while inner.map.len() > self.capacity {
+        // Evict-on-admit: shed LRU entries while either bound — entry
+        // count or total cached hits — is violated. The fresh entry is
+        // the newest in recency order and fits the budget alone, so
+        // the loop always terminates before reaching it.
+        while inner.map.len() > self.capacity
+            || (self.hit_budget > 0 && inner.total_hits > self.hit_budget)
+        {
             let Some((tick, key)) = inner.order.pop_front() else {
                 break;
             };
             // Only the entry's *current* stamp is authoritative; older
             // queue records for a re-touched key are skipped.
             if inner.map.get(&key).is_some_and(|e| e.tick == tick) {
-                inner.map.remove(&key);
+                let evicted = inner.map.remove(&key).expect("entry checked present");
+                inner.total_hits -= evicted.hits.len();
                 inner.stats.evicted += 1;
             }
         }
@@ -212,9 +244,15 @@ impl ResultCache {
             return;
         }
         let before = inner.map.len();
-        inner
-            .map
-            .retain(|_, entry| !signature.hits(&entry.groups, &entry.keywords));
+        let mut dropped_hits = 0usize;
+        inner.map.retain(|_, entry| {
+            let keep = !signature.hits(&entry.groups, &entry.keywords);
+            if !keep {
+                dropped_hits += entry.hits.len();
+            }
+            keep
+        });
+        inner.total_hits -= dropped_hits;
         inner.stats.invalidated += (before - inner.map.len()) as u64;
     }
 
@@ -226,6 +264,13 @@ impl ResultCache {
     /// Live entry count.
     pub(crate) fn len(&self) -> usize {
         self.inner.lock().map.len()
+    }
+
+    /// Total hits across live entries (what the admission budget
+    /// bounds).
+    #[cfg(test)]
+    pub(crate) fn total_hits(&self) -> usize {
+        self.inner.lock().total_hits
     }
 }
 
@@ -243,7 +288,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recent() {
-        let cache = ResultCache::new(2);
+        let cache = ResultCache::new(2, 0);
         let (a, b, c) = (request(&["a"]), request(&["b"]), request(&["c"]));
         cache.insert(&a, Vec::new(), entry_groups(&["g1"]), 0);
         cache.insert(&b, Vec::new(), entry_groups(&["g2"]), 0);
@@ -258,7 +303,7 @@ mod tests {
 
     #[test]
     fn signature_invalidation_is_precise() {
-        let cache = ResultCache::new(8);
+        let cache = ResultCache::new(8, 0);
         let by_group = request(&["x"]);
         let by_keyword = request(&["shared"]);
         let untouched = request(&["y"]);
@@ -278,7 +323,7 @@ mod tests {
 
     #[test]
     fn stale_epoch_insertions_are_rejected() {
-        let cache = ResultCache::new(8);
+        let cache = ResultCache::new(8, 0);
         cache.invalidate(&DeltaSignature::default(), 3);
         let r = request(&["late"]);
         cache.insert(&r, Vec::new(), entry_groups(&["g"]), 2);
@@ -290,7 +335,7 @@ mod tests {
 
     #[test]
     fn hit_heavy_traffic_does_not_grow_the_order_queue_unboundedly() {
-        let cache = ResultCache::new(4);
+        let cache = ResultCache::new(4, 0);
         let r = request(&["hot"]);
         cache.insert(&r, Vec::new(), entry_groups(&["g"]), 0);
         for _ in 0..10_000 {
@@ -314,8 +359,52 @@ mod tests {
     }
 
     #[test]
+    fn hit_budget_bounds_total_cached_hits() {
+        let hit = |n: usize| -> Vec<SearchHit> {
+            (0..n)
+                .map(|i| SearchHit {
+                    url: format!("u{i}"),
+                    query_string: String::new(),
+                    score: 1.0,
+                    size: 1,
+                    fragment_ids: Vec::new(),
+                })
+                .collect()
+        };
+        // Plenty of entry capacity; the 10-hit budget is the binding
+        // constraint.
+        let cache = ResultCache::new(64, 10);
+        cache.insert(&request(&["a"]), hit(4), entry_groups(&["g"]), 0);
+        cache.insert(&request(&["b"]), hit(4), entry_groups(&["g"]), 0);
+        assert_eq!(cache.total_hits(), 8);
+        // Admitting 4 more would hit 12 > 10: the LRU entry (a) goes.
+        cache.insert(&request(&["c"]), hit(4), entry_groups(&["g"]), 0);
+        assert_eq!(cache.total_hits(), 8);
+        assert!(cache.get(&request(&["a"])).is_none(), "LRU evicted");
+        assert!(cache.get(&request(&["b"])).is_some());
+        assert!(cache.get(&request(&["c"])).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+        // A result set bigger than the whole budget is refused, and
+        // the resident entries survive it.
+        cache.insert(&request(&["huge"]), hit(11), entry_groups(&["g"]), 0);
+        assert!(cache.get(&request(&["huge"])).is_none());
+        assert_eq!(cache.stats().rejected_oversize, 1);
+        assert_eq!(cache.len(), 2);
+        // Replacing an entry accounts for the hits it frees.
+        cache.insert(&request(&["b"]), hit(1), entry_groups(&["g"]), 0);
+        assert_eq!(cache.total_hits(), 5);
+        // Invalidation releases budget too.
+        let signature = DeltaSignature {
+            groups: entry_groups(&["g"]),
+            keywords: BTreeSet::new(),
+        };
+        cache.invalidate(&signature, 1);
+        assert_eq!((cache.len(), cache.total_hits()), (0, 0));
+    }
+
+    #[test]
     fn zero_capacity_disables_everything() {
-        let cache = ResultCache::new(0);
+        let cache = ResultCache::new(0, 0);
         let r = request(&["a"]);
         cache.insert(&r, Vec::new(), entry_groups(&["g"]), 0);
         assert!(cache.get(&r).is_none());

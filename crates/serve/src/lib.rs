@@ -66,15 +66,15 @@ pub mod loadgen;
 pub mod snapshot;
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use dash_core::update::bulk_delta;
 use dash_core::{
-    env_shards, DashConfig, Fragment, IndexDelta, RecordChange, RefreshStats, Result, SearchHit,
-    SearchRequest, ShardedEngine,
+    env_shards, DashConfig, DeltaSignature, Fragment, IndexDelta, RecordChange, RefreshStats,
+    Result, SearchHit, SearchRequest, ShardedEngine,
 };
 use dash_mapreduce::WorkflowStats;
 use dash_relation::{Database, Record};
@@ -111,6 +111,13 @@ pub struct ServeConfig {
     pub queue_bound: usize,
     /// Result-cache capacity in entries; 0 disables caching.
     pub cache_capacity: usize,
+    /// Admission budget on the *total* number of cached [`SearchHit`]s
+    /// across all entries (a proxy for cached bytes): an oversize
+    /// result set is refused admission outright, and an admissible one
+    /// evicts LRU entries until it fits — so one huge result can never
+    /// blow the memory bound the entry-count cap alone left open.
+    /// 0 disables the budget (entry count is then the only bound).
+    pub cache_hit_budget: usize,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +128,7 @@ impl Default for ServeConfig {
             max_batch: 16,
             queue_bound: 256,
             cache_capacity: 1024,
+            cache_hit_budget: 1 << 16,
         }
     }
 }
@@ -137,6 +145,13 @@ impl ServeConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Overrides the total cached-hit admission budget (builder style;
+    /// 0 disables the budget).
+    pub fn cache_hit_budget(mut self, budget: usize) -> Self {
+        self.cache_hit_budget = budget;
+        self
+    }
 }
 
 /// Serving-layer counters (monotonic since server construction).
@@ -151,6 +166,40 @@ pub struct ServeStats {
     pub batched_requests: u64,
     /// Deltas published.
     pub published: u64,
+    /// Searches answered (cache hits and misses alike; degenerate
+    /// requests short-circuited client-side are not counted).
+    pub searches: u64,
+}
+
+/// One publication, as seen by a replication tap: the epoch the swap
+/// produced, the delta that was applied, and its invalidation
+/// signature — everything a replica needs to mirror the publish
+/// locally (apply the same delta, invalidate the same cache entries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishEvent {
+    /// The live snapshot's epoch after this publication.
+    pub epoch: u64,
+    /// The delta the publication applied.
+    pub delta: IndexDelta,
+    /// The delta's invalidation signature against the pre-delta index.
+    pub signature: DeltaSignature,
+}
+
+/// A replication tap: the snapshot to bootstrap from plus the stream
+/// of every publication after it. Obtained atomically by
+/// [`DashServer::replication_feed`] — the first event's epoch is
+/// always `snapshot.epoch + 1`, with no publication lost or duplicated
+/// in between, which is what lets a replica dump/restore the snapshot
+/// and tail the delta stream without re-partitioning or re-crawling.
+#[derive(Debug)]
+pub struct ReplicationFeed {
+    /// The live snapshot at registration time.
+    pub snapshot: Arc<EngineSnapshot>,
+    /// Every publication with `epoch > snapshot.epoch`, in order. The
+    /// channel is unbounded: a slow consumer delays nobody (the
+    /// publisher never blocks on a tap); dropping the receiver
+    /// unregisters the tap at the next publication.
+    pub events: Receiver<PublishEvent>,
 }
 
 /// State shared between callers, the batcher thread and the writer.
@@ -162,6 +211,11 @@ pub(crate) struct ServerShared {
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
     published: AtomicU64,
+    searches: AtomicU64,
+    /// Replication taps fed on every publication (closed ones pruned).
+    taps: Mutex<Vec<Sender<PublishEvent>>>,
+    /// Construction time, the zero point of [`DashServer::uptime`].
+    started: Instant,
 }
 
 /// The writer's exclusive half of the double buffer.
@@ -223,7 +277,7 @@ impl DashServer {
         let shadow = engine.fork();
         let shared = Arc::new(ServerShared {
             handle: SnapshotHandle::new(engine),
-            cache: ResultCache::new(serve.cache_capacity),
+            cache: ResultCache::new(serve.cache_capacity, serve.cache_hit_budget),
             writer: Mutex::new(WriterSide {
                 shadow: Some(shadow),
                 epoch: 0,
@@ -231,6 +285,9 @@ impl DashServer {
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             published: AtomicU64::new(0),
+            searches: AtomicU64::new(0),
+            taps: Mutex::new(Vec::new()),
+            started: Instant::now(),
         });
         let (jobs, queue) = mpsc::sync_channel(serve.queue_bound.max(1));
         let batcher_shared = Arc::clone(&shared);
@@ -254,6 +311,7 @@ impl DashServer {
         if request.k == 0 || request.keywords.is_empty() {
             return Vec::new();
         }
+        self.shared.searches.fetch_add(1, Ordering::Relaxed);
         if let Some(hits) = self.shared.cache.get(request) {
             return hits;
         }
@@ -281,6 +339,7 @@ impl DashServer {
                 results.push(Some(Vec::new()));
                 continue;
             }
+            self.shared.searches.fetch_add(1, Ordering::Relaxed);
             if let Some(hits) = self.shared.cache.get(request) {
                 results.push(Some(hits));
                 continue;
@@ -314,6 +373,15 @@ impl DashServer {
     /// they grabbed; once `publish` returns, every *new* search
     /// observes the delta.
     pub fn publish(&self, delta: IndexDelta) -> RefreshStats {
+        self.publish_with_epoch(delta).0
+    }
+
+    /// [`DashServer::publish`], additionally returning the epoch this
+    /// publication produced (the current epoch if the delta was
+    /// empty). Under concurrent publishers this is the only reliable
+    /// way to learn "my" epoch — a separate [`DashServer::epoch`] read
+    /// can already observe a later publication.
+    pub fn publish_with_epoch(&self, delta: IndexDelta) -> (RefreshStats, u64) {
         let mut writer = self.shared.writer.lock();
         self.publish_locked(&mut writer, delta)
     }
@@ -359,6 +427,21 @@ impl DashServer {
     ///
     /// Propagates relational errors.
     pub fn apply_changes(&self, db: &Database, changes: &[RecordChange]) -> Result<RefreshStats> {
+        Ok(self.apply_changes_with_epoch(db, changes)?.0)
+    }
+
+    /// [`DashServer::apply_changes`], additionally returning the epoch
+    /// the publication produced (see
+    /// [`DashServer::publish_with_epoch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates relational errors.
+    pub fn apply_changes_with_epoch(
+        &self,
+        db: &Database,
+        changes: &[RecordChange],
+    ) -> Result<(RefreshStats, u64)> {
         let mut writer = self.shared.writer.lock();
         let delta = {
             let shadow = writer
@@ -370,10 +453,14 @@ impl DashServer {
         Ok(self.publish_locked(&mut writer, delta))
     }
 
-    /// The publish protocol, under the writer lock.
-    fn publish_locked(&self, writer: &mut WriterSide, delta: IndexDelta) -> RefreshStats {
+    /// The publish protocol, under the writer lock. Returns the stats
+    /// and the epoch this publication produced (the current epoch for
+    /// an empty delta) — callers answering concurrent updaters must
+    /// report *this* epoch, not a later re-read that may already be
+    /// someone else's publication.
+    fn publish_locked(&self, writer: &mut WriterSide, delta: IndexDelta) -> (RefreshStats, u64) {
         if delta.is_empty() {
-            return RefreshStats::default();
+            return (RefreshStats::default(), writer.epoch);
         }
         let mut shadow = writer
             .shadow
@@ -402,6 +489,15 @@ impl DashServer {
         // it to its holders and fork the freshly published engine as
         // the next shadow instead (an O(index) memcpy, the same cost
         // as server startup).
+        // Decide up front whether any replication tap needs the delta.
+        // Taps register under the writer lock — which this publication
+        // holds — so the answer cannot change mid-publish. Without
+        // taps the delta is *moved* into the retired-side replay, so
+        // the common non-replicated deployment never pays a clone.
+        let event_delta = {
+            let taps = self.shared.taps.lock();
+            (!taps.is_empty()).then(|| delta.clone())
+        };
         match try_drain(retired, DRAIN_ATTEMPTS) {
             Some(mut retired) => {
                 retired.engine.apply_delta(delta);
@@ -410,7 +506,46 @@ impl DashServer {
             None => writer.shadow = Some(next.engine.fork()),
         }
         self.shared.published.fetch_add(1, Ordering::Relaxed);
-        stats
+        // Feed the replication taps (still under the writer lock, so
+        // every tap sees publications in epoch order with no gaps) and
+        // prune the ones whose receivers are gone. Sends never block:
+        // the tap channels are unbounded, a slow replica backs up its
+        // own channel only.
+        if let Some(delta) = event_delta {
+            let event = PublishEvent {
+                epoch: writer.epoch,
+                delta,
+                signature,
+            };
+            let mut taps = self.shared.taps.lock();
+            taps.retain(|tap| tap.send(event.clone()).is_ok());
+        }
+        (stats, writer.epoch)
+    }
+
+    /// Registers a replication tap: atomically returns the current
+    /// live snapshot and a channel that will deliver **every**
+    /// publication after it ([`PublishEvent`]s with
+    /// `epoch > snapshot.epoch`, in order, no gaps). This is the
+    /// primary half of primary→replica replication: dump the snapshot
+    /// to the joining replica, then forward the events — the replica
+    /// provably reconstructs the primary's exact state at every epoch.
+    pub fn replication_feed(&self) -> ReplicationFeed {
+        // The writer lock pins the epoch: no publication can land
+        // between grabbing the snapshot and registering the tap.
+        let _writer = self.shared.writer.lock();
+        let (sender, events) = mpsc::channel();
+        self.shared.taps.lock().push(sender);
+        ReplicationFeed {
+            snapshot: self.shared.handle.snapshot(),
+            events,
+        }
+    }
+
+    /// Time since the server was constructed (the denominator of the
+    /// qps figure `/stats` reports).
+    pub fn uptime(&self) -> Duration {
+        self.shared.started.elapsed()
     }
 
     /// The current live snapshot (engine + epoch). Useful for
@@ -437,6 +572,7 @@ impl DashServer {
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
             published: self.shared.published.load(Ordering::Relaxed),
+            searches: self.shared.searches.load(Ordering::Relaxed),
         }
     }
 
@@ -586,6 +722,52 @@ mod tests {
         let expected = fresh.search(&request);
         assert_ne!(expected, first, "the delta must actually change the result");
         assert_eq!(server.search(&request), expected);
+    }
+
+    #[test]
+    fn replication_feed_sees_every_later_publication_and_none_before() {
+        let server = server(2);
+        let fragment = |cuisine: &str, word: &str| {
+            Fragment::new(
+                FragmentId::new(vec![Value::str(cuisine), Value::Int(7)]),
+                [(word.to_string(), 2u64)].into_iter().collect(),
+                1,
+            )
+        };
+        // A publication before the tap is registered is bootstrap
+        // state, not an event.
+        server.publish(IndexDelta::adding(vec![fragment("Nordic", "herring")]));
+        let feed = server.replication_feed();
+        assert_eq!(feed.snapshot.epoch, 1);
+        assert!(feed.events.try_recv().is_err(), "no events before reg");
+        server.publish(IndexDelta::adding(vec![fragment("Basque", "txakoli")]));
+        server.publish(IndexDelta::removing(vec![FragmentId::new(vec![
+            Value::str("Nordic"),
+            Value::Int(7),
+        ])]));
+        let first = feed.events.recv().expect("first event");
+        let second = feed.events.recv().expect("second event");
+        assert_eq!((first.epoch, second.epoch), (2, 3));
+        assert_eq!(first.delta.adds[0].id.values()[0], Value::str("Basque"));
+        assert!(first.signature.keywords.contains("txakoli"));
+        assert!(second.delta.adds.is_empty());
+        // Dropping the receiver unregisters the tap at the next
+        // publication (no leak, no publish error).
+        drop(feed);
+        server.publish(IndexDelta::adding(vec![fragment("Lao", "larb")]));
+        assert_eq!(server.epoch(), 4);
+    }
+
+    #[test]
+    fn stats_count_searches_and_uptime_advances() {
+        let server = server(1);
+        let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+        server.search(&request);
+        server.search(&request); // cache hit — still a served search
+        server.search(&SearchRequest::new(&[]).k(5)); // degenerate: uncounted
+        let stats = server.stats();
+        assert_eq!(stats.searches, 2);
+        assert!(server.uptime() > Duration::ZERO);
     }
 
     #[test]

@@ -238,7 +238,9 @@ pub fn run(
 }
 
 /// The `q`-th percentile of an ascending-sorted sample (nearest-rank).
-fn percentile(sorted: &[u64], q: u32) -> u64 {
+/// Public because the socket-level load generator (`dash-net`)
+/// aggregates its latencies with the same definition.
+pub fn percentile(sorted: &[u64], q: u32) -> u64 {
     if sorted.is_empty() {
         return 0;
     }

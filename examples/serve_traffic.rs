@@ -6,7 +6,14 @@
 //! cargo run --release --example serve_traffic
 //! DASH_SHARDS=4 cargo run --release --example serve_traffic
 //! DASH_BENCH_FAST=1 cargo run --release --example serve_traffic   # CI smoke sizing
+//! cargo run --release --example serve_traffic -- --net           # same traffic over sockets
 //! ```
+//!
+//! With `--net` the identical scripted traffic additionally runs over
+//! real TCP connections — a `NetServer` on an ephemeral port, one
+//! `NetClient` per closed-loop client — demoing parity between
+//! in-process and socket serving (the reports print side by side and
+//! a probe request is asserted byte-identical on both paths).
 //!
 //! The demo opens a server over the paper's running example, replays a
 //! deterministic load profile (searches from every client, deltas from
@@ -15,11 +22,15 @@
 //! fed back through the web application, regenerates a real db-page
 //! holding the keyword.
 
+use std::net::TcpListener;
+use std::sync::Arc;
+
 use dash::core::crawl::reference;
 use dash::prelude::*;
 use dash::serve::loadgen::{self, LoadProfile};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let over_sockets = std::env::args().any(|arg| arg == "--net");
     let db = dash::webapp::fooddb::database();
     let app = dash::webapp::fooddb::search_application()?;
     let server = DashServer::build(&app, &db, &DashConfig::default(), ServeConfig::default())?;
@@ -57,6 +68,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.published,
         stats.cache.invalidated,
     );
+
+    // --net: the same scripted traffic once more, over real sockets —
+    // an HTTP front-end on an ephemeral port, one persistent
+    // connection per client — and a parity probe between the
+    // in-process and socket paths.
+    if over_sockets {
+        let server = Arc::new(server);
+        let net = NetServer::serve_primary(
+            Arc::clone(&server),
+            db.clone(),
+            TcpListener::bind("127.0.0.1:0")?,
+            NetConfig::default(),
+        )?;
+        println!("\nnet: serving http://{}", net.addr());
+        let report = dash::net::loadgen::run(net.addr(), &vocab, &update_pool, &profile);
+        println!("net load: {}", report.summary());
+
+        let probe = SearchRequest::new(&["burger"]).k(2).min_size(20);
+        let mut client = NetClient::connect(net.addr())?;
+        let socket_hits = client.search(&probe)?;
+        let direct_hits = server.search(&probe);
+        println!(
+            "parity probe: socket and in-process hit lists identical: {}",
+            socket_hits == direct_hits,
+        );
+        assert_eq!(socket_hits, direct_hits, "socket serving must be invisible");
+
+        // Close the loop through the web application with the
+        // socket-served URL.
+        let Some(top) = socket_hits.first() else {
+            println!("no burger page survived the churn — nothing to regenerate");
+            return Ok(());
+        };
+        let qs = QueryString::parse(&top.query_string)?;
+        let page = app.execute(&db, &qs)?;
+        println!(
+            "suggested {} regenerates a {}-keyword db-page (contains \"burger\": {})",
+            top.url,
+            page.keywords().len(),
+            page.keywords().iter().any(|w| w == "burger"),
+        );
+        return Ok(());
+    }
 
     // Close the loop through the web application: a served URL must
     // regenerate a page containing the keyword.

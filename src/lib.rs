@@ -24,6 +24,7 @@
 //! | [`tpch`] | `dash-tpch` | TPC-H-style dataset generator + the paper's Q1/Q2/Q3 |
 //! | [`core`] | `dash-core` | fragments, crawling (stepwise & integrated), fragment index, top-k search |
 //! | [`serve`] | `dash-serve` | snapshot-swapping serving front-end: result cache, micro-batching, closed-loop load harness |
+//! | [`net`] | `dash-net` | socket serving: HTTP/1.1 front-end, primary→replica delta replication over TCP, socket client + load harness |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@
 
 pub use dash_core as core;
 pub use dash_mapreduce as mapreduce;
+pub use dash_net as net;
 pub use dash_relation as relation;
 pub use dash_serve as serve;
 pub use dash_sql as sql;
@@ -63,6 +65,7 @@ pub mod prelude {
         DashConfig, DashEngine, DeltaSignature, Fragment, FragmentId, FragmentIndex, IndexDelta,
         MultiDash, RecordChange, SearchEngine, SearchHit, SearchRequest, ShardedEngine,
     };
+    pub use dash_net::{NetClient, NetConfig, NetServer, Replica, ReplicaConfig, ReplicationHub};
     pub use dash_relation::{Database, Record, Schema, Table, Value};
     pub use dash_serve::{DashServer, ServeConfig};
     pub use dash_webapp::{DbPage, QueryString, WebApplication};
