@@ -13,13 +13,16 @@
 
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dash_bench::{select_keywords, KeywordTemperature};
 use dash_core::crawl::reference;
-use dash_core::{DashEngine, SearchRequest};
+use dash_core::{DashEngine, Fragment, FragmentId, IndexDelta, SearchRequest};
 use dash_mapreduce::WorkflowStats;
 use dash_net::{loadgen as netload, NetClient, NetConfig, NetServer};
+use dash_net::{Replica, ReplicaConfig, ReplicationHub};
+use dash_relation::Value;
 use dash_serve::loadgen::LoadProfile;
 use dash_serve::{DashServer, ServeConfig};
 use dash_tpch::{generate, Scale, TpchConfig};
@@ -88,7 +91,8 @@ fn bench_net(c: &mut Criterion) {
     // Micro-costs: one HTTP round-trip for a cache-hit search vs the
     // same request in-process — the socket layer's floor.
     let server = Arc::new(
-        DashServer::from_fragments(app, &fragments, ServeConfig::default()).expect("server builds"),
+        DashServer::from_fragments(app.clone(), &fragments, ServeConfig::default())
+            .expect("server builds"),
     );
     let net = NetServer::serve_primary(
         Arc::clone(&server),
@@ -111,6 +115,83 @@ fn bench_net(c: &mut Criterion) {
         b.iter(|| server.search(&request))
     });
     group.finish();
+
+    // Failover axis: what recovery costs on the replication tier — the
+    // snapshot bootstrap a fresh replica pays to join, the delta-log
+    // catch-up a briefly partitioned replica pays instead, and the
+    // write-availability gap from killing the primary to a promoted
+    // replica acking its next publication. CI's `cluster` job gates on
+    // these rows being present and nonzero.
+    let serve = ServeConfig::default().shards(2);
+    let server = Arc::new(
+        DashServer::from_fragments(app.clone(), &fragments, serve.clone()).expect("server builds"),
+    );
+    let hub = ReplicationHub::start(
+        Arc::clone(&server),
+        TcpListener::bind("127.0.0.1:0").expect("ephemeral port"),
+    )
+    .expect("hub starts");
+    let timeout = Duration::from_secs(30);
+    let fresh_delta = |n: u64| {
+        IndexDelta::adding(vec![Fragment::new(
+            FragmentId::new(vec![Value::str("failover-churn"), Value::Int(7)]),
+            [("failover".to_string(), 1 + n % 5)].into_iter().collect(),
+            1,
+        )])
+    };
+
+    let begin = Instant::now();
+    let replica = Replica::connect(
+        hub.addr(),
+        app,
+        ReplicaConfig {
+            serve,
+            retry: Duration::from_millis(5),
+        },
+    );
+    assert!(replica.wait_ready(timeout), "replica bootstraps");
+    let bootstrap_ns = begin.elapsed().as_nanos() as f64;
+    c.record_measurement(
+        "net/failover/snapshot-bootstrap",
+        bootstrap_ns,
+        1e9 / bootstrap_ns.max(1.0),
+    );
+
+    // Partition the replica, publish past it, reconnect: the repair
+    // must run through the delta log (no second snapshot transfer).
+    let parked = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let dead = parked.local_addr().expect("parked addr");
+    drop(parked); // nothing listens here now
+    replica.retarget(dead);
+    assert!(replica.wait_connected(false, timeout), "partitioned");
+    let mut epoch = server.epoch();
+    for n in 0..8 {
+        epoch = server.publish_with_epoch(fresh_delta(n)).1;
+    }
+    let begin = Instant::now();
+    replica.retarget(hub.addr());
+    assert!(replica.wait_epoch(epoch, timeout), "replica caught up");
+    let catchup_ns = begin.elapsed().as_nanos() as f64;
+    assert_eq!(replica.bootstraps(), 1, "repair used the delta log");
+    c.record_measurement(
+        "net/failover/delta-catchup",
+        catchup_ns,
+        1e9 / catchup_ns.max(1.0),
+    );
+
+    // Kill the primary; the write gap closes when the promoted replica
+    // acks the next publication in the same epoch sequence.
+    let begin = Instant::now();
+    drop(hub);
+    let promoted = replica.promote().expect("replica has state");
+    let (_, acked) = promoted.publish_with_epoch(fresh_delta(99));
+    let promotion_ns = begin.elapsed().as_nanos() as f64;
+    assert_eq!(acked, epoch + 1, "promotion continues the epoch sequence");
+    c.record_measurement(
+        "net/failover/promotion-gap",
+        promotion_ns,
+        1e9 / promotion_ns.max(1.0),
+    );
 }
 
 criterion_group!(benches, bench_net);

@@ -1,0 +1,218 @@
+//! Jittered exponential backoff with a cap and a per-call deadline —
+//! the retry discipline every reconnecting path in this crate shares:
+//! [`NetClient`](crate::NetClient)'s transparent reconnects, the
+//! replica→primary write forwarding ([`crate::forward`]) and the
+//! routing front tier ([`crate::router`]).
+//!
+//! The delay for attempt *n* is drawn uniformly from
+//! `[d/2, d]` where `d = min(base · 2ⁿ, cap)` — "equal jitter", which
+//! keeps at least half the exponential spacing (so a dead peer is not
+//! hammered) while decorrelating the retry instants of many clients
+//! (so a recovering peer is not hit by a synchronized thundering
+//! herd). The jitter source is a self-contained xorshift generator
+//! seeded per [`Backoff`], not the global clock, so tests can pin it.
+//!
+//! A [`Backoff`] is one *call's* retry budget: [`Backoff::wait`]
+//! sleeps and returns `true` while the next delay still fits inside
+//! the configured deadline, and returns `false` — without sleeping —
+//! once it would not. Callers loop on `wait()` and give up when it
+//! says so; a call can therefore never stall past
+//! `deadline` + one in-flight attempt.
+
+use std::time::{Duration, Instant};
+
+/// Tunables of one backoff discipline (shared by clients, forwarding
+/// and routing — see the module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    /// Upper bound of the first retry delay (attempt 0 draws from
+    /// `[base/2, base]`).
+    pub base: Duration,
+    /// Cap on the exponential growth: no delay exceeds `cap`.
+    pub cap: Duration,
+    /// Total retry budget per call: once the elapsed time plus the
+    /// next delay would exceed this, the caller is told to give up.
+    pub deadline: Duration,
+    /// Jitter seed. Two `Backoff`s with the same seed draw the same
+    /// delays (deterministic tests); distinct seeds decorrelate peers.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            deadline: Duration::from_secs(5),
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Overrides the per-call deadline (builder style).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides the first-delay bound (builder style).
+    pub fn base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Overrides the delay cap (builder style).
+    pub fn cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Overrides the jitter seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One call's retry state: attempt counter, jitter stream and the
+/// absolute deadline, captured at [`Backoff::start`].
+#[derive(Debug)]
+pub struct Backoff {
+    config: BackoffConfig,
+    deadline: Instant,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Opens a retry budget: the deadline clock starts now.
+    pub fn start(config: &BackoffConfig) -> Backoff {
+        Backoff {
+            config: *config,
+            deadline: Instant::now() + config.deadline,
+            attempt: 0,
+            // xorshift must not start at 0; fold the seed with a
+            // non-zero constant.
+            rng: config.seed | 1,
+        }
+    }
+
+    /// How many retries have been waited for so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The jittered delay for the given attempt, drawn from the
+    /// *current* jitter stream position (pure in the attempt number
+    /// except for the jitter draw).
+    fn delay(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .base
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.config.cap);
+        let exp_ns = exp.as_nanos() as u64;
+        if exp_ns == 0 {
+            return Duration::ZERO;
+        }
+        // Equal jitter: half fixed, half uniform.
+        let half = exp_ns / 2;
+        Duration::from_nanos(half + self.next_rand() % (exp_ns - half + 1))
+    }
+
+    /// Sleeps out the next delay and returns `true`, or returns
+    /// `false` immediately once the delay would overrun the deadline.
+    pub fn wait(&mut self) -> bool {
+        let attempt = self.attempt;
+        let delay = self.delay(attempt);
+        if Instant::now() + delay >= self.deadline {
+            return false;
+        }
+        std::thread::sleep(delay);
+        self.attempt += 1;
+        true
+    }
+
+    /// xorshift64*: tiny, seedable, plenty for jitter.
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw_delays(config: &BackoffConfig, n: u32) -> Vec<Duration> {
+        let mut backoff = Backoff::start(config);
+        (0..n).map(|at| backoff.delay(at)).collect()
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_bounds_and_cap() {
+        let config = BackoffConfig::default()
+            .base(Duration::from_millis(8))
+            .cap(Duration::from_millis(100));
+        for seed in [1u64, 7, 42, u64::MAX] {
+            let delays = raw_delays(&config.seed(seed), 8);
+            for (attempt, delay) in delays.iter().enumerate() {
+                let exp = config
+                    .base
+                    .saturating_mul(1 << attempt as u32)
+                    .min(config.cap);
+                assert!(
+                    *delay >= exp / 2 && *delay <= exp,
+                    "seed {seed} attempt {attempt}: {delay:?} outside [{:?}, {exp:?}]",
+                    exp / 2
+                );
+            }
+            // Past the cap every delay is drawn from the same window.
+            assert!(delays[7] <= config.cap);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_delays_different_seed_decorrelates() {
+        let config = BackoffConfig::default().seed(99);
+        assert_eq!(raw_delays(&config, 6), raw_delays(&config, 6));
+        assert_ne!(
+            raw_delays(&config, 6),
+            raw_delays(&config.seed(100), 6),
+            "distinct seeds must not retry in lockstep"
+        );
+    }
+
+    #[test]
+    fn deadline_bounds_the_total_wait() {
+        let config = BackoffConfig::default()
+            .base(Duration::from_millis(2))
+            .cap(Duration::from_millis(10))
+            .deadline(Duration::from_millis(40));
+        let mut backoff = Backoff::start(&config);
+        let begin = Instant::now();
+        let mut waits = 0;
+        while backoff.wait() {
+            waits += 1;
+            assert!(waits < 100, "deadline must terminate the loop");
+        }
+        assert!(waits >= 1, "a 40ms budget affords at least one retry");
+        assert!(
+            begin.elapsed() < Duration::from_millis(80),
+            "waits stop at the deadline, not after it"
+        );
+        assert_eq!(backoff.attempts(), waits);
+    }
+
+    #[test]
+    fn zero_deadline_means_no_retries() {
+        let mut backoff = Backoff::start(&BackoffConfig::default().deadline(Duration::ZERO));
+        assert!(!backoff.wait());
+        assert_eq!(backoff.attempts(), 0);
+    }
+}

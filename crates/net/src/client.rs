@@ -2,10 +2,16 @@
 //! persistent keep-alive connection, requests framed by
 //! `Content-Length`, JSON decoded back into the same [`SearchHit`]
 //! structs the engine produces (bit-exact — see [`crate::json`]).
-//! On a broken connection the client reconnects and, for idempotent
-//! GETs only, retries once — a server restart costs one retried read.
-//! `POST /update` is never silently resent (see
-//! [`NetClient::publish`]'s error contract): the server may have
+//!
+//! Retry discipline (shared with forwarding and routing via
+//! [`crate::backoff`]): reconnect attempts use jittered exponential
+//! backoff under a per-call deadline. A failure in the **connect
+//! phase** — before a single request byte is sent — is retried for
+//! every request kind, `POST /update` included: nothing reached the
+//! server, so a retry cannot double-apply. A failure in the
+//! **exchange phase** (after the request started flowing) is retried
+//! only for idempotent GETs; `POST /update` is never silently resent
+//! (see [`NetClient::publish`]'s error contract): the server may have
 //! applied an update whose response was lost, and a blind resend
 //! would double-apply it.
 
@@ -15,6 +21,7 @@ use std::net::{SocketAddr, TcpStream};
 use dash_core::{IndexDelta, RecordChange, SearchHit, SearchRequest};
 use dash_relation::Record;
 
+use crate::backoff::{Backoff, BackoffConfig};
 use crate::http::{self, percent_encode};
 use crate::json;
 use crate::server::{ack_from_json, encode_update, NetChange, UpdateAck, UpdateBody};
@@ -23,6 +30,7 @@ use crate::server::{ack_from_json, encode_update, NetChange, UpdateAck, UpdateBo
 #[derive(Debug)]
 pub struct NetClient {
     addr: SocketAddr,
+    backoff: BackoffConfig,
     conn: Option<Conn>,
 }
 
@@ -33,15 +41,36 @@ struct Conn {
 }
 
 impl NetClient {
-    /// Connects to a [`NetServer`](crate::NetServer).
+    /// Connects to a [`NetServer`](crate::NetServer) with the default
+    /// retry discipline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (the initial connect is a single
+    /// attempt — backoff applies to later transparent reconnects).
+    pub fn connect(addr: SocketAddr) -> io::Result<NetClient> {
+        Self::connect_with(addr, BackoffConfig::default())
+    }
+
+    /// [`NetClient::connect`] with an explicit reconnect backoff
+    /// discipline (see [`BackoffConfig`]).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
-    pub fn connect(addr: SocketAddr) -> io::Result<NetClient> {
-        let mut client = NetClient { addr, conn: None };
+    pub fn connect_with(addr: SocketAddr, backoff: BackoffConfig) -> io::Result<NetClient> {
+        let mut client = NetClient {
+            addr,
+            backoff,
+            conn: None,
+        };
         client.reconnect()?;
         Ok(client)
+    }
+
+    /// The server address this client targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     fn reconnect(&mut self) -> io::Result<()> {
@@ -54,19 +83,30 @@ impl NetClient {
         Ok(())
     }
 
-    /// Issues one request. `idempotent` requests (GETs) are
-    /// transparently retried once on a fresh connection if the
-    /// persistent one died since the last call; non-idempotent ones
+    /// Issues one request, retrying under the jittered-backoff budget
+    /// of [`BackoffConfig`]. Connect-phase failures (no request byte
+    /// sent yet) are retried for every request kind — nothing reached
+    /// the server. Exchange-phase failures are retried only for
+    /// `idempotent` requests (GETs); non-idempotent ones
     /// (`POST /update`) are never silently resent — a connection that
     /// dies after the server applied the update but before the
     /// response arrived would otherwise double-apply the change. Such
     /// failures surface as errors for the caller to reconcile (e.g.
     /// via `GET /stats` epoch inspection).
     fn roundtrip(&mut self, request: &[u8], idempotent: bool) -> io::Result<(u16, Vec<u8>)> {
-        let attempts = if idempotent { 2 } else { 1 };
-        for attempt in 0..attempts {
+        let mut backoff = Backoff::start(&self.backoff);
+        loop {
             if self.conn.is_none() {
-                self.reconnect()?;
+                match self.reconnect() {
+                    Ok(()) => {}
+                    // Connect phase: always safe to retry.
+                    Err(e) => {
+                        if backoff.wait() {
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
             }
             let conn = self.conn.as_mut().expect("connected above");
             let result = (|| {
@@ -78,15 +118,17 @@ impl NetClient {
                 Ok(answer) => return Ok(answer),
                 Err(e) => {
                     // The connection is in an unknown state: drop it so
-                    // the next call starts fresh.
+                    // the next attempt (or call) starts fresh.
                     self.conn = None;
-                    if attempt + 1 == attempts {
-                        return Err(e);
+                    // Exchange phase: the request may have reached the
+                    // server — only idempotent requests retry.
+                    if idempotent && backoff.wait() {
+                        continue;
                     }
+                    return Err(e);
                 }
             }
         }
-        unreachable!("loop returns on its final attempt")
     }
 
     /// `GET /search` — returns the served hit list, decoded to the
@@ -158,7 +200,14 @@ impl NetClient {
         self.update(&UpdateBody::Changes(changes))
     }
 
-    fn update(&mut self, body: &UpdateBody) -> io::Result<UpdateAck> {
+    /// `POST /update` with an already-assembled body — the entry point
+    /// the write-forwarding path uses to relay a replica-received
+    /// update verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetClient::publish`].
+    pub fn update(&mut self, body: &UpdateBody) -> io::Result<UpdateAck> {
         let payload = encode_update(body);
         let request = format!(
             "POST /update HTTP/1.1\r\nHost: dash\r\nContent-Length: {}\r\n\r\n",

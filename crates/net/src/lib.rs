@@ -10,32 +10,77 @@
 //! access, so HTTP, JSON and the replication protocol are small
 //! hand-rolled implementations, each tested in isolation.
 //!
-//! Three pieces:
+//! ## Cluster topology
+//!
+//! A Dash cluster is one primary, any number of replicas, and a
+//! routing front tier — every box below is a type in this crate:
+//!
+//! ```text
+//!                         ┌────────┐
+//!        clients ───────▶ │ Router │  GET /search → any healthy node
+//!                         └───┬────┘  POST /update → the primary
+//!              ┌──────────────┼──────────────┐
+//!              ▼              ▼              ▼
+//!        ┌───────────┐  ┌───────────┐  ┌───────────┐
+//!        │ NetServer │  │ NetServer │  │ NetServer │   HTTP front-ends
+//!        │ (primary) │  │ (replica) │  │ (replica) │
+//!        └─────┬─────┘  └─────┬─────┘  └─────┬─────┘
+//!              │              │ Upstream ────┘        write forwarding
+//!              ▼              ▼
+//!      ReplicationHub ──▶ Replica, Replica, …         delta streaming
+//! ```
 //!
 //! * **HTTP front-end** ([`server`]) — a `TcpListener` accept loop
 //!   feeding a fixed worker-thread pool; `GET /search` (byte-stable
 //!   JSON hit lists), `POST /update` (binary [`RecordChange`] batches
 //!   through the bulk delta path, or prebuilt [`IndexDelta`]s through
-//!   publish), `GET /stats` (qps, cache hit rate, snapshot epoch).
-//! * **Primary→replica replication** ([`repl`]) — the primary streams
-//!   every published delta (epoch + [`IndexDelta`] +
-//!   [`DeltaSignature`]) to connected replicas over a length-prefixed
-//!   binary TCP stream; a joining replica bootstraps from
-//!   `dump_shards` bytes on the same socket (no re-partitioning, no
-//!   re-crawl), then tails the delta stream. Disconnected replicas
-//!   keep serving their last published snapshot and re-sync on
-//!   reconnect.
+//!   publish), `GET /stats` (qps, cache hit rate, snapshot epoch,
+//!   replication role — the router's health/primary probe).
+//! * **Primary→replica replication** ([`repl`]) — the primary's
+//!   [`ReplicationHub`] streams every published delta (epoch +
+//!   [`IndexDelta`] + [`DeltaSignature`]) to connected replicas over a
+//!   length-prefixed binary TCP stream. A joining [`Replica`] opens
+//!   with a HELLO carrying its last applied epoch: if that epoch is
+//!   still on the primary's bounded delta log it catches up from a
+//!   RESUME + backlog tail (no snapshot transfer); only a fresh or
+//!   hopelessly stale replica bootstraps from `dump_shards` bytes (no
+//!   re-partitioning, no re-crawl). Epochs are cluster-wide: a replica
+//!   publishes each replicated delta at the *primary's* epoch number,
+//!   so [`Replica::promote`] turns it into a primary that continues
+//!   the same sequence — retargeted peers resume via the promoted
+//!   node's own delta log. Gap detection (a delta that is not exactly
+//!   `epoch + 1`) kills the connection and repairs on reconnect, and
+//!   [`ReplFaults`] injects torn frames, dropped deltas and slow links
+//!   for the failover tier.
+//! * **Write forwarding** ([`forward`]) — a replica's [`Upstream`] is
+//!   a persistent connection to the primary with jittered-backoff
+//!   reconnect ([`backoff`]); `POST /update` on a forwarding replica
+//!   is relayed, acked with the **primary's** publication epoch, and
+//!   the replica waits (bounded) for its own mirror of that epoch —
+//!   read-your-writes through any node.
+//! * **Routing front tier** ([`router`]) — a [`Router`] spreads reads
+//!   round-robin across nodes it probes healthy, retries a failed read
+//!   on the next healthy node within the same call, and sends writes
+//!   to whichever node reports the primary role — re-discovering the
+//!   primary under backoff when it dies. Connect-phase failures are
+//!   retried for every request; exchange-phase failures only for
+//!   idempotent reads (a write that may have been applied is never
+//!   silently resent).
 //! * **Socket client + load harness** ([`client`], [`loadgen`]) — a
 //!   persistent-connection [`NetClient`] decoding responses back into
 //!   the engine's own structs bit-exactly, and a closed-loop load
 //!   generator driving the serve-layer scripts over real connections
-//!   (the `net` bench suite records it to `BENCH_net.json`).
+//!   (the `net` bench suite records it to `BENCH_net.json`, including
+//!   the `net/failover` recovery axis).
 //!
 //! The acceptance bar is the same as every layer below:
 //! `tests/net_equivalence.rs` proves that hit lists served over HTTP —
 //! from the primary and from a replica that joined mid-stream, across
 //! concurrent publications — are **byte-identical** to a fresh
-//! [`DashEngine::search`] over the same fragments.
+//! [`DashEngine::search`] over the same fragments, and
+//! `tests/net_failover.rs` holds that bar while the cluster is
+//! actively failing: torn transfers, epoch gaps, a killed primary
+//! under load, promotion and re-routing.
 //!
 //! ## Quickstart
 //!
@@ -67,14 +112,20 @@
 //! [`IndexDelta`]: dash_core::IndexDelta
 //! [`DeltaSignature`]: dash_core::DeltaSignature
 
+pub mod backoff;
 pub mod client;
+pub mod forward;
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod repl;
+pub mod router;
 pub mod server;
 
+pub use backoff::{Backoff, BackoffConfig};
 pub use client::NetClient;
+pub use forward::Upstream;
 pub use loadgen::NetLoadReport;
-pub use repl::{Replica, ReplicaConfig, ReplicationHub};
+pub use repl::{ReplFaults, Replica, ReplicaConfig, ReplicationHub};
+pub use router::{Router, RouterConfig};
 pub use server::{Backend, NetChange, NetConfig, NetServer, UpdateAck, UpdateBody};

@@ -3,27 +3,53 @@
 //! The unit a distributed DASH deployment ships between nodes is
 //! exactly the unit PRs 3–4 built the write path around: one
 //! [`IndexDelta`] per publication, stamped with a monotonic epoch and
-//! its [`DeltaSignature`]. The protocol is two frame kinds on one
+//! its [`DeltaSignature`]. The protocol is four frame kinds on one
 //! length-prefixed binary stream (the `dash-core` wire codec):
 //!
-//! * `SNAPSHOT` — sent once per connection, first: the primary's live
-//!   epoch plus its [`ShardedEngine::dump_shards`] bytes (the exact
-//!   per-shard partition, so the replica rebuilds **without
-//!   re-partitioning** — its shard layout, and therefore its search
-//!   byte-stream, is the primary's);
-//! * `DELTA` — one per publication after the snapshot: epoch, delta,
-//!   signature. The tap is registered under the primary's writer lock
-//!   ([`DashServer::replication_feed`]), so the first delta's epoch is
-//!   always `snapshot_epoch + 1` — no publication is lost or
-//!   duplicated however the join interleaves with concurrent writers.
+//! * `HELLO` — sent by the replica, first thing after connecting: a
+//!   `has_state` flag plus the primary epoch of the state it already
+//!   holds. A fresh replica says `has_state = false`; a reconnecting
+//!   one reports where its mirror stopped.
+//! * `SNAPSHOT` — full bootstrap: the primary's live epoch plus its
+//!   [`ShardedEngine::dump_shards`] bytes (the exact per-shard
+//!   partition, so the replica rebuilds **without re-partitioning** —
+//!   its shard layout, and therefore its search byte-stream, is the
+//!   primary's).
+//! * `RESUME` — the cheap alternative: when the replica's reported
+//!   epoch still sits inside the primary's bounded delta log
+//!   ([`DashServer::replication_feed_from`]), the primary confirms the
+//!   base epoch and replays only the missed deltas. A briefly
+//!   disconnected replica catches up in a handful of delta frames
+//!   instead of re-shipping the whole index.
+//! * `DELTA` — one per publication after the bootstrap or resume:
+//!   epoch, delta, signature. The tap is registered under the
+//!   primary's writer lock, so the first live delta's epoch is always
+//!   contiguous with the snapshot epoch / resume backlog — no
+//!   publication is lost or duplicated however the join interleaves
+//!   with concurrent writers.
 //!
 //! The replica applies each delta through its *own* [`DashServer`]
 //! publish path (shadow apply → atomic snapshot swap → precise cache
 //! invalidation), so a replica search can never observe a
 //! half-applied delta: a torn TCP stream dies in the framing layer
-//! before anything touches the engine. On disconnect the replica keeps
-//! serving its last published snapshot (stale-but-consistent) and
-//! re-syncs from a fresh snapshot frame when the primary comes back.
+//! before anything touches the engine. The local server is opened
+//! **at the primary's epoch** ([`DashServer::from_engine_at_epoch`]),
+//! so epoch numbering is cluster-wide: the replica's own publish path
+//! stamps replicated deltas with primary epochs, its own delta log
+//! fills with primary-numbered events, and on promotion the new
+//! primary's epochs continue the old sequence seamlessly.
+//!
+//! Delta epochs are gap-checked on apply: each must be exactly
+//! `current + 1`. A dropped frame (injected or real) kills the
+//! connection instead of silently diverging the mirror; the reconnect
+//! HELLO then repairs the gap via `RESUME` — or a full snapshot if the
+//! replica fell off the log's tail.
+//!
+//! On disconnect the replica keeps serving its last published snapshot
+//! (stale-but-consistent) and re-syncs when the primary comes back.
+//! [`Replica::retarget`] points the sync loop at a different hub (the
+//! failover path after a promotion); [`Replica::promote`] stops
+//! mirroring and hands out the local server to *be* the next primary.
 //!
 //! [`ShardedEngine::dump_shards`]: dash_core::ShardedEngine::dump_shards
 //! [`IndexDelta`]: dash_core::IndexDelta
@@ -31,14 +57,14 @@
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dash_core::{persist, wire, SearchHit, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
-use dash_serve::{DashServer, PublishEvent, ServeConfig};
+use dash_serve::{CatchUp, DashServer, PublishEvent, ServeConfig};
 use dash_webapp::WebApplication;
 use parking_lot::{Mutex, RwLock};
 
@@ -47,6 +73,8 @@ use crate::http::invalid;
 /// Frame tags of the replication stream.
 const FRAME_SNAPSHOT: u8 = 1;
 const FRAME_DELTA: u8 = 2;
+const FRAME_HELLO: u8 = 3;
+const FRAME_RESUME: u8 = 4;
 
 /// Frames larger than this are protocol errors (a fooddb-scale dump is
 /// kilobytes; even a million-fragment dump stays far below).
@@ -55,6 +83,11 @@ const MAX_FRAME_BYTES: u64 = 1 << 32;
 /// How long a streamer waits on the publication channel between
 /// stop-flag checks.
 const TAP_POLL: Duration = Duration::from_millis(50);
+
+/// How long the hub waits for a connecting replica's HELLO before
+/// dropping the connection (a replica that never speaks must not pin a
+/// streamer thread forever).
+const HELLO_DEADLINE: Duration = Duration::from_secs(5);
 
 // ---------------------------------------------------------------------
 // Frame codec
@@ -72,8 +105,18 @@ fn write_frame<W: Write>(writer: &mut W, tag: u8, payload: &[u8]) -> io::Result<
 /// but never tearing: a timeout mid-frame resumes exactly where the
 /// partial read stopped. Returns `None` when `stop` was raised.
 fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<(u8, Vec<u8>)>> {
+    read_frame_until(stream, stop, None)
+}
+
+/// [`read_frame`] with an optional absolute deadline: timeouts past it
+/// become errors instead of re-entering the poll loop.
+fn read_frame_until(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    until: Option<Instant>,
+) -> io::Result<Option<(u8, Vec<u8>)>> {
     let mut header = [0u8; 9];
-    if !read_full(stream, &mut header, stop)? {
+    if !read_full(stream, &mut header, stop, until)? {
         return Ok(None);
     }
     let tag = header[0];
@@ -82,15 +125,21 @@ fn read_frame(stream: &mut TcpStream, stop: &AtomicBool) -> io::Result<Option<(u
         return Err(invalid("replication frame too large"));
     }
     let mut payload = vec![0u8; len as usize];
-    if !read_full(stream, &mut payload, stop)? {
+    if !read_full(stream, &mut payload, stop, until)? {
         return Ok(None);
     }
     Ok(Some((tag, payload)))
 }
 
 /// `read_exact` that survives read timeouts without losing the bytes
-/// already read. `Ok(false)` means `stop` was raised mid-read.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+/// already read. `Ok(false)` means `stop` was raised mid-read; a
+/// timeout past `until` is an error.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    until: Option<Instant>,
+) -> io::Result<bool> {
     let mut at = 0;
     while at < buf.len() {
         if stop.load(Ordering::Relaxed) {
@@ -105,7 +154,14 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::R
             }
             Ok(n) => at += n,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if until.is_some_and(|deadline| Instant::now() >= deadline) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "replication frame deadline exceeded",
+                    ));
+                }
             }
             Err(e) => return Err(e),
         }
@@ -126,6 +182,20 @@ fn delta_payload(event: &PublishEvent) -> Vec<u8> {
     payload
 }
 
+fn hello_payload(has_state: bool, epoch: u64) -> Vec<u8> {
+    let mut payload = vec![u8::from(has_state)];
+    payload.extend(epoch.to_le_bytes());
+    payload
+}
+
+fn read_hello_payload(payload: &[u8]) -> io::Result<(bool, u64)> {
+    if payload.len() != 9 {
+        return Err(invalid("malformed hello payload"));
+    }
+    let epoch = u64::from_le_bytes(payload[1..9].try_into().expect("8 bytes"));
+    Ok((payload[0] != 0, epoch))
+}
+
 fn read_epoch(payload: &[u8]) -> io::Result<(u64, &[u8])> {
     if payload.len() < 8 {
         return Err(invalid("frame payload missing epoch"));
@@ -135,14 +205,80 @@ fn read_epoch(payload: &[u8]) -> io::Result<(u64, &[u8])> {
 }
 
 // ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+/// Chaos hooks on the hub's streamers, armed by tests (and usable as
+/// an operational "break it on purpose" drill). All default to off;
+/// each one-shot hook disarms itself when it fires.
+#[derive(Debug, Default)]
+pub struct ReplFaults {
+    /// Silently drop the next N delta frames. The replica sees an
+    /// epoch gap, kills the connection, and repairs it on reconnect —
+    /// the gap-detection path.
+    pub drop_deltas: AtomicU32,
+    /// One-shot: kill the connection halfway through the next snapshot
+    /// frame (a torn bootstrap).
+    pub kill_mid_snapshot: AtomicBool,
+    /// One-shot: kill the connection halfway through the next delta
+    /// frame (a torn publication).
+    pub kill_mid_delta: AtomicBool,
+    /// Delay before each delta frame write, in milliseconds (a slow
+    /// link; drives the laggard-eviction path when the feed is
+    /// bounded).
+    pub delay_ms: AtomicU64,
+}
+
+impl ReplFaults {
+    /// Consumes one unit of `drop_deltas`; true when the next delta
+    /// frame should be dropped.
+    fn take_drop(&self) -> bool {
+        self.drop_deltas
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+    }
+}
+
+/// Writes the first half of a frame, then kills the socket — the torn
+/// transfer the one-shot kill hooks inject. Always errors.
+fn kill_mid_frame(stream: &mut TcpStream, tag: u8, payload: &[u8]) -> io::Result<()> {
+    let mut partial = vec![tag];
+    partial.extend((payload.len() as u64).to_le_bytes());
+    partial.extend(&payload[..payload.len() / 2]);
+    stream.write_all(&partial)?;
+    stream.flush()?;
+    let _ = stream.shutdown(Shutdown::Both);
+    Err(invalid("fault injection: connection killed mid-frame"))
+}
+
+/// Writes one delta frame through the fault hooks.
+fn send_delta(stream: &mut TcpStream, event: &PublishEvent, faults: &ReplFaults) -> io::Result<()> {
+    let delay = faults.delay_ms.load(Ordering::Relaxed);
+    if delay > 0 {
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+    if faults.take_drop() {
+        return Ok(());
+    }
+    let payload = delta_payload(event);
+    if faults.kill_mid_delta.swap(false, Ordering::SeqCst) {
+        return kill_mid_frame(stream, FRAME_DELTA, &payload);
+    }
+    write_frame(stream, FRAME_DELTA, &payload)
+}
+
+// ---------------------------------------------------------------------
 // Primary side
 // ---------------------------------------------------------------------
 
-/// The primary's replication listener: accepts replica connections and
-/// streams each one a snapshot + every later publication. One streamer
-/// thread per replica; a slow or dead replica never delays the
-/// publish path (the tap channel is unbounded and the send never
-/// blocks) or the other replicas.
+/// The primary's replication listener: accepts replica connections,
+/// answers each HELLO with a snapshot or a delta-log resume, then
+/// streams every later publication. One streamer thread per replica; a
+/// slow or dead replica never delays the publish path — with a bounded
+/// feed ([`ServeConfig::feed_depth`]) a laggard is *evicted* and
+/// re-syncs through the delta log on reconnect.
+///
+/// [`ServeConfig::feed_depth`]: dash_serve::ServeConfig::feed_depth
 #[derive(Debug)]
 pub struct ReplicationHub {
     addr: SocketAddr,
@@ -150,6 +286,7 @@ pub struct ReplicationHub {
     /// Write halves of the live replica sockets, for failure
     /// injection and shutdown.
     peers: Arc<Mutex<Vec<TcpStream>>>,
+    faults: Arc<ReplFaults>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -164,10 +301,12 @@ impl ReplicationHub {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let peers: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let faults = Arc::new(ReplFaults::default());
         let accept = {
             let server = Arc::clone(&server);
             let stop = Arc::clone(&stop);
             let peers = Arc::clone(&peers);
+            let faults = Arc::clone(&faults);
             std::thread::Builder::new()
                 .name("dash-repl-accept".to_string())
                 .spawn(move || {
@@ -178,14 +317,20 @@ impl ReplicationHub {
                         let server = Arc::clone(&server);
                         let stop = Arc::clone(&stop);
                         let peers_for_thread = Arc::clone(&peers);
+                        let faults = Arc::clone(&faults);
                         if let Ok(handle) = stream.try_clone() {
                             peers.lock().push(handle);
                         }
                         let _ = std::thread::Builder::new()
                             .name("dash-repl-stream".to_string())
                             .spawn(move || {
-                                let _ =
-                                    stream_to_replica(&server, stream, &stop, &peers_for_thread);
+                                let _ = stream_to_replica(
+                                    &server,
+                                    stream,
+                                    &stop,
+                                    &peers_for_thread,
+                                    &faults,
+                                );
                             });
                     }
                 })
@@ -195,6 +340,7 @@ impl ReplicationHub {
             addr,
             stop,
             peers,
+            faults,
             accept: Some(accept),
         })
     }
@@ -204,10 +350,16 @@ impl ReplicationHub {
         self.addr
     }
 
+    /// The chaos hooks of this hub's streamers (see [`ReplFaults`]).
+    pub fn faults(&self) -> &ReplFaults {
+        &self.faults
+    }
+
     /// Severs every live replica connection (they see EOF immediately)
-    /// without stopping the listener — replicas reconnect and re-sync.
-    /// This is the failure-injection hook the replica failure tests
-    /// use; operationally it is a rolling "resync everyone".
+    /// without stopping the listener — replicas reconnect and re-sync
+    /// (via the delta log when their epoch is still on it). This is
+    /// the failure-injection hook the replica failure tests use;
+    /// operationally it is a rolling "resync everyone".
     pub fn disconnect_all(&self) {
         for peer in self.peers.lock().drain(..) {
             let _ = peer.shutdown(Shutdown::Both);
@@ -232,12 +384,14 @@ impl Drop for ReplicationHub {
     }
 }
 
-/// One replica's streamer: snapshot first, then every publication.
+/// One replica's streamer: read the HELLO, answer with a snapshot or a
+/// resume + backlog, then stream every publication.
 fn stream_to_replica(
     server: &DashServer,
     mut stream: TcpStream,
     stop: &AtomicBool,
     peers: &Mutex<Vec<TcpStream>>,
+    faults: &ReplFaults,
 ) -> io::Result<()> {
     // Captured before streaming: the peer (replica-side) address is
     // the connection's unique identity — every accepted socket shares
@@ -245,18 +399,46 @@ fn stream_to_replica(
     // the socket dies.
     let peer = stream.peer_addr().ok();
     let result = (|| {
-        // Registered atomically: every event the feed will deliver has
-        // epoch > snapshot.epoch, gap-free.
-        let feed = server.replication_feed();
-        let payload = snapshot_payload(feed.snapshot.epoch, &feed.snapshot.engine.dump_shards());
-        write_frame(&mut stream, FRAME_SNAPSHOT, &payload)?;
+        stream.set_read_timeout(Some(TAP_POLL))?;
+        let hello = read_frame_until(&mut stream, stop, Some(Instant::now() + HELLO_DEADLINE))?;
+        let Some((tag, payload)) = hello else {
+            return Ok(());
+        };
+        if tag != FRAME_HELLO {
+            return Err(invalid("replication stream must start with a hello"));
+        }
+        let (has_state, epoch) = read_hello_payload(&payload)?;
+        // Registered atomically under the writer lock: every event the
+        // feed will deliver is contiguous with the snapshot epoch (or
+        // the resume backlog), gap-free.
+        let events = match server.replication_feed_from(has_state.then_some(epoch)) {
+            CatchUp::Tail(tail) => {
+                write_frame(&mut stream, FRAME_RESUME, &tail.base.to_le_bytes())?;
+                for event in &tail.backlog {
+                    send_delta(&mut stream, event, faults)?;
+                }
+                tail.events
+            }
+            CatchUp::Snapshot(feed) => {
+                let payload =
+                    snapshot_payload(feed.snapshot.epoch, &feed.snapshot.engine.dump_shards());
+                if faults.kill_mid_snapshot.swap(false, Ordering::SeqCst) {
+                    return kill_mid_frame(&mut stream, FRAME_SNAPSHOT, &payload);
+                }
+                write_frame(&mut stream, FRAME_SNAPSHOT, &payload)?;
+                feed.events
+            }
+        };
         loop {
             if stop.load(Ordering::Relaxed) {
                 return Ok(());
             }
-            match feed.events.recv_timeout(TAP_POLL) {
-                Ok(event) => write_frame(&mut stream, FRAME_DELTA, &delta_payload(&event))?,
+            match events.recv_timeout(TAP_POLL) {
+                Ok(event) => send_delta(&mut stream, &event, faults)?,
                 Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                // Disconnected covers both hub shutdown and laggard
+                // eviction — either way this streamer is done; closing
+                // the socket tells the replica to reconnect.
                 Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
             }
         }
@@ -301,25 +483,52 @@ impl Default for ReplicaConfig {
 struct ReplicaInner {
     app: WebApplication,
     config: ReplicaConfig,
+    /// Where the sync loop connects; retargetable for failover.
+    target: Mutex<SocketAddr>,
     /// The local serving stack over the mirrored engine. `None` until
     /// the first bootstrap completes; *replaced* (never mutated in
     /// place) on re-bootstrap, so readers always hold a fully
     /// consistent server.
     server: RwLock<Option<Arc<DashServer>>>,
+    /// A clone of the live replication socket, so retarget/promote can
+    /// sever the stream from outside the sync thread.
+    live: Mutex<Option<TcpStream>>,
     /// Primary epoch of the last applied snapshot or delta.
     epoch: AtomicU64,
     connected: AtomicBool,
     bootstraps: AtomicU64,
+    catchups: AtomicU64,
     deltas_applied: AtomicU64,
+    promoted: AtomicBool,
     stop: AtomicBool,
+    sync_done: AtomicBool,
+}
+
+impl ReplicaInner {
+    /// Severs the live replication stream (if any); the sync thread
+    /// sees EOF and re-enters its connect loop — or exits, if `stop`
+    /// was raised first.
+    fn sever(&self) {
+        if let Some(live) = self.live.lock().as_ref() {
+            let _ = live.shutdown(Shutdown::Both);
+        }
+    }
 }
 
 /// A read replica: connects to a [`ReplicationHub`], bootstraps from
-/// the snapshot frame, tails the delta stream, and serves reads from
-/// its own [`DashServer`] — identical bytes to the primary at every
-/// epoch. Reconnects forever (with [`ReplicaConfig::retry`] backoff)
-/// until dropped; while disconnected it keeps serving the last
-/// published snapshot.
+/// the snapshot frame (or resumes from the delta log when
+/// reconnecting), tails the delta stream, and serves reads from its
+/// own [`DashServer`] — identical bytes to the primary at every epoch.
+/// Reconnects forever (with [`ReplicaConfig::retry`] backoff) until
+/// dropped; while disconnected it keeps serving the last published
+/// snapshot.
+///
+/// Failover hooks: [`Replica::retarget`] repoints the sync loop at a
+/// new hub (after someone else was promoted); [`Replica::promote`]
+/// stops mirroring and returns the local server so *this* node can
+/// become the primary — its epochs continue the cluster sequence, and
+/// its own delta log (filled by the mirrored publishes) lets the other
+/// replicas resume from it without re-snapshotting.
 #[derive(Debug)]
 pub struct Replica {
     inner: Arc<ReplicaInner>,
@@ -335,18 +544,23 @@ impl Replica {
         let inner = Arc::new(ReplicaInner {
             app,
             config,
+            target: Mutex::new(addr),
             server: RwLock::new(None),
+            live: Mutex::new(None),
             epoch: AtomicU64::new(0),
             connected: AtomicBool::new(false),
             bootstraps: AtomicU64::new(0),
+            catchups: AtomicU64::new(0),
             deltas_applied: AtomicU64::new(0),
+            promoted: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            sync_done: AtomicBool::new(false),
         });
         let sync = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("dash-replica-sync".to_string())
-                .spawn(move || sync_loop(addr, &inner))
+                .spawn(move || sync_loop(&inner))
                 .expect("spawn replica sync thread")
         };
         Replica {
@@ -381,16 +595,64 @@ impl Replica {
         self.inner.connected.load(Ordering::SeqCst)
     }
 
-    /// How many times the replica bootstrapped (1 = initial sync only;
-    /// each reconnect re-bootstraps).
+    /// How many times the replica bootstrapped from a full snapshot
+    /// (1 = initial sync only; a reconnect re-bootstraps only when the
+    /// delta log could not cover the gap).
     pub fn bootstraps(&self) -> u64 {
         self.inner.bootstraps.load(Ordering::SeqCst)
+    }
+
+    /// How many reconnects were answered with a delta-log `RESUME`
+    /// instead of a snapshot.
+    pub fn catchups(&self) -> u64 {
+        self.inner.catchups.load(Ordering::SeqCst)
     }
 
     /// Deltas applied through the replication stream (across all
     /// connections).
     pub fn deltas_applied(&self) -> u64 {
         self.inner.deltas_applied.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`Replica::promote`] has been called.
+    pub fn is_promoted(&self) -> bool {
+        self.inner.promoted.load(Ordering::SeqCst)
+    }
+
+    /// Repoints the sync loop at a different hub — the failover path
+    /// after a promotion elsewhere. The current stream (if any) is
+    /// severed; the next connect HELLOs the new hub with the replica's
+    /// current epoch, so a hub whose delta log covers it answers with
+    /// a cheap `RESUME` (a promoted ex-replica's log does, for every
+    /// peer that was at or behind its promotion epoch).
+    pub fn retarget(&self, addr: SocketAddr) {
+        *self.inner.target.lock() = addr;
+        self.inner.sever();
+    }
+
+    /// Stops mirroring and returns the local server so this node can
+    /// serve as the next primary. The sync loop is terminated (waited
+    /// for, bounded), so no replicated publish can race the new
+    /// primary's own. Returns `None` if the replica never bootstrapped
+    /// — a stateless node cannot be promoted.
+    ///
+    /// The returned server's epoch continues the cluster-wide
+    /// sequence, and its delta log holds the mirrored publications, so
+    /// surviving replicas [`Replica::retarget`]ed at a hub over this
+    /// server resume via the delta log instead of re-snapshotting.
+    pub fn promote(&self) -> Option<Arc<DashServer>> {
+        let server = self.server()?;
+        self.inner.promoted.store(true, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.sever();
+        // Bounded wait for the sync thread to park: once it has, no
+        // further replicated delta can be published behind our back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !self.inner.sync_done.load(Ordering::SeqCst) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.inner.connected.store(false, Ordering::SeqCst);
+        Some(server)
     }
 
     /// Blocks until the first bootstrap completes (true) or the
@@ -436,20 +698,25 @@ impl Replica {
 impl Drop for Replica {
     fn drop(&mut self) {
         self.inner.stop.store(true, Ordering::Relaxed);
+        self.inner.sever();
         if let Some(sync) = self.sync.take() {
             let _ = sync.join();
         }
     }
 }
 
-/// The replica's connect → bootstrap → tail → retry loop.
-fn sync_loop(addr: SocketAddr, inner: &ReplicaInner) {
+/// The replica's connect → hello → bootstrap/resume → tail → retry
+/// loop.
+fn sync_loop(inner: &ReplicaInner) {
     while !inner.stop.load(Ordering::Relaxed) {
+        let addr = *inner.target.lock();
         if let Ok(stream) = TcpStream::connect(addr) {
             // Short read timeout: the tail loop polls the stop flag
             // between timeouts, and read_full resumes partial frames.
             let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            *inner.live.lock() = stream.try_clone().ok();
             let _ = sync_once(stream, inner);
+            *inner.live.lock() = None;
         }
         inner.connected.store(false, Ordering::SeqCst);
         // Interruptible retry sleep.
@@ -458,29 +725,56 @@ fn sync_loop(addr: SocketAddr, inner: &ReplicaInner) {
             std::thread::sleep(Duration::from_millis(5));
         }
     }
+    inner.sync_done.store(true, Ordering::SeqCst);
 }
 
-/// One connection's worth of replication: bootstrap, then tail deltas
-/// until the stream dies or the replica stops.
+/// One connection's worth of replication: hello, bootstrap or resume,
+/// then tail deltas until the stream dies or the replica stops.
 fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
-    // Bootstrap: the snapshot frame must come first.
+    // Hello: tell the hub what state we already hold, so a brief
+    // disconnect is repaired from the delta log instead of a full
+    // re-snapshot.
+    let has_state = inner.server.read().is_some();
+    let epoch = inner.epoch.load(Ordering::SeqCst);
+    write_frame(&mut stream, FRAME_HELLO, &hello_payload(has_state, epoch))?;
     let Some((tag, payload)) = read_frame(&mut stream, &inner.stop)? else {
         return Ok(());
     };
-    if tag != FRAME_SNAPSHOT {
-        return Err(invalid("replication stream must start with a snapshot"));
-    }
-    let (epoch, rest) = read_epoch(&payload)?;
-    let shards = persist::read_sharded_fragments(rest)?;
-    let engine =
-        ShardedEngine::from_shard_fragments(inner.app.clone(), &shards, WorkflowStats::new())
+    match tag {
+        FRAME_SNAPSHOT => {
+            let (epoch, rest) = read_epoch(&payload)?;
+            let shards = persist::read_sharded_fragments(rest)?;
+            let engine = ShardedEngine::from_shard_fragments(
+                inner.app.clone(),
+                &shards,
+                WorkflowStats::new(),
+            )
             .map_err(|e| invalid(&format!("snapshot rebuild failed: {e}")))?;
-    let server = Arc::new(DashServer::from_engine(engine, inner.config.serve.clone()));
-    *inner.server.write() = Some(server);
-    inner.epoch.store(epoch, Ordering::SeqCst);
-    inner.bootstraps.fetch_add(1, Ordering::SeqCst);
+            // Opened *at the primary's epoch*: local publications of
+            // replicated deltas keep cluster-wide epoch numbering (see
+            // the module docs).
+            let server = Arc::new(DashServer::from_engine_at_epoch(
+                engine,
+                inner.config.serve.clone(),
+                epoch,
+            ));
+            *inner.server.write() = Some(server);
+            inner.epoch.store(epoch, Ordering::SeqCst);
+            inner.bootstraps.fetch_add(1, Ordering::SeqCst);
+        }
+        FRAME_RESUME => {
+            let (base, _) = read_epoch(&payload)?;
+            if !has_state || base != epoch {
+                return Err(invalid("resume base does not match replica state"));
+            }
+            inner.catchups.fetch_add(1, Ordering::SeqCst);
+        }
+        other => return Err(invalid(&format!("unexpected bootstrap frame tag {other}"))),
+    }
     inner.connected.store(true, Ordering::SeqCst);
-    // Tail: apply every delta through the local publish path.
+    // Tail: apply every delta through the local publish path,
+    // gap-checking epochs — a missed frame must kill the connection
+    // (the reconnect repairs it), never silently diverge the mirror.
     loop {
         let Some((tag, payload)) = read_frame(&mut stream, &inner.stop)? else {
             return Ok(());
@@ -496,8 +790,14 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
         // local publish path recomputes an identical one from the
         // mirrored pre-delta state.
         let _signature = wire::read_signature(&mut rest)?;
-        if epoch <= inner.epoch.load(Ordering::SeqCst) {
+        let current = inner.epoch.load(Ordering::SeqCst);
+        if epoch <= current {
             continue; // replayed frame from a reconnect race
+        }
+        if epoch != current + 1 {
+            return Err(invalid(&format!(
+                "delta epoch gap: have {current}, received {epoch}"
+            )));
         }
         let server = inner
             .server
@@ -577,5 +877,45 @@ mod tests {
         assert_eq!(wire::read_delta(&mut rest).unwrap(), event.delta);
         assert_eq!(wire::read_signature(&mut rest).unwrap(), event.signature);
         assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn hello_payload_roundtrips() {
+        assert_eq!(
+            read_hello_payload(&hello_payload(true, 7)).unwrap(),
+            (true, 7)
+        );
+        assert_eq!(
+            read_hello_payload(&hello_payload(false, 0)).unwrap(),
+            (false, 0)
+        );
+        assert!(read_hello_payload(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn hello_deadline_expires_instead_of_hanging() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _tx = TcpStream::connect(addr).unwrap(); // connects, never speaks
+        let (mut rx, _) = listener.accept().unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(5))).unwrap();
+        let stop = AtomicBool::new(false);
+        let begin = Instant::now();
+        let result = read_frame_until(
+            &mut rx,
+            &stop,
+            Some(Instant::now() + Duration::from_millis(30)),
+        );
+        assert!(matches!(result, Err(e) if e.kind() == io::ErrorKind::TimedOut));
+        assert!(begin.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn drop_counter_consumes_exactly_n_frames() {
+        let faults = ReplFaults::default();
+        faults.drop_deltas.store(2, Ordering::SeqCst);
+        assert!(faults.take_drop());
+        assert!(faults.take_drop());
+        assert!(!faults.take_drop(), "only the armed count is dropped");
     }
 }

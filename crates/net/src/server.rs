@@ -8,11 +8,16 @@
 //! * `POST /update` — a binary [`UpdateBody`]: either a
 //!   [`RecordChange`] batch applied to the primary's database and
 //!   routed through [`DashServer::apply_changes`], or a raw
-//!   [`IndexDelta`] routed through [`DashServer::publish`]. Replicas
-//!   answer `503` (writes go to the primary; replication carries them
-//!   over).
+//!   [`IndexDelta`] routed through [`DashServer::publish`]. A replica
+//!   with an [`Upstream`] transparently *forwards* the body to the
+//!   primary and answers with the primary's ack — any node accepts
+//!   writes; one without answers `503`. A **promoted** replica serves
+//!   `Publish` bodies itself (it *is* the primary now).
 //! * `GET /stats` — serving counters: qps over uptime, cache hit
-//!   rate, snapshot epoch, batching factor.
+//!   rate, snapshot epoch, batching factor — plus the node's `role`
+//!   (`"primary"` / `"replica"`; a promoted replica reports
+//!   `"primary"`, which is how the routing front tier discovers the
+//!   new primary after a failover).
 //!
 //! Connections are persistent (HTTP/1.1 keep-alive), one worker thread
 //! per live connection up to the pool size; further connections queue
@@ -32,6 +37,7 @@ use dash_relation::Database;
 use dash_serve::DashServer;
 use parking_lot::Mutex;
 
+use crate::forward::Upstream;
 use crate::http::{self, invalid, Request, Response};
 use crate::json;
 use crate::repl::Replica;
@@ -177,8 +183,15 @@ pub(crate) fn ack_from_json(text: &str) -> io::Result<UpdateAck> {
     })
 }
 
+/// How long a forwarding replica waits for its own mirror to reach the
+/// forwarded write's epoch before answering — the read-your-writes
+/// window: a client that wrote through this replica and immediately
+/// searches it sees its write, as long as replication keeps up.
+const FORWARD_WAIT: Duration = Duration::from_secs(2);
+
 /// What the front-end serves: a writable primary (server + the
-/// database the record changes mutate) or a read replica.
+/// database the record changes mutate) or a read replica (optionally
+/// forwarding writes upstream).
 #[derive(Debug, Clone)]
 pub enum Backend {
     /// The writable primary.
@@ -189,15 +202,23 @@ pub enum Backend {
         /// lockstep with the engine under one lock.
         db: Arc<Mutex<Database>>,
     },
-    /// A read replica (writes answer `503`).
-    Replica(Arc<Replica>),
+    /// A read replica. With an upstream, writes are transparently
+    /// forwarded to the primary; without one they answer `503`. After
+    /// [`Replica::promote`] the node serves `Publish` writes itself.
+    Replica {
+        /// The mirroring replica.
+        replica: Arc<Replica>,
+        /// Where to forward writes (the primary's HTTP address),
+        /// retargetable on failover.
+        upstream: Option<Arc<Upstream>>,
+    },
 }
 
 impl Backend {
     fn search(&self, request: &SearchRequest) -> Result<Vec<dash_core::SearchHit>, Response> {
         match self {
             Backend::Primary { server, .. } => Ok(server.search(request)),
-            Backend::Replica(replica) => match replica.server() {
+            Backend::Replica { replica, .. } => match replica.server() {
                 Some(server) => Ok(server.search(request)),
                 None => Err(Response::error(503, "replica not bootstrapped yet")),
             },
@@ -205,69 +226,65 @@ impl Backend {
     }
 
     fn update(&self, body: UpdateBody) -> Result<UpdateAck, Response> {
-        let Backend::Primary { server, db } = self else {
-            return Err(Response::error(
-                503,
-                "read replica: updates go to the primary",
-            ));
-        };
-        match body {
-            UpdateBody::Publish(delta) => {
-                let (stats, epoch) = server.publish_with_epoch(delta);
-                Ok(UpdateAck {
-                    removed: stats.removed,
-                    added: stats.added,
-                    epoch,
-                })
-            }
-            UpdateBody::Changes(changes) => {
-                // One lock span across db mutation + delta publication
-                // keeps database and engine in lockstep for concurrent
-                // updaters. The batch is applied to a staged copy
-                // first: a mid-batch failure (unknown relation, schema
-                // mismatch) must leave the authoritative database
-                // untouched — a half-applied batch would diverge db
-                // and engine forever, since nothing gets published.
-                let mut db = db.lock();
-                let mut staged = db.clone();
-                let mut batch = Vec::with_capacity(changes.len());
-                for change in changes {
-                    match change {
-                        NetChange::Insert(change) => {
-                            let applied = staged
-                                .table_mut(&change.relation)
-                                .and_then(|t| t.insert(change.record.clone()));
-                            if let Err(e) = applied {
-                                return Err(Response::error(400, &format!("insert failed: {e}")));
-                            }
-                            batch.push(change);
-                        }
-                        NetChange::Delete(change) => {
-                            match staged.table_mut(&change.relation) {
-                                Ok(table) => {
-                                    table.delete_where(|r| *r == change.record);
-                                }
-                                Err(e) => {
-                                    return Err(Response::error(
-                                        400,
-                                        &format!("delete failed: {e}"),
-                                    ))
-                                }
-                            }
-                            batch.push(change);
-                        }
-                    }
+        match self {
+            Backend::Primary { server, db } => match body {
+                UpdateBody::Publish(delta) => {
+                    let (stats, epoch) = server.publish_with_epoch(delta);
+                    Ok(UpdateAck {
+                        removed: stats.removed,
+                        added: stats.added,
+                        epoch,
+                    })
                 }
-                match server.apply_changes_with_epoch(&staged, &batch) {
-                    Ok((stats, epoch)) => {
-                        *db = staged;
-                        Ok(UpdateAck {
-                            removed: stats.removed,
-                            added: stats.added,
-                            epoch,
-                        })
+                UpdateBody::Changes(changes) => apply_changes_to(server, db, changes),
+            },
+            Backend::Replica { replica, upstream } => {
+                if replica.is_promoted() {
+                    // This node *is* the primary now. Prebuilt deltas
+                    // publish directly (epoch numbering continues the
+                    // cluster sequence). Record-change batches need the
+                    // authoritative base tables, which never replicate —
+                    // only the index does — so they stay unavailable
+                    // until an operator restores a database alongside.
+                    let Some(server) = replica.server() else {
+                        return Err(Response::error(503, "promoted node has no state"));
+                    };
+                    return match body {
+                        UpdateBody::Publish(delta) => {
+                            let (stats, epoch) = server.publish_with_epoch(delta);
+                            Ok(UpdateAck {
+                                removed: stats.removed,
+                                added: stats.added,
+                                epoch,
+                            })
+                        }
+                        UpdateBody::Changes(_) => Err(Response::error(
+                            503,
+                            "promoted from a replica: base-table changes need the \
+                             authoritative database",
+                        )),
+                    };
+                }
+                let Some(upstream) = upstream else {
+                    return Err(Response::error(
+                        503,
+                        "read replica: updates go to the primary",
+                    ));
+                };
+                match upstream.forward(&body) {
+                    Ok(ack) => {
+                        // Read-your-writes: wait (bounded) for the
+                        // mirror to catch up to the acked epoch before
+                        // answering. A lagging mirror still acks — the
+                        // write is durable on the primary; the client
+                        // can compare the ack epoch against /stats.
+                        replica.wait_epoch(ack.epoch, FORWARD_WAIT);
+                        Ok(ack)
                     }
-                    Err(e) => Err(Response::error(400, &format!("apply failed: {e}"))),
+                    Err(e) => Err(Response::error(
+                        502,
+                        &format!("forwarding to primary failed: {e}"),
+                    )),
                 }
             }
         }
@@ -276,7 +293,17 @@ impl Backend {
     fn stats_json(&self) -> String {
         let (role, server) = match self {
             Backend::Primary { server, .. } => ("primary", Some(Arc::clone(server))),
-            Backend::Replica(replica) => ("replica", replica.server()),
+            // A promoted replica *is* the primary: reporting the role
+            // here is what lets the routing front tier re-discover the
+            // write target after a failover.
+            Backend::Replica { replica, .. } => (
+                if replica.is_promoted() {
+                    "primary"
+                } else {
+                    "replica"
+                },
+                replica.server(),
+            ),
         };
         let mut out = String::with_capacity(256);
         out.push_str(&format!("{{\"role\":\"{role}\""));
@@ -302,17 +329,81 @@ impl Backend {
                 server.uptime().as_millis(),
             ));
         }
-        if let Backend::Replica(replica) = self {
+        if let Backend::Replica { replica, upstream } = self {
             out.push_str(&format!(
-                ",\"connected\":{},\"replica_epoch\":{},\"bootstraps\":{},\"deltas_applied\":{}",
+                ",\"connected\":{},\"replica_epoch\":{},\"bootstraps\":{},\"catchups\":{},\
+                 \"deltas_applied\":{},\"promoted\":{}",
                 replica.is_connected(),
                 replica.epoch(),
                 replica.bootstraps(),
+                replica.catchups(),
                 replica.deltas_applied(),
+                replica.is_promoted(),
             ));
+            if let Some(upstream) = upstream {
+                out.push_str(&format!(
+                    ",\"forwarded\":{},\"forward_retries\":{}",
+                    upstream.forwarded(),
+                    upstream.retries(),
+                ));
+            }
         }
         out.push('}');
         out
+    }
+}
+
+/// Applies a record-change batch to the primary's database and engine
+/// in lockstep — the shared write path behind `POST /update` changes
+/// bodies, whether they arrived directly or were forwarded from a
+/// replica.
+///
+/// One lock span across db mutation + delta publication keeps database
+/// and engine in lockstep for concurrent updaters. The batch is
+/// applied to a staged copy first: a mid-batch failure (unknown
+/// relation, schema mismatch) must leave the authoritative database
+/// untouched — a half-applied batch would diverge db and engine
+/// forever, since nothing gets published.
+fn apply_changes_to(
+    server: &DashServer,
+    db: &Mutex<Database>,
+    changes: Vec<NetChange>,
+) -> Result<UpdateAck, Response> {
+    let mut db = db.lock();
+    let mut staged = db.clone();
+    let mut batch = Vec::with_capacity(changes.len());
+    for change in changes {
+        match change {
+            NetChange::Insert(change) => {
+                let applied = staged
+                    .table_mut(&change.relation)
+                    .and_then(|t| t.insert(change.record.clone()));
+                if let Err(e) = applied {
+                    return Err(Response::error(400, &format!("insert failed: {e}")));
+                }
+                batch.push(change);
+            }
+            NetChange::Delete(change) => {
+                match staged.table_mut(&change.relation) {
+                    Ok(table) => {
+                        table.delete_where(|r| *r == change.record);
+                    }
+                    Err(e) => return Err(Response::error(400, &format!("delete failed: {e}"))),
+                }
+                batch.push(change);
+            }
+        }
+    }
+    match server.apply_changes_with_epoch(&staged, &batch) {
+        Ok((stats, epoch)) => {
+            *db = staged;
+            Ok(UpdateAck {
+                removed: stats.removed,
+                added: stats.added,
+                epoch,
+            })
+        }
+        Err(e) => Err(Response::error(400, &format!("apply failed: {e}"))),
     }
 }
 
@@ -349,7 +440,9 @@ impl NetServer {
         )
     }
 
-    /// Serves a replica on an already-bound listener.
+    /// Serves a replica on an already-bound listener. Writes answer
+    /// `503` — use [`NetServer::serve_replica_forwarding`] for a
+    /// replica that relays them to the primary.
     ///
     /// # Errors
     ///
@@ -359,7 +452,38 @@ impl NetServer {
         listener: TcpListener,
         config: NetConfig,
     ) -> io::Result<NetServer> {
-        Self::serve(Backend::Replica(replica), listener, config)
+        Self::serve(
+            Backend::Replica {
+                replica,
+                upstream: None,
+            },
+            listener,
+            config,
+        )
+    }
+
+    /// Serves a replica that transparently forwards `POST /update` to
+    /// the primary through `upstream` (share one [`Upstream`] across
+    /// servers to share its persistent connection and failover
+    /// retargeting).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` failures.
+    pub fn serve_replica_forwarding(
+        replica: Arc<Replica>,
+        upstream: Arc<Upstream>,
+        listener: TcpListener,
+        config: NetConfig,
+    ) -> io::Result<NetServer> {
+        Self::serve(
+            Backend::Replica {
+                replica,
+                upstream: Some(upstream),
+            },
+            listener,
+            config,
+        )
     }
 
     /// Serves any backend.

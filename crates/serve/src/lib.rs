@@ -118,6 +118,19 @@ pub struct ServeConfig {
     /// blow the memory bound the entry-count cap alone left open.
     /// 0 disables the budget (entry count is then the only bound).
     pub cache_hit_budget: usize,
+    /// Capacity (in publications) of the bounded delta log — the ring
+    /// of recent [`PublishEvent`]s a briefly-disconnected replica
+    /// tails from its last epoch instead of re-bootstrapping from a
+    /// full snapshot ([`DashServer::replication_feed_from`]). 0
+    /// disables the log (every reconnect re-snapshots).
+    pub delta_log: usize,
+    /// Bound (in publications) of each replication tap's channel. A
+    /// consumer that falls this far behind is **evicted** — its
+    /// channel closes and it must re-sync through
+    /// [`DashServer::replication_feed_from`] (delta tail or snapshot)
+    /// — instead of growing the primary's memory without limit. 0
+    /// makes taps unbounded (the pre-eviction behavior).
+    pub feed_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -129,6 +142,8 @@ impl Default for ServeConfig {
             queue_bound: 256,
             cache_capacity: 1024,
             cache_hit_budget: 1 << 16,
+            delta_log: 64,
+            feed_depth: 1024,
         }
     }
 }
@@ -152,6 +167,19 @@ impl ServeConfig {
         self.cache_hit_budget = budget;
         self
     }
+
+    /// Overrides the delta-log capacity (builder style; 0 disables).
+    pub fn delta_log(mut self, capacity: usize) -> Self {
+        self.delta_log = capacity;
+        self
+    }
+
+    /// Overrides the replication-tap channel bound (builder style;
+    /// 0 makes taps unbounded).
+    pub fn feed_depth(mut self, depth: usize) -> Self {
+        self.feed_depth = depth;
+        self
+    }
 }
 
 /// Serving-layer counters (monotonic since server construction).
@@ -169,6 +197,9 @@ pub struct ServeStats {
     /// Searches answered (cache hits and misses alike; degenerate
     /// requests short-circuited client-side are not counted).
     pub searches: u64,
+    /// Replication taps evicted for lagging more than
+    /// [`ServeConfig::feed_depth`] publications behind the publisher.
+    pub feed_evictions: u64,
 }
 
 /// One publication, as seen by a replication tap: the epoch the swap
@@ -196,10 +227,125 @@ pub struct ReplicationFeed {
     /// The live snapshot at registration time.
     pub snapshot: Arc<EngineSnapshot>,
     /// Every publication with `epoch > snapshot.epoch`, in order. The
-    /// channel is unbounded: a slow consumer delays nobody (the
-    /// publisher never blocks on a tap); dropping the receiver
-    /// unregisters the tap at the next publication.
+    /// publisher never blocks on a tap; a consumer that falls
+    /// [`ServeConfig::feed_depth`] publications behind is evicted (the
+    /// channel closes mid-stream and the consumer must re-sync).
+    /// Dropping the receiver unregisters the tap at the next
+    /// publication.
     pub events: Receiver<PublishEvent>,
+}
+
+/// A delta-tail resumption: everything a consumer that already holds
+/// the state of epoch `base` needs to catch back up without a
+/// snapshot. Obtained atomically by
+/// [`DashServer::replication_feed_from`]: `backlog` is the logged
+/// publications in `(base, registration epoch]` in order, and `events`
+/// carries every publication after registration — contiguous with the
+/// backlog, no gap and no overlap.
+#[derive(Debug)]
+pub struct DeltaTail {
+    /// The consumer's confirmed epoch (its state before the backlog).
+    pub base: u64,
+    /// The logged publications with `base < epoch ≤` the registration
+    /// epoch, in epoch order.
+    pub backlog: Vec<PublishEvent>,
+    /// Every publication after the registration epoch (same bounded
+    /// semantics as [`ReplicationFeed::events`]).
+    pub events: Receiver<PublishEvent>,
+}
+
+/// What [`DashServer::replication_feed_from`] hands a (re)joining
+/// consumer: a delta tail when the log still covers its epoch, a full
+/// snapshot feed otherwise.
+#[derive(Debug)]
+pub enum CatchUp {
+    /// The consumer's epoch fell off the delta log's tail (or it had
+    /// no state): bootstrap from the snapshot, then tail the events.
+    Snapshot(ReplicationFeed),
+    /// The log covers the consumer's epoch: apply the backlog, then
+    /// tail the events. No snapshot transfer needed.
+    Tail(DeltaTail),
+}
+
+/// The sending half of one replication tap.
+#[derive(Debug)]
+enum Tap {
+    /// Evicts the consumer once it lags `feed_depth` events behind.
+    Bounded(mpsc::SyncSender<PublishEvent>),
+    /// Never evicts (`feed_depth = 0`); the consumer's channel may
+    /// grow without limit.
+    Unbounded(Sender<PublishEvent>),
+}
+
+/// Outcome of feeding one event to a tap.
+enum TapFeed {
+    Delivered,
+    /// Bounded tap full: the consumer is a laggard — evict it.
+    Lagging,
+    /// Receiver dropped: the consumer unregistered.
+    Closed,
+}
+
+impl Tap {
+    fn feed(&self, event: PublishEvent) -> TapFeed {
+        match self {
+            Tap::Bounded(sender) => match sender.try_send(event) {
+                Ok(()) => TapFeed::Delivered,
+                Err(mpsc::TrySendError::Full(_)) => TapFeed::Lagging,
+                Err(mpsc::TrySendError::Disconnected(_)) => TapFeed::Closed,
+            },
+            Tap::Unbounded(sender) => match sender.send(event) {
+                Ok(()) => TapFeed::Delivered,
+                Err(_) => TapFeed::Closed,
+            },
+        }
+    }
+}
+
+/// The bounded ring of recent publications (the delta log): epochs are
+/// contiguous from front to back, older entries fall off as new ones
+/// push in.
+#[derive(Debug)]
+struct DeltaLog {
+    events: std::collections::VecDeque<PublishEvent>,
+    capacity: usize,
+}
+
+impl DeltaLog {
+    fn new(capacity: usize) -> Self {
+        DeltaLog {
+            events: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, event: PublishEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The logged publications with epoch in `(from, back]`, oldest
+    /// first — `None` when the log no longer covers `from + 1`
+    /// (fallen off the tail, or logging disabled).
+    fn tail_after(&self, from: u64) -> Option<Vec<PublishEvent>> {
+        let first = self.events.front()?.epoch;
+        let last = self.events.back()?.epoch;
+        if from + 1 < first || from > last {
+            return None;
+        }
+        Some(
+            self.events
+                .iter()
+                .filter(|e| e.epoch > from)
+                .cloned()
+                .collect(),
+        )
+    }
 }
 
 /// State shared between callers, the batcher thread and the writer.
@@ -212,8 +358,15 @@ pub(crate) struct ServerShared {
     pub(crate) batched_requests: AtomicU64,
     published: AtomicU64,
     searches: AtomicU64,
-    /// Replication taps fed on every publication (closed ones pruned).
-    taps: Mutex<Vec<Sender<PublishEvent>>>,
+    feed_evictions: AtomicU64,
+    /// Replication taps fed on every publication (closed and lagging
+    /// ones pruned).
+    taps: Mutex<Vec<Tap>>,
+    /// The bounded ring of recent publications (see
+    /// [`ServeConfig::delta_log`]).
+    delta_log: Mutex<DeltaLog>,
+    /// Channel bound applied to each new tap (0 = unbounded).
+    feed_depth: usize,
     /// Construction time, the zero point of [`DashServer::uptime`].
     started: Instant,
 }
@@ -274,19 +427,33 @@ impl DashServer {
     /// Wraps a built engine: forks the shadow side, wires the snapshot
     /// handle and cache, and starts the batcher thread.
     pub fn from_engine(engine: ShardedEngine, serve: ServeConfig) -> Self {
+        Self::from_engine_at_epoch(engine, serve, 0)
+    }
+
+    /// [`DashServer::from_engine`], opening at a carried epoch instead
+    /// of 0. This is how a replica (or a promoted ex-replica) keeps
+    /// epoch numbering **cluster-wide**: its local server opens at the
+    /// primary epoch its bootstrap state corresponds to, so every
+    /// local publication lands on exactly the primary epoch of the
+    /// delta that caused it — and the node's own delta log speaks the
+    /// same epochs as the primary's.
+    pub fn from_engine_at_epoch(engine: ShardedEngine, serve: ServeConfig, epoch: u64) -> Self {
         let shadow = engine.fork();
         let shared = Arc::new(ServerShared {
-            handle: SnapshotHandle::new(engine),
+            handle: SnapshotHandle::new(engine, epoch),
             cache: ResultCache::new(serve.cache_capacity, serve.cache_hit_budget),
             writer: Mutex::new(WriterSide {
                 shadow: Some(shadow),
-                epoch: 0,
+                epoch,
             }),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
             published: AtomicU64::new(0),
             searches: AtomicU64::new(0),
+            feed_evictions: AtomicU64::new(0),
             taps: Mutex::new(Vec::new()),
+            delta_log: Mutex::new(DeltaLog::new(serve.delta_log)),
+            feed_depth: serve.feed_depth,
             started: Instant::now(),
         });
         let (jobs, queue) = mpsc::sync_channel(serve.queue_bound.max(1));
@@ -489,14 +656,16 @@ impl DashServer {
         // it to its holders and fork the freshly published engine as
         // the next shadow instead (an O(index) memcpy, the same cost
         // as server startup).
-        // Decide up front whether any replication tap needs the delta.
-        // Taps register under the writer lock — which this publication
+        // Decide up front whether the publication event is needed — by
+        // a registered replication tap or by the delta log. Taps
+        // register under the writer lock — which this publication
         // holds — so the answer cannot change mid-publish. Without
-        // taps the delta is *moved* into the retired-side replay, so
-        // the common non-replicated deployment never pays a clone.
+        // either the delta is *moved* into the retired-side replay, so
+        // a non-replicated log-disabled deployment never pays a clone.
         let event_delta = {
+            let log_enabled = self.shared.delta_log.lock().capacity > 0;
             let taps = self.shared.taps.lock();
-            (!taps.is_empty()).then(|| delta.clone())
+            (log_enabled || !taps.is_empty()).then(|| delta.clone())
         };
         match try_drain(retired, DRAIN_ATTEMPTS) {
             Some(mut retired) => {
@@ -506,19 +675,37 @@ impl DashServer {
             None => writer.shadow = Some(next.engine.fork()),
         }
         self.shared.published.fetch_add(1, Ordering::Relaxed);
-        // Feed the replication taps (still under the writer lock, so
-        // every tap sees publications in epoch order with no gaps) and
-        // prune the ones whose receivers are gone. Sends never block:
-        // the tap channels are unbounded, a slow replica backs up its
-        // own channel only.
+        // Record the publication in the delta log and feed the
+        // replication taps (still under the writer lock, so every tap
+        // sees publications in epoch order with no gaps). Sends never
+        // block: a bounded tap whose consumer has fallen `feed_depth`
+        // publications behind is evicted on the spot — its channel
+        // closes and the consumer re-syncs through
+        // [`DashServer::replication_feed_from`] — so a stuck replica
+        // costs the publisher a bounded channel, never unbounded
+        // memory.
         if let Some(delta) = event_delta {
             let event = PublishEvent {
                 epoch: writer.epoch,
                 delta,
                 signature,
             };
+            self.shared.delta_log.lock().push(event.clone());
             let mut taps = self.shared.taps.lock();
-            taps.retain(|tap| tap.send(event.clone()).is_ok());
+            let mut evicted = 0u64;
+            taps.retain(|tap| match tap.feed(event.clone()) {
+                TapFeed::Delivered => true,
+                TapFeed::Lagging => {
+                    evicted += 1;
+                    false
+                }
+                TapFeed::Closed => false,
+            });
+            if evicted > 0 {
+                self.shared
+                    .feed_evictions
+                    .fetch_add(evicted, Ordering::Relaxed);
+            }
         }
         (stats, writer.epoch)
     }
@@ -531,15 +718,54 @@ impl DashServer {
     /// to the joining replica, then forward the events — the replica
     /// provably reconstructs the primary's exact state at every epoch.
     pub fn replication_feed(&self) -> ReplicationFeed {
+        match self.replication_feed_from(None) {
+            CatchUp::Snapshot(feed) => feed,
+            CatchUp::Tail(_) => unreachable!("no base epoch offered"),
+        }
+    }
+
+    /// Registers a replication tap for a consumer that may already
+    /// hold state: with `from = Some(epoch)` and a delta log that
+    /// still covers `epoch + 1 ..= current`, returns
+    /// [`CatchUp::Tail`] — the logged backlog plus the live stream,
+    /// contiguous and gap-free, so the consumer catches up **without a
+    /// snapshot transfer**. Falls back to [`CatchUp::Snapshot`] (the
+    /// [`DashServer::replication_feed`] semantics) when the consumer
+    /// has no state, claims a future epoch, or has fallen off the
+    /// log's tail.
+    pub fn replication_feed_from(&self, from: Option<u64>) -> CatchUp {
         // The writer lock pins the epoch: no publication can land
-        // between grabbing the snapshot and registering the tap.
-        let _writer = self.shared.writer.lock();
-        let (sender, events) = mpsc::channel();
-        self.shared.taps.lock().push(sender);
-        ReplicationFeed {
+        // between consulting the log, grabbing the snapshot and
+        // registering the tap.
+        let writer = self.shared.writer.lock();
+        let (tap, events) = if self.shared.feed_depth > 0 {
+            let (sender, events) = mpsc::sync_channel(self.shared.feed_depth);
+            (Tap::Bounded(sender), events)
+        } else {
+            let (sender, events) = mpsc::channel();
+            (Tap::Unbounded(sender), events)
+        };
+        self.shared.taps.lock().push(tap);
+        if let Some(base) = from {
+            let backlog = if base == writer.epoch {
+                Some(Vec::new())
+            } else if base < writer.epoch {
+                self.shared.delta_log.lock().tail_after(base)
+            } else {
+                None // a future epoch: the consumer is confused — re-snapshot
+            };
+            if let Some(backlog) = backlog {
+                return CatchUp::Tail(DeltaTail {
+                    base,
+                    backlog,
+                    events,
+                });
+            }
+        }
+        CatchUp::Snapshot(ReplicationFeed {
             snapshot: self.shared.handle.snapshot(),
             events,
-        }
+        })
     }
 
     /// Time since the server was constructed (the denominator of the
@@ -573,6 +799,7 @@ impl DashServer {
             batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
             published: self.shared.published.load(Ordering::Relaxed),
             searches: self.shared.searches.load(Ordering::Relaxed),
+            feed_evictions: self.shared.feed_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -756,6 +983,143 @@ mod tests {
         drop(feed);
         server.publish(IndexDelta::adding(vec![fragment("Lao", "larb")]));
         assert_eq!(server.epoch(), 4);
+    }
+
+    fn cuisine_fragment(cuisine: &str, word: &str) -> Fragment {
+        Fragment::new(
+            FragmentId::new(vec![Value::str(cuisine), Value::Int(7)]),
+            [(word.to_string(), 2u64)].into_iter().collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn lagging_feed_is_evicted_instead_of_buffering_without_bound() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let server = DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(1).feed_depth(2),
+        )
+        .unwrap();
+        let feed = server.replication_feed();
+        // Publish past the tap bound without consuming: the third
+        // publication finds the channel full and evicts the tap —
+        // publishing itself never blocks.
+        for (at, word) in ["herring", "txakoli", "larb", "injera"].iter().enumerate() {
+            server.publish(IndexDelta::adding(vec![cuisine_fragment(
+                &format!("C{at}"),
+                word,
+            )]));
+        }
+        assert_eq!(server.epoch(), 4, "publishing continued past the laggard");
+        assert_eq!(server.stats().feed_evictions, 1);
+        // The laggard drains what was buffered, then sees the closed
+        // channel — its cue to re-sync via replication_feed_from.
+        assert_eq!(feed.events.recv().unwrap().epoch, 1);
+        assert_eq!(feed.events.recv().unwrap().epoch, 2);
+        assert!(feed.events.recv().is_err(), "evicted tap is closed");
+    }
+
+    #[test]
+    fn delta_tail_resumes_from_a_logged_epoch() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let server = DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(2).delta_log(8),
+        )
+        .unwrap();
+        for (at, word) in ["herring", "txakoli", "larb"].iter().enumerate() {
+            server.publish(IndexDelta::adding(vec![cuisine_fragment(
+                &format!("C{at}"),
+                word,
+            )]));
+        }
+        // A consumer at epoch 1 tails the log: backlog is exactly
+        // epochs 2 and 3, and later publications flow on the channel.
+        let CatchUp::Tail(tail) = server.replication_feed_from(Some(1)) else {
+            panic!("epoch 1 is on the log");
+        };
+        assert_eq!(tail.base, 1);
+        assert_eq!(
+            tail.backlog.iter().map(|e| e.epoch).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        server.publish(IndexDelta::adding(vec![cuisine_fragment("C9", "mole")]));
+        assert_eq!(tail.events.recv().unwrap().epoch, 4);
+        // A consumer already current gets an empty backlog.
+        let CatchUp::Tail(tail) = server.replication_feed_from(Some(4)) else {
+            panic!("current epoch needs no backlog");
+        };
+        assert!(tail.backlog.is_empty());
+        // A consumer claiming a future epoch re-snapshots.
+        assert!(matches!(
+            server.replication_feed_from(Some(99)),
+            CatchUp::Snapshot(_)
+        ));
+    }
+
+    #[test]
+    fn fallen_off_the_log_tail_means_snapshot() {
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let server = DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(1).delta_log(2),
+        )
+        .unwrap();
+        for (at, word) in ["herring", "txakoli", "larb", "injera"].iter().enumerate() {
+            server.publish(IndexDelta::adding(vec![cuisine_fragment(
+                &format!("C{at}"),
+                word,
+            )]));
+        }
+        // The ring holds epochs {3, 4}: epoch 2 can still tail (its
+        // successor is logged), epoch 1 has fallen off.
+        assert!(matches!(
+            server.replication_feed_from(Some(2)),
+            CatchUp::Tail(_)
+        ));
+        assert!(matches!(
+            server.replication_feed_from(Some(1)),
+            CatchUp::Snapshot(_)
+        ));
+        // Disabled log: every stateful consumer re-snapshots.
+        let unlogged = DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(1).delta_log(0),
+        )
+        .unwrap();
+        unlogged.publish(IndexDelta::adding(vec![cuisine_fragment("C9", "mole")]));
+        assert!(matches!(
+            unlogged.replication_feed_from(Some(0)),
+            CatchUp::Snapshot(_)
+        ));
+    }
+
+    #[test]
+    fn a_server_can_open_at_a_carried_epoch() {
+        // A replica's local server opens at the primary epoch its
+        // bootstrap state corresponds to; publications continue the
+        // cluster-wide numbering.
+        let db = fooddb::database();
+        let app = fooddb::search_application().unwrap();
+        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let server = DashServer::from_engine_at_epoch(engine, ServeConfig::default(), 7);
+        assert_eq!(server.epoch(), 7);
+        let (_, epoch) =
+            server.publish_with_epoch(IndexDelta::adding(vec![cuisine_fragment("C0", "herring")]));
+        assert_eq!(epoch, 8);
+        assert_eq!(server.snapshot().epoch, 8);
     }
 
     #[test]

@@ -37,10 +37,13 @@ pub(crate) struct SnapshotHandle {
 }
 
 impl SnapshotHandle {
-    /// Wraps a freshly built engine as epoch 0.
-    pub(crate) fn new(engine: ShardedEngine) -> Self {
+    /// Wraps a built engine at the given starting epoch. Epoch 0 is a
+    /// freshly built engine; a replica mirroring a primary (or a
+    /// promoted ex-replica) opens at the primary epoch its state
+    /// corresponds to, so epoch numbering stays cluster-wide.
+    pub(crate) fn new(engine: ShardedEngine, epoch: u64) -> Self {
         SnapshotHandle {
-            live: RwLock::new(Arc::new(EngineSnapshot { engine, epoch: 0 })),
+            live: RwLock::new(Arc::new(EngineSnapshot { engine, epoch })),
         }
     }
 

@@ -65,7 +65,10 @@ pub mod prelude {
         DashConfig, DashEngine, DeltaSignature, Fragment, FragmentId, FragmentIndex, IndexDelta,
         MultiDash, RecordChange, SearchEngine, SearchHit, SearchRequest, ShardedEngine,
     };
-    pub use dash_net::{NetClient, NetConfig, NetServer, Replica, ReplicaConfig, ReplicationHub};
+    pub use dash_net::{
+        BackoffConfig, NetClient, NetConfig, NetServer, Replica, ReplicaConfig, ReplicationHub,
+        Router, RouterConfig, Upstream,
+    };
     pub use dash_relation::{Database, Record, Schema, Table, Value};
     pub use dash_serve::{DashServer, ServeConfig};
     pub use dash_webapp::{DbPage, QueryString, WebApplication};

@@ -1,0 +1,617 @@
+//! The failover tier: cluster-grade fault coverage above the net
+//! equivalence bar. Every scenario here breaks something on purpose —
+//! torn frames, dropped frames, a killed primary — and requires the
+//! cluster to (a) never expose a half-applied state, (b) repair
+//! itself through the cheapest path available (delta-log catch-up
+//! before re-snapshot), and (c) keep every served hit list
+//! **byte-identical** to a fresh `DashEngine::search` over the same
+//! fragments once the dust settles.
+//!
+//! The fault injection hooks live on the primary's replication hub
+//! ([`ReplicationHub::faults`]): one-shot mid-frame kills (torn
+//! SNAPSHOT / torn DELTA), silent delta drops (epoch gaps the replica
+//! must detect), and per-frame delays. The control-plane operations —
+//! [`Replica::promote`], [`Replica::retarget`],
+//! [`Upstream::retarget`] — are what an operator (or the routing
+//! tier's supervisor) runs on a real failover; the chaos test at the
+//! bottom drives the whole sequence under concurrent load.
+//!
+//! [`ReplicationHub::faults`]: dash::net::ReplicationHub::faults
+//! [`Replica::promote`]: dash::net::Replica::promote
+//! [`Replica::retarget`]: dash::net::Replica::retarget
+//! [`Upstream::retarget`]: dash::net::Upstream::retarget
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dash::core::crawl::reference;
+use dash::mapreduce::WorkflowStats;
+use dash::net::json::hits_to_json;
+use dash::net::{Router, RouterConfig, UpdateBody};
+use dash::prelude::*;
+use dash::webapp::fooddb;
+
+const SYNC_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn app() -> WebApplication {
+    fooddb::search_application().unwrap()
+}
+
+fn fresh_single(fragments: &[Fragment]) -> DashEngine {
+    DashEngine::from_fragments(app(), fragments, WorkflowStats::new()).unwrap()
+}
+
+fn crawled_fragments() -> Vec<Fragment> {
+    let db = fooddb::database();
+    reference::fragments(&app(), &db).unwrap()
+}
+
+fn fragment(cuisine: &str, word: &str, n: u64) -> Fragment {
+    Fragment::new(
+        FragmentId::new(vec![Value::str(cuisine), Value::Int(7)]),
+        [(word.to_string(), n)].into_iter().collect(),
+        1,
+    )
+}
+
+/// A primary serving stack on ephemeral ports with a custom serve
+/// config: the `DashServer`, its HTTP front-end and replication hub.
+fn primary_with(
+    fragments: &[Fragment],
+    serve: ServeConfig,
+) -> (Arc<DashServer>, NetServer, ReplicationHub) {
+    let server = Arc::new(DashServer::from_fragments(app(), fragments, serve).unwrap());
+    let net = NetServer::serve_primary(
+        Arc::clone(&server),
+        fooddb::database(),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let hub = ReplicationHub::start(
+        Arc::clone(&server),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+    )
+    .unwrap();
+    (server, net, hub)
+}
+
+fn primary(fragments: &[Fragment]) -> (Arc<DashServer>, NetServer, ReplicationHub) {
+    primary_with(fragments, ServeConfig::default().shards(2))
+}
+
+/// Dumps a server's current fragments (the ground-truth input for a
+/// fresh reference engine).
+fn dump(server: &DashServer) -> Vec<Fragment> {
+    server
+        .snapshot()
+        .engine
+        .dump_shards()
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Every served node must answer the battery byte-identically to a
+/// fresh single engine over `truth_fragments`.
+fn assert_exact(
+    truth_fragments: &[Fragment],
+    serve: impl Fn(&SearchRequest) -> Vec<SearchHit>,
+    context: &str,
+) {
+    let truth = fresh_single(truth_fragments);
+    let mut requests: Vec<SearchRequest> = ["burger", "coffee", "herring", "larb", "zzzmissing"]
+        .iter()
+        .map(|kw| SearchRequest::new(&[*kw]).k(6).min_size(1))
+        .collect();
+    requests.push(SearchRequest::new(&["burger", "taco"]).k(8).min_size(10));
+    for request in &requests {
+        assert_eq!(
+            serve(request),
+            truth.search(request),
+            "{context}: keywords={:?}",
+            request.keywords
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delta-log catch-up
+// ---------------------------------------------------------------------
+
+#[test]
+fn reconnect_within_the_delta_log_window_tails_instead_of_resnapshotting() {
+    let base = crawled_fragments();
+    let (server, _net, hub) = primary(&base);
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(replica.wait_ready(SYNC_TIMEOUT));
+    assert_eq!(replica.bootstraps(), 1);
+
+    // Cut the stream, then publish a burst the replica misses.
+    hub.disconnect_all();
+    assert!(replica.wait_connected(false, SYNC_TIMEOUT));
+    for round in 1..=5u64 {
+        server.publish(IndexDelta::adding(vec![fragment(
+            &format!("Wave{round}"),
+            "herring",
+            round,
+        )]));
+    }
+    assert_eq!(server.epoch(), 5);
+
+    // The reconnect HELLO reports epoch 0, which is still inside the
+    // default delta log — all five missed deltas replay as a tail; no
+    // second SNAPSHOT frame is ever shipped.
+    assert!(replica.wait_epoch(5, SYNC_TIMEOUT));
+    assert_eq!(replica.bootstraps(), 1, "no snapshot frame on reconnect");
+    assert!(replica.catchups() >= 1, "the hub answered with RESUME");
+    assert_eq!(replica.deltas_applied(), 5);
+    assert_exact(&dump(&server), |r| replica.search(r), "after tail catch-up");
+}
+
+#[test]
+fn falling_off_the_log_tail_forces_a_full_rebootstrap() {
+    let base = crawled_fragments();
+    // A log of depth 2 cannot cover a 5-delta outage.
+    let (server, _net, hub) = primary_with(&base, ServeConfig::default().shards(2).delta_log(2));
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(replica.wait_ready(SYNC_TIMEOUT));
+
+    hub.disconnect_all();
+    assert!(replica.wait_connected(false, SYNC_TIMEOUT));
+    for round in 1..=5u64 {
+        server.publish(IndexDelta::adding(vec![fragment(
+            &format!("Wave{round}"),
+            "herring",
+            round,
+        )]));
+    }
+
+    // Epoch 0 fell off the log (it only holds {4, 5} now): the hub
+    // must answer with a fresh snapshot, never a gapped tail.
+    assert!(replica.wait_epoch(5, SYNC_TIMEOUT));
+    assert_eq!(replica.bootstraps(), 2, "off the log tail → re-snapshot");
+    assert_eq!(replica.catchups(), 0);
+    assert_exact(&dump(&server), |r| replica.search(r), "after re-bootstrap");
+}
+
+// ---------------------------------------------------------------------
+// Torn transfers and dropped frames
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_snapshot_frame_never_exposes_half_state() {
+    let base = crawled_fragments();
+    let (server, _net, hub) = primary(&base);
+    server.publish(IndexDelta::adding(vec![fragment("Nordic", "herring", 3)]));
+
+    // The first bootstrap attempt dies halfway through the SNAPSHOT
+    // frame; the framing layer rejects the torn payload before any
+    // engine state is built, so the replica simply retries.
+    hub.faults().kill_mid_snapshot.store(true, Ordering::SeqCst);
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(replica.wait_epoch(1, SYNC_TIMEOUT), "second attempt lands");
+    assert_eq!(
+        replica.bootstraps(),
+        1,
+        "the torn attempt never counted as a bootstrap"
+    );
+    assert_exact(&dump(&server), |r| replica.search(r), "after torn snapshot");
+}
+
+#[test]
+fn torn_delta_frame_is_invisible_until_the_retry_replays_it() {
+    let base = crawled_fragments();
+    let (server, _net, hub) = primary(&base);
+    // Generous retry so the torn window is observable.
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig {
+            retry: Duration::from_millis(1500),
+            ..ReplicaConfig::default()
+        },
+    ));
+    assert!(replica.wait_ready(SYNC_TIMEOUT));
+    let before = dump(&server);
+
+    // The next delta tears mid-frame and kills the connection.
+    hub.faults().kill_mid_delta.store(true, Ordering::SeqCst);
+    server.publish(IndexDelta::adding(vec![fragment("Lao", "larb", 2)]));
+    assert!(replica.wait_connected(false, SYNC_TIMEOUT));
+
+    // Nothing of the torn publication is visible: the replica still
+    // serves its epoch-0 bytes, not a half-applied delta.
+    assert_eq!(replica.epoch(), 0);
+    assert_exact(&before, |r| replica.search(r), "during the torn window");
+
+    // The reconnect resumes from the delta log and replays epoch 1.
+    assert!(replica.wait_epoch(1, SYNC_TIMEOUT));
+    assert!(replica.catchups() >= 1);
+    assert_eq!(replica.bootstraps(), 1);
+    assert_exact(&dump(&server), |r| replica.search(r), "after the replay");
+}
+
+#[test]
+fn dropped_delta_frames_are_detected_as_gaps_and_repaired() {
+    let base = crawled_fragments();
+    let (server, _net, hub) = primary(&base);
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(replica.wait_ready(SYNC_TIMEOUT));
+
+    // The streamer silently swallows the next delta; the one after
+    // arrives with an epoch gap (have 0, received 2). The replica must
+    // kill the stream — applying epoch 2 without epoch 1 would diverge
+    // the mirror — and repair through the reconnect.
+    hub.faults().drop_deltas.store(1, Ordering::SeqCst);
+    server.publish(IndexDelta::adding(vec![fragment("Lao", "larb", 2)]));
+    server.publish(IndexDelta::adding(vec![fragment("Nordic", "herring", 3)]));
+
+    assert!(replica.wait_epoch(2, SYNC_TIMEOUT));
+    assert!(replica.catchups() >= 1, "gap repaired via the delta log");
+    assert_eq!(replica.bootstraps(), 1);
+    assert_exact(&dump(&server), |r| replica.search(r), "after gap repair");
+}
+
+// ---------------------------------------------------------------------
+// Write forwarding
+// ---------------------------------------------------------------------
+
+#[test]
+fn a_forwarding_replica_accepts_writes_and_reads_them_back() {
+    let base = crawled_fragments();
+    let (server, net, hub) = primary(&base);
+    let replica = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(replica.wait_ready(SYNC_TIMEOUT));
+    let upstream = Arc::new(Upstream::new(net.addr(), BackoffConfig::default()));
+    let replica_net = NetServer::serve_replica_forwarding(
+        Arc::clone(&replica),
+        upstream,
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        NetConfig::default(),
+    )
+    .unwrap();
+
+    // The write goes to the REPLICA's HTTP port; the ack carries the
+    // PRIMARY's publication epoch.
+    let mut client = NetClient::connect(replica_net.addr()).unwrap();
+    let ack = client
+        .publish(&IndexDelta::adding(vec![fragment("Lao", "larb", 2)]))
+        .unwrap();
+    assert_eq!(ack.epoch, 1, "the primary's epoch, not a local one");
+    assert_eq!(server.epoch(), 1, "the primary applied it");
+
+    // Read-your-writes on the same replica connection: the forwarding
+    // path waited for the mirror to reach the acked epoch.
+    assert!(replica.epoch() >= ack.epoch);
+    let larb = SearchRequest::new(&["larb"]).k(3).min_size(1);
+    assert_eq!(client.search(&larb).unwrap().len(), 1);
+    assert_exact(
+        &dump(&server),
+        |r| {
+            let mut c = NetClient::connect(replica_net.addr()).unwrap();
+            c.search(r).unwrap()
+        },
+        "forwarded write visible on the replica",
+    );
+
+    // Record-change bodies forward identically (the primary owns the
+    // database; the replica never needs one).
+    let record = Record::new(vec![
+        Value::Int(8),
+        Value::str("Sushi Go"),
+        Value::str("Japanese"),
+        Value::Int(25),
+        Value::str("4.9"),
+    ]);
+    let ack = client.insert("restaurant", record).unwrap();
+    assert_eq!(ack.epoch, 2);
+    assert!(replica.wait_epoch(2, SYNC_TIMEOUT));
+    let sushi = SearchRequest::new(&["sushi"]).k(3).min_size(1);
+    assert_eq!(client.search(&sushi).unwrap().len(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Routing front tier
+// ---------------------------------------------------------------------
+
+#[test]
+fn router_spreads_reads_and_retries_past_a_dead_node() {
+    let base = crawled_fragments();
+    let (server, net, hub) = primary(&base);
+    let mut replica_nets = Vec::new();
+    let mut replicas = Vec::new();
+    for _ in 0..2 {
+        let replica = Arc::new(Replica::connect(
+            hub.addr(),
+            app(),
+            ReplicaConfig::default(),
+        ));
+        assert!(replica.wait_ready(SYNC_TIMEOUT));
+        replica_nets.push(
+            NetServer::serve_replica(
+                Arc::clone(&replica),
+                TcpListener::bind("127.0.0.1:0").unwrap(),
+                NetConfig::default(),
+            )
+            .unwrap(),
+        );
+        replicas.push(replica);
+    }
+    let addrs = vec![net.addr(), replica_nets[0].addr(), replica_nets[1].addr()];
+    let router = Router::new(addrs, RouterConfig::default());
+    assert!(router.wait_healthy(3, SYNC_TIMEOUT));
+    assert_eq!(router.primary(), Some(net.addr()));
+
+    // Reads round-robin over all three nodes — and every answer is the
+    // same bytes (the equivalence tier's guarantee makes spreading
+    // safe). Compare the raw wire JSON against the reference encoder.
+    let truth = fresh_single(&dump(&server));
+    let burger = SearchRequest::new(&["burger"]).k(6).min_size(1);
+    for _ in 0..6 {
+        assert_eq!(
+            router.search_json(&burger).unwrap(),
+            hits_to_json(&truth.search(&burger))
+        );
+    }
+    assert_eq!(router.reads(), 6);
+
+    // Kill one replica's front-end: reads keep succeeding (the router
+    // fails over to the next healthy node within the same call).
+    drop(replica_nets.pop());
+    for _ in 0..8 {
+        assert_eq!(
+            router.search_json(&burger).unwrap(),
+            hits_to_json(&truth.search(&burger))
+        );
+    }
+    assert!(router.wait_healthy(2, SYNC_TIMEOUT));
+}
+
+// ---------------------------------------------------------------------
+// Promotion
+// ---------------------------------------------------------------------
+
+#[test]
+fn promotion_continues_the_epoch_sequence_and_reseeds_the_cluster() {
+    let base = crawled_fragments();
+    let (server, net, hub) = primary(&base);
+    let a = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    let b = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    let a_net = NetServer::serve_replica(
+        Arc::clone(&a),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        NetConfig::default(),
+    )
+    .unwrap();
+    server.publish(IndexDelta::adding(vec![fragment("Nordic", "herring", 3)]));
+    server.publish(IndexDelta::adding(vec![fragment("Lao", "larb", 2)]));
+    assert!(a.wait_epoch(2, SYNC_TIMEOUT) && b.wait_epoch(2, SYNC_TIMEOUT));
+
+    // Kill the primary outright: HTTP front-end, hub, serving stack.
+    drop(net);
+    drop(hub);
+    drop(server);
+
+    // Promote A. Its server continues the cluster epoch sequence — the
+    // next publication is epoch 3, not 1 — and its own delta log
+    // (filled by the mirrored publishes) can reseed the others.
+    let promoted = a.promote().expect("a synced replica promotes");
+    assert!(a.is_promoted());
+    assert_eq!(promoted.epoch(), 2);
+    let hub2 = ReplicationHub::start(
+        Arc::clone(&promoted),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+    )
+    .unwrap();
+    b.retarget(hub2.addr());
+    assert!(b.wait_connected(true, SYNC_TIMEOUT));
+    assert!(b.catchups() >= 1, "B resumed from A's delta log");
+    assert_eq!(
+        b.bootstraps(),
+        1,
+        "no re-snapshot to follow the new primary"
+    );
+
+    // A's existing HTTP front-end now serves writes (role flipped).
+    let mut client = NetClient::connect(a_net.addr()).unwrap();
+    let stats = dash::net::json::parse(&client.stats_json().unwrap()).unwrap();
+    assert_eq!(stats.get("role").and_then(|v| v.as_str()), Some("primary"));
+    let ack = client
+        .publish(&IndexDelta::adding(vec![fragment("Basque", "txakoli", 2)]))
+        .unwrap();
+    assert_eq!(ack.epoch, 3, "epoch numbering survives the failover");
+    assert!(b.wait_epoch(3, SYNC_TIMEOUT), "B follows the new primary");
+
+    // Exactness held across the promotion: both nodes serve bytes a
+    // fresh engine over the promoted state produces.
+    let truth_fragments = dump(&promoted);
+    assert_exact(&truth_fragments, |r| promoted.search(r), "promoted node");
+    assert_exact(
+        &truth_fragments,
+        |r| b.search(r),
+        "replica following the promoted node",
+    );
+}
+
+// ---------------------------------------------------------------------
+// Chaos: kill the primary under mixed load
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_primary_kill_under_load_fails_over_without_losing_exactness() {
+    let base = crawled_fragments();
+    let (server, net, hub) = primary(&base);
+    let a = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    let b = Arc::new(Replica::connect(
+        hub.addr(),
+        app(),
+        ReplicaConfig::default(),
+    ));
+    assert!(a.wait_ready(SYNC_TIMEOUT) && b.wait_ready(SYNC_TIMEOUT));
+    let a_net = NetServer::serve_replica(
+        Arc::clone(&a),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let b_net = NetServer::serve_replica(
+        Arc::clone(&b),
+        TcpListener::bind("127.0.0.1:0").unwrap(),
+        NetConfig::default(),
+    )
+    .unwrap();
+    let router = Router::new(
+        vec![net.addr(), a_net.addr(), b_net.addr()],
+        RouterConfig {
+            probe_interval: Duration::from_millis(25),
+            backoff: BackoffConfig::default().deadline(Duration::from_secs(10)),
+        },
+    );
+    assert!(router.wait_healthy(3, SYNC_TIMEOUT));
+
+    let acked = AtomicU64::new(0);
+    let read_errors = AtomicU64::new(0);
+    let stop_readers = AtomicBool::new(false);
+    const WRITE_ROUNDS: u64 = 24;
+
+    // The scope returns hub2 so the promoted node keeps streaming to B
+    // through the quiesce and exactness checks below.
+    let _hub2 = std::thread::scope(|scope| {
+        // Writer: publishes a delta history through the router,
+        // retrying errored sends. A `Publish` of the same delta is
+        // idempotent on the engine state, so retrying a maybe-applied
+        // write is safe here — the caller knows, the router does not.
+        let router_ref = &router;
+        let acked_ref = &acked;
+        scope.spawn(move || {
+            for round in 1..=WRITE_ROUNDS {
+                let delta = IndexDelta::adding(vec![fragment("Churn", "burger", 1 + round % 5)]);
+                let deadline = Instant::now() + SYNC_TIMEOUT;
+                loop {
+                    match router_ref.update(&UpdateBody::Publish(delta.clone())) {
+                        Ok(_) => {
+                            acked_ref.fetch_add(1, Ordering::SeqCst);
+                            break;
+                        }
+                        Err(e) => {
+                            assert!(Instant::now() < deadline, "write {round} never landed: {e}");
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // Readers: hammer the router throughout the failover. Every
+        // read must succeed — a dead node is retried on the next
+        // healthy one within the same call.
+        for _ in 0..2 {
+            let router_ref = &router;
+            let stop = &stop_readers;
+            let read_errors = &read_errors;
+            scope.spawn(move || {
+                let request = SearchRequest::new(&["burger"]).k(6).min_size(1);
+                while !stop.load(Ordering::Relaxed) {
+                    if router_ref.search(&request).is_err() {
+                        read_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+
+        // Control plane: once some writes have landed, kill the
+        // primary and run the failover sequence.
+        while acked.load(Ordering::SeqCst) < 5 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(net);
+        drop(hub);
+        drop(server);
+        let promoted = a.promote().expect("A has state to promote");
+        let hub2 = ReplicationHub::start(
+            Arc::clone(&promoted),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+        )
+        .unwrap();
+        b.retarget(hub2.addr());
+
+        // Wait for the writer to finish, then stop the readers.
+        while acked.load(Ordering::SeqCst) < WRITE_ROUNDS {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stop_readers.store(true, Ordering::Relaxed);
+        hub2
+    });
+
+    assert_eq!(acked.load(Ordering::SeqCst), WRITE_ROUNDS);
+    assert_eq!(
+        read_errors.load(Ordering::Relaxed),
+        0,
+        "reads survived the failover via retry-on-next-healthy"
+    );
+    assert!(
+        router.write_failovers() >= 1,
+        "the writer had to re-discover the primary"
+    );
+    assert_eq!(
+        router.wait_primary(SYNC_TIMEOUT),
+        Some(a_net.addr()),
+        "the promoted replica is the new write target"
+    );
+
+    // Quiesce: B follows the promoted primary to its final epoch.
+    let promoted = a.server().expect("promoted server");
+    assert!(b.wait_epoch(promoted.epoch(), SYNC_TIMEOUT));
+    assert!(b.catchups() >= 1, "B resumed via the promoted node's log");
+
+    // The exactness bar survived the chaos: router-served bytes are a
+    // fresh engine's bytes over the promoted node's final fragments.
+    let truth_fragments = dump(&promoted);
+    let truth = fresh_single(&truth_fragments);
+    for kw in ["burger", "coffee", "herring", "zzzmissing"] {
+        let request = SearchRequest::new(&[kw]).k(6).min_size(1);
+        assert_eq!(
+            router.search_json(&request).unwrap(),
+            hits_to_json(&truth.search(&request)),
+            "post-chaos router bytes for {kw:?}"
+        );
+    }
+    assert_exact(&truth_fragments, |r| b.search(r), "post-chaos replica B");
+}
