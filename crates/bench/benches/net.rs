@@ -27,7 +27,41 @@ use dash_serve::loadgen::LoadProfile;
 use dash_serve::{DashServer, ServeConfig};
 use dash_tpch::{generate, Scale, TpchConfig};
 
+/// Re-entry point for the concurrency axis: a bench process spawned
+/// with `DASH_CONN_HOLD="<addr> <count>"` is not a benchmark — it
+/// parks `count` idle keep-alive connections against `addr` (its own
+/// fd budget, separate from the parent's), reports how many it
+/// opened, and holds them until the parent closes its stdin.
+fn hold_connections(spec: &str) -> ! {
+    use std::io::{BufRead, Write};
+    let mut parts = spec.split_whitespace();
+    let addr: std::net::SocketAddr = parts
+        .next()
+        .and_then(|a| a.parse().ok())
+        .expect("DASH_CONN_HOLD is '<addr> <count>'");
+    let count: usize = parts
+        .next()
+        .and_then(|n| n.parse().ok())
+        .expect("DASH_CONN_HOLD is '<addr> <count>'");
+    let mut held = Vec::with_capacity(count);
+    for _ in 0..count {
+        match std::net::TcpStream::connect(addr) {
+            Ok(stream) => held.push(stream),
+            Err(_) => break,
+        }
+    }
+    println!("ready {}", held.len());
+    std::io::stdout().flush().expect("report to parent");
+    let mut line = String::new();
+    while std::io::stdin().lock().read_line(&mut line).unwrap_or(0) > 0 {}
+    std::process::exit(0)
+}
+
 fn bench_net(c: &mut Criterion) {
+    if let Some(spec) = std::env::var_os("DASH_CONN_HOLD") {
+        hold_connections(spec.to_string_lossy().as_ref());
+    }
+
     // The serve suite's workload, behind sockets: TPC-H Q2 at micro
     // scale, hot/warm/cold keyword mix, update churn from the crawl.
     let mut config = TpchConfig::new(Scale::Custom(1));
@@ -115,6 +149,84 @@ fn bench_net(c: &mut Criterion) {
         b.iter(|| server.search(&request))
     });
     group.finish();
+
+    // Concurrency axis: the same cache-hit search, measured while an
+    // idle herd of keep-alive connections is parked on the front-end —
+    // the event loop's sweep cost must track *active* connections, not
+    // open ones. 100 and 1k park in-process; 10k would need ~20k fds
+    // in one process (client + server side), past the container's
+    // limit, so two `DASH_CONN_HOLD` child processes park 5k each and
+    // only the server-side fds land here.
+    let iters = if fast { 120 } else { 400 };
+    for (label, herd) in [
+        ("conns-100", 100usize),
+        ("conns-1k", 1_000),
+        ("conns-10k", 10_000),
+    ] {
+        let mut local: Vec<std::net::TcpStream> = Vec::new();
+        let mut children: Vec<std::process::Child> = Vec::new();
+        let mut parked = 0usize;
+        if herd <= 1_000 {
+            for _ in 0..herd {
+                local.push(std::net::TcpStream::connect(net.addr()).expect("herd connects"));
+            }
+            parked = local.len();
+        } else {
+            use std::io::BufRead;
+            let exe = std::env::current_exe().expect("bench exe");
+            for _ in 0..2 {
+                children.push(
+                    std::process::Command::new(&exe)
+                        .env("DASH_CONN_HOLD", format!("{} {}", net.addr(), herd / 2))
+                        .stdin(std::process::Stdio::piped())
+                        .stdout(std::process::Stdio::piped())
+                        .spawn()
+                        .expect("holder spawns"),
+                );
+            }
+            for child in &mut children {
+                let mut line = String::new();
+                std::io::BufReader::new(child.stdout.take().expect("holder stdout"))
+                    .read_line(&mut line)
+                    .expect("holder reports");
+                parked += line
+                    .trim()
+                    .strip_prefix("ready ")
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .expect("holder readiness line");
+            }
+        }
+        assert!(
+            parked * 10 >= herd * 9,
+            "{label}: only parked {parked} of {herd} connections"
+        );
+        // The herd counts as open only once the loop accepted it (the
+        // +1 is the measuring client's own connection).
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while (net.counters().open as usize) < parked + 1 {
+            assert!(
+                Instant::now() < deadline,
+                "{label}: open={} never reached {}",
+                net.counters().open,
+                parked + 1
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let mut samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let begin = Instant::now();
+            client.search(&request).expect("search under herd");
+            samples.push(begin.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p50 = samples[samples.len() / 2];
+        c.record_measurement(&format!("net/concurrency/{label}"), p50, 1e9 / p50.max(1.0));
+        drop(local);
+        for mut child in children {
+            drop(child.stdin.take());
+            let _ = child.wait();
+        }
+    }
 
     // Failover axis: what recovery costs on the replication tier — the
     // snapshot bootstrap a fresh replica pays to join, the delta-log

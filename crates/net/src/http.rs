@@ -3,11 +3,15 @@
 //! external dependencies (the build environment has no registry
 //! access, and the serving surface is three fixed routes).
 //!
-//! Supported: request-line + header parsing, `Content-Length` bodies,
-//! persistent connections (`keep-alive` is the HTTP/1.1 default;
-//! `Connection: close` honored), percent-decoded query strings with
-//! repeated keys (`?kw=a&kw=b`). Not supported, by design: chunked
-//! transfer, trailers, pipelining beyond request-at-a-time, TLS.
+//! Supported: request-line + header parsing (incremental, over a
+//! growing byte buffer — the event loop feeds it whatever segments
+//! have arrived), `Content-Length` bodies, persistent connections
+//! (`keep-alive` is the HTTP/1.1 default; `Connection: close`
+//! honored), percent-decoded query strings with repeated keys
+//! (`?kw=a&kw=b`), and chunked *response* bodies above
+//! [`CHUNK_THRESHOLD`] (large hit lists stream in [`CHUNK_SIZE`]
+//! pieces instead of one `Content-Length` slab). Not supported, by
+//! design: chunked request bodies, trailers with content, TLS.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -16,6 +20,13 @@ use std::net::TcpStream;
 /// peer cannot make the server buffer unboundedly.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
 const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// Response bodies larger than this are sent with
+/// `Transfer-Encoding: chunked` (the large-k hit-list path) instead of
+/// one `Content-Length` slab.
+pub const CHUNK_THRESHOLD: usize = 32 * 1024;
+/// Chunk size of a chunked response body.
+pub const CHUNK_SIZE: usize = 16 * 1024;
 
 /// One parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -52,56 +63,125 @@ impl Request {
     }
 }
 
-/// Reads one request off a persistent connection. `Ok(None)` means the
-/// peer closed cleanly between requests (normal keep-alive shutdown).
+/// Why a request failed to parse — carries the HTTP status the server
+/// answers with before closing the connection (`400` for malformed
+/// framing, `413` for bodies or headers past the buffering bounds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Malformed request line, header or target (`400`).
+    Malformed(String),
+    /// Declared body or accumulated headers exceed the buffering
+    /// bounds (`413`).
+    TooLarge(String),
+}
+
+impl ParseError {
+    /// The HTTP status this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::TooLarge(_) => 413,
+        }
+    }
+
+    /// The human-readable message (the response body).
+    pub fn message(&self) -> &str {
+        match self {
+            ParseError::Malformed(m) | ParseError::TooLarge(m) => m,
+        }
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> ParseError {
+    ParseError::Malformed(msg.into())
+}
+
+/// A fully parsed request head (request line + headers), plus how many
+/// buffer bytes it consumed — the connection state machine transitions
+/// from `ReadingHead` to `ReadingBody` on this, then waits until
+/// `head_len + content_length` bytes have arrived.
+#[derive(Debug, Clone)]
+pub struct ParsedHead {
+    /// Request method, uppercase.
+    pub method: String,
+    /// Raw request target (path + query, undecoded).
+    pub target: String,
+    /// Whether the connection stays open after the response.
+    pub keep_alive: bool,
+    /// Declared body length (0 when absent).
+    pub content_length: usize,
+    /// Bytes of the head, including the blank line.
+    pub head_len: usize,
+}
+
+/// Index one past the blank line ending the head, if present. Accepts
+/// `\r\n\r\n`, `\n\n` and mixed endings.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut at = 0;
+    while at < buf.len() {
+        if buf[at] != b'\n' {
+            at += 1;
+            continue;
+        }
+        match buf.get(at + 1) {
+            Some(b'\n') => return Some(at + 2),
+            Some(b'\r') if buf.get(at + 2) == Some(&b'\n') => return Some(at + 3),
+            _ => at += 1,
+        }
+    }
+    None
+}
+
+/// Incrementally parses a request head from the front of `buf`.
+/// `Ok(None)` means the head is not complete yet — read more bytes and
+/// try again.
 ///
 /// # Errors
 ///
-/// `InvalidData` on malformed request lines, oversized headers or
-/// bodies; propagates I/O errors (including timeouts, which callers
-/// poll through).
-pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
-    let mut line = String::new();
-    if read_line_bounded(reader, &mut line)? == 0 {
+/// [`ParseError`] on malformed request lines or headers, and on heads
+/// or declared bodies past the buffering bounds (detected as early as
+/// possible: an endless header stream errors before the blank line
+/// ever arrives).
+pub fn parse_head(buf: &[u8]) -> Result<Option<ParsedHead>, ParseError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ParseError::TooLarge("headers too large".into()));
+        }
         return Ok(None);
+    };
+    if head_len > MAX_HEADER_BYTES {
+        return Err(ParseError::TooLarge("headers too large".into()));
     }
-    let line = line.trim_end();
+    let text = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| malformed("request head is not UTF-8"))?;
+    let mut lines = text.split('\n').map(|l| l.trim_end_matches('\r'));
+    let line = lines.next().unwrap_or("");
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_ascii_uppercase(), t.to_string(), v),
-        _ => return Err(invalid(&format!("malformed request line: {line:?}"))),
+        _ => return Err(malformed(format!("malformed request line: {line:?}"))),
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(invalid(&format!("unsupported version: {version:?}")));
+        return Err(malformed(format!("unsupported version: {version:?}")));
     }
     // HTTP/1.1 defaults to keep-alive; HTTP/1.0 to close.
     let mut keep_alive = version != "HTTP/1.0";
     let mut content_length = 0usize;
-    let mut header_bytes = 0usize;
-    loop {
-        let mut header = String::new();
-        if read_line_bounded(reader, &mut header)? == 0 {
-            return Err(invalid("connection closed inside headers"));
-        }
-        header_bytes += header.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(invalid("headers too large"));
-        }
-        let header = header.trim_end();
+    for header in lines {
         if header.is_empty() {
             break;
         }
         let Some((name, value)) = header.split_once(':') else {
-            return Err(invalid(&format!("malformed header: {header:?}")));
+            return Err(malformed(format!("malformed header: {header:?}")));
         };
         let value = value.trim();
         match name.to_ascii_lowercase().as_str() {
             "content-length" => {
                 content_length = value
                     .parse()
-                    .map_err(|_| invalid(&format!("bad content-length: {value:?}")))?;
+                    .map_err(|_| malformed(format!("bad content-length: {value:?}")))?;
                 if content_length > MAX_BODY_BYTES {
-                    return Err(invalid("body too large"));
+                    return Err(ParseError::TooLarge("body too large".into()));
                 }
             }
             "connection" => {
@@ -115,16 +195,30 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Requ
             _ => {}
         }
     }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let (path, query) = split_target(&target)?;
-    Ok(Some(Request {
+    Ok(Some(ParsedHead {
         method,
+        target,
+        keep_alive,
+        content_length,
+        head_len,
+    }))
+}
+
+/// Assembles the final [`Request`] once the body bytes have arrived
+/// (decodes the target's path and query).
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] on undecodable targets.
+pub fn build_request(head: &ParsedHead, body: Vec<u8>) -> Result<Request, ParseError> {
+    let (path, query) = split_target(&head.target).map_err(|e| malformed(e.to_string()))?;
+    Ok(Request {
+        method: head.method.clone(),
         path,
         query,
         body,
-        keep_alive,
-    }))
+        keep_alive: head.keep_alive,
+    })
 }
 
 /// One HTTP response: status, content type, body.
@@ -158,6 +252,60 @@ impl Response {
     }
 }
 
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes a response to the exact bytes the socket carries: a
+/// `Content-Length` head + body for small responses, chunked framing
+/// ([`CHUNK_SIZE`] pieces) for bodies past [`CHUNK_THRESHOLD`] — the
+/// large-k hit-list path. The pre-serialized response cache stores
+/// precisely this rendering, so a cache hit is one buffer, one write.
+pub fn render_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = Vec::with_capacity(response.body.len() + 160);
+    if response.body.len() > CHUNK_THRESHOLD {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+            response.status,
+            reason(response.status),
+            response.content_type,
+            connection,
+        )
+        .expect("Vec<u8> writes are infallible");
+        for chunk in response.body.chunks(CHUNK_SIZE) {
+            write!(out, "{:X}\r\n", chunk.len()).expect("Vec<u8> writes are infallible");
+            out.extend_from_slice(chunk);
+            out.extend_from_slice(b"\r\n");
+        }
+        out.extend_from_slice(b"0\r\n\r\n");
+    } else {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            response.status,
+            reason(response.status),
+            response.content_type,
+            response.body.len(),
+            connection,
+        )
+        .expect("Vec<u8> writes are infallible");
+        out.extend_from_slice(&response.body);
+    }
+    out
+}
+
 /// Writes a response, honoring the request's keep-alive choice.
 ///
 /// # Errors
@@ -168,29 +316,15 @@ pub fn write_response<W: Write>(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let reason = match response.status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Unknown",
-    };
-    write!(
-        writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        reason,
-        response.content_type,
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    )?;
-    writer.write_all(&response.body)?;
+    writer.write_all(&render_response(response, keep_alive))?;
     writer.flush()
 }
 
 /// Reads the status line + headers + body of one HTTP *response* (the
 /// client half of the exchange). Returns the status code and body.
+/// Both framings are understood: `Content-Length` and
+/// `Transfer-Encoding: chunked` (chunks are reassembled into one
+/// body).
 ///
 /// # Errors
 ///
@@ -208,6 +342,7 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<
         _ => return Err(invalid(&format!("malformed status line: {line:?}"))),
     };
     let mut content_length = 0usize;
+    let mut chunked = false;
     loop {
         let mut header = String::new();
         if read_line_bounded(reader, &mut header)? == 0 {
@@ -226,12 +361,58 @@ pub fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, Vec<
                 if content_length > MAX_BODY_BYTES {
                     return Err(invalid("response body too large"));
                 }
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
             }
         }
+    }
+    if chunked {
+        return Ok((status, read_chunked_body(reader)?));
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     Ok((status, body))
+}
+
+/// Reassembles a chunked response body: hex-size lines, chunk bytes,
+/// terminated by a zero chunk (trailers, if any, are read and
+/// discarded).
+fn read_chunked_body(reader: &mut BufReader<TcpStream>) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    loop {
+        let mut line = String::new();
+        if read_line_bounded(reader, &mut line)? == 0 {
+            return Err(invalid("connection closed inside chunked body"));
+        }
+        let size_text = line.trim().split(';').next().unwrap_or("");
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| invalid(&format!("bad chunk size: {size_text:?}")))?;
+        if size == 0 {
+            // Trailer section: lines until the blank one.
+            loop {
+                let mut trailer = String::new();
+                if read_line_bounded(reader, &mut trailer)? == 0 {
+                    return Err(invalid("connection closed inside chunk trailers"));
+                }
+                if trailer.trim_end().is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(invalid("chunked body too large"));
+        }
+        let at = body.len();
+        body.resize(at + size, 0);
+        reader.read_exact(&mut body[at..])?;
+        let mut crlf = [0u8; 2];
+        reader.read_exact(&mut crlf)?;
+        if &crlf != b"\r\n" {
+            return Err(invalid("chunk data not terminated by CRLF"));
+        }
+    }
 }
 
 /// Splits a request target into its decoded path and query pairs.
@@ -331,5 +512,108 @@ mod tests {
                 ("k".to_string(), "2".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn head_parsing_is_incremental() {
+        let full = b"GET /search?kw=a HTTP/1.1\r\nHost: dash\r\nContent-Length: 3\r\n\r\nxyz";
+        // Every strict prefix short of the blank line parses to None.
+        for cut in 0..full.len() - 4 {
+            if find_head_end(&full[..cut]).is_none() {
+                assert!(parse_head(&full[..cut]).unwrap().is_none(), "cut={cut}");
+            }
+        }
+        let head = parse_head(full).unwrap().expect("complete head");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/search?kw=a");
+        assert_eq!(head.content_length, 3);
+        assert!(head.keep_alive);
+        assert_eq!(head.head_len, full.len() - 3);
+        let request = build_request(&head, full[head.head_len..].to_vec()).unwrap();
+        assert_eq!(request.path, "/search");
+        assert_eq!(request.param("kw"), Some("a"));
+        assert_eq!(request.body, b"xyz");
+    }
+
+    #[test]
+    fn head_parsing_accepts_bare_lf_endings() {
+        let head = parse_head(b"GET /stats HTTP/1.1\nHost: dash\n\n")
+            .unwrap()
+            .expect("complete");
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.head_len, 32);
+    }
+
+    #[test]
+    fn malformed_heads_are_typed_errors() {
+        assert_eq!(parse_head(b"NOT-HTTP\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(
+            parse_head(b"GET /x HTTP/2.0\r\n\r\n").unwrap_err().status(),
+            400
+        );
+        assert_eq!(
+            parse_head(b"GET /x HTTP/1.1\r\nBadHeader\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        let oversized = format!("GET /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1u64 << 40);
+        assert_eq!(parse_head(oversized.as_bytes()).unwrap_err().status(), 413);
+        // A header stream that never ends errors before buffering
+        // past the bound.
+        let endless = vec![b'a'; MAX_HEADER_BYTES + 2];
+        assert_eq!(parse_head(&endless).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn http_10_defaults_to_close() {
+        let head = parse_head(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!head.keep_alive);
+        let head = parse_head(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(head.keep_alive);
+        let head = parse_head(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!head.keep_alive);
+    }
+
+    #[test]
+    fn small_responses_render_with_content_length() {
+        let bytes = render_response(&Response::json("{}".into()), true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let closed = render_response(&Response::error(503, "busy"), false);
+        assert!(String::from_utf8(closed)
+            .unwrap()
+            .contains("Connection: close"));
+    }
+
+    #[test]
+    fn large_responses_render_chunked() {
+        let body = "x".repeat(CHUNK_THRESHOLD + CHUNK_SIZE + 5);
+        let bytes = render_response(&Response::json(body.clone()), true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(text.ends_with("0\r\n\r\n"));
+        // Reassembling the chunks yields the body bit for bit.
+        let after_head = text.split_once("\r\n\r\n").unwrap().1;
+        let mut rebuilt = String::new();
+        let mut rest = after_head;
+        loop {
+            let (size, tail) = rest.split_once("\r\n").unwrap();
+            let size = usize::from_str_radix(size, 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            rebuilt.push_str(&tail[..size]);
+            rest = &tail[size + 2..];
+        }
+        assert_eq!(rebuilt, body);
     }
 }

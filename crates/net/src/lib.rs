@@ -30,12 +30,13 @@
 //!      ReplicationHub ──▶ Replica, Replica, …         delta streaming
 //! ```
 //!
-//! * **HTTP front-end** ([`server`]) — a `TcpListener` accept loop
-//!   feeding a fixed worker-thread pool; `GET /search` (byte-stable
+//! * **HTTP front-end** ([`server`], [`event`]) — a readiness-driven
+//!   event loop over nonblocking sockets; `GET /search` (byte-stable
 //!   JSON hit lists), `POST /update` (binary [`RecordChange`] batches
 //!   through the bulk delta path, or prebuilt [`IndexDelta`]s through
 //!   publish), `GET /stats` (qps, cache hit rate, snapshot epoch,
 //!   replication role — the router's health/primary probe).
+//!   See *Front-end architecture* below.
 //! * **Primary→replica replication** ([`repl`]) — the primary's
 //!   [`ReplicationHub`] streams every published delta (epoch +
 //!   [`IndexDelta`] + [`DeltaSignature`]) to connected replicas over a
@@ -72,6 +73,40 @@
 //!   generator driving the serve-layer scripts over real connections
 //!   (the `net` bench suite records it to `BENCH_net.json`, including
 //!   the `net/failover` recovery axis).
+//!
+//! ## Front-end architecture
+//!
+//! One event-loop thread owns every socket — listener and accepted
+//! connections alike are nonblocking — and drives one state machine
+//! per connection:
+//!
+//! ```text
+//!                    ┌─────────────── event loop thread ───────────────┐
+//!   accept ──▶ Idle ──▶ ReadingHead ──▶ ReadingBody ─┬─▶ Handling ─┐   │
+//!              ▲ │          │ parse error  │ torn    │   (workers) │   │
+//!              │ │ EOF      ▼ 400/413      ▼ close   │ cache hit   ▼   │
+//!              │ └─close   Writing ◀───────────────── └──────▶ Writing │
+//!              │              │ close_after                      │     │
+//!              └──────────────┴──────── keep-alive ◀─────────────┘     │
+//!              └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! An idle keep-alive peer costs one slot and one buffer, not a
+//! thread, so 10k open connections ride on a handful of worker
+//! threads. Pure `std` has no readiness syscall, so readiness is
+//! polled in two tiers: connections active in the last ~100ms are
+//! swept every iteration, the cold rest via a budgeted round-robin
+//! cursor — sweep cost tracks *active* connections. Requests dispatch
+//! to a bounded worker queue (full queue ⇒ immediate `503`, as does
+//! the connection cap); responses above ~32KB stream back chunked.
+//! Repeat `GET /search` requests short-circuit through a
+//! **pre-serialized response cache**: the exact rendered bytes, keyed
+//! like the serve-tier result cache and invalidated by the same
+//! published [`DeltaSignature`]s (via a replication tap), making a hot
+//! hit one lookup plus one `write(2)` on the loop thread. The
+//! `net/concurrency` bench axis records latency against 100/1k/10k
+//! open connections; `net/path/http-cache-hit` prices the cached
+//! round-trip.
 //!
 //! The acceptance bar is the same as every layer below:
 //! `tests/net_equivalence.rs` proves that hit lists served over HTTP —
@@ -114,18 +149,22 @@
 
 pub mod backoff;
 pub mod client;
+pub mod event;
 pub mod forward;
 pub mod http;
 pub mod json;
 pub mod loadgen;
 pub mod repl;
+mod response_cache;
 pub mod router;
 pub mod server;
 
 pub use backoff::{Backoff, BackoffConfig};
 pub use client::NetClient;
+pub use event::NetCounters;
 pub use forward::Upstream;
 pub use loadgen::NetLoadReport;
 pub use repl::{ReplFaults, Replica, ReplicaConfig, ReplicationHub};
+pub use response_cache::ResponseCacheStats;
 pub use router::{Router, RouterConfig};
 pub use server::{Backend, NetChange, NetConfig, NetServer, UpdateAck, UpdateBody};

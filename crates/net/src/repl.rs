@@ -56,7 +56,7 @@
 //! [`DeltaSignature`]: dash_core::DeltaSignature
 
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -377,10 +377,26 @@ impl Drop for ReplicationHub {
         self.stop.store(true, Ordering::Relaxed);
         self.disconnect_all();
         // Wake the accept loop so it observes the stop flag.
-        let _ = TcpStream::connect(self.addr);
+        let _ = TcpStream::connect(wake_addr(self.addr));
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+    }
+}
+
+/// The address a shutdown wake-up should connect to: the bound address
+/// itself, unless the listener was bound to the wildcard — `0.0.0.0`
+/// (or `[::]`) is not a connectable destination on every platform, so
+/// the wake-up targets loopback on the bound port instead.
+fn wake_addr(addr: SocketAddr) -> SocketAddr {
+    if addr.ip().is_unspecified() {
+        let loopback: IpAddr = match addr {
+            SocketAddr::V4(_) => Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => Ipv6Addr::LOCALHOST.into(),
+        };
+        SocketAddr::new(loopback, addr.port())
+    } else {
+        addr
     }
 }
 

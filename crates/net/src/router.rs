@@ -146,6 +146,10 @@ struct RouterInner {
     read_retries: AtomicU64,
     writes: AtomicU64,
     write_failovers: AtomicU64,
+    /// Index of the node that acked the most recent successful write
+    /// (`usize::MAX` before any write lands) — a later ack from a
+    /// *different* node is a failover the writer lived through.
+    last_write: AtomicUsize,
     stop: AtomicBool,
 }
 
@@ -156,10 +160,14 @@ impl RouterInner {
         }
     }
 
-    fn current_primary(&self) -> Option<&Node> {
+    fn current_primary_index(&self) -> Option<usize> {
         self.nodes
             .iter()
-            .find(|n| n.healthy.load(Ordering::SeqCst) && n.primary.load(Ordering::SeqCst))
+            .position(|n| n.healthy.load(Ordering::SeqCst) && n.primary.load(Ordering::SeqCst))
+    }
+
+    fn current_primary(&self) -> Option<&Node> {
+        self.current_primary_index().map(|at| &self.nodes[at])
     }
 }
 
@@ -186,6 +194,7 @@ impl Router {
             read_retries: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             write_failovers: AtomicU64::new(0),
+            last_write: AtomicUsize::new(usize::MAX),
             stop: AtomicBool::new(false),
         });
         inner.probe_all();
@@ -278,11 +287,19 @@ impl Router {
     pub fn update(&self, body: &UpdateBody) -> io::Result<UpdateAck> {
         self.inner.writes.fetch_add(1, Ordering::Relaxed);
         let mut backoff = Backoff::start(&self.config.backoff);
+        // Whether this call ever observed the primary missing. The
+        // probe thread may be the one that discovers the replacement
+        // while we sit in `backoff.wait()` — or even between two calls,
+        // so fast that no call ever sees the gap. Both are failovers to
+        // the *writer*: count when the acked node differs from the one
+        // that acked the previous write, or when this call had to wait
+        // out a rediscovery.
+        let mut lost_primary = false;
         loop {
-            let Some(node) = self.inner.current_primary() else {
+            let Some(at) = self.inner.current_primary_index() else {
+                lost_primary = true;
                 self.inner.probe_all();
-                if self.inner.current_primary().is_some() {
-                    self.inner.write_failovers.fetch_add(1, Ordering::Relaxed);
+                if self.inner.current_primary_index().is_some() {
                     continue;
                 }
                 if backoff.wait() {
@@ -290,6 +307,7 @@ impl Router {
                 }
                 return Err(io::Error::other("no primary discovered before deadline"));
             };
+            let node = &self.inner.nodes[at];
             let mut client = node.client.lock();
             if client.is_none() {
                 // Connect phase: nothing sent — a failure here is safe
@@ -309,7 +327,13 @@ impl Router {
             }
             let result = client.as_mut().expect("connected above").update(body);
             return match result {
-                Ok(ack) => Ok(ack),
+                Ok(ack) => {
+                    let prev = self.inner.last_write.swap(at, Ordering::SeqCst);
+                    if lost_primary || (prev != usize::MAX && prev != at) {
+                        self.inner.write_failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(ack)
+                }
                 Err(e) => {
                     // Exchange phase: may have been applied — drop the
                     // connection, mark the node for re-probing, and
@@ -361,7 +385,9 @@ impl Router {
         self.inner.writes.load(Ordering::Relaxed)
     }
 
-    /// Writes that needed a re-discovery sweep to find the primary.
+    /// Writes that lived through a primary failover: acked by a
+    /// different node than the previous write, or acked only after
+    /// this call waited out a primary re-discovery.
     pub fn write_failovers(&self) -> u64 {
         self.inner.write_failovers.load(Ordering::Relaxed)
     }

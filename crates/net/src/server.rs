@@ -1,6 +1,7 @@
-//! The HTTP front-end: a `TcpListener` accept loop feeding a fixed
-//! worker-thread pool, serving three routes over a [`DashServer`] (or
-//! a [`Replica`] mirroring one):
+//! The HTTP front-end: a readiness-driven event loop (`event.rs`)
+//! owning every socket, dispatching route handling to a fixed worker
+//! pool, serving three routes over a [`DashServer`] (or a [`Replica`]
+//! mirroring one):
 //!
 //! * `GET /search?kw=…&kw=…&k=…&s=…` — top-k db-page search through
 //!   the full serving path (cache → micro-batcher → snapshot); the
@@ -19,15 +20,20 @@
 //!   `"primary"`, which is how the routing front tier discovers the
 //!   new primary after a failover).
 //!
-//! Connections are persistent (HTTP/1.1 keep-alive), one worker thread
-//! per live connection up to the pool size; further connections queue
-//! on the accept channel. Workers poll a short read timeout so
-//! shutdown never hangs on an idle keep-alive peer.
+//! Connections are persistent (HTTP/1.1 keep-alive) and cost a buffer
+//! each, not a thread: the event loop multiplexes them all
+//! nonblockingly, so open-connection count is bounded by
+//! [`NetConfig::max_connections`] (overflow gets a fast `503`), not by
+//! the worker pool. Repeat `GET /search` requests are answered from a
+//! pre-serialized response cache (`response_cache.rs`) — rendered
+//! bytes keyed and invalidated by the same delta-signature machinery
+//! as the serve-tier result cache, making a hot cache hit a single
+//! `write(2)` on the loop thread.
 
-use std::io::{self, BufReader, BufWriter, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -37,10 +43,12 @@ use dash_relation::Database;
 use dash_serve::DashServer;
 use parking_lot::Mutex;
 
+use crate::event::{self, Done, Job, NetCounters};
 use crate::forward::Upstream;
-use crate::http::{self, invalid, Request, Response};
+use crate::http::{invalid, Request, Response};
 use crate::json;
 use crate::repl::Replica;
+use crate::response_cache::{ResponseCache, ResponseCacheStats};
 
 /// Update-body kind tags (first byte of a `POST /update` body).
 const UPDATE_CHANGES: u8 = 0;
@@ -52,18 +60,30 @@ const OP_DELETE: u8 = 1;
 /// Tunables of the socket front-end.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
-    /// Worker threads — the bound on concurrently served persistent
-    /// connections (further accepted connections wait on the queue).
+    /// Route-handling worker threads. Concurrency of *handling*, not
+    /// of connections — idle keep-alive peers cost no worker.
     pub workers: usize,
-    /// Bound of the accepted-connection queue.
-    pub backlog: usize,
+    /// Open-connection cap; a connect past it is answered `503` and
+    /// closed immediately (never silently stalled).
+    pub max_connections: usize,
+    /// Bound of the loop→worker job queue; a request arriving with the
+    /// queue full is answered `503` immediately (load shedding).
+    pub queue_depth: usize,
+    /// Entry cap of the pre-serialized response cache (0 disables it).
+    pub response_cache_entries: usize,
+    /// Byte budget of the pre-serialized response cache (0 = no byte
+    /// bound).
+    pub response_cache_bytes: usize,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             workers: 8,
-            backlog: 64,
+            max_connections: 10_240,
+            queue_depth: 1024,
+            response_cache_entries: 512,
+            response_cache_bytes: 4 << 20,
         }
     }
 }
@@ -120,9 +140,23 @@ pub fn encode_update(body: &UpdateBody) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// `InvalidData` on unknown tags or torn payloads.
+/// `InvalidData` on unknown tags, torn payloads, or trailing bytes
+/// after a valid body — a clean prefix followed by garbage means a
+/// concatenated or corrupted request, and silently accepting it would
+/// apply a different update than the client believes it sent.
 pub fn decode_update(bytes: &[u8]) -> io::Result<UpdateBody> {
     let mut reader = bytes;
+    let body = decode_update_body(&mut reader)?;
+    if !reader.is_empty() {
+        return Err(invalid(&format!(
+            "{} trailing bytes after update body",
+            reader.len()
+        )));
+    }
+    Ok(body)
+}
+
+fn decode_update_body(reader: &mut &[u8]) -> io::Result<UpdateBody> {
     let mut tag = [0u8; 1];
     reader.read_exact(&mut tag)?;
     match tag[0] {
@@ -137,7 +171,7 @@ pub fn decode_update(bytes: &[u8]) -> io::Result<UpdateBody> {
             for _ in 0..count {
                 let mut op = [0u8; 1];
                 reader.read_exact(&mut op)?;
-                let change = wire::read_change(&mut reader)?;
+                let change = wire::read_change(&mut *reader)?;
                 changes.push(match op[0] {
                     OP_INSERT => NetChange::Insert(change),
                     OP_DELETE => NetChange::Delete(change),
@@ -146,7 +180,7 @@ pub fn decode_update(bytes: &[u8]) -> io::Result<UpdateBody> {
             }
             Ok(UpdateBody::Changes(changes))
         }
-        UPDATE_PUBLISH => Ok(UpdateBody::Publish(wire::read_delta(&mut reader)?)),
+        UPDATE_PUBLISH => Ok(UpdateBody::Publish(wire::read_delta(&mut *reader)?)),
         other => Err(invalid(&format!("unknown update tag {other}"))),
     }
 }
@@ -215,6 +249,17 @@ pub enum Backend {
 }
 
 impl Backend {
+    /// The serving stack the response cache keys its tap to, when one
+    /// is live: the primary's server, or a replica's current mirror
+    /// (whose identity changes on re-bootstrap — the cache detects the
+    /// swap by Arc pointer and flushes).
+    pub(crate) fn cache_server(&self) -> Option<Arc<DashServer>> {
+        match self {
+            Backend::Primary { server, .. } => Some(Arc::clone(server)),
+            Backend::Replica { replica, .. } => replica.server(),
+        }
+    }
+
     fn search(&self, request: &SearchRequest) -> Result<Vec<dash_core::SearchHit>, Response> {
         match self {
             Backend::Primary { server, .. } => Ok(server.search(request)),
@@ -407,12 +452,14 @@ fn apply_changes_to(
     }
 }
 
-/// The socket front-end: accept loop + worker pool over a [`Backend`].
+/// The socket front-end: event loop + worker pool over a [`Backend`].
 #[derive(Debug)]
 pub struct NetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    counters: Arc<event::Counters>,
+    cache: Arc<ResponseCache>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -498,48 +545,75 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (queue, conns) = mpsc::sync_channel::<TcpStream>(config.backlog.max(1));
-        let conns = Arc::new(Mutex::new(conns));
+        let counters = Arc::new(event::Counters::default());
+        let cache = Arc::new(ResponseCache::new(
+            config.response_cache_entries,
+            config.response_cache_bytes,
+        ));
+        let (jobs, queue) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let queue = Arc::new(Mutex::new(queue));
+        let (done, completions) = mpsc::channel::<Done>();
         let workers = (0..config.workers.max(1))
             .map(|at| {
-                let conns: Arc<Mutex<Receiver<TcpStream>>> = Arc::clone(&conns);
+                let queue = Arc::clone(&queue);
+                let done = done.clone();
                 let backend = backend.clone();
-                let stop = Arc::clone(&stop);
+                let cache = Arc::clone(&cache);
                 std::thread::Builder::new()
                     .name(format!("dash-net-worker-{at}"))
                     .spawn(move || loop {
-                        let Ok(conn) = ({
-                            let guard = conns.lock();
-                            guard.recv()
-                        }) else {
-                            return;
+                        // Drop the lock before handling: other workers
+                        // must keep draining while this one computes.
+                        let job = { queue.lock().recv() };
+                        let Ok(Job { slot, gen, request }) = job else {
+                            return; // loop gone: the queue sender dropped
                         };
-                        let _ = serve_connection(conn, &backend, &stop);
+                        let (out, close_after) = event::respond(&request, &backend, &cache);
+                        if done
+                            .send(Done {
+                                slot,
+                                gen,
+                                out,
+                                close_after,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
                     })
                     .expect("spawn net worker")
             })
             .collect();
-        let accept = {
+        let event = {
+            let backend = backend.clone();
+            let config = config.clone();
             let stop = Arc::clone(&stop);
+            let counters = Arc::clone(&counters);
+            let cache = Arc::clone(&cache);
             std::thread::Builder::new()
-                .name("dash-net-accept".to_string())
+                .name("dash-net-event".to_string())
                 .spawn(move || {
-                    while let Ok((stream, _)) = listener.accept() {
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        if queue.send(stream).is_err() {
-                            break;
-                        }
-                    }
-                    // Dropping `queue` closes the worker channel.
+                    event::run(
+                        listener,
+                        backend,
+                        &config,
+                        &stop,
+                        counters,
+                        cache,
+                        jobs,
+                        completions,
+                    );
+                    // `jobs` drops here: the workers' queue closes and
+                    // the pool winds down.
                 })
-                .expect("spawn net accept thread")
+                .expect("spawn net event loop")
         };
         Ok(NetServer {
             addr,
             stop,
-            accept: Some(accept),
+            counters,
+            cache,
+            event: Some(event),
             workers,
         })
     }
@@ -548,16 +622,33 @@ impl NetServer {
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
+
+    /// A snapshot of the connection-handling counters (accepts, open
+    /// connections, overflow/shed `503`s, bad requests, timeouts).
+    pub fn counters(&self) -> NetCounters {
+        self.counters.snapshot()
+    }
+
+    /// A snapshot of the pre-serialized response cache's counters.
+    pub fn response_cache_stats(&self) -> ResponseCacheStats {
+        self.cache.stats()
+    }
+
+    /// Live entries in the pre-serialized response cache.
+    pub fn cached_responses(&self) -> usize {
+        self.cache.len()
+    }
 }
 
 impl Drop for NetServer {
     fn drop(&mut self) {
+        // The event loop's sleep is tick-bounded, so the flag alone
+        // suffices — no self-connect wake-up (which used to target
+        // `self.addr` verbatim and hung on wildcard binds, where
+        // `0.0.0.0:port` is not connectable on every platform).
         self.stop.store(true, Ordering::Relaxed);
-        // Wake the accept loop so it observes the stop flag and drops
-        // the queue sender, which in turn ends every idle worker.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        if let Some(event) = self.event.take() {
+            let _ = event.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -565,55 +656,8 @@ impl Drop for NetServer {
     }
 }
 
-/// How often an idle keep-alive connection polls the stop flag.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-/// Per-request read budget once the first byte has arrived — a stalled
-/// peer mid-request errors out instead of pinning a worker forever.
-const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// One persistent connection: requests until close, EOF or shutdown.
-/// Idle waiting uses a short poll timeout (so shutdown never hangs on
-/// a silent peer); once a request's first bytes arrive the timeout
-/// widens to the full request budget, so a request spanning several
-/// TCP segments is never torn by the poll interval.
-fn serve_connection(stream: TcpStream, backend: &Backend, stop: &AtomicBool) -> io::Result<()> {
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        if stop.load(Ordering::Relaxed) {
-            return Ok(());
-        }
-        // Peek without consuming: a timeout here means an idle
-        // keep-alive peer, not a torn request.
-        match std::io::BufRead::fill_buf(&mut reader) {
-            Ok([]) => return Ok(()), // clean close between requests
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        reader.get_ref().set_read_timeout(Some(REQUEST_TIMEOUT))?;
-        let request = match http::read_request(&mut reader)? {
-            Some(request) => request,
-            None => return Ok(()),
-        };
-        reader.get_ref().set_read_timeout(Some(IDLE_POLL))?;
-        let keep_alive = request.keep_alive;
-        let response = route(&request, backend);
-        http::write_response(&mut writer, &response, keep_alive)?;
-        if !keep_alive {
-            return Ok(());
-        }
-    }
-}
-
 /// Routes one request.
-fn route(request: &Request, backend: &Backend) -> Response {
+pub(crate) fn route(request: &Request, backend: &Backend) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/search") => match parse_search(request) {
             Ok(search) => match backend.search(&search) {
@@ -636,7 +680,7 @@ fn route(request: &Request, backend: &Backend) -> Response {
 }
 
 /// Decodes `GET /search` query parameters into a [`SearchRequest`].
-fn parse_search(request: &Request) -> io::Result<SearchRequest> {
+pub(crate) fn parse_search(request: &Request) -> io::Result<SearchRequest> {
     let keywords = request.params("kw");
     if keywords.is_empty() {
         return Err(invalid("at least one kw parameter required"));
@@ -678,6 +722,26 @@ mod tests {
         assert_eq!(decode_update(&encode_update(&publish)).unwrap(), publish);
         assert!(decode_update(&[9, 9, 9]).is_err());
         assert!(decode_update(&[]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_after_a_valid_update_body_are_rejected() {
+        let publish = UpdateBody::Publish(IndexDelta::adding(vec![Fragment::new(
+            FragmentId::new(vec![Value::str("Lao"), Value::Int(3)]),
+            [("larb".to_string(), 2u64)].into_iter().collect(),
+            1,
+        )]));
+        let mut bytes = encode_update(&publish);
+        assert!(decode_update(&bytes).is_ok(), "clean body decodes");
+        // A concatenated/corrupted body must not decode as if clean.
+        bytes.push(0);
+        let err = decode_update(&bytes).expect_err("trailing byte rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut changes = encode_update(&UpdateBody::Changes(vec![NetChange::Insert(
+            RecordChange::new("restaurant", Record::new(vec![Value::Int(1)])),
+        )]));
+        changes.extend_from_slice(b"junk");
+        assert!(decode_update(&changes).is_err());
     }
 
     #[test]

@@ -256,6 +256,14 @@ impl ResultCache {
         inner.stats.invalidated += (before - inner.map.len()) as u64;
     }
 
+    /// Counts a hit that was answered *outside* this cache — a
+    /// fronting layer (the net tier's pre-serialized response cache)
+    /// short-circuited a lookup that would have hit here, and the
+    /// serving counters must not under-report it.
+    pub(crate) fn note_hit(&self) {
+        self.inner.lock().stats.hits += 1;
+    }
+
     /// A copy of the counters.
     pub(crate) fn stats(&self) -> CacheStats {
         self.inner.lock().stats

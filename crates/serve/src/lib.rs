@@ -494,6 +494,15 @@ impl DashServer {
         answer.recv().expect("batcher answers every job")
     }
 
+    /// Accounts one search answered by a fronting cache layer (the net
+    /// tier's pre-serialized response cache) without re-running it
+    /// here: bumps the search and cache-hit counters so `/stats` keeps
+    /// reporting every served search, wherever the bytes came from.
+    pub fn count_cache_hit(&self) {
+        self.shared.searches.fetch_add(1, Ordering::Relaxed);
+        self.shared.cache.note_hit();
+    }
+
     /// Batched client-side search: enqueues every cache-missing request
     /// before collecting any answer, so one caller's burst can share a
     /// micro-batch instead of serializing. Results are position-aligned
