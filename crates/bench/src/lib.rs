@@ -30,6 +30,7 @@ pub mod experiments;
 pub mod keywords;
 pub mod params;
 pub mod report;
+pub mod scale;
 
 pub use datasets::{application_for, dataset, QueryId};
 pub use keywords::{select_keywords, KeywordTemperature};

@@ -12,6 +12,7 @@
 //! `locate` O(1) and keeps the index layout shard- and mmap-friendly.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::fragment::{Fragment, FragmentId};
 
@@ -52,7 +53,11 @@ impl Kw {
 #[derive(Debug, Clone, Default)]
 pub struct FragmentCatalog {
     ids: Vec<FragmentId>,
-    lookup: HashMap<FragmentId, Frag>,
+    /// Identifier→handle map, derived from `ids`. Lazily materialized
+    /// (`OnceLock`) so the arena-image load path — which only ever
+    /// *searches* until the first delta arrives — never pays the O(n)
+    /// hash-map build; `intern`/`frag` force it on first use.
+    lookup: OnceLock<HashMap<FragmentId, Frag>>,
     total_keywords: Vec<u64>,
     record_counts: Vec<u64>,
 }
@@ -77,7 +82,7 @@ impl FragmentCatalog {
     pub fn from_refs(fragments: &[&Fragment]) -> Self {
         let mut catalog = FragmentCatalog {
             ids: Vec::with_capacity(fragments.len()),
-            lookup: HashMap::with_capacity(fragments.len()),
+            lookup: OnceLock::from(HashMap::with_capacity(fragments.len())),
             total_keywords: Vec::with_capacity(fragments.len()),
             record_counts: Vec::with_capacity(fragments.len()),
         };
@@ -87,16 +92,29 @@ impl FragmentCatalog {
         catalog
     }
 
+    /// The identifier→handle map, built from `ids` on first use.
+    fn lookup(&self) -> &HashMap<FragmentId, Frag> {
+        self.lookup.get_or_init(|| {
+            self.ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| (id.clone(), Frag(i as u32)))
+                .collect()
+        })
+    }
+
     /// Interns one fragment, refreshing its columns if already known.
     pub fn intern(&mut self, fragment: &Fragment) -> Frag {
-        if let Some(&frag) = self.lookup.get(&fragment.id) {
+        self.lookup();
+        let lookup = self.lookup.get_mut().expect("lookup initialized above");
+        if let Some(&frag) = lookup.get(&fragment.id) {
             self.total_keywords[frag.index()] = fragment.total_keywords;
             self.record_counts[frag.index()] = fragment.record_count;
             return frag;
         }
         let frag = Frag(u32::try_from(self.ids.len()).expect("more than u32::MAX fragments"));
         self.ids.push(fragment.id.clone());
-        self.lookup.insert(fragment.id.clone(), frag);
+        lookup.insert(fragment.id.clone(), frag);
         self.total_keywords.push(fragment.total_keywords);
         self.record_counts.push(fragment.record_count);
         frag
@@ -105,7 +123,7 @@ impl FragmentCatalog {
     /// The handle of an identifier, if interned.
     #[inline]
     pub fn frag(&self, id: &FragmentId) -> Option<Frag> {
-        self.lookup.get(id).copied()
+        self.lookup().get(id).copied()
     }
 
     /// The identifier behind a handle.
@@ -142,6 +160,33 @@ impl FragmentCatalog {
     #[inline]
     pub fn cmp_ids(&self, a: Frag, b: Frag) -> std::cmp::Ordering {
         self.ids[a.index()].cmp(&self.ids[b.index()])
+    }
+
+    /// The catalog's columns in handle order — the arena-image dump
+    /// view (`persist` v2). The `lookup` map is derived state and not
+    /// part of the image.
+    pub(crate) fn image_parts(&self) -> (&[FragmentId], &[u64], &[u64]) {
+        (&self.ids, &self.total_keywords, &self.record_counts)
+    }
+
+    /// Reassembles a catalog from dumped columns — the arena-image load
+    /// path. The identifier→handle map is NOT built here: searches
+    /// never consult it, so a loaded shard defers the O(n) hash build
+    /// until the first `intern`/`frag` call (the first applied delta).
+    /// Columns must be equal-length and in handle order.
+    pub(crate) fn from_image_parts(
+        ids: Vec<FragmentId>,
+        total_keywords: Vec<u64>,
+        record_counts: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(ids.len(), total_keywords.len());
+        debug_assert_eq!(ids.len(), record_counts.len());
+        FragmentCatalog {
+            ids,
+            lookup: OnceLock::new(),
+            total_keywords,
+            record_counts,
+        }
     }
 }
 

@@ -480,6 +480,56 @@ impl FragmentGraph {
             (g.key.as_slice(), g.frags.as_slice())
         })
     }
+
+    /// The full group columns — `(key, frags, weights)` — in key-rank
+    /// order: the arena-image dump view (`persist` v2). Rank order is
+    /// canonical, so two graphs holding the same live nodes dump the
+    /// same image regardless of their maintenance history (slot
+    /// permutation and free list are derived state and never dumped).
+    pub(crate) fn image_groups(
+        &self,
+    ) -> impl ExactSizeIterator<Item = (&[Value], &[Frag], &[u64])> {
+        self.slot_of_rank.iter().map(|&s| {
+            let g = &self.groups[s as usize];
+            (g.key.as_slice(), g.frags.as_slice(), g.weights.as_slice())
+        })
+    }
+
+    /// Reassembles a graph from dumped group columns (key-rank order) —
+    /// the arena-image load path. Slots come back in rank order, so the
+    /// rank ⇄ slot permutation is the identity and the free list is
+    /// empty (exactly a bulk build's state); `node_pos` is re-derived
+    /// in one linear pass. `catalog_len` sizes the `node_pos` column —
+    /// handles without a live node stay `ABSENT`.
+    pub(crate) fn from_image_groups(
+        range_position: Option<usize>,
+        groups: Vec<(Vec<Value>, Vec<Frag>, Vec<u64>)>,
+        catalog_len: usize,
+    ) -> Self {
+        let mut graph = FragmentGraph {
+            range_position,
+            groups: Vec::with_capacity(groups.len()),
+            slot_of_rank: (0..groups.len() as u32).collect(),
+            rank_of_slot: (0..groups.len() as u32).collect(),
+            free_slots: Vec::new(),
+            node_pos: vec![ABSENT; catalog_len],
+            nodes: 0,
+            build_secs: 0.0,
+        };
+        for (key, frags, weights) in groups {
+            let slot = graph.groups.len() as u32;
+            for (pos, &frag) in frags.iter().enumerate() {
+                graph.node_pos[frag.index()] = (slot, pos as u32);
+            }
+            graph.nodes += frags.len();
+            graph.groups.push(GroupColumn {
+                key,
+                frags,
+                weights,
+            });
+        }
+        graph
+    }
 }
 
 /// Compares a stored group key against the group key of `id` (the

@@ -39,11 +39,13 @@ pub struct Posting {
     pub tf: f64,
 }
 
-/// One entry of a fragment-sorted probe list.
+/// One entry of a fragment-sorted probe list. Crate-visible so the
+/// arena-image loader (`persist` v2) can decode its column bytes
+/// straight into the final arena, no intermediate tuple vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ProbeEntry {
-    frag: Frag,
-    occurrences: u64,
+pub(crate) struct ProbeEntry {
+    pub(crate) frag: Frag,
+    pub(crate) occurrences: u64,
 }
 
 /// The keyword interner: keyword string ⇄ dense [`Kw`] handle.
@@ -85,6 +87,23 @@ impl KeywordInterner {
     /// Whether nothing was interned yet.
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
+    }
+
+    /// The interned words in handle order — the arena-image dump view.
+    /// The `lookup` map is derived state and not part of the image.
+    pub(crate) fn image_words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Reassembles an interner from dumped words, re-deriving the
+    /// word→handle map in one O(n) pass — the arena-image load path.
+    pub(crate) fn from_image_words(words: Vec<String>) -> Self {
+        let lookup = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), Kw(i as u32)))
+            .collect();
+        KeywordInterner { words, lookup }
     }
 }
 
@@ -487,6 +506,52 @@ impl InvertedFragmentIndex {
     /// Total postings across every inverted list.
     pub fn posting_count(&self) -> usize {
         self.tf_arena.len()
+    }
+
+    /// The per-keyword slice bounds as `(start, len)` pairs in handle
+    /// order — the arena-image dump view of the shared offset table.
+    pub(crate) fn image_lists(&self) -> impl ExactSizeIterator<Item = (u32, u32)> + '_ {
+        self.lists.iter().map(|l| (l.start, l.len))
+    }
+
+    /// The TF-sorted arena, exactly as laid out in memory.
+    pub(crate) fn image_tf_arena(&self) -> &[Posting] {
+        &self.tf_arena
+    }
+
+    /// The fragment-sorted probe arena as `(frag, occurrences)` pairs.
+    pub(crate) fn image_probe(&self) -> impl ExactSizeIterator<Item = (u32, u64)> + '_ {
+        self.probe_arena.iter().map(|e| (e.frag.0, e.occurrences))
+    }
+
+    /// The interner behind the index (arena-image dump view).
+    pub(crate) fn image_interner(&self) -> &KeywordInterner {
+        &self.interner
+    }
+
+    /// Reassembles an index from dumped arenas without re-sorting a
+    /// single list — the arena-image load path. Callers are expected to
+    /// hand back exactly what [`InvertedFragmentIndex::image_lists`] /
+    /// `image_tf_arena` / `image_probe` produced (the checksummed v2
+    /// persist sections), so both arenas arrive already in their final
+    /// sort orders.
+    pub(crate) fn from_image_parts(
+        interner: KeywordInterner,
+        lists: Vec<(u32, u32)>,
+        tf_arena: Vec<Posting>,
+        probe_arena: Vec<ProbeEntry>,
+        fragment_count: u64,
+    ) -> Self {
+        InvertedFragmentIndex {
+            interner,
+            lists: lists
+                .into_iter()
+                .map(|(start, len)| ListRef { start, len })
+                .collect(),
+            tf_arena,
+            probe_arena,
+            fragment_count,
+        }
     }
 }
 

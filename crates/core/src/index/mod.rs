@@ -13,6 +13,7 @@ pub mod inverted;
 
 pub use catalog::{Frag, FragmentCatalog, Kw};
 pub use graph::{FragmentGraph, GroupId, NodeRef};
+pub(crate) use inverted::ProbeEntry;
 pub use inverted::{InvertedFragmentIndex, KeywordInterner, Posting};
 
 use std::collections::HashSet;

@@ -1,15 +1,17 @@
-//! Fragment persistence: save a crawl's fragments to a compact binary
-//! file and rebuild the engine from it without re-crawling.
+//! Fragment persistence: save a crawl's fragments (v1) or a built
+//! engine's arenas (v2) to a compact binary file and rebuild the engine
+//! from it without re-crawling — or, for v2, without re-*building*.
 //!
 //! A search engine builds its index rarely and serves it constantly; the
 //! paper's crawls take hours (Figure 10), so shipping the derived
-//! fragments to the serving tier matters. The format is a small
-//! self-describing binary codec (magic + version + length-prefixed
-//! records) with no external dependencies; everything an engine needs —
-//! identifiers, keyword occurrence maps, record counts — round-trips
-//! exactly, so a loaded engine is byte-for-byte the engine that was
-//! saved (tested).
+//! fragments to the serving tier matters. Both formats are small
+//! self-describing binary codecs with no external dependencies;
+//! everything an engine needs round-trips exactly, so a loaded engine
+//! is byte-for-byte the engine that was saved (tested).
 //!
+//! # v1 — fragment dumps (`DASHFRG1` / `DASHSHR1`)
+//!
+//! Length-prefixed fragment records; loading re-runs the index build.
 //! Two container layouts share the record codec:
 //!
 //! * **flat** ([`write_fragments`] / [`read_fragments`]) — one fragment
@@ -22,6 +24,68 @@
 //!   [`ShardedEngine::dump_shards`](crate::ShardedEngine::dump_shards) /
 //!   [`ShardedEngine::from_shard_fragments`](crate::ShardedEngine::from_shard_fragments)
 //!   without re-partitioning.
+//!
+//! v1 layout (all integers little-endian):
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | magic | 8 | `DASHFRG1` (flat) / `DASHSHR1` (sharded) |
+//! | shard count | 8 | sharded only; ≤ 2^16 |
+//! | per list: count | 8 | fragments in the list |
+//! | per fragment: arity | 8 | identifier values |
+//! | values | var | tagged value codec (below) |
+//! | record count | 8 | joined records |
+//! | keyword count | 8 | occurrence-map entries |
+//! | per keyword: string + count | var + 8 | length-prefixed UTF-8, occurrences |
+//!
+//! Value codec: tag byte `0`=Null, `1`=Int (i64), `2`=Decimal (cents
+//! i64), `3`=Str (u64 length + UTF-8, ≤ 2^24 bytes), `4`=Date (u16 year,
+//! u8 month, u8 day).
+//!
+//! # v2 — arena images (`DASHIMG2`)
+//!
+//! The dump format *is* the arenas' in-memory layout: every column of
+//! [`FragmentCatalog`], [`InvertedFragmentIndex`] (both posting arenas
+//! plus the shared list-ref table) and [`FragmentGraph`] is written as a
+//! fixed-width little-endian array, so a shard loads by bulk-reading
+//! bytes back into columns instead of re-running `build` — no BTreeMap
+//! materialization, no per-posting interning, no TF re-sorts, no graph
+//! grouping. Only the two hash lookups (identifier→handle, word→handle)
+//! and the `node_pos` column are re-derived, each a single O(n) pass.
+//! The graph is dumped normalized to key-rank order, so the loaded
+//! permutation is the identity (exactly a bulk build's state) and two
+//! engines holding the same live nodes dump the same image regardless
+//! of maintenance history.
+//!
+//! Everything after the magic is framed in checksummed *sections*:
+//!
+//! | field | bytes | meaning |
+//! |---|---|---|
+//! | tag | 4 | section kind (below) |
+//! | reserved | 4 | must be 0 |
+//! | length | 8 | payload bytes |
+//! | payload | length | section body |
+//! | checksum | 8 | mixes every payload byte; any bit flip is detected |
+//!
+//! File layout: magic, one `0x01` header section (shard count ≤ 2^16,
+//! range position with `u64::MAX` = none), then per shard the six
+//! sections in order:
+//!
+//! | tag | section | payload |
+//! |---|---|---|
+//! | `0x10` | catalog | count; identifiers (value codec); total-keyword u64 column; record-count u64 column |
+//! | `0x11` | words | count; blob length; word-length u32 column; UTF-8 blob |
+//! | `0x12` | lists | fragment count; list count; start u32 column; len u32 column |
+//! | `0x13` | tf arena | posting count; frag u32 column; occurrence u64 column; TF f64-bits u64 column |
+//! | `0x14` | probe arena | posting count; frag u32 column; occurrence u64 column |
+//! | `0x15` | graph | group count; node total; per group (key values, run length); frag u32 column; weight u64 column |
+//!
+//! A torn or bit-flipped file fails its section checksum (or a
+//! structural length check) before any engine state is touched — the
+//! replication layer relies on this to reject half-transferred
+//! SNAPSHOT frames. Entry points are
+//! [`ShardedEngine::write_image`](crate::ShardedEngine::write_image) /
+//! [`ShardedEngine::from_image`](crate::ShardedEngine::from_image).
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -29,9 +93,14 @@ use std::io::{self, Read, Write};
 use dash_relation::{Date, Decimal, Value};
 
 use crate::fragment::{Fragment, FragmentId};
+use crate::index::{
+    Frag, FragmentCatalog, FragmentGraph, FragmentIndex, InvertedFragmentIndex, KeywordInterner,
+    Posting, ProbeEntry,
+};
 
 const MAGIC: &[u8; 8] = b"DASHFRG1";
 const SHARDED_MAGIC: &[u8; 8] = b"DASHSHR1";
+const IMAGE_MAGIC: &[u8; 8] = b"DASHIMG2";
 
 /// Serializes fragments into `writer`.
 ///
@@ -47,14 +116,16 @@ pub fn write_fragments<W: Write>(mut writer: W, fragments: &[Fragment]) -> io::R
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic number, unknown value tags or
-/// malformed UTF-8, and propagates underlying I/O errors (including
+/// Returns `InvalidData` on a bad magic number (distinguishing a
+/// foreign file, another Dash dump kind, and an unsupported version),
+/// unknown value tags or malformed UTF-8 (each naming the fragment
+/// record that broke), and propagates underlying I/O errors (including
 /// `UnexpectedEof` on truncation).
 pub fn read_fragments<R: Read>(mut reader: R) -> io::Result<Vec<Fragment>> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(invalid("bad magic number; not a Dash fragment file"));
+        return Err(magic_mismatch(&magic, MAGIC, "fragment file"));
     }
     read_fragment_list(&mut reader)
 }
@@ -84,21 +155,26 @@ pub fn write_sharded_fragments<W: Write>(
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic number, an out-of-bounds shard
-/// count, unknown value tags or malformed UTF-8, and propagates
-/// underlying I/O errors (including `UnexpectedEof` on truncation).
+/// Returns `InvalidData` on a bad magic number (distinguishing a
+/// foreign file, another Dash dump kind, and an unsupported version),
+/// an out-of-bounds shard count, unknown value tags or malformed UTF-8
+/// (each naming the shard and fragment record that broke), and
+/// propagates underlying I/O errors (including `UnexpectedEof` on
+/// truncation).
 pub fn read_sharded_fragments<R: Read>(mut reader: R) -> io::Result<Vec<Vec<Fragment>>> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != SHARDED_MAGIC {
-        return Err(invalid("bad magic number; not a Dash sharded dump"));
+        return Err(magic_mismatch(&magic, SHARDED_MAGIC, "sharded dump"));
     }
     let shards = read_u64(&mut reader)?;
     if shards > (1 << 16) {
         return Err(invalid("shard count out of bounds"));
     }
     (0..shards)
-        .map(|_| read_fragment_list(&mut reader))
+        .map(|s| {
+            read_fragment_list(&mut reader).map_err(|e| with_context(&format!("shard {s}"), e))
+        })
         .collect()
 }
 
@@ -123,27 +199,512 @@ pub(crate) fn write_fragment_list<W: Write>(
     Ok(())
 }
 
-/// Reads one length-prefixed fragment list.
+/// Reads one length-prefixed fragment list. Decode errors name the
+/// fragment record they broke in, so a torn file is diagnosable from
+/// the message alone instead of surfacing as a bare codec error.
 pub(crate) fn read_fragment_list<R: Read>(reader: &mut R) -> io::Result<Vec<Fragment>> {
     let count = read_u64(reader)?;
     let mut fragments = Vec::with_capacity(count.min(1 << 20) as usize);
-    for _ in 0..count {
-        let arity = read_u64(reader)?;
-        let mut values = Vec::with_capacity(arity.min(64) as usize);
-        for _ in 0..arity {
-            values.push(read_value(reader)?);
-        }
-        let record_count = read_u64(reader)?;
-        let keywords = read_u64(reader)?;
-        let mut occ = BTreeMap::new();
-        for _ in 0..keywords {
-            let kw = read_str(reader)?;
-            let n = read_u64(reader)?;
-            occ.insert(kw, n);
-        }
-        fragments.push(Fragment::new(FragmentId::new(values), occ, record_count));
+    for i in 0..count {
+        fragments.push(
+            read_one_fragment(reader).map_err(|e| with_context(&format!("fragment {i}"), e))?,
+        );
     }
     Ok(fragments)
+}
+
+fn read_one_fragment<R: Read>(reader: &mut R) -> io::Result<Fragment> {
+    let arity = read_u64(reader)?;
+    if arity > 64 {
+        return Err(invalid("identifier arity out of bounds"));
+    }
+    let mut values = Vec::with_capacity(arity as usize);
+    for _ in 0..arity {
+        values.push(read_value(reader)?);
+    }
+    let record_count = read_u64(reader)?;
+    let keywords = read_u64(reader)?;
+    let mut occ = BTreeMap::new();
+    for _ in 0..keywords {
+        let kw = read_str(reader)?;
+        let n = read_u64(reader)?;
+        occ.insert(kw, n);
+    }
+    Ok(Fragment::new(FragmentId::new(values), occ, record_count))
+}
+
+// ---------------------------------------------------------------------
+// v2 arena images
+// ---------------------------------------------------------------------
+
+const SEC_HEADER: u32 = 0x01;
+const SEC_CATALOG: u32 = 0x10;
+const SEC_WORDS: u32 = 0x11;
+const SEC_LISTS: u32 = 0x12;
+const SEC_TF: u32 = 0x13;
+const SEC_PROBE: u32 = 0x14;
+const SEC_GRAPH: u32 = 0x15;
+
+/// `range_position` encoding for "no range attribute".
+const NO_RANGE: u64 = u64::MAX;
+
+/// Serializes a sharded engine's per-shard indexes as one v2 arena
+/// image (header + six checksummed sections per shard).
+pub(crate) fn write_image<W: Write>(
+    mut writer: W,
+    range_position: Option<usize>,
+    shards: &[&FragmentIndex],
+) -> io::Result<()> {
+    writer.write_all(IMAGE_MAGIC)?;
+    let mut header = Vec::with_capacity(16);
+    write_u64(&mut header, shards.len() as u64)?;
+    write_u64(&mut header, range_position.map_or(NO_RANGE, |p| p as u64))?;
+    write_section(&mut writer, SEC_HEADER, &header)?;
+    for index in shards {
+        write_index_image(&mut writer, index)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a v2 arena image back into per-shard indexes, verifying
+/// every section checksum — a torn or bit-flipped image errors before
+/// any index is assembled. Returns the dumped range position alongside
+/// the shards so the caller can cross-check it against its application.
+pub(crate) fn read_image(bytes: &[u8]) -> io::Result<(Option<usize>, Vec<FragmentIndex>)> {
+    let mut r = bytes;
+    let magic = take(&mut r, 8, "magic number")?;
+    if magic != IMAGE_MAGIC {
+        return Err(magic_mismatch(magic, IMAGE_MAGIC, "arena image"));
+    }
+    let mut header = read_section(&mut r, SEC_HEADER)?;
+    let shard_count = take_u64(&mut header, "shard count")?;
+    if shard_count > (1 << 16) {
+        return Err(invalid("shard count out of bounds"));
+    }
+    let range_raw = take_u64(&mut header, "range position")?;
+    ensure_consumed(header, "header section")?;
+    let range_position = match range_raw {
+        NO_RANGE => None,
+        p if p > 64 => return Err(invalid("range position out of bounds")),
+        p => Some(p as usize),
+    };
+    let mut shards = Vec::with_capacity(shard_count as usize);
+    for s in 0..shard_count {
+        shards.push(
+            read_index_image(&mut r, range_position)
+                .map_err(|e| with_context(&format!("shard {s}"), e))?,
+        );
+    }
+    if !r.is_empty() {
+        return Err(invalid("trailing bytes after the last shard image"));
+    }
+    Ok((range_position, shards))
+}
+
+/// Writes one shard's `FragmentIndex` as the six v2 sections. Each
+/// section's payload is staged in a reused buffer (peak extra memory =
+/// the largest single section, not the whole image).
+fn write_index_image<W: Write>(w: &mut W, index: &FragmentIndex) -> io::Result<()> {
+    let mut payload = Vec::new();
+
+    // Catalog: identifiers (value codec), then the two u64 columns.
+    let (ids, totals, records) = index.catalog.image_parts();
+    write_u64(&mut payload, ids.len() as u64)?;
+    for id in ids {
+        write_u64(&mut payload, id.values().len() as u64)?;
+        for v in id.values() {
+            write_value(&mut payload, v)?;
+        }
+    }
+    for &t in totals {
+        payload.extend_from_slice(&t.to_le_bytes());
+    }
+    for &rc in records {
+        payload.extend_from_slice(&rc.to_le_bytes());
+    }
+    write_section(w, SEC_CATALOG, &payload)?;
+    payload.clear();
+
+    // Interner words: length column + one concatenated UTF-8 blob.
+    let words = index.inverted.image_interner().image_words();
+    write_u64(&mut payload, words.len() as u64)?;
+    let blob_len: u64 = words.iter().map(|word| word.len() as u64).sum();
+    write_u64(&mut payload, blob_len)?;
+    for word in words {
+        payload.extend_from_slice(&(word.len() as u32).to_le_bytes());
+    }
+    for word in words {
+        payload.extend_from_slice(word.as_bytes());
+    }
+    write_section(w, SEC_WORDS, &payload)?;
+    payload.clear();
+
+    // The shared list-ref table, as (start, len) columns.
+    write_u64(&mut payload, index.inverted.fragment_count())?;
+    write_u64(&mut payload, index.inverted.image_lists().len() as u64)?;
+    for (start, _) in index.inverted.image_lists() {
+        payload.extend_from_slice(&start.to_le_bytes());
+    }
+    for (_, len) in index.inverted.image_lists() {
+        payload.extend_from_slice(&len.to_le_bytes());
+    }
+    write_section(w, SEC_LISTS, &payload)?;
+    payload.clear();
+
+    // TF arena, column-major: frag, occurrences, TF bit patterns.
+    let tf = index.inverted.image_tf_arena();
+    write_u64(&mut payload, tf.len() as u64)?;
+    for p in tf {
+        payload.extend_from_slice(&p.frag.0.to_le_bytes());
+    }
+    for p in tf {
+        payload.extend_from_slice(&p.occurrences.to_le_bytes());
+    }
+    for p in tf {
+        payload.extend_from_slice(&p.tf.to_bits().to_le_bytes());
+    }
+    write_section(w, SEC_TF, &payload)?;
+    payload.clear();
+
+    // Probe arena, column-major: frag, occurrences.
+    write_u64(&mut payload, index.inverted.image_probe().len() as u64)?;
+    for (frag, _) in index.inverted.image_probe() {
+        payload.extend_from_slice(&frag.to_le_bytes());
+    }
+    for (_, occurrences) in index.inverted.image_probe() {
+        payload.extend_from_slice(&occurrences.to_le_bytes());
+    }
+    write_section(w, SEC_PROBE, &payload)?;
+    payload.clear();
+
+    // Graph: per-group keys and run lengths, then the node and weight
+    // columns, all in key-rank order.
+    let node_total: u64 = index
+        .graph
+        .image_groups()
+        .map(|(_, f, _)| f.len() as u64)
+        .sum();
+    write_u64(&mut payload, index.graph.image_groups().len() as u64)?;
+    write_u64(&mut payload, node_total)?;
+    for (key, frags, _) in index.graph.image_groups() {
+        write_u64(&mut payload, key.len() as u64)?;
+        for v in key {
+            write_value(&mut payload, v)?;
+        }
+        write_u64(&mut payload, frags.len() as u64)?;
+    }
+    for (_, frags, _) in index.graph.image_groups() {
+        for f in frags {
+            payload.extend_from_slice(&f.0.to_le_bytes());
+        }
+    }
+    for (_, _, weights) in index.graph.image_groups() {
+        for weight in weights {
+            payload.extend_from_slice(&weight.to_le_bytes());
+        }
+    }
+    write_section(w, SEC_GRAPH, &payload)?;
+    Ok(())
+}
+
+/// Reads one shard's six sections back into a `FragmentIndex`.
+fn read_index_image(r: &mut &[u8], range_position: Option<usize>) -> io::Result<FragmentIndex> {
+    // Catalog.
+    let mut p = read_section(r, SEC_CATALOG)?;
+    let count = take_u64(&mut p, "catalog count")? as usize;
+    let mut ids = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let arity = take_u64(&mut p, "identifier arity")?;
+        if arity > 64 {
+            return Err(invalid("identifier arity out of bounds"));
+        }
+        let mut values = Vec::with_capacity(arity as usize);
+        for _ in 0..arity {
+            values.push(read_value(&mut p)?);
+        }
+        ids.push(FragmentId::new(values));
+    }
+    let totals = take_u64_col(&mut p, count, "total-keyword column")?;
+    let records = take_u64_col(&mut p, count, "record-count column")?;
+    ensure_consumed(p, "catalog section")?;
+    let catalog = FragmentCatalog::from_image_parts(ids, totals, records);
+
+    // Interner words.
+    let mut p = read_section(r, SEC_WORDS)?;
+    let word_count = take_u64(&mut p, "word count")? as usize;
+    let blob_len = take_u64(&mut p, "word blob length")? as usize;
+    let lens = take_u32_col(&mut p, word_count, "word-length column")?;
+    let blob = take(&mut p, blob_len, "word blob")?;
+    ensure_consumed(p, "words section")?;
+    if lens.iter().map(|&l| l as u64).sum::<u64>() != blob_len as u64 {
+        return Err(invalid("word lengths do not cover the word blob"));
+    }
+    let mut words = Vec::with_capacity(word_count);
+    let mut at = 0usize;
+    for len in lens {
+        let bytes = &blob[at..at + len as usize];
+        at += len as usize;
+        words.push(
+            std::str::from_utf8(bytes)
+                .map_err(|_| invalid("interned word is not UTF-8"))?
+                .to_string(),
+        );
+    }
+    let interner = KeywordInterner::from_image_words(words);
+
+    // List refs.
+    let mut p = read_section(r, SEC_LISTS)?;
+    let fragment_count = take_u64(&mut p, "fragment count")?;
+    let list_count = take_u64(&mut p, "list count")? as usize;
+    if list_count != interner.len() {
+        return Err(invalid("list count does not match interned word count"));
+    }
+    let starts = take_u32_col(&mut p, list_count, "list-start column")?;
+    let lens = take_u32_col(&mut p, list_count, "list-length column")?;
+    ensure_consumed(p, "lists section")?;
+
+    // TF arena: the arena IS the wire format (three fixed-width LE
+    // columns), so decode is a single fused pass straight into the
+    // final `Vec<Posting>` — no intermediate column vectors. At
+    // million-fragment scale the intermediates are tens of MB of
+    // freshly-faulted pages each; fusing them away is most of the
+    // arena-vs-parse load win.
+    let mut p = read_section(r, SEC_TF)?;
+    let tf_count = take_u64(&mut p, "TF posting count")? as usize;
+    let tf_frag_col = take_col(&mut p, tf_count, 4, "TF frag column")?;
+    let tf_occ_col = take_col(&mut p, tf_count, 8, "TF occurrence column")?;
+    let tf_bits_col = take_col(&mut p, tf_count, 8, "TF value column")?;
+    ensure_consumed(p, "TF section")?;
+    let tf_arena: Vec<Posting> = tf_frag_col
+        .chunks_exact(4)
+        .zip(tf_occ_col.chunks_exact(8))
+        .zip(tf_bits_col.chunks_exact(8))
+        .map(|((f, o), b)| Posting {
+            frag: Frag(u32::from_le_bytes(f.try_into().expect("4-byte chunk"))),
+            occurrences: u64::from_le_bytes(o.try_into().expect("8-byte chunk")),
+            tf: f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte chunk"))),
+        })
+        .collect();
+
+    // Probe arena, same fused decode.
+    let mut p = read_section(r, SEC_PROBE)?;
+    let probe_count = take_u64(&mut p, "probe posting count")? as usize;
+    let probe_frag_col = take_col(&mut p, probe_count, 4, "probe frag column")?;
+    let probe_occ_col = take_col(&mut p, probe_count, 8, "probe occurrence column")?;
+    ensure_consumed(p, "probe section")?;
+    let probe_arena: Vec<ProbeEntry> = probe_frag_col
+        .chunks_exact(4)
+        .zip(probe_occ_col.chunks_exact(8))
+        .map(|(f, o)| ProbeEntry {
+            frag: Frag(u32::from_le_bytes(f.try_into().expect("4-byte chunk"))),
+            occurrences: u64::from_le_bytes(o.try_into().expect("8-byte chunk")),
+        })
+        .collect();
+
+    if probe_count != tf_count {
+        return Err(invalid("probe arena length does not match TF arena"));
+    }
+    for (&start, &len) in starts.iter().zip(&lens) {
+        if (start as u64) + (len as u64) > tf_count as u64 {
+            return Err(invalid("list ref out of arena bounds"));
+        }
+    }
+    let frag_bound = count as u32;
+    if tf_arena
+        .iter()
+        .map(|p| p.frag.0)
+        .chain(probe_arena.iter().map(|e| e.frag.0))
+        .any(|f| f >= frag_bound)
+    {
+        return Err(invalid("posting frag handle out of catalog bounds"));
+    }
+    let inverted = InvertedFragmentIndex::from_image_parts(
+        interner,
+        starts.into_iter().zip(lens).collect(),
+        tf_arena,
+        probe_arena,
+        fragment_count,
+    );
+
+    // Graph.
+    let mut p = read_section(r, SEC_GRAPH)?;
+    let group_count = take_u64(&mut p, "group count")? as usize;
+    let node_total = take_u64(&mut p, "graph node total")? as usize;
+    let mut metas: Vec<(Vec<Value>, usize)> = Vec::with_capacity(group_count.min(1 << 20));
+    for _ in 0..group_count {
+        let arity = take_u64(&mut p, "group-key arity")?;
+        if arity > 64 {
+            return Err(invalid("group-key arity out of bounds"));
+        }
+        let mut key = Vec::with_capacity(arity as usize);
+        for _ in 0..arity {
+            key.push(read_value(&mut p)?);
+        }
+        let len = take_u64(&mut p, "group run length")? as usize;
+        metas.push((key, len));
+    }
+    let frags_col = take_u32_col(&mut p, node_total, "graph node column")?;
+    let weights_col = take_u64_col(&mut p, node_total, "graph weight column")?;
+    ensure_consumed(p, "graph section")?;
+    if metas.iter().map(|(_, len)| *len as u64).sum::<u64>() != node_total as u64 {
+        return Err(invalid("group run lengths do not cover the node column"));
+    }
+    if frags_col.iter().any(|&f| f >= frag_bound) {
+        return Err(invalid("graph node handle out of catalog bounds"));
+    }
+    let mut groups = Vec::with_capacity(metas.len());
+    let mut at = 0usize;
+    for (key, len) in metas {
+        let frags: Vec<Frag> = frags_col[at..at + len].iter().map(|&f| Frag(f)).collect();
+        let weights = weights_col[at..at + len].to_vec();
+        at += len;
+        groups.push((key, frags, weights));
+    }
+    let graph = FragmentGraph::from_image_groups(range_position, groups, catalog.len());
+
+    Ok(FragmentIndex {
+        catalog,
+        inverted,
+        graph,
+    })
+}
+
+/// Frames one section: tag, reserved word, payload length, payload,
+/// checksum.
+fn write_section<W: Write>(w: &mut W, tag: u32, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&tag.to_le_bytes())?;
+    w.write_all(&0u32.to_le_bytes())?;
+    write_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    write_u64(w, checksum64(payload))
+}
+
+/// Unframes the next section, requiring tag `want` and a matching
+/// checksum.
+fn read_section<'a>(r: &mut &'a [u8], want: u32) -> io::Result<&'a [u8]> {
+    let tag = take_u32(r, "section tag")?;
+    if tag != want {
+        return Err(invalid(&format!(
+            "unexpected section tag {tag:#x} (wanted {want:#x})"
+        )));
+    }
+    let reserved = take_u32(r, "section reserved field")?;
+    if reserved != 0 {
+        return Err(invalid("nonzero reserved section field"));
+    }
+    let len = take_u64(r, "section length")?;
+    if len.checked_add(8).is_none_or(|need| need > r.len() as u64) {
+        return Err(invalid("section length exceeds remaining image"));
+    }
+    let payload = take(r, len as usize, "section payload")?;
+    let stored = take_u64(r, "section checksum")?;
+    if stored != checksum64(payload) {
+        return Err(invalid("section checksum mismatch — corrupt or torn image"));
+    }
+    Ok(payload)
+}
+
+/// A fast 64-bit mixing checksum over `bytes`, word-at-a-time. Every
+/// step (xor, odd multiply, rotate) is a bijection of the running
+/// state, so *any* single-bit flip in the input is guaranteed to change
+/// the sum; multi-bit corruption escapes with probability ~2^-64.
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
+    const K: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (bytes.len() as u64).wrapping_mul(K);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+        h = (h ^ word).wrapping_mul(K).rotate_left(29);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(tail))
+            .wrapping_mul(K)
+            .rotate_left(29);
+    }
+    h
+}
+
+/// Splits the next `n` bytes off the front of `r`.
+fn take<'a>(r: &mut &'a [u8], n: usize, what: &str) -> io::Result<&'a [u8]> {
+    if r.len() < n {
+        return Err(invalid(&format!("truncated image: {what}")));
+    }
+    let (head, rest) = r.split_at(n);
+    *r = rest;
+    Ok(head)
+}
+
+fn take_u32(r: &mut &[u8], what: &str) -> io::Result<u32> {
+    let bytes = take(r, 4, what)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn take_u64(r: &mut &[u8], what: &str) -> io::Result<u64> {
+    let bytes = take(r, 8, what)?;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+/// Splits off a fixed-width column of `n` entries of `width` bytes,
+/// unconverted — for fused decodes that parse straight into a final
+/// arena type.
+fn take_col<'a>(r: &mut &'a [u8], n: usize, width: usize, what: &str) -> io::Result<&'a [u8]> {
+    let len = n
+        .checked_mul(width)
+        .ok_or_else(|| invalid("column length overflow"))?;
+    take(r, len, what)
+}
+
+/// Bulk-reads a fixed-width u32 column of `n` entries.
+fn take_u32_col(r: &mut &[u8], n: usize, what: &str) -> io::Result<Vec<u32>> {
+    let len = n
+        .checked_mul(4)
+        .ok_or_else(|| invalid("column length overflow"))?;
+    let bytes = take(r, len, what)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect())
+}
+
+/// Bulk-reads a fixed-width u64 column of `n` entries.
+fn take_u64_col(r: &mut &[u8], n: usize, what: &str) -> io::Result<Vec<u64>> {
+    let len = n
+        .checked_mul(8)
+        .ok_or_else(|| invalid("column length overflow"))?;
+    let bytes = take(r, len, what)?;
+    Ok(bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect())
+}
+
+fn ensure_consumed(rest: &[u8], what: &str) -> io::Result<()> {
+    if rest.is_empty() {
+        Ok(())
+    } else {
+        Err(invalid(&format!("trailing bytes in {what}")))
+    }
+}
+
+/// Diagnoses a magic mismatch: a different Dash dump kind and an
+/// unsupported version of the *right* kind each get their own message
+/// (a torn or foreign file used to surface as a bare "bad magic").
+fn magic_mismatch(found: &[u8], want: &[u8; 8], kind: &str) -> io::Error {
+    if found.len() == 8 && found[..7] == want[..7] {
+        return invalid(&format!(
+            "unsupported {kind} version '{}' (this build reads '{}')",
+            found[7] as char, want[7] as char
+        ));
+    }
+    if found.starts_with(b"DASH") {
+        return invalid(&format!(
+            "not a Dash {kind}: the magic names a different Dash dump kind"
+        ));
+    }
+    invalid(&format!("bad magic number; not a Dash {kind}"))
 }
 
 pub(crate) fn write_value<W: Write>(w: &mut W, v: &Value) -> io::Result<()> {
@@ -221,6 +782,12 @@ pub(crate) fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
 
 pub(crate) fn invalid(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Wraps an error with a locating prefix, preserving its kind (so
+/// `UnexpectedEof` stays recognizable through the context).
+pub(crate) fn with_context(what: &str, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{what}: {e}"))
 }
 
 #[cfg(test)]
@@ -308,6 +875,41 @@ mod tests {
     }
 
     #[test]
+    fn magic_errors_distinguish_kind_and_version() {
+        // An unsupported *version* of the right kind names the version.
+        let mut future = Vec::new();
+        future.extend_from_slice(b"DASHFRG9");
+        let err = read_fragments(future.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // Another Dash dump kind is named as such...
+        let fragments = fooddb_fragments();
+        let mut sharded = Vec::new();
+        write_sharded_fragments(&mut sharded, std::slice::from_ref(&fragments)).unwrap();
+        let err = read_fragments(sharded.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("different Dash dump kind"),
+            "{err}"
+        );
+        // ...and a foreign file is not mistaken for either.
+        let err = read_fragments(&b"PNGJPEGX"[..]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn decode_errors_name_the_breaking_record() {
+        let fragments = fooddb_fragments();
+        let mut buf = Vec::new();
+        write_sharded_fragments(&mut buf, &[fragments.clone(), fragments]).unwrap();
+        // Tear the stream inside the second shard: the error must locate
+        // shard and fragment instead of surfacing as a bare codec error,
+        // while the EOF kind stays recognizable through the context.
+        let err = read_sharded_fragments(&buf[..buf.len() - 3]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        assert!(err.to_string().contains("shard 1"), "{err}");
+        assert!(err.to_string().contains("fragment"), "{err}");
+    }
+
+    #[test]
     fn empty_set_roundtrips() {
         let mut buf = Vec::new();
         write_fragments(&mut buf, &[]).unwrap();
@@ -331,5 +933,86 @@ mod tests {
         let mut flat = Vec::new();
         write_fragments(&mut flat, &fragments).unwrap();
         assert!(read_sharded_fragments(flat.as_slice()).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        let bytes: Vec<u8> = (0u16..100).map(|i| (i * 7) as u8).collect();
+        let reference = checksum64(&bytes);
+        let mut flipped = bytes.clone();
+        for bit in 0..bytes.len() * 8 {
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            assert_ne!(checksum64(&flipped), reference, "bit {bit} undetected");
+            flipped[bit / 8] ^= 1 << (bit % 8);
+        }
+        // Length extension is not a collision either.
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert_ne!(checksum64(&longer), reference);
+    }
+
+    #[test]
+    fn arena_image_roundtrips_byte_identically() {
+        let fragments = fooddb_fragments();
+        let index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        let mut buf = Vec::new();
+        write_image(&mut buf, Some(1), &[&index]).unwrap();
+        let (range, shards) = read_image(&buf).unwrap();
+        assert_eq!(range, Some(1));
+        assert_eq!(shards.len(), 1);
+        let loaded = &shards[0];
+        // Arenas are bit-identical, not merely equivalent.
+        assert_eq!(
+            loaded.inverted.image_tf_arena(),
+            index.inverted.image_tf_arena()
+        );
+        assert_eq!(
+            loaded.inverted.image_probe().collect::<Vec<_>>(),
+            index.inverted.image_probe().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            loaded.inverted.image_lists().collect::<Vec<_>>(),
+            index.inverted.image_lists().collect::<Vec<_>>()
+        );
+        assert_eq!(loaded.catalog.image_parts(), index.catalog.image_parts());
+        assert_eq!(loaded.graph.node_count(), index.graph.node_count());
+        assert_eq!(loaded.graph.edge_count(), index.graph.edge_count());
+        for ((ka, fa, wa), (kb, fb, wb)) in
+            loaded.graph.image_groups().zip(index.graph.image_groups())
+        {
+            assert_eq!(ka, kb);
+            assert_eq!(fa, fb);
+            assert_eq!(wa, wb);
+        }
+        // Re-dumping the loaded index reproduces the exact bytes.
+        let mut again = Vec::new();
+        write_image(&mut again, Some(1), &[&shards[0]]).unwrap();
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn torn_and_flipped_images_rejected() {
+        let fragments = fooddb_fragments();
+        let index = FragmentIndex::build(&fragments, Some(1)).unwrap();
+        let mut buf = Vec::new();
+        write_image(&mut buf, Some(1), &[&index]).unwrap();
+        // Every truncation point fails.
+        for cut in [8, 20, buf.len() / 2, buf.len() - 1] {
+            assert!(read_image(&buf[..cut]).is_err(), "cut at {cut} accepted");
+        }
+        // Every single-bit flip fails (the whole file is covered by
+        // either the magic check, a structural check, or a checksum).
+        for bit in (0..buf.len() * 8).step_by(101) {
+            let mut bad = buf.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert!(read_image(&bad).is_err(), "flipped bit {bit} accepted");
+        }
+        // Trailing garbage fails.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(read_image(&padded).is_err());
+        // The v1 readers reject an image and vice versa.
+        assert!(read_fragments(buf.as_slice()).is_err());
+        assert!(read_image(b"DASHFRG1").is_err());
     }
 }

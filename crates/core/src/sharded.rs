@@ -89,6 +89,7 @@ use crate::fragment::Fragment;
 use crate::index::graph::group_key;
 use crate::index::{FragmentIndex, GroupId};
 use crate::par;
+use crate::persist;
 use crate::search::topk::top_k_in;
 use crate::search::{PopEvent, PopTrace, SearchHit, SearchRequest, SearchScratch};
 use crate::update::{
@@ -887,8 +888,8 @@ impl ShardedEngine {
 
     /// Dumps every shard's live fragments, per shard, in group-rank +
     /// range order — the exact partition, ready for
-    /// [`persist::write_sharded_fragments`](crate::persist::write_sharded_fragments)
-    /// and [`ShardedEngine::from_shard_fragments`]. A maintained engine
+    /// [`persist::write_sharded_fragments`] and
+    /// [`ShardedEngine::from_shard_fragments`]. A maintained engine
     /// round-trips without re-partitioning (shard balance drifts with
     /// maintenance; re-partitioning would shuffle groups between
     /// shards).
@@ -914,6 +915,93 @@ impl ShardedEngine {
                 fragments
             })
             .collect()
+    }
+
+    /// Serializes the engine as a v2 **arena image** (see
+    /// [`crate::persist`] for the layout): every shard's catalog,
+    /// posting arenas, list refs and graph columns as fixed-width
+    /// little-endian arrays with per-section checksums. The image
+    /// preserves the exact partition, so
+    /// [`ShardedEngine::from_image`] reconstructs this engine — drifted
+    /// shard balance and all — by bulk-reading columns instead of
+    /// re-running `build`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer I/O errors.
+    pub fn write_image<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let indexes: Vec<&FragmentIndex> = guards.iter().map(|g| &g.index).collect();
+        persist::write_image(writer, self.app.query.range_selection_index(), &indexes)
+    }
+
+    /// Reconstructs an engine from a v2 arena image
+    /// ([`ShardedEngine::write_image`] is the dump half) **without
+    /// re-running `build`**: columns are bulk-read straight into the
+    /// arenas and only the derived lookup maps are re-computed, one
+    /// O(n) pass each. Searches on the loaded engine are byte-identical
+    /// to the dumped one (`tests/scale_persist.rs` proves it
+    /// property-style); the replication SNAPSHOT path bootstraps
+    /// replicas through exactly this loader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Internal`] when the image is torn,
+    /// corrupted (every section is checksummed — any single-bit flip is
+    /// detected), from a different format/version, or was dumped for an
+    /// application with a different range-selection position; also
+    /// propagates query validation and shard-range validation errors.
+    pub fn from_image(
+        app: WebApplication,
+        bytes: &[u8],
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        validate_query(&app)?;
+        let (range_position, indexes) =
+            persist::read_image(bytes).map_err(|e| CoreError::Internal {
+                detail: format!("arena image: {e}"),
+            })?;
+        let expected = app.query.range_selection_index();
+        if range_position != expected {
+            return Err(CoreError::Internal {
+                detail: format!(
+                    "arena image was dumped with range position {range_position:?}, \
+                     but the application expects {expected:?}"
+                ),
+            });
+        }
+        Self::assemble(app, indexes, expected, crawl_stats)
+    }
+
+    /// Builds a sharded engine from per-shard fragment batches consumed
+    /// **one at a time** — the bounded-memory constructor for generated
+    /// corpora: each batch is indexed and dropped before the next is
+    /// pulled from the iterator, so peak memory holds one shard's
+    /// fragments plus the built indexes, never the whole corpus. The
+    /// partition is taken exactly as given (batches must be contiguous,
+    /// disjoint runs of group-key order, like
+    /// [`ShardedEngine::from_shard_fragments`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates query validation and index-construction errors, and
+    /// returns [`CoreError::Internal`] when the batches' group-key
+    /// ranges are not disjoint and ascending.
+    pub fn from_shard_batches<I>(
+        app: WebApplication,
+        batches: I,
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self>
+    where
+        I: IntoIterator<Item = Vec<Fragment>>,
+    {
+        validate_query(&app)?;
+        let range_position = app.query.range_selection_index();
+        let mut indexes = Vec::new();
+        for batch in batches {
+            indexes.push(FragmentIndex::build(&batch, range_position)?);
+        }
+        Self::assemble(app, indexes, range_position, crawl_stats)
     }
 
     /// The analyzed application this engine serves.
@@ -1298,6 +1386,48 @@ mod tests {
                 .unwrap();
         let req = SearchRequest::new(&["gumbo"]).k(5).min_size(1);
         assert_eq!(engine.search(&req), single.search(&req));
+    }
+
+    #[test]
+    fn arena_image_roundtrips_engine() {
+        let (app, db) = fooddb_parts();
+        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        // Drift the balance so the roundtrip must preserve the exact
+        // (non-rebalanced) partition.
+        let fragment = Fragment::new(
+            crate::fragment::FragmentId::new(vec![Value::str("Zulu"), Value::Int(30)]),
+            [("zebra".to_string(), 2u64)].into_iter().collect(),
+            1,
+        );
+        engine.apply_delta(IndexDelta::adding(vec![fragment]));
+        let mut image = Vec::new();
+        engine.write_image(&mut image).unwrap();
+        let loaded = ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
+        assert_eq!(loaded.shard_sizes(), engine.shard_sizes());
+        for keywords in [vec!["burger"], vec!["zebra"], vec!["burger", "fries"]] {
+            let req = SearchRequest::new(&keywords).k(10).min_size(1);
+            assert_eq!(loaded.search(&req), engine.search(&req), "{keywords:?}");
+        }
+        // A flipped byte anywhere must be rejected, not loaded.
+        let mut torn = image.clone();
+        let mid = torn.len() / 2;
+        torn[mid] ^= 0x10;
+        assert!(ShardedEngine::from_image(app, &torn, WorkflowStats::new()).is_err());
+    }
+
+    #[test]
+    fn shard_batches_match_shard_fragments() {
+        let (app, db) = fooddb_parts();
+        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let shards = engine.dump_shards();
+        let batched =
+            ShardedEngine::from_shard_batches(app.clone(), shards.clone(), WorkflowStats::new())
+                .unwrap();
+        let listed =
+            ShardedEngine::from_shard_fragments(app, &shards, WorkflowStats::new()).unwrap();
+        assert_eq!(batched.shard_sizes(), listed.shard_sizes());
+        let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
+        assert_eq!(batched.search(&req), listed.search(&req));
     }
 
     #[test]

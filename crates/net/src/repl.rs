@@ -11,10 +11,14 @@
 //!   holds. A fresh replica says `has_state = false`; a reconnecting
 //!   one reports where its mirror stopped.
 //! * `SNAPSHOT` — full bootstrap: the primary's live epoch plus its
-//!   [`ShardedEngine::dump_shards`] bytes (the exact per-shard
-//!   partition, so the replica rebuilds **without re-partitioning** —
-//!   its shard layout, and therefore its search byte-stream, is the
-//!   primary's).
+//!   [`ShardedEngine::write_image`] bytes — the v2 *arena image* (see
+//!   `dash_core::persist`): every shard's catalog, posting arenas and
+//!   graph columns as checksummed fixed-width arrays. The replica
+//!   reconstructs through [`ShardedEngine::from_image`], bulk-reading
+//!   columns instead of re-running `build`, so bootstrap cost is
+//!   O(bytes), not O(rebuild) — and the exact partition ships with the
+//!   image, so the replica's shard layout, and therefore its search
+//!   byte-stream, is the primary's.
 //! * `RESUME` — the cheap alternative: when the replica's reported
 //!   epoch still sits inside the primary's bounded delta log
 //!   ([`DashServer::replication_feed_from`]), the primary confirms the
@@ -51,7 +55,8 @@
 //! failover path after a promotion); [`Replica::promote`] stops
 //! mirroring and hands out the local server to *be* the next primary.
 //!
-//! [`ShardedEngine::dump_shards`]: dash_core::ShardedEngine::dump_shards
+//! [`ShardedEngine::write_image`]: dash_core::ShardedEngine::write_image
+//! [`ShardedEngine::from_image`]: dash_core::ShardedEngine::from_image
 //! [`IndexDelta`]: dash_core::IndexDelta
 //! [`DeltaSignature`]: dash_core::DeltaSignature
 
@@ -62,7 +67,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dash_core::{persist, wire, SearchHit, SearchRequest, ShardedEngine};
+use dash_core::{wire, SearchHit, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
 use dash_serve::{CatchUp, DashServer, PublishEvent, ServeConfig};
 use dash_webapp::WebApplication;
@@ -169,9 +174,11 @@ fn read_full(
     Ok(true)
 }
 
-fn snapshot_payload(epoch: u64, shards: &[Vec<dash_core::Fragment>]) -> Vec<u8> {
+fn snapshot_payload(epoch: u64, engine: &ShardedEngine) -> Vec<u8> {
     let mut payload = epoch.to_le_bytes().to_vec();
-    persist::write_sharded_fragments(&mut payload, shards).expect("Vec<u8> writes are infallible");
+    engine
+        .write_image(&mut payload)
+        .expect("Vec<u8> writes are infallible");
     payload
 }
 
@@ -436,8 +443,7 @@ fn stream_to_replica(
                 tail.events
             }
             CatchUp::Snapshot(feed) => {
-                let payload =
-                    snapshot_payload(feed.snapshot.epoch, &feed.snapshot.engine.dump_shards());
+                let payload = snapshot_payload(feed.snapshot.epoch, &feed.snapshot.engine);
                 if faults.kill_mid_snapshot.swap(false, Ordering::SeqCst) {
                     return kill_mid_frame(&mut stream, FRAME_SNAPSHOT, &payload);
                 }
@@ -759,13 +765,11 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
     match tag {
         FRAME_SNAPSHOT => {
             let (epoch, rest) = read_epoch(&payload)?;
-            let shards = persist::read_sharded_fragments(rest)?;
-            let engine = ShardedEngine::from_shard_fragments(
-                inner.app.clone(),
-                &shards,
-                WorkflowStats::new(),
-            )
-            .map_err(|e| invalid(&format!("snapshot rebuild failed: {e}")))?;
+            // Arena-image load: columns bulk-read into the arenas, no
+            // index rebuild. A torn or corrupted image errors here
+            // (every section is checksummed) and the reconnect retries.
+            let engine = ShardedEngine::from_image(inner.app.clone(), rest, WorkflowStats::new())
+                .map_err(|e| invalid(&format!("snapshot load failed: {e}")))?;
             // Opened *at the primary's epoch*: local publications of
             // replicated deltas keep cluster-wide epoch numbering (see
             // the module docs).

@@ -20,6 +20,7 @@
 use std::time::{Duration, Instant};
 
 use dash_core::{Fragment, IndexDelta, SearchRequest};
+use rand::distr::Zipf;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -42,6 +43,14 @@ pub struct LoadProfile {
     pub k: usize,
     /// Size thresholds sampled per request.
     pub min_sizes: Vec<u64>,
+    /// Zipf exponent of the keyword draw: `0.0` (the default) picks
+    /// keywords uniformly from the vocabulary; a positive exponent
+    /// draws vocabulary *ranks* from [`rand::distr::Zipf`], so
+    /// `vocab[0]` is the hottest term. Scale benches set this to the
+    /// exponent their corpus was generated with, making query traffic
+    /// hit the index the way the corpus was built (realistic cache-hit
+    /// rates).
+    pub keyword_skew: f64,
     /// Root seed; client `i` derives its stream from `seed + i`.
     pub seed: u64,
 }
@@ -55,6 +64,7 @@ impl Default for LoadProfile {
             max_keywords: 2,
             k: 10,
             min_sizes: vec![1, 20, 100],
+            keyword_skew: 0.0,
             seed: 7,
         }
     }
@@ -85,6 +95,10 @@ pub fn scripts(
         !profile.min_sizes.is_empty(),
         "load generation needs at least one min_size"
     );
+    // Built once per call: the cumulative table is O(vocab), not
+    // something to redo per keyword. `None` keeps the exact uniform
+    // draw (and RNG stream) profiles without skew always had.
+    let zipf = (profile.keyword_skew > 0.0).then(|| Zipf::new(vocab.len(), profile.keyword_skew));
     (0..profile.clients)
         .map(|client| {
             let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_add(client as u64));
@@ -116,7 +130,13 @@ pub fn scripts(
                     } else {
                         let words = rng.random_range(1..=profile.max_keywords.max(1));
                         let keywords: Vec<&str> = (0..words)
-                            .map(|_| vocab[rng.random_range(0..vocab.len())].as_str())
+                            .map(|_| {
+                                let rank = match &zipf {
+                                    Some(zipf) => zipf.sample(&mut rng),
+                                    None => rng.random_range(0..vocab.len()),
+                                };
+                                vocab[rank].as_str()
+                            })
                             .collect();
                         let min_size =
                             profile.min_sizes[rng.random_range(0..profile.min_sizes.len())];
@@ -282,6 +302,40 @@ mod tests {
                 "only client 0 publishes updates"
             );
         }
+    }
+
+    #[test]
+    fn keyword_skew_concentrates_on_hot_terms() {
+        let vocab: Vec<String> = (0..50).map(|i| format!("word{i}")).collect();
+        let uniform = LoadProfile {
+            clients: 1,
+            ops_per_client: 500,
+            update_every: 0,
+            max_keywords: 1,
+            ..LoadProfile::default()
+        };
+        let skewed = LoadProfile {
+            keyword_skew: 1.2,
+            ..uniform.clone()
+        };
+        let hot_share = |profile: &LoadProfile| {
+            let script = &scripts(profile, &vocab, &[])[0];
+            script
+                .iter()
+                .filter(|op| match op {
+                    LoadOp::Search(r) => r.keywords.contains(&"word0".to_string()),
+                    LoadOp::Update(_) => false,
+                })
+                .count()
+        };
+        let uniform_hits = hot_share(&uniform);
+        let skewed_hits = hot_share(&skewed);
+        assert!(
+            skewed_hits > 4 * uniform_hits.max(1),
+            "skewed {skewed_hits} vs uniform {uniform_hits}"
+        );
+        // Skewed scripts stay deterministic too.
+        assert_eq!(scripts(&skewed, &vocab, &[]), scripts(&skewed, &vocab, &[]));
     }
 
     #[test]

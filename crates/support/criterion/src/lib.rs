@@ -40,6 +40,40 @@ pub struct Measurement {
     pub ops_per_sec: f64,
     /// Samples taken.
     pub samples: usize,
+    /// The process's peak resident set size when the measurement was
+    /// recorded, in bytes (`VmHWM` from `/proc/self/status` on Linux,
+    /// 0 where unavailable). Scale suites track memory alongside
+    /// latency with this — note it is a process high-water mark, so it
+    /// only ever grows across a suite's rows.
+    pub peak_rss_bytes: u64,
+}
+
+/// The process's peak resident set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 on other platforms (the stand-in
+/// has no libc to ask). A high-water mark — monotone over the process
+/// lifetime.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
 }
 
 /// The benchmark driver.
@@ -144,6 +178,7 @@ impl Bencher<'_> {
             p50_ns,
             ops_per_sec: if p50_ns > 0.0 { 1e9 / p50_ns } else { 0.0 },
             samples,
+            peak_rss_bytes: peak_rss_bytes(),
         });
     }
 }
@@ -203,6 +238,7 @@ impl Criterion {
             p50_ns,
             ops_per_sec,
             samples: 1,
+            peak_rss_bytes: peak_rss_bytes(),
         };
         println!(
             "{:<48} time: [{}]  ({:.0} ops/s)",
@@ -227,11 +263,13 @@ impl Criterion {
                 json.push_str(",\n");
             }
             json.push_str(&format!(
-                "  {{\"name\": \"{}\", \"p50_ns\": {:.1}, \"ops_per_sec\": {:.1}, \"samples\": {}}}",
+                "  {{\"name\": \"{}\", \"p50_ns\": {:.1}, \"ops_per_sec\": {:.1}, \"samples\": {}, \
+                 \"peak_rss_bytes\": {}}}",
                 m.name.replace('"', "'"),
                 m.p50_ns,
                 m.ops_per_sec,
-                m.samples
+                m.samples,
+                m.peak_rss_bytes
             ));
         }
         json.push_str("\n]\n");
@@ -339,6 +377,20 @@ mod tests {
         assert_eq!(c.measurements().len(), 1);
         assert!(c.measurements()[0].p50_ns >= 0.0);
         assert!(c.measurements()[0].ops_per_sec > 0.0);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "a running process has a resident set");
+        }
+        std::env::set_var("DASH_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        c.record_measurement("row", 100.0, 1e7);
+        // The mark is monotone; concurrent tests may grow it between
+        // the two reads, so assert ordering, not equality.
+        assert!(c.measurements()[0].peak_rss_bytes <= peak_rss_bytes());
     }
 
     #[test]

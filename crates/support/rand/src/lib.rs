@@ -81,6 +81,75 @@ impl SampleRange<f64> for Range<f64> {
     }
 }
 
+/// Distributions beyond the uniform ranges, mirroring `rand_distr`.
+pub mod distr {
+    use super::{RngCore, RngExt};
+
+    /// A Zipf distribution over ranks `0..n`: rank `i` is drawn with
+    /// probability proportional to `1 / (i + 1)^s`. This is the
+    /// workspace's one model of skewed popularity — the scale-corpus
+    /// generator draws keyword and term-frequency ranks from it, and
+    /// `loadgen` draws query keywords from the *same* distribution so
+    /// benchmark traffic hits the corpus the way it was built (hot
+    /// terms dominate both).
+    ///
+    /// Sampling is inverse-CDF over a precomputed cumulative table:
+    /// O(n) memory once, O(log n) per draw, exact for any `s ≥ 0`
+    /// (`s = 0` degenerates to uniform). Deterministic for a given
+    /// generator stream.
+    #[derive(Debug, Clone)]
+    pub struct Zipf {
+        /// `cdf[i]` = P(rank ≤ i); the last entry is 1.0.
+        cdf: Vec<f64>,
+    }
+
+    impl Zipf {
+        /// A Zipf distribution over `n` ranks with exponent `s`.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `n == 0` or `s` is negative/non-finite.
+        pub fn new(n: usize, s: f64) -> Zipf {
+            assert!(n > 0, "cannot build a Zipf distribution over 0 ranks");
+            assert!(
+                s >= 0.0 && s.is_finite(),
+                "Zipf exponent must be finite and non-negative"
+            );
+            let mut cdf = Vec::with_capacity(n);
+            let mut total = 0.0f64;
+            for i in 0..n {
+                total += 1.0 / ((i + 1) as f64).powf(s);
+                cdf.push(total);
+            }
+            for p in &mut cdf {
+                *p /= total;
+            }
+            // Guard against summation round-off leaving the tail short.
+            *cdf.last_mut().expect("n > 0") = 1.0;
+            Zipf { cdf }
+        }
+
+        /// Draws one rank in `0..len()`.
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let u: f64 = rng.random_range(0.0..1.0);
+            self.cdf
+                .partition_point(|&p| p <= u)
+                .min(self.cdf.len() - 1)
+        }
+
+        /// Number of ranks the distribution draws from.
+        pub fn len(&self) -> usize {
+            self.cdf.len()
+        }
+
+        /// Whether the distribution has no ranks (never true — `new`
+        /// rejects `n == 0` — but the conventional pair of `len`).
+        pub fn is_empty(&self) -> bool {
+            self.cdf.is_empty()
+        }
+    }
+}
+
 /// Named generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -148,6 +217,49 @@ mod tests {
             assert!((-5..=5).contains(&y));
             let f = rng.random_range(0.0..2.5);
             assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = super::distr::Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 100];
+        for _ in 0..10_000 {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 100);
+            counts[rank] += 1;
+        }
+        // Rank 0 must dwarf the tail; the head must carry most mass.
+        assert!(
+            counts[0] > 10 * counts[50].max(1),
+            "head {:?}",
+            &counts[..3]
+        );
+        let head: usize = counts[..10].iter().sum();
+        assert!(head > 5_000, "head mass {head}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let zipf = super::distr::Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_deterministic_per_seed() {
+        let zipf = super::distr::Zipf::new(1000, 1.0);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
         }
     }
 

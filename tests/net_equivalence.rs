@@ -270,6 +270,64 @@ fn dropping_one_replica_leaves_the_others_registered() {
 }
 
 #[test]
+fn replica_bootstrapped_from_arena_image_alone_serves_identical_bytes() {
+    // The SNAPSHOT frame ships an arena image
+    // (`ShardedEngine::write_image`); the replica reconstructs its
+    // engine with `from_image`, no parse-and-rebuild. This test keeps
+    // the delta stream silent after the join, so every served byte is
+    // evidence about the image path alone: one bootstrap, zero applied
+    // deltas, and the battery byte-identical to a fresh engine over
+    // the primary's current fragments.
+    let base = crawled_fragments();
+    for shards in SHARD_COUNTS {
+        let (server, _net, hub) = primary(&base, shards);
+        // Drift the primary BEFORE the replica exists, so the image
+        // carries post-delta state a stale crawl could not fake.
+        server.publish(IndexDelta::adding(vec![Fragment::new(
+            FragmentId::new(vec![Value::str("Nordic"), Value::Int(7)]),
+            [("herring".to_string(), 3u64)].into_iter().collect(),
+            1,
+        )]));
+
+        let replica = Arc::new(Replica::connect(
+            hub.addr(),
+            app(),
+            ReplicaConfig::default(),
+        ));
+        assert!(replica.wait_epoch(1, SYNC_TIMEOUT), "bootstrap reaches e1");
+        assert_eq!(replica.bootstraps(), 1, "exactly one snapshot");
+        assert_eq!(replica.deltas_applied(), 0, "image alone, no deltas");
+
+        let replica_net = NetServer::serve_replica(
+            Arc::clone(&replica),
+            TcpListener::bind("127.0.0.1:0").unwrap(),
+            NetConfig::default(),
+        )
+        .unwrap();
+        let mut replica_client = NetClient::connect(replica_net.addr()).unwrap();
+        let current: Vec<Fragment> = server
+            .snapshot()
+            .engine
+            .dump_shards()
+            .into_iter()
+            .flatten()
+            .collect();
+        let truth = fresh_single(&current);
+        assert_socket_equivalent(
+            &mut replica_client,
+            &truth,
+            &format!("arena-image bootstrap shards={shards}"),
+        );
+        let herring = SearchRequest::new(&["herring"]).k(2).min_size(1);
+        assert_eq!(
+            replica_client.search(&herring).unwrap(),
+            truth.search(&herring),
+            "shards={shards} post-delta state came through the image"
+        );
+    }
+}
+
+#[test]
 fn replica_joining_mid_stream_serves_identical_bytes() {
     let base = crawled_fragments();
     for shards in SHARD_COUNTS {

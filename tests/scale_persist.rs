@@ -1,0 +1,202 @@
+//! The scale-persistence test tier: arena images
+//! ([`ShardedEngine::write_image`] / [`ShardedEngine::from_image`])
+//! must be **lossless** and **tamper-evident**.
+//!
+//! Lossless means byte-identical `SearchHit` lists — an engine loaded
+//! from an image answers every request exactly like the engine that
+//! dumped it *and* like a fresh single-shard build over the same
+//! fragments, at shard counts {1, 4}; re-dumping the loaded engine
+//! reproduces the image byte for byte. Tamper-evident means any
+//! single-bit flip and any truncation of the image is rejected with an
+//! error — never loaded, never a panic.
+//!
+//! Corpora come from the synthetic generator the scale benchmarks use
+//! (`dash_bench::scale::ScaleCorpus`, TPC-H Q2 shape), so this tier
+//! exercises the exact dump/load path `benches/scale.rs` times and the
+//! replication SNAPSHOT frame ships.
+
+use proptest::prelude::*;
+
+use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::mapreduce::WorkflowStats;
+use dash::webapp::WebApplication;
+use dash_bench::scale::ScaleCorpus;
+use dash_tpch::{generate, Scale, TpchConfig};
+
+/// The application shape `ScaleCorpus` fragments mimic: TPC-H Q2
+/// (equality group = custkey, range = quantity). Analysis wants the
+/// schema, not the rows, so the database is a throwaway micro one.
+fn q2_app() -> WebApplication {
+    let mut config = TpchConfig::new(Scale::Custom(1));
+    config.base_customers = 50;
+    config.base_parts = 65;
+    let db = generate(&config);
+    dash_tpch::q2_application(&db).expect("Q2 analyzes")
+}
+
+fn corpus(fragments: usize, groups: usize, seed: u64) -> ScaleCorpus {
+    ScaleCorpus {
+        fragments,
+        groups,
+        vocab: 300,
+        seed,
+        ..ScaleCorpus::default()
+    }
+}
+
+/// Hot, warm and cold single terms, pairs, and a guaranteed miss, over
+/// a spread of `k`/`s` settings.
+fn battery() -> Vec<SearchRequest> {
+    let mut requests = Vec::new();
+    for kw in ["kw000000", "kw000001", "kw000017", "kw000123", "kw000299"] {
+        for s in [1u64, 8, 40] {
+            requests.push(SearchRequest::new(&[kw]).k(7).min_size(s));
+        }
+    }
+    requests.push(
+        SearchRequest::new(&["kw000000", "kw000004"])
+            .k(12)
+            .min_size(1),
+    );
+    requests.push(
+        SearchRequest::new(&["kw000002", "kw000099"])
+            .k(3)
+            .min_size(5),
+    );
+    requests.push(SearchRequest::new(&["zzzmissing"]).k(5).min_size(1));
+    requests
+}
+
+fn build_sharded(app: &WebApplication, corpus: &ScaleCorpus, shards: usize) -> ShardedEngine {
+    ShardedEngine::from_shard_batches(
+        app.clone(),
+        corpus.shard_batches(shards),
+        WorkflowStats::new(),
+    )
+    .expect("corpus builds")
+}
+
+#[test]
+fn golden_roundtrip_is_byte_identical_and_restable() {
+    let app = q2_app();
+    let corpus = corpus(400, 8, 0xD1CE);
+    let fragments: Vec<_> = corpus.shard_batches(1).flatten().collect();
+    let fresh =
+        DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).expect("fresh");
+    let requests = battery();
+    let mut any_hits = false;
+    for shards in [1usize, 4] {
+        let original = build_sharded(&app, &corpus, shards);
+        let mut image = Vec::new();
+        original.write_image(&mut image).expect("image dumps");
+        let loaded = ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new())
+            .expect("image loads");
+        assert_eq!(loaded.fragment_count(), corpus.fragments);
+        assert_eq!(loaded.shard_sizes(), original.shard_sizes());
+        for request in &requests {
+            let expected = fresh.search(request);
+            any_hits |= !expected.is_empty();
+            assert_eq!(
+                original.search(request),
+                expected,
+                "shards={shards} dumped engine {:?}",
+                request.keywords
+            );
+            assert_eq!(
+                loaded.search(request),
+                expected,
+                "shards={shards} loaded engine {:?}",
+                request.keywords
+            );
+        }
+        // The image is a fixed point: re-dumping the loaded engine
+        // reproduces it byte for byte.
+        let mut redump = Vec::new();
+        loaded.write_image(&mut redump).expect("re-dump");
+        assert_eq!(redump, image, "shards={shards} image must be byte-stable");
+    }
+    assert!(any_hits, "battery must exercise non-empty results");
+}
+
+#[test]
+fn every_sampled_bit_flip_is_rejected() {
+    let app = q2_app();
+    let original = build_sharded(&app, &corpus(120, 5, 0xFACE), 4);
+    let mut image = Vec::new();
+    original.write_image(&mut image).expect("image dumps");
+
+    // Step a prime stride so every section (header, catalog, words,
+    // lists, arenas, graph) sees flips at varied offsets, plus the
+    // edges of the file.
+    let mut positions: Vec<usize> = (0..image.len()).step_by(97).collect();
+    positions.extend((0..16.min(image.len())).chain(image.len() - 16..image.len()));
+    for at in positions {
+        for bit in [0u8, 3, 7] {
+            let mut torn = image.clone();
+            torn[at] ^= 1 << bit;
+            assert!(
+                ShardedEngine::from_image(app.clone(), &torn, WorkflowStats::new()).is_err(),
+                "bit {bit} at byte {at}/{} must not load",
+                image.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_sampled_truncation_is_rejected() {
+    let app = q2_app();
+    let original = build_sharded(&app, &corpus(120, 5, 0xFACE), 2);
+    let mut image = Vec::new();
+    original.write_image(&mut image).expect("image dumps");
+    let mut lengths: Vec<usize> = (0..image.len()).step_by(89).collect();
+    lengths.extend([0, 1, 7, 8, image.len() - 1]);
+    for len in lengths {
+        assert!(
+            ShardedEngine::from_image(app.clone(), &image[..len], WorkflowStats::new()).is_err(),
+            "truncation to {len}/{} bytes must not load",
+            image.len()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random corpus shapes, seeds and queries, an engine loaded
+    /// from an arena image returns byte-identical hit lists to a fresh
+    /// single-shard build over the same fragments, at shards {1, 4}.
+    #[test]
+    fn arena_roundtrip_matches_fresh_build_on_random_corpora(
+        fragments in 30usize..220,
+        groups in 1usize..12,
+        seed in any::<u64>(),
+        ranks in prop::collection::vec(0usize..300, 1..4),
+        k in 1usize..12,
+        s in prop::sample::select(vec![1u64, 5, 25, 100]),
+    ) {
+        let app = q2_app();
+        let corpus = corpus(fragments, groups, seed);
+        let words: Vec<String> = ranks.iter().map(|r| format!("kw{r:06}")).collect();
+        let keywords: Vec<&str> = words.iter().map(String::as_str).collect();
+        let request = SearchRequest::new(&keywords).k(k).min_size(s);
+        let flat: Vec<_> = corpus.shard_batches(1).flatten().collect();
+        let fresh =
+            DashEngine::from_fragments(app.clone(), &flat, WorkflowStats::new()).unwrap();
+        let expected = fresh.search(&request);
+        for shards in [1usize, 4] {
+            let original = build_sharded(&app, &corpus, shards);
+            let mut image = Vec::new();
+            original.write_image(&mut image).unwrap();
+            let loaded =
+                ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
+            prop_assert_eq!(loaded.fragment_count(), corpus.fragments);
+            prop_assert_eq!(
+                &loaded.search(&request),
+                &expected,
+                "shards={} fragments={} groups={} keywords={:?} k={} s={}",
+                shards, fragments, groups, keywords, k, s
+            );
+        }
+    }
+}
