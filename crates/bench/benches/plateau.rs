@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dash_core::{DashEngine, Fragment, FragmentId, SearchRequest, ShardedEngine};
+use dash_core::{DashEngine, Fragment, FragmentId, IngestSource, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
 use dash_relation::Value;
 use dash_webapp::fooddb;
@@ -70,9 +70,11 @@ fn bench_corpus(c: &mut Criterion, label: &str, fragments: &[Fragment]) {
     group.bench_function("single/k10-s1", |b| b.iter(|| single.search(&narrow)));
     group.bench_function("single/k10-s50", |b| b.iter(|| single.search(&expanding)));
     for shards in [1usize, 2, 4] {
-        let engine =
-            ShardedEngine::from_fragments(app.clone(), fragments, shards, WorkflowStats::new())
-                .expect("sharded builds");
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(fragments))
+            .build()
+            .expect("sharded builds");
         group.bench_function(format!("s{shards}/k10-s1"), |b| {
             b.iter(|| engine.search(&narrow))
         });

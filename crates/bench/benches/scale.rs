@@ -10,7 +10,7 @@
 //! |---|---|
 //! | `scale/build` | streamed generate + 4-shard index build, end to end |
 //! | `scale/search-p50`, `scale/search-p99` | top-k latency over Zipf-skewed keyword traffic |
-//! | `scale/arena-load` | `ShardedEngine::from_image` — the zero-parse bulk-read path |
+//! | `scale/arena-load` | the builder's `IngestSource::Image` — the zero-parse bulk-read path |
 //! | `scale/parse-rebuild` | v1 decode + full `build` — what bootstrap cost before arena images |
 //! | `scale/full-rebuild` | index rebuild from in-memory fragments (no decode) |
 //! | `scale/delta-apply` | one group-local delta through `apply_delta` |
@@ -26,8 +26,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dash_bench::scale::{env_fragments, ScaleCorpus};
-use dash_core::{persist, IndexDelta, SearchRequest, ShardedEngine};
-use dash_mapreduce::WorkflowStats;
+use dash_core::{persist, IndexDelta, IngestSource, SearchRequest, ShardedEngine};
 use dash_serve::loadgen::percentile;
 use dash_tpch::{generate, Scale, TpchConfig};
 use rand::distr::Zipf;
@@ -60,12 +59,12 @@ fn bench_scale(c: &mut Criterion) {
     // memory at a time. This is the cold-start cost the arena image
     // exists to avoid paying twice.
     let begin = Instant::now();
-    let mut engine = ShardedEngine::from_shard_batches(
-        app.clone(),
-        corpus.shard_batches(SHARDS),
-        WorkflowStats::new(),
-    )
-    .expect("scale corpus builds");
+    let mut engine = ShardedEngine::builder(app.clone())
+        .source(IngestSource::Batches(Box::new(
+            corpus.shard_batches(SHARDS),
+        )))
+        .build()
+        .expect("scale corpus builds");
     let build_ns = begin.elapsed().as_nanos() as f64;
     assert_eq!(engine.fragment_count(), corpus.fragments);
     c.record_measurement(
@@ -107,7 +106,9 @@ fn bench_scale(c: &mut Criterion) {
     let mut arena_ns = 0.0;
     for _ in 0..2 {
         let begin = Instant::now();
-        let loaded = ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new())
+        let loaded = ShardedEngine::builder(app.clone())
+            .source(IngestSource::Image(&image))
+            .build()
             .expect("arena image loads");
         arena_ns = begin.elapsed().as_nanos() as f64;
         assert_eq!(loaded.fragment_count(), engine.fragment_count());
@@ -125,9 +126,10 @@ fn bench_scale(c: &mut Criterion) {
     let mut rebuild_ns = 0.0;
     for _ in 0..2 {
         let begin = Instant::now();
-        let rebuilt =
-            ShardedEngine::from_shard_fragments(app.clone(), &shards, WorkflowStats::new())
-                .expect("rebuilds");
+        let rebuilt = ShardedEngine::builder(app.clone())
+            .source(IngestSource::ShardDumps(&shards))
+            .build()
+            .expect("rebuilds");
         rebuild_ns = begin.elapsed().as_nanos() as f64;
         assert_eq!(rebuilt.fragment_count(), engine.fragment_count());
         drop(rebuilt);
@@ -145,9 +147,10 @@ fn bench_scale(c: &mut Criterion) {
     for _ in 0..2 {
         let begin = Instant::now();
         let decoded = persist::read_sharded_fragments(v1.as_slice()).expect("v1 parses");
-        let reparsed =
-            ShardedEngine::from_shard_fragments(app.clone(), &decoded, WorkflowStats::new())
-                .expect("parse-rebuild");
+        let reparsed = ShardedEngine::builder(app.clone())
+            .source(IngestSource::ShardDumps(&decoded))
+            .build()
+            .expect("parse-rebuild");
         parse_ns = begin.elapsed().as_nanos() as f64;
         assert_eq!(reparsed.fragment_count(), engine.fragment_count());
         drop(reparsed);

@@ -13,7 +13,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dash_bench::{select_keywords, KeywordTemperature};
 use dash_core::crawl::reference;
-use dash_core::{DashConfig, DashEngine, RecordChange, SearchRequest, ShardedEngine};
+use dash_core::{DashConfig, DashEngine, IngestSource, RecordChange, SearchRequest, ShardedEngine};
 use dash_mapreduce::WorkflowStats;
 use dash_relation::{Record, Value};
 use dash_tpch::{generate, Scale, TpchConfig};
@@ -59,9 +59,11 @@ fn bench_shard(c: &mut Criterion) {
     });
     group.bench_function("single/batch16", |b| b.iter(|| single.search_many(&batch)));
     for shards in SHARD_COUNTS {
-        let engine =
-            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
-                .expect("sharded builds");
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(&fragments))
+            .build()
+            .expect("sharded builds");
         group.bench_function(format!("s{shards}/search-hot"), |b| {
             b.iter(|| engine.search(&hot_request))
         });
@@ -83,9 +85,11 @@ fn bench_shard(c: &mut Criterion) {
         b.iter(|| single.search(&request))
     });
     for shards in [1usize, 2] {
-        let engine =
-            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
-                .expect("sharded builds");
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(&fragments))
+            .build()
+            .expect("sharded builds");
         group.bench_function(format!("s{shards}/burger-k2-s20"), |b| {
             b.iter(|| engine.search(&request))
         });
@@ -127,9 +131,11 @@ fn bench_shard(c: &mut Criterion) {
         });
     }
     for shards in [1usize, 2, 4] {
-        let mut engine =
-            ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
-                .expect("sharded builds");
+        let mut engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(&fragments))
+            .build()
+            .expect("sharded builds");
         group.bench_function(format!("s{shards}/insert-delete"), |b| {
             b.iter(|| {
                 engine
@@ -142,7 +148,10 @@ fn bench_shard(c: &mut Criterion) {
     // What an update cost before shard-local maintenance existed.
     group.bench_function("s4/full-rebuild", |b| {
         b.iter(|| {
-            ShardedEngine::from_fragments(app.clone(), &fragments, 4, WorkflowStats::new())
+            ShardedEngine::builder(app.clone())
+                .shards(4)
+                .source(IngestSource::Fragments(&fragments))
+                .build()
                 .expect("sharded builds")
         })
     });
@@ -177,7 +186,10 @@ fn bench_shard(c: &mut Criterion) {
         .iter()
         .map(|r| RecordChange::new("restaurant", r.clone()))
         .collect();
-    let base = ShardedEngine::from_fragments(app.clone(), &fragments, 4, WorkflowStats::new())
+    let base = ShardedEngine::builder(app.clone())
+        .shards(4)
+        .source(IngestSource::Fragments(&fragments))
+        .build()
         .expect("sharded builds");
     let mut group = c.benchmark_group("shard/maintenance-bulk");
     group.bench_function("s4/bulk-8-inserts", |b| {

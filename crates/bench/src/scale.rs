@@ -15,7 +15,7 @@
 //! [`ScaleCorpus::shard_batches`] yields one shard's worth at a time,
 //! so building a sharded engine over a million fragments never holds
 //! the whole corpus and the indexes in memory together
-//! ([`ShardedEngine::from_shard_batches`] consumes and drops each
+//! (the builder's [`IngestSource::Batches`] consumes and drops each
 //! batch before the next is generated).
 //!
 //! **Deterministic**: every fragment is a pure function of
@@ -24,7 +24,7 @@
 //! re-generated fragment for delta traffic) reproduces bit-identically
 //! regardless of iteration order.
 //!
-//! [`ShardedEngine::from_shard_batches`]: dash_core::ShardedEngine::from_shard_batches
+//! [`IngestSource::Batches`]: dash_core::IngestSource::Batches
 
 use std::collections::BTreeMap;
 
@@ -127,7 +127,7 @@ impl ScaleCorpus {
 
     /// The corpus as `shards` contiguous batches of whole equality
     /// groups, balanced by fragment count — exactly the partition
-    /// contract `ShardedEngine::from_shard_batches` expects
+    /// contract the `IngestSource::Batches` build expects
     /// (contiguous, disjoint, ascending group-key runs). Each batch is
     /// generated lazily; drop it before pulling the next and peak
     /// memory stays one shard's worth.

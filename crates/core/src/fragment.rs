@@ -55,6 +55,22 @@ impl fmt::Display for FragmentId {
     }
 }
 
+impl ByteSized for Fragment {
+    /// Identifier + the two u64 scalars + every occurrence-map entry
+    /// (length-prefixed keyword + u64 count) — matching what the v1
+    /// persist codec writes, so mapreduce byte meters over fragments
+    /// track the real dump volume.
+    fn byte_size(&self) -> usize {
+        self.id.byte_size()
+            + 16
+            + self
+                .keyword_occurrences
+                .keys()
+                .map(|kw| kw.len() + 4 + 8)
+                .sum::<usize>()
+    }
+}
+
 impl ByteSized for FragmentId {
     fn byte_size(&self) -> usize {
         4 + self

@@ -1,0 +1,323 @@
+//! The engine-ingest layer: one front door for every way a
+//! [`ShardedEngine`] comes to exist, plus the distributed
+//! (mapreduce-backed) bulk build.
+//!
+//! The engine's construction surface had accreted five uncoordinated
+//! entry points (crawl-and-build, in-memory fragments, per-shard
+//! dumps, arena images, streamed batches) before the distributed build
+//! would have added a sixth. [`EngineBuilder`] collapses them into one
+//! API: pick an [`IngestSource`], optionally set the shard count and a
+//! stats accumulator, and `build()`:
+//!
+//! ```text
+//! ShardedEngine::builder(app)
+//!     .shards(4)
+//!     .source(IngestSource::Fragments(&fragments))
+//!     .build()?
+//! ```
+//!
+//! Sources that carry their own partition (dumps, images, batches,
+//! mapreduce output) ignore `shards` — the partition is taken exactly
+//! as given, never re-derived, so maintained engines round-trip with
+//! their drifted balance intact.
+//!
+//! The distributed build lives in [`distributed`]: crawl → partition →
+//! per-shard index build expressed as a two-job `dash-mapreduce`
+//! workflow whose output feeds [`IngestSource::Distributed`] and is
+//! **byte-identical** to a direct build over the same fragments — see
+//! the module docs there for the workflow diagram and the
+//! restartability story.
+
+pub mod distributed;
+
+use dash_mapreduce::WorkflowStats;
+use dash_relation::Database;
+use dash_webapp::WebApplication;
+
+use crate::engine::DashConfig;
+use crate::fragment::Fragment;
+use crate::sharded::ShardedEngine;
+use crate::Result;
+
+pub use distributed::{
+    distributed_build, distributed_crawl_build, IngestConfig, IngestOutput, IngestReport, ShardData,
+};
+
+/// Where an [`EngineBuilder`] gets its fragments from.
+///
+/// Two families: *unpartitioned* sources ([`IngestSource::Fragments`],
+/// [`IngestSource::Crawl`]) hand the builder raw fragments and let it
+/// derive the contiguous key-rank partition at the configured shard
+/// count; *pre-partitioned* sources carry their partition with them
+/// and ignore the builder's `shards` setting.
+pub enum IngestSource<'a> {
+    /// Already-derived fragments; the builder partitions them into the
+    /// configured number of shards.
+    Fragments(&'a [Fragment]),
+    /// Per-shard fragment lists (the output of
+    /// [`ShardedEngine::dump_shards`] or
+    /// [`crate::persist::read_sharded_fragments`]); the partition is
+    /// taken exactly as given.
+    ShardDumps(&'a [Vec<Fragment>]),
+    /// A v2 `DASHIMG2` arena image ([`ShardedEngine::write_image`] is
+    /// the dump half) — the zero-parse bulk-read load path.
+    Image(&'a [u8]),
+    /// Per-shard fragment batches consumed one at a time — the
+    /// bounded-memory path for generated corpora (each batch is
+    /// indexed and dropped before the next is pulled).
+    Batches(Box<dyn Iterator<Item = Vec<Fragment>> + 'a>),
+    /// Crawl the database first (the paper's pipeline front half),
+    /// then partition into the configured number of shards. The crawl
+    /// workflow's job stats are pushed onto the builder's accumulator.
+    Crawl {
+        /// The database to crawl.
+        db: &'a Database,
+        /// Crawl algorithm/scope/cluster configuration.
+        config: &'a DashConfig,
+    },
+    /// The output of a distributed mapreduce build
+    /// ([`distributed_build`]); its workflow stats are pushed onto the
+    /// builder's accumulator and its per-shard runs load zero-copy.
+    Distributed(IngestOutput<'a>),
+}
+
+impl std::fmt::Debug for IngestSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestSource::Fragments(frags) => {
+                f.debug_tuple("Fragments").field(&frags.len()).finish()
+            }
+            IngestSource::ShardDumps(shards) => {
+                f.debug_tuple("ShardDumps").field(&shards.len()).finish()
+            }
+            IngestSource::Image(bytes) => f.debug_tuple("Image").field(&bytes.len()).finish(),
+            IngestSource::Batches(_) => f.write_str("Batches(..)"),
+            IngestSource::Crawl { .. } => f.write_str("Crawl { .. }"),
+            IngestSource::Distributed(output) => {
+                f.debug_tuple("Distributed").field(&output.report).finish()
+            }
+        }
+    }
+}
+
+/// Builds a [`ShardedEngine`] from any [`IngestSource`] — the single
+/// construction API. Created by [`ShardedEngine::builder`].
+///
+/// Defaults: one shard, an empty fragment source, a fresh (empty)
+/// stats accumulator.
+#[derive(Debug)]
+pub struct EngineBuilder<'a> {
+    app: WebApplication,
+    shards: usize,
+    stats: WorkflowStats,
+    source: IngestSource<'a>,
+}
+
+impl<'a> EngineBuilder<'a> {
+    pub(crate) fn new(app: WebApplication) -> Self {
+        EngineBuilder {
+            app,
+            shards: 1,
+            stats: WorkflowStats::new(),
+            source: IngestSource::Fragments(&[]),
+        }
+    }
+
+    /// Sets the shard count for unpartitioned sources
+    /// ([`IngestSource::Fragments`], [`IngestSource::Crawl`]); clamped
+    /// to at least 1. Pre-partitioned sources (dumps, images, batches,
+    /// distributed output) carry their own partition and ignore this.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Seeds the stats accumulator the engine will report from
+    /// [`ShardedEngine::crawl_stats`]; sources that run workflows
+    /// ([`IngestSource::Crawl`], [`IngestSource::Distributed`]) push
+    /// their job stats on top.
+    pub fn stats(mut self, stats: WorkflowStats) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Sets the ingest source (default: an empty fragment list).
+    pub fn source(mut self, source: IngestSource<'a>) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates query validation and index-construction errors; for
+    /// pre-partitioned sources, returns
+    /// [`CoreError::Internal`](crate::CoreError::Internal) when the
+    /// shards are not contiguous, disjoint runs of group-key order,
+    /// and for [`IngestSource::Image`] when the image is torn,
+    /// corrupted, or from a mismatched application.
+    pub fn build(self) -> Result<ShardedEngine> {
+        let EngineBuilder {
+            app,
+            shards,
+            mut stats,
+            source,
+        } = self;
+        match source {
+            IngestSource::Fragments(fragments) => {
+                ShardedEngine::from_fragments_impl(app, fragments, shards, stats)
+            }
+            IngestSource::ShardDumps(shard_fragments) => {
+                ShardedEngine::from_shard_fragments_impl(app, shard_fragments, stats)
+            }
+            IngestSource::Image(bytes) => ShardedEngine::from_image_impl(app, bytes, stats),
+            IngestSource::Batches(batches) => ShardedEngine::from_batches_impl(app, batches, stats),
+            IngestSource::Crawl { db, config } => {
+                ShardedEngine::crawl_build_impl(&app, db, config, shards, stats)
+            }
+            IngestSource::Distributed(output) => {
+                for job in output.stats.jobs {
+                    stats.push(job);
+                }
+                match output.data {
+                    ShardData::Refs(shard_refs) => {
+                        ShardedEngine::from_shard_refs_impl(app, &shard_refs, stats)
+                    }
+                    ShardData::Owned(shard_fragments) => {
+                        ShardedEngine::from_shard_fragments_impl(app, &shard_fragments, stats)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ShardedEngine {
+    /// Starts an [`EngineBuilder`] — the single front door for every
+    /// construction path (see [`crate::ingest`] for the source
+    /// catalog).
+    pub fn builder<'a>(app: WebApplication) -> EngineBuilder<'a> {
+        EngineBuilder::new(app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist;
+    use crate::search::SearchRequest;
+    use dash_webapp::fooddb;
+
+    fn fooddb_parts() -> (WebApplication, Database) {
+        (fooddb::search_application().unwrap(), fooddb::database())
+    }
+
+    #[test]
+    fn every_source_builds_the_same_engine() {
+        let (app, db) = fooddb_parts();
+        let config = DashConfig::default();
+        let crawled = ShardedEngine::builder(app.clone())
+            .shards(2)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &config,
+            })
+            .build()
+            .unwrap();
+        assert!(crawled.fragment_count() > 0);
+        // Crawl stats rode along on the accumulator.
+        assert!(!crawled.crawl_stats().jobs.is_empty());
+
+        let shards = crawled.dump_shards();
+        let flat: Vec<Fragment> = shards.iter().flatten().cloned().collect();
+        let req = SearchRequest::new(&["burger", "fries"]).k(10).min_size(1);
+        let want = crawled.search(&req);
+
+        let from_fragments = ShardedEngine::builder(app.clone())
+            .shards(2)
+            .source(IngestSource::Fragments(&flat))
+            .build()
+            .unwrap();
+        assert_eq!(from_fragments.search(&req), want);
+
+        let from_dumps = ShardedEngine::builder(app.clone())
+            .source(IngestSource::ShardDumps(&shards))
+            .build()
+            .unwrap();
+        assert_eq!(from_dumps.shard_sizes(), crawled.shard_sizes());
+        assert_eq!(from_dumps.search(&req), want);
+
+        let from_batches = ShardedEngine::builder(app.clone())
+            .source(IngestSource::Batches(Box::new(shards.clone().into_iter())))
+            .build()
+            .unwrap();
+        assert_eq!(from_batches.search(&req), want);
+
+        let mut image = Vec::new();
+        crawled.write_image(&mut image).unwrap();
+        let from_image = ShardedEngine::builder(app)
+            .source(IngestSource::Image(&image))
+            .build()
+            .unwrap();
+        assert_eq!(from_image.shard_sizes(), crawled.shard_sizes());
+        assert_eq!(from_image.search(&req), want);
+    }
+
+    #[test]
+    fn default_source_is_an_empty_engine() {
+        let (app, _) = fooddb_parts();
+        let engine = ShardedEngine::builder(app).build().unwrap();
+        assert_eq!(engine.fragment_count(), 0);
+        assert_eq!(engine.shard_count(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_image_shim_matches_builder() {
+        let (app, db) = fooddb_parts();
+        let config = DashConfig::default();
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(2)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &config,
+            })
+            .build()
+            .unwrap();
+        let mut image = Vec::new();
+        engine.write_image(&mut image).unwrap();
+        let via_shim =
+            ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
+        let via_builder = ShardedEngine::builder(app)
+            .source(IngestSource::Image(&image))
+            .build()
+            .unwrap();
+        let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
+        assert_eq!(via_shim.search(&req), via_builder.search(&req));
+        assert_eq!(via_shim.shard_sizes(), via_builder.shard_sizes());
+    }
+
+    #[test]
+    fn dumps_roundtrip_through_persist() {
+        let (app, db) = fooddb_parts();
+        let config = DashConfig::default();
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(3)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &config,
+            })
+            .build()
+            .unwrap();
+        let shards = engine.dump_shards();
+        let mut bytes = Vec::new();
+        persist::write_sharded_fragments(&mut bytes, &shards).unwrap();
+        let decoded = persist::read_sharded_fragments(bytes.as_slice()).unwrap();
+        let loaded = ShardedEngine::builder(app)
+            .source(IngestSource::ShardDumps(&decoded))
+            .build()
+            .unwrap();
+        assert_eq!(loaded.shard_sizes(), engine.shard_sizes());
+    }
+}

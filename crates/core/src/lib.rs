@@ -63,6 +63,19 @@
 //! selects the partition width in deployments (see
 //! [`sharded::env_shards`]).
 //!
+//! ## One front door for construction: the ingest layer
+//!
+//! Every way a `ShardedEngine` comes to exist goes through
+//! [`ingest::EngineBuilder`] — `ShardedEngine::builder(app)` plus an
+//! [`ingest::IngestSource`] (crawl-and-build, in-memory fragments,
+//! per-shard dumps, `DASHIMG2` arena images, streamed batches, or the
+//! output of the distributed build). [`ingest::distributed`] expresses
+//! crawl → partition → per-shard index build as a restartable two-job
+//! `dash-mapreduce` workflow whose resulting engine is byte-identical
+//! to a direct build — including under injected worker faults and
+//! across kill-and-restart resume (the `ingest_equivalence` test
+//! tier).
+//!
 //! ## The unified delta write path
 //!
 //! Both engines mutate through one abstraction: an
@@ -113,6 +126,7 @@ pub mod engine;
 pub mod error;
 pub mod fragment;
 pub mod index;
+pub mod ingest;
 pub mod multi;
 mod par;
 pub mod persist;
@@ -129,6 +143,10 @@ pub use error::CoreError;
 pub use fragment::{Fragment, FragmentId};
 pub use index::{
     Frag, FragmentCatalog, FragmentGraph, FragmentIndex, GroupId, InvertedFragmentIndex, Kw,
+};
+pub use ingest::{
+    distributed_build, distributed_crawl_build, EngineBuilder, IngestConfig, IngestOutput,
+    IngestReport, IngestSource, ShardData,
 };
 pub use multi::MultiDash;
 pub use scope::CrawlScope;

@@ -99,7 +99,11 @@ impl MultiDash<ShardedEngine> {
         shards: usize,
     ) -> Result<Self> {
         Self::build_with(apps, db, cluster, algorithm, |app, fragments, stats| {
-            ShardedEngine::from_fragments(app, fragments, shards, stats)
+            ShardedEngine::builder(app)
+                .shards(shards)
+                .stats(stats)
+                .source(crate::ingest::IngestSource::Fragments(fragments))
+                .build()
         })
     }
 }

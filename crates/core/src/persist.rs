@@ -22,7 +22,7 @@
 //!   partition (which drifts under incremental maintenance), so a
 //!   maintained sharded engine round-trips through
 //!   [`ShardedEngine::dump_shards`](crate::ShardedEngine::dump_shards) /
-//!   [`ShardedEngine::from_shard_fragments`](crate::ShardedEngine::from_shard_fragments)
+//!   [`IngestSource::ShardDumps`](crate::IngestSource::ShardDumps)
 //!   without re-partitioning.
 //!
 //! v1 layout (all integers little-endian):
@@ -85,7 +85,7 @@
 //! replication layer relies on this to reject half-transferred
 //! SNAPSHOT frames. Entry points are
 //! [`ShardedEngine::write_image`](crate::ShardedEngine::write_image) /
-//! [`ShardedEngine::from_image`](crate::ShardedEngine::from_image).
+//! [`IngestSource::Image`](crate::IngestSource::Image).
 
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
@@ -151,7 +151,7 @@ pub fn write_sharded_fragments<W: Write>(
 
 /// Deserializes per-shard fragment lists from `reader` — feed the
 /// result to
-/// [`ShardedEngine::from_shard_fragments`](crate::ShardedEngine::from_shard_fragments).
+/// [`IngestSource::ShardDumps`](crate::IngestSource::ShardDumps).
 ///
 /// # Errors
 ///
@@ -185,16 +185,39 @@ pub(crate) fn write_fragment_list<W: Write>(
 ) -> io::Result<()> {
     write_u64(writer, fragments.len() as u64)?;
     for f in fragments {
-        write_u64(writer, f.id.values().len() as u64)?;
-        for v in f.id.values() {
-            write_value(writer, v)?;
-        }
-        write_u64(writer, f.record_count)?;
-        write_u64(writer, f.keyword_occurrences.len() as u64)?;
-        for (kw, &n) in &f.keyword_occurrences {
-            write_str(writer, kw)?;
-            write_u64(writer, n)?;
-        }
+        write_one_fragment(writer, f)?;
+    }
+    Ok(())
+}
+
+/// [`write_fragment_list`] over borrowed fragments — the ingest spill
+/// path dumps reduce output (reference runs into the caller's corpus)
+/// without cloning a fragment first.
+pub(crate) fn write_fragment_ref_list<W: Write>(
+    writer: &mut W,
+    fragments: &[&Fragment],
+) -> io::Result<()> {
+    write_u64(writer, fragments.len() as u64)?;
+    for f in fragments {
+        write_one_fragment(writer, f)?;
+    }
+    Ok(())
+}
+
+/// One fragment through the v1 record codec. Also the unit the ingest
+/// layer fingerprints corpora by — the encoding is canonical (BTreeMap
+/// keyword order, tagged values), so equal fragments always produce
+/// equal bytes.
+pub(crate) fn write_one_fragment<W: Write>(writer: &mut W, f: &Fragment) -> io::Result<()> {
+    write_u64(writer, f.id.values().len() as u64)?;
+    for v in f.id.values() {
+        write_value(writer, v)?;
+    }
+    write_u64(writer, f.record_count)?;
+    write_u64(writer, f.keyword_occurrences.len() as u64)?;
+    for (kw, &n) in &f.keyword_occurrences {
+        write_str(writer, kw)?;
+        write_u64(writer, n)?;
     }
     Ok(())
 }

@@ -300,30 +300,30 @@ pub struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// Crawls the database and builds a sharded engine — the sharded
-    /// counterpart of [`DashEngine::build`](crate::DashEngine::build).
-    /// `shards` is clamped to at least 1.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`DashEngine::build`](crate::DashEngine::build).
-    pub fn build(
+    /// Crawls the database and builds a sharded engine — the crawl
+    /// half of [`IngestSource::Crawl`](crate::ingest::IngestSource)
+    /// and the sharded counterpart of
+    /// [`DashEngine::build`](crate::DashEngine::build). `shards` is
+    /// clamped to at least 1.
+    pub(crate) fn crawl_build_impl(
         app: &WebApplication,
         db: &Database,
         config: &DashConfig,
         shards: usize,
+        mut stats: WorkflowStats,
     ) -> Result<Self> {
         validate_query(app)?;
         let crawl = crawl::run_scoped(app, db, &config.cluster, config.algorithm, &config.scope)?;
-        Self::from_fragments(app.clone(), &crawl.fragments, shards, crawl.stats)
+        for job in crawl.stats.jobs {
+            stats.push(job);
+        }
+        Self::from_fragments_impl(app.clone(), &crawl.fragments, shards, stats)
     }
 
-    /// Builds a sharded engine from already-derived fragments.
-    ///
-    /// # Errors
-    ///
-    /// Propagates query validation and index-construction errors.
-    pub fn from_fragments(
+    /// Builds a sharded engine from already-derived fragments — the
+    /// engine half of
+    /// [`IngestSource::Fragments`](crate::ingest::IngestSource).
+    pub(crate) fn from_fragments_impl(
         app: WebApplication,
         fragments: &[Fragment],
         shards: usize,
@@ -351,17 +351,14 @@ impl ShardedEngine {
 
     /// Rebuilds a sharded engine from per-shard fragment lists — the
     /// load half of per-shard persistence
-    /// ([`ShardedEngine::dump_shards`] is the dump half): the partition
-    /// is taken exactly as given, **not** re-derived, so a maintained
-    /// engine round-trips with its (drifted) shard balance intact.
-    ///
-    /// # Errors
-    ///
-    /// Propagates query validation and index-construction errors, and
-    /// returns [`CoreError::Internal`] when the given shards are not
-    /// contiguous, disjoint runs of group-key order (e.g. a corrupted
-    /// or hand-edited dump).
-    pub fn from_shard_fragments(
+    /// ([`ShardedEngine::dump_shards`] is the dump half) and the engine
+    /// half of [`IngestSource::ShardDumps`](crate::ingest::IngestSource):
+    /// the partition is taken exactly as given, **not** re-derived, so a
+    /// maintained engine round-trips with its (drifted) shard balance
+    /// intact. Returns [`CoreError::Internal`] when the given shards are
+    /// not contiguous, disjoint runs of group-key order (e.g. a
+    /// corrupted or hand-edited dump).
+    pub(crate) fn from_shard_fragments_impl(
         app: WebApplication,
         shard_fragments: &[Vec<Fragment>],
         crawl_stats: WorkflowStats,
@@ -371,6 +368,29 @@ impl ShardedEngine {
         let built: Vec<Result<FragmentIndex>> =
             par::map(shard_fragments.iter().collect(), |frags: &Vec<Fragment>| {
                 FragmentIndex::build(frags, range_position)
+            });
+        let mut indexes = Vec::with_capacity(built.len());
+        for index in built {
+            indexes.push(index?);
+        }
+        Self::assemble(app, indexes, range_position, crawl_stats)
+    }
+
+    /// [`ShardedEngine::from_shard_fragments_impl`] over borrowed
+    /// fragments — the zero-copy engine half of
+    /// [`IngestSource::Distributed`](crate::ingest::IngestSource): a
+    /// mapreduce shard build hands over reference runs into the
+    /// caller's corpus, and nothing is cloned until interning.
+    pub(crate) fn from_shard_refs_impl(
+        app: WebApplication,
+        shard_refs: &[Vec<&Fragment>],
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        validate_query(&app)?;
+        let range_position = app.query.range_selection_index();
+        let built: Vec<Result<FragmentIndex>> =
+            par::map(shard_refs.iter().collect(), |frags: &Vec<&Fragment>| {
+                FragmentIndex::build_refs(frags, range_position)
             });
         let mut indexes = Vec::with_capacity(built.len());
         for index in built {
@@ -889,7 +909,7 @@ impl ShardedEngine {
     /// Dumps every shard's live fragments, per shard, in group-rank +
     /// range order — the exact partition, ready for
     /// [`persist::write_sharded_fragments`] and
-    /// [`ShardedEngine::from_shard_fragments`]. A maintained engine
+    /// [`IngestSource::ShardDumps`](crate::ingest::IngestSource). A maintained engine
     /// round-trips without re-partitioning (shard balance drifts with
     /// maintenance; re-partitioning would shuffle groups between
     /// shards).
@@ -922,7 +942,7 @@ impl ShardedEngine {
     /// posting arenas, list refs and graph columns as fixed-width
     /// little-endian arrays with per-section checksums. The image
     /// preserves the exact partition, so
-    /// [`ShardedEngine::from_image`] reconstructs this engine — drifted
+    /// [`IngestSource::Image`](crate::IngestSource::Image) loads this engine back — drifted
     /// shard balance and all — by bulk-reading columns instead of
     /// re-running `build`.
     ///
@@ -935,23 +955,37 @@ impl ShardedEngine {
         persist::write_image(writer, self.app.query.range_selection_index(), &indexes)
     }
 
-    /// Reconstructs an engine from a v2 arena image
-    /// ([`ShardedEngine::write_image`] is the dump half) **without
-    /// re-running `build`**: columns are bulk-read straight into the
-    /// arenas and only the derived lookup maps are re-computed, one
-    /// O(n) pass each. Searches on the loaded engine are byte-identical
-    /// to the dumped one (`tests/scale_persist.rs` proves it
-    /// property-style); the replication SNAPSHOT path bootstraps
-    /// replicas through exactly this loader.
+    /// Reconstructs an engine from a v2 arena image. Deprecated shim
+    /// over the builder API — kept because the replication wire path
+    /// and external snapshot tooling load images in contexts where
+    /// constructing a builder is pure ceremony; new code should use
+    /// `ShardedEngine::builder(app).source(IngestSource::Image(bytes)).build()`.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Internal`] when the image is torn,
-    /// corrupted (every section is checksummed — any single-bit flip is
-    /// detected), from a different format/version, or was dumped for an
-    /// application with a different range-selection position; also
-    /// propagates query validation and shard-range validation errors.
+    /// Same as [`IngestSource::Image`](crate::ingest::IngestSource).
+    #[deprecated(note = "use ShardedEngine::builder(app).source(IngestSource::Image(bytes))")]
     pub fn from_image(
+        app: WebApplication,
+        bytes: &[u8],
+        crawl_stats: WorkflowStats,
+    ) -> Result<Self> {
+        Self::from_image_impl(app, bytes, crawl_stats)
+    }
+
+    /// Reconstructs an engine from a v2 arena image
+    /// ([`ShardedEngine::write_image`] is the dump half) **without
+    /// re-running an index build**: columns are bulk-read straight into
+    /// the arenas and only the derived lookup maps are re-computed, one
+    /// O(n) pass each. Searches on the loaded engine are byte-identical
+    /// to the dumped one (`tests/scale_persist.rs` proves it
+    /// property-style); the replication SNAPSHOT path bootstraps
+    /// replicas through exactly this loader. Returns
+    /// [`CoreError::Internal`] when the image is torn, corrupted (every
+    /// section is checksummed — any single-bit flip is detected), from
+    /// a different format/version, or was dumped for an application
+    /// with a different range-selection position.
+    pub(crate) fn from_image_impl(
         app: WebApplication,
         bytes: &[u8],
         crawl_stats: WorkflowStats,
@@ -974,20 +1008,15 @@ impl ShardedEngine {
     }
 
     /// Builds a sharded engine from per-shard fragment batches consumed
-    /// **one at a time** — the bounded-memory constructor for generated
-    /// corpora: each batch is indexed and dropped before the next is
-    /// pulled from the iterator, so peak memory holds one shard's
-    /// fragments plus the built indexes, never the whole corpus. The
-    /// partition is taken exactly as given (batches must be contiguous,
-    /// disjoint runs of group-key order, like
-    /// [`ShardedEngine::from_shard_fragments`]).
-    ///
-    /// # Errors
-    ///
-    /// Propagates query validation and index-construction errors, and
-    /// returns [`CoreError::Internal`] when the batches' group-key
-    /// ranges are not disjoint and ascending.
-    pub fn from_shard_batches<I>(
+    /// **one at a time** — the bounded-memory engine half of
+    /// [`IngestSource::Batches`](crate::ingest::IngestSource) for
+    /// generated corpora: each batch is indexed and dropped before the
+    /// next is pulled from the iterator, so peak memory holds one
+    /// shard's fragments plus the built indexes, never the whole
+    /// corpus. The partition is taken exactly as given (batches must be
+    /// contiguous, disjoint runs of group-key order, like
+    /// [`ShardedEngine::from_shard_fragments_impl`]).
+    pub(crate) fn from_batches_impl<I>(
         app: WebApplication,
         batches: I,
         crawl_stats: WorkflowStats,
@@ -1200,12 +1229,24 @@ mod tests {
         (fooddb::search_application().unwrap(), fooddb::database())
     }
 
+    /// Crawl-and-build through the builder front door.
+    fn built(app: &WebApplication, db: &Database, shards: usize) -> Result<ShardedEngine> {
+        let config = DashConfig::default();
+        ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(crate::ingest::IngestSource::Crawl {
+                db,
+                config: &config,
+            })
+            .build()
+    }
+
     #[test]
     fn matches_single_engine_on_running_example() {
         let (app, db) = fooddb_parts();
         let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
         for shards in 1..=4 {
-            let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+            let sharded = built(&app, &db, shards).unwrap();
             assert_eq!(sharded.shard_count(), shards);
             assert_eq!(sharded.fragment_count(), single.fragment_count());
             for (keywords, k, s) in [
@@ -1252,7 +1293,7 @@ mod tests {
     #[test]
     fn search_many_matches_search() {
         let (app, db) = fooddb_parts();
-        let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let sharded = built(&app, &db, 2).unwrap();
         let requests = vec![
             SearchRequest::new(&["burger"]).k(2).min_size(20),
             SearchRequest::new(&["fries"]).k(3).min_size(1),
@@ -1271,7 +1312,7 @@ mod tests {
         let (app, db) = fooddb_parts();
         let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
         // fooddb has 2 equality groups; ask for 8 shards (most empty).
-        let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 8).unwrap();
+        let sharded = built(&app, &db, 8).unwrap();
         let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
         assert_eq!(sharded.search(&req), single.search(&req));
         assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 5);
@@ -1292,7 +1333,7 @@ mod tests {
     fn routing_is_static_and_contiguous() {
         let (app, db) = fooddb_parts();
         // 2 groups (American, Thai) over 2 shards: American → 0, Thai → 1.
-        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let engine = built(&app, &db, 2).unwrap();
         assert_eq!(engine.route(&[Value::str("American")]), 0);
         assert_eq!(engine.route(&[Value::str("Thai")]), 1);
         // Keys outside the built ranges route to the nearest run:
@@ -1306,7 +1347,7 @@ mod tests {
     #[test]
     fn incremental_insert_touches_one_shard_only() {
         let (app, db) = fooddb_parts();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let mut engine = built(&app, &db, 2).unwrap();
         let sizes = engine.shard_sizes();
         // A new (Zulu, 30) fragment routes past every bound → last shard.
         let fragment = Fragment::new(
@@ -1328,7 +1369,7 @@ mod tests {
     #[test]
     fn empty_delta_is_a_noop() {
         let (app, db) = fooddb_parts();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+        let mut engine = built(&app, &db, 3).unwrap();
         let before = engine.shard_sizes();
         let stats = engine.apply_delta(IndexDelta::default());
         assert_eq!(stats, RefreshStats::default());
@@ -1341,8 +1382,10 @@ mod tests {
         // (which could answer nothing); it clamps to one empty shard
         // that searches cleanly and accepts deltas.
         let (app, _) = fooddb_parts();
-        let mut engine =
-            ShardedEngine::from_shard_fragments(app, &[], WorkflowStats::new()).unwrap();
+        let mut engine = ShardedEngine::builder(app)
+            .source(crate::ingest::IngestSource::ShardDumps(&[]))
+            .build()
+            .unwrap();
         assert_eq!(engine.shard_count(), 1);
         assert!(engine
             .search(&SearchRequest::new(&["anything"]).k(3).min_size(1))
@@ -1366,8 +1409,10 @@ mod tests {
         // No fragments at build: the routing table is empty, so every
         // delta lands in shard 0 and the other shards stay empty.
         let (app, _) = fooddb_parts();
-        let mut engine =
-            ShardedEngine::from_fragments(app.clone(), &[], 3, WorkflowStats::new()).unwrap();
+        let mut engine = ShardedEngine::builder(app.clone())
+            .shards(3)
+            .build()
+            .unwrap();
         assert_eq!(engine.fragment_count(), 0);
         let fragments: Vec<Fragment> = [("American", 9i64), ("Thai", 10), ("Cajun", 7)]
             .iter()
@@ -1391,7 +1436,7 @@ mod tests {
     #[test]
     fn arena_image_roundtrips_engine() {
         let (app, db) = fooddb_parts();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let mut engine = built(&app, &db, 2).unwrap();
         // Drift the balance so the roundtrip must preserve the exact
         // (non-rebalanced) partition.
         let fragment = Fragment::new(
@@ -1402,7 +1447,10 @@ mod tests {
         engine.apply_delta(IndexDelta::adding(vec![fragment]));
         let mut image = Vec::new();
         engine.write_image(&mut image).unwrap();
-        let loaded = ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
+        let loaded = ShardedEngine::builder(app.clone())
+            .source(crate::ingest::IngestSource::Image(&image))
+            .build()
+            .unwrap();
         assert_eq!(loaded.shard_sizes(), engine.shard_sizes());
         for keywords in [vec!["burger"], vec!["zebra"], vec!["burger", "fries"]] {
             let req = SearchRequest::new(&keywords).k(10).min_size(1);
@@ -1412,19 +1460,27 @@ mod tests {
         let mut torn = image.clone();
         let mid = torn.len() / 2;
         torn[mid] ^= 0x10;
-        assert!(ShardedEngine::from_image(app, &torn, WorkflowStats::new()).is_err());
+        assert!(ShardedEngine::builder(app)
+            .source(crate::ingest::IngestSource::Image(&torn))
+            .build()
+            .is_err());
     }
 
     #[test]
     fn shard_batches_match_shard_fragments() {
         let (app, db) = fooddb_parts();
-        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let engine = built(&app, &db, 2).unwrap();
         let shards = engine.dump_shards();
-        let batched =
-            ShardedEngine::from_shard_batches(app.clone(), shards.clone(), WorkflowStats::new())
-                .unwrap();
-        let listed =
-            ShardedEngine::from_shard_fragments(app, &shards, WorkflowStats::new()).unwrap();
+        let batched = ShardedEngine::builder(app.clone())
+            .source(crate::ingest::IngestSource::Batches(Box::new(
+                shards.clone().into_iter(),
+            )))
+            .build()
+            .unwrap();
+        let listed = ShardedEngine::builder(app)
+            .source(crate::ingest::IngestSource::ShardDumps(&shards))
+            .build()
+            .unwrap();
         assert_eq!(batched.shard_sizes(), listed.shard_sizes());
         let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
         assert_eq!(batched.search(&req), listed.search(&req));
@@ -1433,7 +1489,7 @@ mod tests {
     #[test]
     fn global_idf_survives_maintenance() {
         let (app, db) = fooddb_parts();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let mut engine = built(&app, &db, 2).unwrap();
         let before = engine.global_idf("burger");
         assert!(before > 0.0);
         let fragment = Fragment::new(

@@ -53,9 +53,13 @@ impl<K, V> JobSpec<K, V> {
         self
     }
 
-    /// Overrides the number of reduce partitions.
+    /// Overrides the number of reduce partitions. `0` declares a
+    /// map-only job: the shuffle and reduce phases are skipped entirely,
+    /// map output is discarded (this in-process runtime has no typed
+    /// map-only output channel), and the returned [`JobResult`] carries
+    /// an empty output with map-phase meters only.
     pub fn reduce_tasks(mut self, n: usize) -> Self {
-        self.reduce_tasks = Some(n.max(1));
+        self.reduce_tasks = Some(n);
         self
     }
 
@@ -238,18 +242,31 @@ where
         .sum();
 
     // ---- shuffle: hash partition + sort ----
+    // `reduce_tasks == 0` is a map-only job: nothing is shuffled (the
+    // partition loop below would index into an empty vector), map output
+    // is dropped, and the shuffle/reduce meters stay zeroed.
     let mut partitions: Vec<Vec<(K, V)>> = (0..reduce_tasks).map(|_| Vec::new()).collect();
-    for split in split_outputs {
-        for (k, v) in split.pairs {
-            let p = partition_of(&k, reduce_tasks);
-            partitions[p].push((k, v));
+    if reduce_tasks > 0 {
+        for split in split_outputs {
+            for (k, v) in split.pairs {
+                let p = partition_of(&k, reduce_tasks);
+                partitions[p].push((k, v));
+            }
         }
     }
     for part in &mut partitions {
         part.sort_by(|a, b| a.0.cmp(&b.0));
     }
-    let shuffle_bytes = map_phase.output_bytes;
-    let shuffle_records = map_phase.output_records;
+    let shuffle_bytes = if reduce_tasks > 0 {
+        map_phase.output_bytes
+    } else {
+        0
+    };
+    let shuffle_records = if reduce_tasks > 0 {
+        map_phase.output_records
+    } else {
+        0
+    };
     let partition_meters: Vec<(u64, u64)> = partitions
         .iter()
         .map(|p| {
@@ -380,7 +397,10 @@ fn attempts_for(
 /// blocks", §VII-A).
 fn plan_splits<I: ByteSized>(cluster: &ClusterConfig, inputs: &[I]) -> Vec<(usize, usize)> {
     if inputs.is_empty() {
-        return vec![(0, 0)];
+        // No blocks, no map tasks: an empty job must not schedule a
+        // phantom split, or a FaultPlan targeting map task 0 could abort
+        // a job that has nothing to do.
+        return Vec::new();
     }
     let effective_split =
         ((cluster.split_bytes as f64 / cluster.byte_scale.max(1.0)) as usize).max(1);
@@ -637,6 +657,69 @@ mod tests {
         );
         assert!(result.output.is_empty());
         assert_eq!(result.stats.map.input_records, 0);
+    }
+
+    #[test]
+    fn empty_input_plans_zero_map_tasks() {
+        let docs: Vec<String> = Vec::new();
+        let result = run_job(
+            &ClusterConfig::default(),
+            JobSpec::new("empty"),
+            &docs,
+            |_d: &String, _emit: &mut dyn FnMut(String, u64)| {},
+            |w: &String, _c: Vec<u64>, emit: &mut dyn FnMut(String)| emit(w.clone()),
+        );
+        assert_eq!(result.stats.map_tasks, 0);
+        assert_eq!(result.stats.map_task_attempts, 0);
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn empty_input_survives_fault_plan_on_task_zero() {
+        // An empty job schedules no map tasks, so a plan that would kill
+        // map task 0 on every attempt has nothing to kill.
+        let docs: Vec<String> = Vec::new();
+        let mut plan = FaultPlan::new();
+        for attempt in 0..plan.max_attempts {
+            plan = plan.fail_map(0, attempt);
+        }
+        let result = run_job_with_faults(
+            &ClusterConfig::default(),
+            JobSpec::new("empty-faulted"),
+            &docs,
+            |_d: &String, _emit: &mut dyn FnMut(String, u64)| {},
+            |w: &String, _c: Vec<u64>, emit: &mut dyn FnMut(String)| emit(w.clone()),
+            &plan,
+        )
+        .expect("empty job cannot hit a map fault");
+        assert!(result.output.is_empty());
+        assert_eq!(result.stats.map_tasks, 0);
+    }
+
+    #[test]
+    fn zero_reduce_tasks_yield_empty_output() {
+        let docs: Vec<String> = vec!["a b c".into(), "d e".into()];
+        let result = run_job(
+            &ClusterConfig::default(),
+            JobSpec::new("map-only").reduce_tasks(0),
+            &docs,
+            |d: &String, emit| {
+                for w in d.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |w: &String, _c: Vec<u64>, emit: &mut dyn FnMut(String)| emit(w.clone()),
+        );
+        // Map ran and was metered; shuffle/reduce never happened.
+        assert!(result.output.is_empty());
+        assert_eq!(result.stats.reduce_tasks, 0);
+        assert_eq!(result.stats.map.input_records, 2);
+        assert_eq!(result.stats.map.output_records, 5);
+        assert_eq!(result.stats.shuffle.input_bytes, 0);
+        assert_eq!(result.stats.shuffle.sim_secs, 0.0);
+        assert_eq!(result.stats.reduce.input_records, 0);
+        assert_eq!(result.stats.reduce.output_records, 0);
+        assert_eq!(result.stats.reduce_task_attempts, 0);
     }
 
     #[test]

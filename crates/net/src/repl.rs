@@ -14,7 +14,7 @@
 //!   [`ShardedEngine::write_image`] bytes — the v2 *arena image* (see
 //!   `dash_core::persist`): every shard's catalog, posting arenas and
 //!   graph columns as checksummed fixed-width arrays. The replica
-//!   reconstructs through [`ShardedEngine::from_image`], bulk-reading
+//!   reconstructs through [`IngestSource::Image`], bulk-reading
 //!   columns instead of re-running `build`, so bootstrap cost is
 //!   O(bytes), not O(rebuild) — and the exact partition ships with the
 //!   image, so the replica's shard layout, and therefore its search
@@ -56,7 +56,7 @@
 //! mirroring and hands out the local server to *be* the next primary.
 //!
 //! [`ShardedEngine::write_image`]: dash_core::ShardedEngine::write_image
-//! [`ShardedEngine::from_image`]: dash_core::ShardedEngine::from_image
+//! [`IngestSource::Image`]: dash_core::IngestSource::Image
 //! [`IndexDelta`]: dash_core::IndexDelta
 //! [`DeltaSignature`]: dash_core::DeltaSignature
 
@@ -67,8 +67,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use dash_core::{wire, SearchHit, SearchRequest, ShardedEngine};
-use dash_mapreduce::WorkflowStats;
+use dash_core::{wire, IngestSource, SearchHit, SearchRequest, ShardedEngine};
 use dash_serve::{CatchUp, DashServer, PublishEvent, ServeConfig};
 use dash_webapp::WebApplication;
 use parking_lot::{Mutex, RwLock};
@@ -768,7 +767,9 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
             // Arena-image load: columns bulk-read into the arenas, no
             // index rebuild. A torn or corrupted image errors here
             // (every section is checksummed) and the reconnect retries.
-            let engine = ShardedEngine::from_image(inner.app.clone(), rest, WorkflowStats::new())
+            let engine = ShardedEngine::builder(inner.app.clone())
+                .source(IngestSource::Image(rest))
+                .build()
                 .map_err(|e| invalid(&format!("snapshot load failed: {e}")))?;
             // Opened *at the primary's epoch*: local publications of
             // replicated deltas keep cluster-wide epoch numbering (see

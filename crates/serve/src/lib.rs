@@ -73,10 +73,9 @@ use std::time::{Duration, Instant};
 
 use dash_core::update::bulk_delta;
 use dash_core::{
-    env_shards, DashConfig, DeltaSignature, Fragment, IndexDelta, RecordChange, RefreshStats,
-    Result, SearchHit, SearchRequest, ShardedEngine,
+    env_shards, DashConfig, DeltaSignature, Fragment, IndexDelta, IngestSource, RecordChange,
+    RefreshStats, Result, SearchHit, SearchRequest, ShardedEngine,
 };
-use dash_mapreduce::WorkflowStats;
 use dash_relation::{Database, Record};
 use dash_webapp::WebApplication;
 use parking_lot::Mutex;
@@ -393,19 +392,22 @@ pub struct DashServer {
 }
 
 impl DashServer {
-    /// Crawls `db` and opens a server — the serving counterpart of
-    /// [`ShardedEngine::build`].
+    /// Crawls `db` and opens a server — the serving counterpart of the
+    /// [`IngestSource::Crawl`] build.
     ///
     /// # Errors
     ///
-    /// Same as [`ShardedEngine::build`].
+    /// Same as [`ShardedEngine::builder`] with a crawl source.
     pub fn build(
         app: &WebApplication,
         db: &Database,
         config: &DashConfig,
         serve: ServeConfig,
     ) -> Result<Self> {
-        let engine = ShardedEngine::build(app, db, config, serve.shards)?;
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(serve.shards)
+            .source(IngestSource::Crawl { db, config })
+            .build()?;
         Ok(Self::from_engine(engine, serve))
     }
 
@@ -413,14 +415,17 @@ impl DashServer {
     ///
     /// # Errors
     ///
-    /// Same as [`ShardedEngine::from_fragments`].
+    /// Same as [`ShardedEngine::builder`] with a
+    /// [`IngestSource::Fragments`] source.
     pub fn from_fragments(
         app: WebApplication,
         fragments: &[Fragment],
         serve: ServeConfig,
     ) -> Result<Self> {
-        let engine =
-            ShardedEngine::from_fragments(app, fragments, serve.shards, WorkflowStats::new())?;
+        let engine = ShardedEngine::builder(app)
+            .shards(serve.shards)
+            .source(IngestSource::Fragments(fragments))
+            .build()?;
         Ok(Self::from_engine(engine, serve))
     }
 
@@ -954,7 +959,9 @@ mod tests {
         let db = fooddb::database();
         let mut fragments = dash_core::crawl::reference::fragments(&app, &db).unwrap();
         fragments.push(fragment);
-        let fresh = DashEngine::from_fragments(app, &fragments, WorkflowStats::new()).unwrap();
+        let fresh =
+            DashEngine::from_fragments(app, &fragments, dash_mapreduce::WorkflowStats::new())
+                .unwrap();
         let expected = fresh.search(&request);
         assert_ne!(expected, first, "the delta must actually change the result");
         assert_eq!(server.search(&request), expected);
@@ -1122,7 +1129,14 @@ mod tests {
         // cluster-wide numbering.
         let db = fooddb::database();
         let app = fooddb::search_application().unwrap();
-        let engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 2).unwrap();
+        let engine = ShardedEngine::builder(app.clone())
+            .shards(2)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &DashConfig::default(),
+            })
+            .build()
+            .unwrap();
         let server = DashServer::from_engine_at_epoch(engine, ServeConfig::default(), 7);
         assert_eq!(server.epoch(), 7);
         let (_, epoch) =

@@ -25,7 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let shards = env_shards().unwrap_or(2);
     let single = DashEngine::build(&app, &db, &DashConfig::default())?;
-    let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), shards)?;
+    let sharded = ShardedEngine::builder(app.clone())
+        .shards(shards)
+        .source(IngestSource::Crawl {
+            db: &db,
+            config: &DashConfig::default(),
+        })
+        .build()?;
     println!(
         "engine: {} fragments in {} shards (sizes {:?})",
         sharded.fragment_count(),

@@ -22,7 +22,7 @@
 //! | [`webapp`] | `dash-webapp` | servlet mini-language, app analyzer, query strings, db-page rendering |
 //! | [`text`] | `dash-text` | tokenizer, TF/IDF, conventional inverted file |
 //! | [`tpch`] | `dash-tpch` | TPC-H-style dataset generator + the paper's Q1/Q2/Q3 |
-//! | [`core`] | `dash-core` | fragments, crawling (stepwise & integrated), fragment index, top-k search |
+//! | [`core`] | `dash-core` | fragments, crawling (stepwise & integrated), fragment index, top-k search, the engine-ingest layer (one builder front door + the distributed fault-tolerant mapreduce build) |
 //! | [`serve`] | `dash-serve` | snapshot-swapping serving front-end: result cache, micro-batching, closed-loop load harness |
 //! | [`net`] | `dash-net` | socket serving: HTTP/1.1 front-end, primary→replica delta replication over TCP, socket client + load harness |
 //!
@@ -62,8 +62,9 @@ pub use dash_webapp as webapp;
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use dash_core::{
-        DashConfig, DashEngine, DeltaSignature, Fragment, FragmentId, FragmentIndex, IndexDelta,
-        MultiDash, RecordChange, SearchEngine, SearchHit, SearchRequest, ShardedEngine,
+        DashConfig, DashEngine, DeltaSignature, EngineBuilder, Fragment, FragmentId, FragmentIndex,
+        IndexDelta, IngestConfig, IngestSource, MultiDash, RecordChange, SearchEngine, SearchHit,
+        SearchRequest, ShardedEngine,
     };
     pub use dash_net::{
         BackoffConfig, NetClient, NetConfig, NetServer, Replica, ReplicaConfig, ReplicationHub,

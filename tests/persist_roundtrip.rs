@@ -10,7 +10,7 @@ use dash::core::crawl::reference;
 use dash::core::persist::{
     read_fragments, read_sharded_fragments, write_fragments, write_sharded_fragments,
 };
-use dash::core::{DashConfig, DashEngine, SearchRequest, ShardedEngine};
+use dash::core::{DashConfig, DashEngine, IngestSource, SearchRequest, ShardedEngine};
 use dash::mapreduce::WorkflowStats;
 use dash::relation::{Record, Value};
 use dash::webapp::fooddb;
@@ -103,9 +103,11 @@ fn sharded_engine_from_persisted_fragments_matches_original() {
     let loaded = read_fragments(buf.as_slice()).unwrap();
 
     for shards in [1, 2, 4] {
-        let serving =
-            ShardedEngine::from_fragments(app.clone(), &loaded, shards, WorkflowStats::new())
-                .unwrap();
+        let serving = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(&loaded))
+            .build()
+            .unwrap();
         for (keywords, k, s) in [
             (vec!["burger"], 2, 20u64),
             (vec!["burger", "fries"], 5, 1),
@@ -130,7 +132,14 @@ fn maintained_sharded_engine_roundtrips_per_shard_without_repartitioning() {
     // byte-identical searches — instead of re-balancing on load.
     let mut db = fooddb::database();
     let app = fooddb::search_application().unwrap();
-    let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+    let mut engine = ShardedEngine::builder(app.clone())
+        .shards(3)
+        .source(IngestSource::Crawl {
+            db: &db,
+            config: &DashConfig::default(),
+        })
+        .build()
+        .unwrap();
     for (rid, budget) in [(120i64, 7i64), (121, 9), (122, 13)] {
         let record = Record::new(vec![
             Value::Int(rid),
@@ -152,8 +161,10 @@ fn maintained_sharded_engine_roundtrips_per_shard_without_repartitioning() {
     let loaded = read_sharded_fragments(buf.as_slice()).unwrap();
     assert_eq!(loaded, dumped);
 
-    let restored =
-        ShardedEngine::from_shard_fragments(app.clone(), &loaded, WorkflowStats::new()).unwrap();
+    let restored = ShardedEngine::builder(app.clone())
+        .source(IngestSource::ShardDumps(&loaded))
+        .build()
+        .unwrap();
     assert_eq!(restored.shard_count(), engine.shard_count());
     assert_eq!(restored.shard_sizes(), engine.shard_sizes());
     assert_eq!(restored.fragment_count(), engine.fragment_count());

@@ -1,5 +1,5 @@
 //! The scale-persistence test tier: arena images
-//! ([`ShardedEngine::write_image`] / [`ShardedEngine::from_image`])
+//! ([`ShardedEngine::write_image`] / the builder's `IngestSource::Image`)
 //! must be **lossless** and **tamper-evident**.
 //!
 //! Lossless means byte-identical `SearchHit` lists — an engine loaded
@@ -17,7 +17,7 @@
 
 use proptest::prelude::*;
 
-use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::core::{DashEngine, IngestSource, SearchRequest, ShardedEngine};
 use dash::mapreduce::WorkflowStats;
 use dash::webapp::WebApplication;
 use dash_bench::scale::ScaleCorpus;
@@ -68,12 +68,12 @@ fn battery() -> Vec<SearchRequest> {
 }
 
 fn build_sharded(app: &WebApplication, corpus: &ScaleCorpus, shards: usize) -> ShardedEngine {
-    ShardedEngine::from_shard_batches(
-        app.clone(),
-        corpus.shard_batches(shards),
-        WorkflowStats::new(),
-    )
-    .expect("corpus builds")
+    ShardedEngine::builder(app.clone())
+        .source(IngestSource::Batches(Box::new(
+            corpus.shard_batches(shards),
+        )))
+        .build()
+        .expect("corpus builds")
 }
 
 #[test]
@@ -89,7 +89,9 @@ fn golden_roundtrip_is_byte_identical_and_restable() {
         let original = build_sharded(&app, &corpus, shards);
         let mut image = Vec::new();
         original.write_image(&mut image).expect("image dumps");
-        let loaded = ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new())
+        let loaded = ShardedEngine::builder(app.clone())
+            .source(IngestSource::Image(&image))
+            .build()
             .expect("image loads");
         assert_eq!(loaded.fragment_count(), corpus.fragments);
         assert_eq!(loaded.shard_sizes(), original.shard_sizes());
@@ -135,7 +137,10 @@ fn every_sampled_bit_flip_is_rejected() {
             let mut torn = image.clone();
             torn[at] ^= 1 << bit;
             assert!(
-                ShardedEngine::from_image(app.clone(), &torn, WorkflowStats::new()).is_err(),
+                ShardedEngine::builder(app.clone())
+                    .source(IngestSource::Image(&torn))
+                    .build()
+                    .is_err(),
                 "bit {bit} at byte {at}/{} must not load",
                 image.len()
             );
@@ -153,7 +158,10 @@ fn every_sampled_truncation_is_rejected() {
     lengths.extend([0, 1, 7, 8, image.len() - 1]);
     for len in lengths {
         assert!(
-            ShardedEngine::from_image(app.clone(), &image[..len], WorkflowStats::new()).is_err(),
+            ShardedEngine::builder(app.clone())
+                .source(IngestSource::Image(&image[..len]))
+                .build()
+                .is_err(),
             "truncation to {len}/{} bytes must not load",
             image.len()
         );
@@ -189,7 +197,7 @@ proptest! {
             let mut image = Vec::new();
             original.write_image(&mut image).unwrap();
             let loaded =
-                ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
+                ShardedEngine::builder(app.clone()).source(IngestSource::Image(&image)).build().unwrap();
             prop_assert_eq!(loaded.fragment_count(), corpus.fragments);
             prop_assert_eq!(
                 &loaded.search(&request),

@@ -21,7 +21,8 @@ use proptest::prelude::*;
 
 use dash::core::crawl::reference;
 use dash::core::{
-    env_shards, DashConfig, DashEngine, Fragment, FragmentId, SearchRequest, ShardedEngine,
+    env_shards, DashConfig, DashEngine, Fragment, FragmentId, IngestSource, SearchRequest,
+    ShardedEngine,
 };
 use dash::mapreduce::WorkflowStats;
 use dash::relation::Value;
@@ -49,9 +50,11 @@ fn assert_equivalent(
     let single = DashEngine::from_fragments(app.clone(), fragments, WorkflowStats::new())
         .expect("single engine builds");
     for shards in shard_counts() {
-        let sharded =
-            ShardedEngine::from_fragments(app.clone(), fragments, shards, WorkflowStats::new())
-                .expect("sharded engine builds");
+        let sharded = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Fragments(fragments))
+            .build()
+            .expect("sharded engine builds");
         for request in requests {
             assert_eq!(
                 sharded.search(request),
@@ -129,7 +132,14 @@ fn sharded_engine_crawl_build_matches_single() {
     let db = fooddb::database();
     let app = fooddb::search_application().unwrap();
     let single = DashEngine::build(&app, &db, &DashConfig::default()).unwrap();
-    let sharded = ShardedEngine::build(&app, &db, &DashConfig::default(), 3).unwrap();
+    let sharded = ShardedEngine::builder(app.clone())
+        .shards(3)
+        .source(IngestSource::Crawl {
+            db: &db,
+            config: &DashConfig::default(),
+        })
+        .build()
+        .unwrap();
     assert_eq!(sharded.fragment_count(), single.fragment_count());
     assert!(sharded.crawl_stats().sim_total_secs() > 0.0);
     let req = SearchRequest::new(&["burger"]).k(2).min_size(20);
@@ -211,7 +221,7 @@ proptest! {
         }
         for shards in counts {
             let sharded =
-                ShardedEngine::from_fragments(app.clone(), &fragments, shards, WorkflowStats::new())
+                ShardedEngine::builder(app.clone()).shards(shards).source(IngestSource::Fragments(&fragments)).build()
                     .unwrap();
             prop_assert_eq!(
                 sharded.search(&request),
@@ -249,7 +259,7 @@ proptest! {
         let single =
             DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
         let sharded =
-            ShardedEngine::from_fragments(app, &fragments, shards, WorkflowStats::new()).unwrap();
+            ShardedEngine::builder(app).shards(shards).source(IngestSource::Fragments(&fragments)).build().unwrap();
         let batch = sharded.search_many(&requests);
         prop_assert_eq!(batch.len(), requests.len());
         for (request, hits) in requests.iter().zip(&batch) {

@@ -24,7 +24,8 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use dash::core::{
-    DashConfig, DashEngine, Fragment, FragmentId, IndexDelta, SearchRequest, ShardedEngine,
+    DashConfig, DashEngine, Fragment, FragmentId, IndexDelta, IngestSource, SearchRequest,
+    ShardedEngine,
 };
 use dash::mapreduce::WorkflowStats;
 use dash::relation::{Database, Record, Value};
@@ -122,7 +123,14 @@ fn golden_interleaved_mutations_match_rebuild_for_all_shard_counts() {
     for shards in SHARD_COUNTS {
         let mut db = fooddb::database();
         let app = fooddb::search_application().unwrap();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+        let mut engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &DashConfig::default(),
+            })
+            .build()
+            .unwrap();
         let context = |step: &str| format!("shards={shards}: {step}");
 
         // 1. Insert a chain of Mexican restaurants spanning budgets
@@ -222,7 +230,14 @@ fn golden_budget_move_and_churn_match_rebuild() {
     for shards in SHARD_COUNTS {
         let mut db = fooddb::database();
         let app = fooddb::search_application().unwrap();
-        let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), shards).unwrap();
+        let mut engine = ShardedEngine::builder(app.clone())
+            .shards(shards)
+            .source(IngestSource::Crawl {
+                db: &db,
+                config: &DashConfig::default(),
+            })
+            .build()
+            .unwrap();
 
         // A budget change moves a restaurant between fragments of the
         // same group (delete + insert).
@@ -290,7 +305,14 @@ fn maintenance_composes_with_per_shard_roundtrip() {
     // byte-identical to a rebuild.
     let mut db = fooddb::database();
     let app = fooddb::search_application().unwrap();
-    let mut engine = ShardedEngine::build(&app, &db, &DashConfig::default(), 4).unwrap();
+    let mut engine = ShardedEngine::builder(app.clone())
+        .shards(4)
+        .source(IngestSource::Crawl {
+            db: &db,
+            config: &DashConfig::default(),
+        })
+        .build()
+        .unwrap();
 
     let r = restaurant(150, "Quesadilla Queen", "Mexican", 14);
     db.table_mut("restaurant")
@@ -300,8 +322,10 @@ fn maintenance_composes_with_per_shard_roundtrip() {
     engine.apply_insert(&db, "restaurant", &r).unwrap();
 
     let dumped = engine.dump_shards();
-    let mut reloaded =
-        ShardedEngine::from_shard_fragments(app.clone(), &dumped, WorkflowStats::new()).unwrap();
+    let mut reloaded = ShardedEngine::builder(app.clone())
+        .source(IngestSource::ShardDumps(&dumped))
+        .build()
+        .unwrap();
     assert_eq!(reloaded.shard_sizes(), engine.shard_sizes());
 
     let r2 = restaurant(151, "Churro Chapel", "Mexican", 16);
@@ -410,7 +434,7 @@ proptest! {
         let mut engines: Vec<ShardedEngine> = SHARD_COUNTS
             .iter()
             .map(|&n| {
-                ShardedEngine::from_fragments(app.clone(), &initial, n, WorkflowStats::new())
+                ShardedEngine::builder(app.clone()).shards(n).source(IngestSource::Fragments(&initial)).build()
                     .unwrap()
             })
             .collect();
@@ -467,7 +491,7 @@ proptest! {
         let initial = materialize(&rows);
         let mut truth = initial.clone();
         let mut engine =
-            ShardedEngine::from_fragments(app.clone(), &initial, shards, WorkflowStats::new())
+            ShardedEngine::builder(app.clone()).shards(shards).source(IngestSource::Fragments(&initial)).build()
                 .unwrap();
         let request = SearchRequest::new(&["burger", "spicy"]).k(5).min_size(3);
         for op in &ops {

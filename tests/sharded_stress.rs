@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::thread;
 
 use dash::core::crawl::reference;
-use dash::core::{DashEngine, SearchRequest, ShardedEngine};
+use dash::core::{DashEngine, IngestSource, SearchRequest, ShardedEngine};
 use dash::mapreduce::WorkflowStats;
 use dash::webapp::fooddb;
 use dash_tpch::{generate, Scale, TpchConfig};
@@ -21,8 +21,11 @@ fn q2_engine_pair(shards: usize) -> (DashEngine, ShardedEngine, Vec<String>) {
     let app = dash_tpch::q2_application(&db).expect("Q2 analyzes");
     let fragments = reference::fragments(&app, &db).expect("crawl");
     let single = DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
-    let sharded =
-        ShardedEngine::from_fragments(app, &fragments, shards, WorkflowStats::new()).unwrap();
+    let sharded = ShardedEngine::builder(app)
+        .shards(shards)
+        .source(IngestSource::Fragments(&fragments))
+        .build()
+        .unwrap();
     let keywords: Vec<String> = single
         .index()
         .inverted
@@ -99,8 +102,13 @@ fn concurrent_searches_share_scratch_pools() {
     let app = fooddb::search_application().unwrap();
     let fragments = reference::fragments(&app, &db).unwrap();
     let single = DashEngine::from_fragments(app.clone(), &fragments, WorkflowStats::new()).unwrap();
-    let sharded =
-        Arc::new(ShardedEngine::from_fragments(app, &fragments, 2, WorkflowStats::new()).unwrap());
+    let sharded = Arc::new(
+        ShardedEngine::builder(app)
+            .shards(2)
+            .source(IngestSource::Fragments(&fragments))
+            .build()
+            .unwrap(),
+    );
     let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
     let expected = single.search(&request);
 
