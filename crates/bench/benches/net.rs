@@ -105,6 +105,11 @@ fn bench_net(c: &mut Criterion) {
         .expect("net server starts");
         let report = netload::run(net.addr(), &vocab, &update_pool, &profile);
         assert_eq!(report.errors, 0, "socket load must run clean");
+        println!(
+            "net/s{shards} closed-loop run: {}\n{}",
+            report.summary(),
+            report.stage_table
+        );
         c.record_measurement(
             &format!("net/s{shards}/socket-p50"),
             report.p50_ns as f64,

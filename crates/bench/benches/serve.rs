@@ -57,6 +57,11 @@ fn bench_serve(c: &mut Criterion) {
         )
         .expect("server builds");
         let report = loadgen::run(&server, &vocab, &update_pool, &profile);
+        println!(
+            "serve/s{shards} closed-loop run: {}\n{}",
+            report.summary(),
+            report.stage_table
+        );
         c.record_measurement(
             &format!("serve/s{shards}/mixed-p50"),
             report.p50_ns as f64,

@@ -235,6 +235,7 @@ pub fn distributed_build<'a>(
     // Newest valid artifact wins: dumps skip both jobs outright.
     if let Some((_, dumps_path)) = &paths {
         if let Some(shard_fragments) = load_dumps(dumps_path, fingerprint) {
+            global_counter("dash_ingest_resumed_dumps_total").inc();
             return Ok(IngestOutput {
                 data: ShardData::Owned(shard_fragments),
                 stats: WorkflowStats::new(),
@@ -342,6 +343,12 @@ pub fn distributed_build<'a>(
         map_attempts: stats.jobs.iter().map(|j| j.map_task_attempts).sum(),
         reduce_attempts: stats.jobs.iter().map(|j| j.reduce_task_attempts).sum(),
     };
+    if resumed_plan {
+        global_counter("dash_ingest_resumed_plan_total").inc();
+    }
+    global_counter("dash_ingest_jobs_total").add(jobs_run as u64);
+    global_counter("dash_ingest_map_attempts_total").add(report.map_attempts);
+    global_counter("dash_ingest_reduce_attempts_total").add(report.reduce_attempts);
     Ok(IngestOutput {
         data: ShardData::Refs(shard_refs),
         stats,
@@ -440,6 +447,7 @@ fn write_spill(path: &Path, magic: &[u8; 8], payload: &[u8]) -> std::io::Result<
         file.write_all(&persist::checksum64(payload).to_le_bytes())?;
         file.sync_all()?;
     }
+    global_counter("dash_ingest_spill_write_bytes_total").add(16 + payload.len() as u64);
     fs::rename(&tmp, path)
 }
 
@@ -449,6 +457,7 @@ fn write_spill(path: &Path, magic: &[u8; 8], payload: &[u8]) -> std::io::Result<
 /// the stage.
 fn read_spill(path: &Path, magic: &[u8; 8]) -> Option<Vec<u8>> {
     let bytes = fs::read(path).ok()?;
+    global_counter("dash_ingest_spill_read_bytes_total").add(bytes.len() as u64);
     if bytes.len() < 16 || &bytes[..8] != magic {
         return None;
     }
@@ -458,6 +467,12 @@ fn read_spill(path: &Path, magic: &[u8; 8]) -> Option<Vec<u8>> {
         return None;
     }
     Some(payload.to_vec())
+}
+
+/// A counter of [`dash_obs::Registry::global`] — ingest has no
+/// instance boundary, so its tallies are process-wide.
+fn global_counter(name: &str) -> std::sync::Arc<dash_obs::Counter> {
+    dash_obs::Registry::global().counter(name)
 }
 
 fn persist_plan(path: &Path, fingerprint: u64, plan: &PartitionPlan) -> std::io::Result<()> {

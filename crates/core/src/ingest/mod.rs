@@ -273,32 +273,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_image_shim_matches_builder() {
-        let (app, db) = fooddb_parts();
-        let config = DashConfig::default();
-        let engine = ShardedEngine::builder(app.clone())
-            .shards(2)
-            .source(IngestSource::Crawl {
-                db: &db,
-                config: &config,
-            })
-            .build()
-            .unwrap();
-        let mut image = Vec::new();
-        engine.write_image(&mut image).unwrap();
-        let via_shim =
-            ShardedEngine::from_image(app.clone(), &image, WorkflowStats::new()).unwrap();
-        let via_builder = ShardedEngine::builder(app)
-            .source(IngestSource::Image(&image))
-            .build()
-            .unwrap();
-        let req = SearchRequest::new(&["burger"]).k(10).min_size(1);
-        assert_eq!(via_shim.search(&req), via_builder.search(&req));
-        assert_eq!(via_shim.shard_sizes(), via_builder.shard_sizes());
-    }
-
-    #[test]
     fn dumps_roundtrip_through_persist() {
         let (app, db) = fooddb_parts();
         let config = DashConfig::default();

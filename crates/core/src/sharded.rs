@@ -244,7 +244,8 @@ fn run_shard_tasks(
     tasks: &[(usize, usize)],
     scratch: &mut SearchScratch,
 ) -> Vec<(usize, ShardRun)> {
-    tasks
+    let _span = dash_obs::span!("dash_shard_search_ns");
+    let runs: Vec<(usize, ShardRun)> = tasks
         .iter()
         .map(|&(r, limit)| {
             let hits = top_k_in(
@@ -266,7 +267,18 @@ fn run_shard_tasks(
                 },
             )
         })
-        .collect()
+        .collect();
+    // Each recorded pop is one candidate db-page the heap loop
+    // examined on this shard.
+    let candidates: u64 = runs.iter().map(|(_, run)| run.trace.len() as u64).sum();
+    if candidates > 0 {
+        static CANDIDATES: std::sync::OnceLock<std::sync::Arc<dash_obs::Counter>> =
+            std::sync::OnceLock::new();
+        CANDIDATES
+            .get_or_init(|| dash_obs::Registry::global().counter("dash_shard_candidates_total"))
+            .add(candidates);
+    }
+    runs
 }
 
 /// A Dash engine whose handle space is partitioned into `N` shards,
@@ -486,6 +498,7 @@ impl ShardedEngine {
         if requests.is_empty() {
             return Vec::new();
         }
+        let _span = dash_obs::span!("dash_shard_search_many_ns");
         let shard_count = self.shards.len();
         // One read pass over all shards for the global IDFs.
         let idfs: Vec<Vec<f64>> = {
@@ -625,6 +638,7 @@ impl ShardedEngine {
             }
             // Merge walk: fixes each request's emission order, or sends
             // truncated shards back for a full-k pass.
+            let _merge_span = dash_obs::span!("dash_shard_merge_ns");
             for (r, request) in requests.iter().enumerate() {
                 if orders[r].is_some() {
                     continue;
@@ -953,24 +967,6 @@ impl ShardedEngine {
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let indexes: Vec<&FragmentIndex> = guards.iter().map(|g| &g.index).collect();
         persist::write_image(writer, self.app.query.range_selection_index(), &indexes)
-    }
-
-    /// Reconstructs an engine from a v2 arena image. Deprecated shim
-    /// over the builder API — kept because the replication wire path
-    /// and external snapshot tooling load images in contexts where
-    /// constructing a builder is pure ceremony; new code should use
-    /// `ShardedEngine::builder(app).source(IngestSource::Image(bytes)).build()`.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`IngestSource::Image`](crate::ingest::IngestSource).
-    #[deprecated(note = "use ShardedEngine::builder(app).source(IngestSource::Image(bytes))")]
-    pub fn from_image(
-        app: WebApplication,
-        bytes: &[u8],
-        crawl_stats: WorkflowStats,
-    ) -> Result<Self> {
-        Self::from_image_impl(app, bytes, crawl_stats)
     }
 
     /// Reconstructs an engine from a v2 arena image

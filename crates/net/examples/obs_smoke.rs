@@ -1,0 +1,61 @@
+//! Observability smoke: spawns a fooddb primary on an ephemeral
+//! port, drives a little real-socket traffic through it, scrapes
+//! `GET /metrics`, and prints the exposition. CI greps the output
+//! for the required series and — with `DASH_OBS_HOLD_SECS` set — also
+//! curls the live server before it exits.
+//!
+//! ```text
+//! cargo run --release -p dash-net --example obs_smoke
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dash_core::{DashConfig, SearchRequest};
+use dash_net::{NetClient, NetConfig, NetServer};
+use dash_serve::{DashServer, ServeConfig};
+use dash_webapp::fooddb;
+
+fn main() {
+    let db = fooddb::database();
+    let app = fooddb::search_application().expect("fooddb analyzes");
+    let server = Arc::new(
+        DashServer::build(
+            &app,
+            &db,
+            &DashConfig::default(),
+            ServeConfig::default().shards(2),
+        )
+        .expect("server builds"),
+    );
+    let net = NetServer::serve_primary(
+        server,
+        db,
+        TcpListener::bind("127.0.0.1:0").expect("ephemeral port"),
+        NetConfig::default(),
+    )
+    .expect("net server starts");
+    println!("listening on {}", net.addr());
+
+    // Enough traffic for the scrape to show every layer: three
+    // *distinct* searches (identical ones would be served from the
+    // response cache after the first and never reach the serve or
+    // shard layers).
+    let mut client = NetClient::connect(net.addr()).expect("client connects");
+    for k in 1..=3 {
+        client
+            .search(&SearchRequest::new(&["burger"]).k(k).min_size(20))
+            .expect("search over socket");
+    }
+    println!("{}", client.metrics_text().expect("metrics scrape"));
+
+    // Keep serving if asked, so an external scraper (CI's curl) can
+    // hit the same live server.
+    if let Some(secs) = std::env::var("DASH_OBS_HOLD_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        std::thread::sleep(Duration::from_secs(secs));
+    }
+}

@@ -234,6 +234,27 @@ impl NetClient {
         self.get("/stats")
     }
 
+    /// `GET /metrics` — the Prometheus text exposition (the
+    /// front-end's `dash_net_*` series merged with the serving
+    /// stack's and the process-global registry).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        self.get("/metrics")
+    }
+
+    /// `GET /debug/slow` — the worst-N slow-request log with
+    /// per-stage latency breakdowns, as JSON.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, non-200 statuses.
+    pub fn slow_json(&mut self) -> io::Result<String> {
+        self.get("/debug/slow")
+    }
+
     fn get(&mut self, target: &str) -> io::Result<String> {
         let request = format!("GET {target} HTTP/1.1\r\nHost: dash\r\n\r\n");
         let (status, body) = self.roundtrip(request.as_bytes(), true)?;

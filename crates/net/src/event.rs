@@ -38,13 +38,16 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use dash_obs::{render_merged, Counter, Gauge, Registry, SlowEntry, TraceId};
+
 use crate::http::{self, ParseError, Request, Response};
 use crate::json;
+use crate::obs::NetObs;
 use crate::response_cache::ResponseCache;
 use crate::server::{parse_search, route, Backend, NetConfig};
 
@@ -71,26 +74,39 @@ const READ_CHUNK: usize = 16 * 1024;
 const IDLE_TICK_US: u64 = 500;
 const IDLE_TICK_CAP_US: u64 = 5_000;
 
-/// Front-end counters (atomics; [`NetCounters`] is the snapshot).
-#[derive(Debug, Default)]
+/// Front-end counters, registry-backed: the same handles serve
+/// [`NetCounters`] snapshots and the `dash_net_*` series of
+/// `GET /metrics` — the two views cannot drift.
+#[derive(Debug)]
 pub(crate) struct Counters {
-    pub(crate) accepted: AtomicU64,
-    pub(crate) open: AtomicU64,
-    pub(crate) overflows: AtomicU64,
-    pub(crate) shed_jobs: AtomicU64,
-    pub(crate) bad_requests: AtomicU64,
-    pub(crate) timeouts: AtomicU64,
+    pub(crate) accepted: Arc<Counter>,
+    pub(crate) open: Arc<Gauge>,
+    pub(crate) overflows: Arc<Counter>,
+    pub(crate) shed_jobs: Arc<Counter>,
+    pub(crate) bad_requests: Arc<Counter>,
+    pub(crate) timeouts: Arc<Counter>,
 }
 
 impl Counters {
+    pub(crate) fn new(registry: &Registry) -> Counters {
+        Counters {
+            accepted: registry.counter("dash_net_accepted_total"),
+            open: registry.gauge("dash_net_open_connections"),
+            overflows: registry.counter("dash_net_overflows_total"),
+            shed_jobs: registry.counter("dash_net_shed_jobs_total"),
+            bad_requests: registry.counter("dash_net_bad_requests_total"),
+            timeouts: registry.counter("dash_net_timeouts_total"),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> NetCounters {
         NetCounters {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            open: self.open.load(Ordering::Relaxed),
-            overflows: self.overflows.load(Ordering::Relaxed),
-            shed_jobs: self.shed_jobs.load(Ordering::Relaxed),
-            bad_requests: self.bad_requests.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            open: self.open.get(),
+            overflows: self.overflows.get(),
+            shed_jobs: self.shed_jobs.get(),
+            bad_requests: self.bad_requests.get(),
+            timeouts: self.timeouts.get(),
         }
     }
 }
@@ -139,6 +155,8 @@ pub(crate) struct Job {
     pub(crate) slot: usize,
     pub(crate) gen: u64,
     pub(crate) request: Request,
+    /// When the loop queued the job — workers record the queue wait.
+    pub(crate) enqueued: Instant,
 }
 
 /// A worker's finished response, routed back to the loop.
@@ -185,12 +203,32 @@ struct Conn {
     hot: bool,
     /// Peer sent EOF; serve what is buffered, then close.
     read_closed: bool,
+    /// Stage marks of the in-flight request (`None` with tracing
+    /// disabled — the zero-overhead path).
+    trace: Option<ReqTrace>,
+}
+
+/// Stage timestamps of one in-flight request, taken from the event
+/// loop's per-iteration `Instant` — tracing adds no clock reads. The
+/// marks turn into the `dash_net_{head,body,handle,write}_ns`
+/// histograms and a [`SlowEntry`] when the response finishes flushing.
+#[derive(Debug)]
+struct ReqTrace {
+    id: TraceId,
+    /// `METHOD /path` once the request line parsed; empty for requests
+    /// rejected before that.
+    route: String,
+    started: Instant,
+    head_done: Option<Instant>,
+    body_done: Option<Instant>,
+    handle_done: Option<Instant>,
 }
 
 struct EventLoop {
     backend: Backend,
     counters: Arc<Counters>,
     cache: Arc<ResponseCache>,
+    obs: Arc<NetObs>,
     jobs: SyncSender<Job>,
     max_connections: usize,
     conns: Vec<Option<Conn>>,
@@ -228,6 +266,7 @@ pub(crate) fn run(
     stop: &AtomicBool,
     counters: Arc<Counters>,
     cache: Arc<ResponseCache>,
+    obs: Arc<NetObs>,
     jobs: SyncSender<Job>,
     done: Receiver<Done>,
 ) {
@@ -238,6 +277,7 @@ pub(crate) fn run(
         backend,
         counters,
         cache,
+        obs,
         jobs,
         max_connections: config.max_connections.max(1),
         conns: Vec::new(),
@@ -303,9 +343,9 @@ impl EventLoop {
                 Err(_) => break,
             };
             progress = true;
-            self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            self.counters.accepted.inc();
             if self.open >= self.max_connections {
-                self.counters.overflows.fetch_add(1, Ordering::Relaxed);
+                self.counters.overflows.inc();
                 let mut stream = stream;
                 let _ = stream.write(&self.overflow_bytes);
                 continue; // dropped: closed
@@ -324,13 +364,14 @@ impl EventLoop {
                 request_started: None,
                 hot: true,
                 read_closed: false,
+                trace: None,
             };
             match self.free.pop() {
                 Some(slot) => self.conns[slot] = Some(conn),
                 None => self.conns.push(Some(conn)),
             }
             self.open += 1;
-            self.counters.open.fetch_add(1, Ordering::Relaxed);
+            self.counters.open.add(1);
         }
         progress
     }
@@ -362,6 +403,9 @@ impl EventLoop {
                 progress |= self.pump(slot, now);
             }
         }
+        if active > 0 {
+            self.obs.hot_visits.add(active as u64);
+        }
         (progress, active)
     }
 
@@ -388,6 +432,9 @@ impl EventLoop {
                 visited += 1;
                 progress |= self.pump(slot, now);
             }
+        }
+        if visited > 0 {
+            self.obs.cold_visits.add(visited as u64);
         }
         progress
     }
@@ -435,7 +482,7 @@ impl EventLoop {
                 true
             }
             Some(false) => {
-                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.counters.timeouts.inc();
                 let bytes =
                     http::render_response(&Response::error(408, "request timed out"), false);
                 self.start_writing(slot, Outgoing::Own(bytes), true, now);
@@ -494,12 +541,25 @@ impl EventLoop {
                         } else {
                             conn.state = ConnState::ReadingHead;
                             conn.request_started = Some(now);
+                            // Stage marks reuse the sweep's `now` — a
+                            // disabled registry costs one bool load.
+                            conn.trace = self.obs.registry.is_enabled().then(|| ReqTrace {
+                                id: TraceId::next(),
+                                route: String::new(),
+                                started: now,
+                                head_done: None,
+                                body_done: None,
+                                handle_done: None,
+                            });
                             Step::Again
                         }
                     }
                     ConnState::ReadingHead => match http::parse_head(&conn.buf) {
                         Ok(Some(head)) => {
                             conn.state = ConnState::ReadingBody { head };
+                            if let Some(trace) = conn.trace.as_mut() {
+                                trace.head_done = Some(now);
+                            }
                             Step::Again
                         }
                         // Connection closed mid-headers stays silent,
@@ -551,7 +611,7 @@ impl EventLoop {
     /// Answers a malformed or oversized request with its parse error
     /// (the connection closes after — framing is unrecoverable).
     fn reject(&mut self, slot: usize, error: &ParseError, now: Instant) {
-        self.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.bad_requests.inc();
         let response = Response::error(error.status(), error.message());
         let bytes = http::render_response(&response, false);
         self.start_writing(slot, Outgoing::Own(bytes), true, now);
@@ -569,7 +629,11 @@ impl EventLoop {
             }
         };
         let (gen, read_closed) = {
-            let conn = self.conns[slot].as_ref().expect("dispatching live slot");
+            let conn = self.conns[slot].as_mut().expect("dispatching live slot");
+            if let Some(trace) = conn.trace.as_mut() {
+                trace.body_done = Some(now);
+                trace.route = format!("{} {}", request.method, request.path);
+            }
             (conn.gen, conn.read_closed)
         };
         let close_after = !request.keep_alive || read_closed;
@@ -579,13 +643,19 @@ impl EventLoop {
                 return;
             }
         }
-        match self.jobs.try_send(Job { slot, gen, request }) {
+        match self.jobs.try_send(Job {
+            slot,
+            gen,
+            request,
+            enqueued: now,
+        }) {
             Ok(()) => {
+                self.obs.queue_depth.add(1);
                 let conn = self.conns[slot].as_mut().expect("slot still live");
                 conn.state = ConnState::Handling;
             }
             Err(TrySendError::Full(_)) => {
-                self.counters.shed_jobs.fetch_add(1, Ordering::Relaxed);
+                self.counters.shed_jobs.inc();
                 let response = Response::error(503, "server overloaded");
                 let bytes = http::render_response(&response, !close_after);
                 self.start_writing(slot, Outgoing::Own(bytes), close_after, now);
@@ -617,8 +687,51 @@ impl EventLoop {
             };
             conn.hot = true;
             conn.last_activity = now;
+            if let Some(trace) = conn.trace.as_mut() {
+                // First response byte queued: handling is over. Cache
+                // hits and rejects reach here without a dispatch, so
+                // their handle stage is the (near-zero) gap since the
+                // last mark.
+                trace.handle_done.get_or_insert(now);
+            }
         }
         self.flush(slot, now);
+    }
+
+    /// Closes out the in-flight request's trace: records the stage
+    /// histograms and offers the request to the slow log.
+    fn finish_trace(&mut self, slot: usize, now: Instant) {
+        let Some(trace) = self.conns[slot].as_mut().and_then(|c| c.trace.take()) else {
+            return;
+        };
+        // A stage that never ran (e.g. reject before the body) borrows
+        // the previous mark: its duration is zero, nothing is skipped.
+        let head = trace.head_done.unwrap_or(trace.started);
+        let body = trace.body_done.unwrap_or(head);
+        let handle = trace.handle_done.unwrap_or(body);
+        let stage =
+            |from: Instant, to: Instant| to.saturating_duration_since(from).as_nanos() as u64;
+        let head_ns = stage(trace.started, head);
+        let body_ns = stage(head, body);
+        let handle_ns = stage(body, handle);
+        let write_ns = stage(handle, now);
+        let total_ns = stage(trace.started, now);
+        self.obs.head_ns.record(head_ns);
+        self.obs.body_ns.record(body_ns);
+        self.obs.handle_ns.record(handle_ns);
+        self.obs.write_ns.record(write_ns);
+        self.obs.request_ns.record(total_ns);
+        self.obs.slow.record(SlowEntry {
+            trace: trace.id,
+            route: trace.route,
+            total_ns,
+            stages: vec![
+                ("head", head_ns),
+                ("body", body_ns),
+                ("handle", handle_ns),
+                ("write", write_ns),
+            ],
+        });
     }
 
     /// Pushes queued response bytes out. On completion the connection
@@ -671,6 +784,7 @@ impl EventLoop {
             }
             Flushed::Blocked(wrote) => wrote,
             Flushed::Complete(close_after) => {
+                self.finish_trace(slot, now);
                 if close_after {
                     self.close(slot);
                 } else {
@@ -687,7 +801,7 @@ impl EventLoop {
         if self.conns[slot].take().is_some() {
             self.free.push(slot);
             self.open -= 1;
-            self.counters.open.fetch_sub(1, Ordering::Relaxed);
+            self.counters.open.sub(1);
         }
     }
 }
@@ -719,6 +833,51 @@ pub(crate) fn cached_search_response(
     Some(bytes)
 }
 
+/// Renders the merged `GET /metrics` exposition: this front-end's
+/// `dash_net_*` registry (with the response cache's counters mirrored
+/// in as gauges at scrape time), the backing server's `dash_serve_*`
+/// registry when one is live, and the process-global registry
+/// (`dash_shard_*` / `dash_repl_*` / `dash_router_*` /
+/// `dash_ingest_*`) — one scrape covers every layer.
+fn metrics_text(obs: &NetObs, backend: &Backend, cache: &ResponseCache) -> String {
+    let stats = cache.stats();
+    let registry = &obs.registry;
+    registry
+        .gauge("dash_net_response_cache_hits")
+        .set(stats.hits);
+    registry
+        .gauge("dash_net_response_cache_misses")
+        .set(stats.misses);
+    registry
+        .gauge("dash_net_response_cache_insertions")
+        .set(stats.insertions);
+    registry
+        .gauge("dash_net_response_cache_rejected_stale")
+        .set(stats.rejected_stale);
+    registry
+        .gauge("dash_net_response_cache_rejected_oversize")
+        .set(stats.rejected_oversize);
+    registry
+        .gauge("dash_net_response_cache_invalidated")
+        .set(stats.invalidated);
+    registry
+        .gauge("dash_net_response_cache_evicted")
+        .set(stats.evicted);
+    registry
+        .gauge("dash_net_response_cache_resyncs")
+        .set(stats.resyncs);
+    registry
+        .gauge("dash_net_cached_responses")
+        .set(cache.len() as u64);
+    match backend.cache_server() {
+        Some(server) => {
+            server.refresh_scrape_gauges();
+            render_merged(&[registry, server.registry(), Registry::global()])
+        }
+        None => render_merged(&[registry, Registry::global()]),
+    }
+}
+
 /// A worker's whole job: answer one request. Cacheable searches run
 /// against an explicit snapshot so the rendered bytes can be stored
 /// with their invalidation dependencies (candidate groups + keywords)
@@ -729,7 +888,36 @@ pub(crate) fn respond(
     request: &Request,
     backend: &Backend,
     cache: &ResponseCache,
+    obs: &NetObs,
 ) -> (Outgoing, bool) {
+    // Diagnostic stall injection (tests of the slow log / stage
+    // attribution) — inert unless the front-end opted in.
+    if obs.allow_debug_sleep {
+        if let Some(us) = request
+            .param("debug_sleep_us")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_micros(us.min(1_000_000)));
+        }
+    }
+    if request.method == "GET" && request.path == "/metrics" {
+        let response = Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: metrics_text(obs, backend, cache).into_bytes(),
+        };
+        return (
+            Outgoing::Own(http::render_response(&response, request.keep_alive)),
+            !request.keep_alive,
+        );
+    }
+    if request.method == "GET" && request.path == "/debug/slow" {
+        let response = Response::json(obs.slow.render_json());
+        return (
+            Outgoing::Own(http::render_response(&response, request.keep_alive)),
+            !request.keep_alive,
+        );
+    }
     if cacheable(request) && cache.enabled() {
         if let Some(server) = backend.cache_server() {
             if let Ok(search) = parse_search(request) {

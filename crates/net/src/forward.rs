@@ -114,6 +114,7 @@ impl Upstream {
                         drop(client);
                         if backoff.wait() {
                             self.retries.fetch_add(1, Ordering::Relaxed);
+                            crate::obs::global_counter!("dash_repl_forward_retries_total").inc();
                             continue;
                         }
                         return Err(e);
@@ -124,6 +125,7 @@ impl Upstream {
             match result {
                 Ok(ack) => {
                     self.forwarded.fetch_add(1, Ordering::Relaxed);
+                    crate::obs::global_counter!("dash_repl_forwarded_total").inc();
                     return Ok(ack);
                 }
                 Err(e) => {

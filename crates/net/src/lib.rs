@@ -117,6 +117,37 @@
 //! actively failing: torn transfers, epoch gaps, a killed primary
 //! under load, promotion and re-routing.
 //!
+//! ## Observability (`GET /metrics`, `GET /debug/slow`)
+//!
+//! Every front-end serves a Prometheus text exposition merging three
+//! `dash-obs` registries: its own `dash_net_*` series, the backing
+//! `DashServer`'s `dash_serve_*` series, and the process-global
+//! registry the shard/replication/routing/ingest layers record into.
+//! Histograms render as summaries (`quantile="0.5|0.9|0.99|0.999"` +
+//! `_sum`/`_count`); `GET /debug/slow` returns the worst-N requests
+//! with per-stage breakdowns as JSON. The series:
+//!
+//! | Series | Kind | Meaning |
+//! |---|---|---|
+//! | `dash_net_accepted_total` | counter | connections accepted (incl. cap-shed) |
+//! | `dash_net_open_connections` | gauge | connections currently open |
+//! | `dash_net_overflows_total` | counter | connects answered `503` by the cap |
+//! | `dash_net_shed_jobs_total` | counter | requests answered `503`, queue full |
+//! | `dash_net_bad_requests_total` | counter | `400`/`413` malformed requests |
+//! | `dash_net_timeouts_total` | counter | `408` mid-request stalls |
+//! | `dash_net_{head,body,handle,write,request}_ns` | histogram | per-stage and end-to-end request latency |
+//! | `dash_net_queue_wait_ns` | histogram | worker-queue wait (inside `handle`) |
+//! | `dash_net_queue_depth` | gauge | jobs queued or running on the pool |
+//! | `dash_net_{hot,cold}_visits_total` | counter | readiness sweep visits by tier |
+//! | `dash_net_response_cache_*`, `dash_net_cached_responses` | gauge | response-cache counters, mirrored at scrape |
+//! | `dash_serve_searches_total`, `dash_serve_batches_total`, … | counter | serving stack (see `dash-serve`) |
+//! | `dash_serve_{search,batch_window,swap,drain}_ns`, `dash_serve_batch_size` | histogram | serving stage latencies / batch shape |
+//! | `dash_shard_{search,search_many,merge}_ns`, `dash_shard_candidates_total` | histogram/counter | sharded search internals |
+//! | `dash_repl_{bootstraps,catchups,deltas_applied,forwarded,forward_retries}_total` | counter | replication + write forwarding |
+//! | `dash_repl_epoch`, `dash_repl_epoch_lag` | gauge | replica epoch; gap seen at the last delta frame |
+//! | `dash_router_{reads,read_retries,writes,write_failovers}_total` | counter | routing front tier |
+//! | `dash_ingest_*` | counter | distributed ingest (see `dash-core::ingest`) |
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -154,6 +185,7 @@ pub mod forward;
 pub mod http;
 pub mod json;
 pub mod loadgen;
+mod obs;
 pub mod repl;
 mod response_cache;
 pub mod router;

@@ -41,6 +41,11 @@ pub struct NetLoadReport {
     /// Requests that errored (any I/O or decode failure; 0 in a
     /// healthy run).
     pub errors: u64,
+    /// Per-stage latency table rendered from the server's
+    /// `GET /metrics` exposition after the run
+    /// (`dash_obs::expo::stage_table`) — socket, serving and shard
+    /// stages in one view.
+    pub stage_table: String,
 }
 
 impl NetLoadReport {
@@ -124,6 +129,12 @@ pub fn run(
     }
     latencies.sort_unstable();
     let searches = latencies.len() as u64;
+    // One extra request prices nothing: scrape the merged exposition
+    // so the report can say *where* the latency lives.
+    let stage_table = NetClient::connect(addr)
+        .and_then(|mut client| client.metrics_text())
+        .map(|text| dash_obs::expo::stage_table(&dash_obs::expo::parse_summaries(&text)))
+        .unwrap_or_else(|e| format!("(metrics scrape failed: {e})\n"));
     NetLoadReport {
         searches,
         updates,
@@ -133,5 +144,6 @@ pub fn run(
         p99_ns: percentile(&latencies, 99),
         qps: searches as f64 / elapsed.as_secs_f64().max(1e-9),
         errors,
+        stage_table,
     }
 }

@@ -782,6 +782,10 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
             *inner.server.write() = Some(server);
             inner.epoch.store(epoch, Ordering::SeqCst);
             inner.bootstraps.fetch_add(1, Ordering::SeqCst);
+            crate::obs::global_counter!("dash_repl_bootstraps_total").inc();
+            dash_obs::Registry::global()
+                .gauge("dash_repl_epoch")
+                .set(epoch);
         }
         FRAME_RESUME => {
             let (base, _) = read_epoch(&payload)?;
@@ -789,6 +793,7 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
                 return Err(invalid("resume base does not match replica state"));
             }
             inner.catchups.fetch_add(1, Ordering::SeqCst);
+            crate::obs::global_counter!("dash_repl_catchups_total").inc();
         }
         other => return Err(invalid(&format!("unexpected bootstrap frame tag {other}"))),
     }
@@ -806,6 +811,12 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
         let (epoch, rest) = read_epoch(&payload)?;
         let mut rest = rest;
         let delta = wire::read_delta(&mut rest)?;
+        // Gap between this frame and the next epoch the replica
+        // expects: 0 on an in-order stream (replayed frames saturate
+        // to 0). A nonzero value is about to kill the connection.
+        dash_obs::Registry::global()
+            .gauge("dash_repl_epoch_lag")
+            .set(epoch.saturating_sub(inner.epoch.load(Ordering::SeqCst) + 1));
         // The signature rides along for protocol completeness (a
         // non-DashServer consumer needs it to invalidate caches); the
         // local publish path recomputes an identical one from the
@@ -828,6 +839,10 @@ fn sync_once(mut stream: TcpStream, inner: &ReplicaInner) -> io::Result<()> {
         server.publish(delta);
         inner.epoch.store(epoch, Ordering::SeqCst);
         inner.deltas_applied.fetch_add(1, Ordering::SeqCst);
+        crate::obs::global_counter!("dash_repl_deltas_applied_total").inc();
+        dash_obs::Registry::global()
+            .gauge("dash_repl_epoch")
+            .set(epoch);
     }
 }
 

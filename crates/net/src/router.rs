@@ -244,6 +244,7 @@ impl Router {
     /// Only after every node failed.
     pub fn search_json(&self, request: &SearchRequest) -> io::Result<String> {
         self.inner.reads.fetch_add(1, Ordering::Relaxed);
+        crate::obs::global_counter!("dash_router_reads_total").inc();
         let nodes = &self.inner.nodes;
         let start = self.inner.cursor.fetch_add(1, Ordering::Relaxed);
         let mut last_err = None;
@@ -264,6 +265,7 @@ impl Router {
                     Err(e) => {
                         node.mark_down();
                         self.inner.read_retries.fetch_add(1, Ordering::Relaxed);
+                        crate::obs::global_counter!("dash_router_read_retries_total").inc();
                         last_err = Some(e);
                     }
                 }
@@ -286,6 +288,7 @@ impl Router {
     /// failures.
     pub fn update(&self, body: &UpdateBody) -> io::Result<UpdateAck> {
         self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        crate::obs::global_counter!("dash_router_writes_total").inc();
         let mut backoff = Backoff::start(&self.config.backoff);
         // Whether this call ever observed the primary missing. The
         // probe thread may be the one that discovers the replacement
@@ -331,6 +334,7 @@ impl Router {
                     let prev = self.inner.last_write.swap(at, Ordering::SeqCst);
                     if lost_primary || (prev != usize::MAX && prev != at) {
                         self.inner.write_failovers.fetch_add(1, Ordering::Relaxed);
+                        crate::obs::global_counter!("dash_router_write_failovers_total").inc();
                     }
                     Ok(ack)
                 }

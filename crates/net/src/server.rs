@@ -47,6 +47,7 @@ use crate::event::{self, Done, Job, NetCounters};
 use crate::forward::Upstream;
 use crate::http::{invalid, Request, Response};
 use crate::json;
+use crate::obs::NetObs;
 use crate::repl::Replica;
 use crate::response_cache::{ResponseCache, ResponseCacheStats};
 
@@ -74,6 +75,11 @@ pub struct NetConfig {
     /// Byte budget of the pre-serialized response cache (0 = no byte
     /// bound).
     pub response_cache_bytes: usize,
+    /// Honor a `debug_sleep_us` query parameter by stalling the worker
+    /// that long (capped at 1s) before handling — diagnostic fault
+    /// injection for the slow-request log. Off by default; never
+    /// enable on a production front-end.
+    pub allow_debug_sleep: bool,
 }
 
 impl Default for NetConfig {
@@ -84,6 +90,7 @@ impl Default for NetConfig {
             queue_depth: 1024,
             response_cache_entries: 512,
             response_cache_bytes: 4 << 20,
+            allow_debug_sleep: false,
         }
     }
 }
@@ -545,7 +552,8 @@ impl NetServer {
     ) -> io::Result<NetServer> {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(event::Counters::default());
+        let obs = Arc::new(NetObs::new(config.allow_debug_sleep));
+        let counters = Arc::new(event::Counters::new(&obs.registry));
         let cache = Arc::new(ResponseCache::new(
             config.response_cache_entries,
             config.response_cache_bytes,
@@ -559,16 +567,28 @@ impl NetServer {
                 let done = done.clone();
                 let backend = backend.clone();
                 let cache = Arc::clone(&cache);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("dash-net-worker-{at}"))
                     .spawn(move || loop {
                         // Drop the lock before handling: other workers
                         // must keep draining while this one computes.
                         let job = { queue.lock().recv() };
-                        let Ok(Job { slot, gen, request }) = job else {
+                        let Ok(Job {
+                            slot,
+                            gen,
+                            request,
+                            enqueued,
+                        }) = job
+                        else {
                             return; // loop gone: the queue sender dropped
                         };
-                        let (out, close_after) = event::respond(&request, &backend, &cache);
+                        obs.queue_depth.sub(1);
+                        if obs.queue_wait_ns.is_enabled() {
+                            obs.queue_wait_ns
+                                .record(enqueued.elapsed().as_nanos() as u64);
+                        }
+                        let (out, close_after) = event::respond(&request, &backend, &cache, &obs);
                         if done
                             .send(Done {
                                 slot,
@@ -590,6 +610,7 @@ impl NetServer {
             let stop = Arc::clone(&stop);
             let counters = Arc::clone(&counters);
             let cache = Arc::clone(&cache);
+            let obs = Arc::clone(&obs);
             std::thread::Builder::new()
                 .name("dash-net-event".to_string())
                 .spawn(move || {
@@ -600,6 +621,7 @@ impl NetServer {
                         &stop,
                         counters,
                         cache,
+                        obs,
                         jobs,
                         completions,
                     );
@@ -742,6 +764,28 @@ mod tests {
         )]));
         changes.extend_from_slice(b"junk");
         assert!(decode_update(&changes).is_err());
+    }
+
+    #[test]
+    fn net_counters_snapshot_is_the_registry_view() {
+        // `NetServer::counters` and the `dash_net_*` series must be
+        // the same handles — bumping one view moves the other.
+        let registry = dash_obs::Registry::new();
+        let counters = event::Counters::new(&registry);
+        counters.accepted.inc();
+        counters.accepted.inc();
+        counters.open.add(2);
+        counters.open.sub(1);
+        counters.shed_jobs.inc();
+        let snap = counters.snapshot();
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.open, 1);
+        assert_eq!(snap.shed_jobs, 1);
+        assert_eq!(snap.overflows, 0);
+        let text = registry.render();
+        assert!(text.contains("dash_net_accepted_total 2"), "{text}");
+        assert!(text.contains("dash_net_open_connections 1"), "{text}");
+        assert!(text.contains("dash_net_shed_jobs_total 1"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Lock-free log-linear latency histograms.
+//!
+//! ## Bucket math
+//!
+//! Values are `u64` (nanoseconds by convention). The bucket layout is
+//! HdrHistogram-style log-linear with [`SUB_BITS`] = 5 bits of
+//! sub-bucket resolution: values below 32 each get their own bucket
+//! (exact), and every octave above that is split into 32 linear
+//! sub-buckets, so the relative quantization error is bounded by
+//! 1/32 ≈ 3.1% everywhere. With 59 octaves (the most significant bit
+//! of a `u64` ranges 5..=63 above the linear region) the whole `u64`
+//! range fits in [`BUCKETS`] = 1920 buckets — small enough for one
+//! contiguous `AtomicU64` array, cheap enough to snapshot by copying.
+//!
+//! For a value `v ≥ 32` with most significant bit `m`:
+//!
+//! ```text
+//! index(v) = (m - 5) * 32 + 32 + ((v >> (m - 5)) - 32)
+//! ```
+//!
+//! and the inverse (the smallest value mapping to bucket `i ≥ 32`):
+//!
+//! ```text
+//! lower_bound(i) = (32 + (i - 32) % 32) << ((i - 32) / 32)
+//! ```
+//!
+//! There is no overflow bucket because there is no overflow: the
+//! layout covers all of `u64`, `u64::MAX` lands in bucket 1919.
+//!
+//! ## Concurrency
+//!
+//! [`Histogram::record`] is three `Relaxed` `fetch_add`s (bucket,
+//! sum, count) — no locks, no CAS loops, safe from any number of
+//! threads. [`Histogram::snapshot`] reads the buckets without
+//! stopping writers; a snapshot is therefore a consistent-enough view
+//! (each bucket exact at some instant during the copy), which is the
+//! standard trade for never stalling the hot path. Percentiles are
+//! extracted from snapshots by an exact nearest-rank walk over the
+//! cumulative bucket counts, so two snapshots with equal buckets
+//! yield byte-identical percentile answers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bits of linear sub-bucket resolution per octave.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (`2^SUB_BITS`).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range.
+pub const BUCKETS: usize = SUB_BUCKETS + (64 - SUB_BITS as usize - 1) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// The bucket a value lands in. Total order preserving: `a <= b`
+/// implies `index(a) <= index(b)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    ((msb - SUB_BITS) as usize) * SUB_BUCKETS + SUB_BUCKETS + ((v >> shift) as usize - SUB_BUCKETS)
+}
+
+/// The smallest value mapping to bucket `i` (the bucket's
+/// representative — what percentile extraction reports).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let octave = (i - SUB_BUCKETS) / SUB_BUCKETS;
+    let sub = (i - SUB_BUCKETS) % SUB_BUCKETS;
+    ((SUB_BUCKETS + sub) as u64) << octave
+}
+
+/// A lock-free log-linear histogram of `u64` samples (nanoseconds by
+/// convention). See the module docs for the bucket math.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+    /// Shared with the owning [`Registry`](crate::Registry) (or
+    /// private when standalone): span guards check this before paying
+    /// for `Instant::now`.
+    enabled: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty, enabled, standalone histogram.
+    pub fn new() -> Histogram {
+        Histogram::with_enabled(Arc::new(AtomicBool::new(true)))
+    }
+
+    /// An empty histogram sharing an enabled flag (how a registry
+    /// hands every histogram its kill switch).
+    pub(crate) fn with_enabled(enabled: Arc<AtomicBool>) -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Whether recording is live (span guards skip clock reads when
+    /// not).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets, mergeable and queryable.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a histogram's state: mergeable (shard or
+/// per-thread histograms aggregate by bucket-wise addition) and
+/// queryable for exact nearest-rank percentiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`merge`](Self::merge)).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            sum: 0,
+        }
+    }
+
+    /// Bucket-wise accumulation of another snapshot. The sum wraps on
+    /// overflow, matching the atomic `fetch_add` the record path uses
+    /// — so merging split snapshots equals recording into one
+    /// histogram even at the edges of the `u64` domain.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Total samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all samples in the snapshot.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact nearest-rank `q`-quantile (`0.0 < q <= 1.0`),
+    /// reported as the lower bound of the bucket holding the ranked
+    /// sample — so the answer is always a value the bucket layout can
+    /// represent, and `bucket_index(quantile(q))` equals the bucket
+    /// of the true ranked sample (the oracle property the obs tier
+    /// asserts). Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        // Nearest-rank: the ceil(q*n)-th smallest sample, 1-based.
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(BUCKETS - 1)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverts() {
+        // The linear region is exact.
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+        }
+        // Every bucket's lower bound maps back to itself.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i, "bucket {i}");
+        }
+        // Monotone across octave boundaries and to the top.
+        let probes = [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            65,
+            100,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for pair in probes.windows(2) {
+            assert!(bucket_index(pair[0]) <= bucket_index(pair[1]));
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_sub_bucket_width() {
+        for v in [100u64, 999, 12_345, 1 << 30, 987_654_321_000] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v);
+            // Quantization error under 1/32 of the value.
+            assert!(v - lb <= v / 32, "v={v} lb={lb}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        // p50 of 1..=1000 is 500 (nearest-rank); answers are bucket
+        // lower bounds so compare at bucket granularity.
+        assert_eq!(bucket_index(s.p50()), bucket_index(500));
+        assert_eq!(bucket_index(s.p99()), bucket_index(990));
+        assert_eq!(bucket_index(s.p999()), bucket_index(999));
+        assert_eq!(HistogramSnapshot::empty().p50(), 0);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            whole.record(v * 3);
+        }
+        for v in 0..500u64 {
+            b.record(v * 7 + 1);
+            whole.record(v * 7 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn recording_is_safe_under_contention() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let h = std::sync::Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 97);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.snapshot().count(), 80_000);
+    }
+}

@@ -1,0 +1,128 @@
+//! The slow-query log: a bounded, always-sorted record of the worst
+//! requests the process served, each with its per-stage latency
+//! breakdown — the thing you read when the p99 moved and the
+//! histograms only say *that* it moved, not *which requests* paid it.
+
+use std::sync::Mutex;
+
+use crate::span::TraceId;
+
+/// One captured slow request.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request's trace id (see [`TraceId`]).
+    pub trace: TraceId,
+    /// The route served (`GET /search`, …).
+    pub route: String,
+    /// End-to-end nanoseconds.
+    pub total_ns: u64,
+    /// Stage breakdown in pipeline order: (stage name, nanoseconds).
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+/// Keeps the `capacity` worst requests seen so far, ordered
+/// worst-first. [`SlowLog::record`] is a short critical section (one
+/// comparison in the common fast-request case); reads snapshot.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A log retaining the `capacity` slowest requests.
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offers one finished request. Kept only if the log has room or
+    /// the request is slower than the current fastest entry.
+    pub fn record(&self, entry: SlowEntry) {
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() >= self.capacity
+            && entries
+                .last()
+                .is_some_and(|worst| entry.total_ns <= worst.total_ns)
+        {
+            return;
+        }
+        let at = entries
+            .binary_search_by(|e| entry.total_ns.cmp(&e.total_ns))
+            .unwrap_or_else(|at| at);
+        entries.insert(at, entry);
+        entries.truncate(self.capacity);
+    }
+
+    /// The current worst-first entries.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slow log poisoned").clone()
+    }
+
+    /// Renders the log as a JSON array, worst request first — the
+    /// `GET /debug/slow` body. Integer fields and fixed key order
+    /// keep equal states byte-identical, matching the serving
+    /// layer's serialization discipline.
+    pub fn render_json(&self) -> String {
+        let entries = self.snapshot();
+        let mut out = String::from("[");
+        for (i, entry) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"trace\":\"{}\",\"route\":\"{}\",\"total_ns\":{},\"stages\":{{",
+                entry.trace,
+                entry.route.replace('"', "'"),
+                entry.total_ns
+            ));
+            for (j, (stage, ns)) in entry.stages.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{stage}\":{ns}"));
+            }
+            out.push_str("}}");
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(total_ns: u64) -> SlowEntry {
+        SlowEntry {
+            trace: TraceId(total_ns),
+            route: "GET /search".to_string(),
+            total_ns,
+            stages: vec![("handle_ns", total_ns / 2), ("write_ns", total_ns / 4)],
+        }
+    }
+
+    #[test]
+    fn keeps_the_worst_n_in_order() {
+        let log = SlowLog::new(3);
+        for total in [50, 10, 99, 5, 70, 60] {
+            log.record(entry(total));
+        }
+        let kept: Vec<u64> = log.snapshot().iter().map(|e| e.total_ns).collect();
+        assert_eq!(kept, vec![99, 70, 60]);
+    }
+
+    #[test]
+    fn json_rendering_is_byte_stable_and_attributes_stages() {
+        let log = SlowLog::new(2);
+        log.record(entry(1000));
+        let one = log.render_json();
+        assert_eq!(one, log.render_json());
+        assert!(one.contains("\"total_ns\":1000"));
+        assert!(one.contains("\"handle_ns\":500"));
+        assert!(one.contains("\"write_ns\":250"));
+        assert!(one.starts_with('[') && one.ends_with(']'));
+    }
+}

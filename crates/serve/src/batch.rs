@@ -20,7 +20,6 @@
 //!
 //! [`ShardedEngine::search_many`]: dash_core::ShardedEngine::search_many
 
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -47,7 +46,8 @@ pub(crate) fn run(
     let max_batch = max_batch.max(1);
     while let Ok(first) = jobs.recv() {
         let mut batch = vec![first];
-        let deadline = Instant::now() + window;
+        let opened = Instant::now();
+        let deadline = opened + window;
         while batch.len() < max_batch {
             let now = Instant::now();
             if now >= deadline {
@@ -57,6 +57,14 @@ pub(crate) fn run(
                 Ok(job) => batch.push(job),
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+        // Window occupancy: time spent collecting after the first job.
+        // Near the configured window means batches close on time, well
+        // under it means the size cap fires first.
+        if shared.batch_window_ns.is_enabled() {
+            shared
+                .batch_window_ns
+                .record(opened.elapsed().as_nanos() as u64);
         }
         serve_batch(&shared, batch);
     }
@@ -80,10 +88,9 @@ fn serve_batch(shared: &ServerShared, batch: Vec<Job>) {
     }
     let snapshot = shared.handle.snapshot();
     let results = snapshot.engine.search_many(&unique);
-    shared.batches.fetch_add(1, Ordering::Relaxed);
-    shared
-        .batched_requests
-        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    shared.batches.inc();
+    shared.batched_requests.add(batch.len() as u64);
+    shared.batch_size.record(batch.len() as u64);
     if shared.cache.enabled() {
         for (request, hits) in unique.iter().zip(&results) {
             let groups = snapshot.engine.keyword_groups(&request.keywords);

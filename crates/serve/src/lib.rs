@@ -65,7 +65,6 @@ pub mod cache;
 pub mod loadgen;
 pub mod snapshot;
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -76,6 +75,7 @@ use dash_core::{
     env_shards, DashConfig, DeltaSignature, Fragment, IndexDelta, IngestSource, RecordChange,
     RefreshStats, Result, SearchHit, SearchRequest, ShardedEngine,
 };
+use dash_obs::{render_merged, Counter, Histogram, Registry, SpanGuard};
 use dash_relation::{Database, Record};
 use dash_webapp::WebApplication;
 use parking_lot::Mutex;
@@ -353,11 +353,32 @@ pub(crate) struct ServerShared {
     pub(crate) handle: SnapshotHandle,
     pub(crate) cache: ResultCache,
     writer: Mutex<WriterSide>,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_requests: AtomicU64,
-    published: AtomicU64,
-    searches: AtomicU64,
-    feed_evictions: AtomicU64,
+    /// Per-server metrics registry — the single source the `/stats`
+    /// counters and the `/metrics` exposition both read, so the two
+    /// endpoints can never disagree. Per-instance on purpose: tests
+    /// run many servers per process and each keeps its own tallies.
+    registry: Arc<Registry>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) batched_requests: Arc<Counter>,
+    published: Arc<Counter>,
+    searches: Arc<Counter>,
+    feed_evictions: Arc<Counter>,
+    /// End-to-end `DashServer::search` latency (cache lookup + batch
+    /// wait + engine time).
+    search_ns: Arc<Histogram>,
+    /// Requests per served micro-batch (the achieved batching factor's
+    /// distribution, not just its mean).
+    pub(crate) batch_size: Arc<Histogram>,
+    /// How long each batch actually spent collecting after its first
+    /// job arrived — window occupancy; at the configured window means
+    /// the size cap never fired.
+    pub(crate) batch_window_ns: Arc<Histogram>,
+    /// Publish critical path: signature + shadow apply + cache
+    /// invalidation + atomic snapshot swap.
+    swap_ns: Arc<Histogram>,
+    /// Publish→drain grace: waiting out the retired snapshot's readers
+    /// (or forking on bailout) plus the lockstep replay.
+    drain_ns: Arc<Histogram>,
     /// Replication taps fed on every publication (closed and lagging
     /// ones pruned).
     taps: Mutex<Vec<Tap>>,
@@ -444,6 +465,7 @@ impl DashServer {
     /// same epochs as the primary's.
     pub fn from_engine_at_epoch(engine: ShardedEngine, serve: ServeConfig, epoch: u64) -> Self {
         let shadow = engine.fork();
+        let registry = Arc::new(Registry::new());
         let shared = Arc::new(ServerShared {
             handle: SnapshotHandle::new(engine, epoch),
             cache: ResultCache::new(serve.cache_capacity, serve.cache_hit_budget),
@@ -451,11 +473,17 @@ impl DashServer {
                 shadow: Some(shadow),
                 epoch,
             }),
-            batches: AtomicU64::new(0),
-            batched_requests: AtomicU64::new(0),
-            published: AtomicU64::new(0),
-            searches: AtomicU64::new(0),
-            feed_evictions: AtomicU64::new(0),
+            batches: registry.counter("dash_serve_batches_total"),
+            batched_requests: registry.counter("dash_serve_batched_requests_total"),
+            published: registry.counter("dash_serve_published_total"),
+            searches: registry.counter("dash_serve_searches_total"),
+            feed_evictions: registry.counter("dash_serve_feed_evictions_total"),
+            search_ns: registry.histogram("dash_serve_search_ns"),
+            batch_size: registry.histogram("dash_serve_batch_size"),
+            batch_window_ns: registry.histogram("dash_serve_batch_window_ns"),
+            swap_ns: registry.histogram("dash_serve_swap_ns"),
+            drain_ns: registry.histogram("dash_serve_drain_ns"),
+            registry,
             taps: Mutex::new(Vec::new()),
             delta_log: Mutex::new(DeltaLog::new(serve.delta_log)),
             feed_depth: serve.feed_depth,
@@ -483,7 +511,8 @@ impl DashServer {
         if request.k == 0 || request.keywords.is_empty() {
             return Vec::new();
         }
-        self.shared.searches.fetch_add(1, Ordering::Relaxed);
+        let _span = SpanGuard::start(&self.shared.search_ns);
+        self.shared.searches.inc();
         if let Some(hits) = self.shared.cache.get(request) {
             return hits;
         }
@@ -504,7 +533,7 @@ impl DashServer {
     /// here: bumps the search and cache-hit counters so `/stats` keeps
     /// reporting every served search, wherever the bytes came from.
     pub fn count_cache_hit(&self) {
-        self.shared.searches.fetch_add(1, Ordering::Relaxed);
+        self.shared.searches.inc();
         self.shared.cache.note_hit();
     }
 
@@ -520,7 +549,7 @@ impl DashServer {
                 results.push(Some(Vec::new()));
                 continue;
             }
-            self.shared.searches.fetch_add(1, Ordering::Relaxed);
+            self.shared.searches.inc();
             if let Some(hits) = self.shared.cache.get(request) {
                 results.push(Some(hits));
                 continue;
@@ -643,6 +672,7 @@ impl DashServer {
         if delta.is_empty() {
             return (RefreshStats::default(), writer.epoch);
         }
+        let swap_span = SpanGuard::start(&self.shared.swap_ns);
         let mut shadow = writer
             .shadow
             .take()
@@ -662,6 +692,7 @@ impl DashServer {
             epoch: writer.epoch,
         });
         let retired = self.shared.handle.swap(Arc::clone(&next));
+        drop(swap_span);
         // Grace period: wait out the retired snapshot's readers and
         // replay the delta so the next publication starts in lockstep.
         // The wait is bounded: a caller may legitimately hold a
@@ -681,6 +712,7 @@ impl DashServer {
             let taps = self.shared.taps.lock();
             (log_enabled || !taps.is_empty()).then(|| delta.clone())
         };
+        let drain_span = SpanGuard::start(&self.shared.drain_ns);
         match try_drain(retired, DRAIN_ATTEMPTS) {
             Some(mut retired) => {
                 retired.engine.apply_delta(delta);
@@ -688,7 +720,8 @@ impl DashServer {
             }
             None => writer.shadow = Some(next.engine.fork()),
         }
-        self.shared.published.fetch_add(1, Ordering::Relaxed);
+        drop(drain_span);
+        self.shared.published.inc();
         // Record the publication in the delta log and feed the
         // replication taps (still under the writer lock, so every tap
         // sees publications in epoch order with no gaps). Sends never
@@ -716,9 +749,7 @@ impl DashServer {
                 TapFeed::Closed => false,
             });
             if evicted > 0 {
-                self.shared
-                    .feed_evictions
-                    .fetch_add(evicted, Ordering::Relaxed);
+                self.shared.feed_evictions.add(evicted);
             }
         }
         (stats, writer.epoch)
@@ -805,21 +836,68 @@ impl DashServer {
         self.shared.handle.snapshot().engine.fragment_count()
     }
 
-    /// A copy of the serving counters.
+    /// A copy of the serving counters, read from the same registry
+    /// handles `/metrics` renders — the two views cannot drift.
     pub fn stats(&self) -> ServeStats {
         ServeStats {
             cache: self.shared.cache.stats(),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            batched_requests: self.shared.batched_requests.load(Ordering::Relaxed),
-            published: self.shared.published.load(Ordering::Relaxed),
-            searches: self.shared.searches.load(Ordering::Relaxed),
-            feed_evictions: self.shared.feed_evictions.load(Ordering::Relaxed),
+            batches: self.shared.batches.get(),
+            batched_requests: self.shared.batched_requests.get(),
+            published: self.shared.published.get(),
+            searches: self.shared.searches.get(),
+            feed_evictions: self.shared.feed_evictions.get(),
         }
     }
 
     /// Live result-cache entry count.
     pub fn cached_results(&self) -> usize {
         self.shared.cache.len()
+    }
+
+    /// This server's metrics registry. Per-instance, so two servers
+    /// in one process (a replica mirroring a primary, tests) never
+    /// mix their numbers; disable recording for the span fast path
+    /// via `registry().set_enabled(false)`.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Mirrors the result cache's counters into this server's registry
+    /// as `dash_serve_cache_*` gauges. Called at scrape time by
+    /// [`DashServer::metrics_text`] (and by the socket front-end's
+    /// `/metrics`, which merges this registry into its own exposition).
+    pub fn refresh_scrape_gauges(&self) {
+        let registry = &self.shared.registry;
+        let cache = self.shared.cache.stats();
+        registry.gauge("dash_serve_cache_hits").set(cache.hits);
+        registry.gauge("dash_serve_cache_misses").set(cache.misses);
+        registry
+            .gauge("dash_serve_cache_insertions")
+            .set(cache.insertions);
+        registry
+            .gauge("dash_serve_cache_rejected_stale")
+            .set(cache.rejected_stale);
+        registry
+            .gauge("dash_serve_cache_invalidated")
+            .set(cache.invalidated);
+        registry
+            .gauge("dash_serve_cache_evicted")
+            .set(cache.evicted);
+        registry
+            .gauge("dash_serve_cache_rejected_oversize")
+            .set(cache.rejected_oversize);
+        registry
+            .gauge("dash_serve_cached_results")
+            .set(self.shared.cache.len() as u64);
+    }
+
+    /// Renders the Prometheus text exposition behind `GET /metrics`:
+    /// this server's registry merged with [`Registry::global`] (the
+    /// shard/replication/ingest layers record there), with the result
+    /// cache's counters mirrored in at scrape time.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_scrape_gauges();
+        render_merged(&[&self.shared.registry, Registry::global()])
     }
 }
 
@@ -865,6 +943,43 @@ mod tests {
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.cache.misses, 1);
         assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn stats_and_the_metrics_registry_agree() {
+        // `/stats` and `/metrics` must be two views of the same
+        // handles: every counter `stats()` reports equals the series
+        // of the same name in the registry, and both appear in the
+        // rendered exposition.
+        let server = server(2);
+        let request = SearchRequest::new(&["burger"]).k(2).min_size(20);
+        server.search(&request);
+        server.search(&request);
+        server.publish(IndexDelta::adding(vec![Fragment::new(
+            FragmentId::new(vec![Value::str("Nordic"), Value::Int(7)]),
+            [("herring".to_string(), 3u64)].into_iter().collect(),
+            1,
+        )]));
+        let stats = server.stats();
+        let registry = server.registry();
+        for (name, got) in [
+            ("dash_serve_searches_total", stats.searches),
+            ("dash_serve_batches_total", stats.batches),
+            ("dash_serve_batched_requests_total", stats.batched_requests),
+            ("dash_serve_published_total", stats.published),
+            ("dash_serve_feed_evictions_total", stats.feed_evictions),
+        ] {
+            assert_eq!(registry.counter(name).get(), got, "{name}");
+        }
+        assert_eq!(stats.searches, 2);
+        assert_eq!(stats.published, 1);
+        let text = server.metrics_text();
+        assert!(text.contains("dash_serve_searches_total 2"), "{text}");
+        assert!(text.contains("dash_serve_cache_hits 1"), "{text}");
+        assert!(
+            text.contains("dash_serve_search_ns{quantile=\"0.99\"}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -171,6 +171,10 @@ pub struct LoadReport {
     pub qps: f64,
     /// Serving-layer counters after the run.
     pub stats: ServeStats,
+    /// Per-stage latency table rendered from the server's `/metrics`
+    /// registry after the run (`dash_obs::expo::stage_table`) — where
+    /// the p99 lives, not just that it exists.
+    pub stage_table: String,
 }
 
 impl LoadReport {
@@ -254,6 +258,9 @@ pub fn run(
         p99_ns: percentile(&latencies, 99),
         qps: searches as f64 / elapsed.as_secs_f64().max(1e-9),
         stats: server.stats(),
+        stage_table: dash_obs::expo::stage_table(&dash_obs::expo::parse_summaries(
+            &server.metrics_text(),
+        )),
     }
 }
 

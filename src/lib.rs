@@ -22,6 +22,7 @@
 //! | [`webapp`] | `dash-webapp` | servlet mini-language, app analyzer, query strings, db-page rendering |
 //! | [`text`] | `dash-text` | tokenizer, TF/IDF, conventional inverted file |
 //! | [`tpch`] | `dash-tpch` | TPC-H-style dataset generator + the paper's Q1/Q2/Q3 |
+//! | [`obs`] | `dash-obs` | pure-std observability: lock-free latency histograms, counters/gauges, spans, the slow-query log, the Prometheus text exposition |
 //! | [`core`] | `dash-core` | fragments, crawling (stepwise & integrated), fragment index, top-k search, the engine-ingest layer (one builder front door + the distributed fault-tolerant mapreduce build) |
 //! | [`serve`] | `dash-serve` | snapshot-swapping serving front-end: result cache, micro-batching, closed-loop load harness |
 //! | [`net`] | `dash-net` | socket serving: HTTP/1.1 front-end, primary→replica delta replication over TCP, socket client + load harness |
@@ -52,6 +53,7 @@
 pub use dash_core as core;
 pub use dash_mapreduce as mapreduce;
 pub use dash_net as net;
+pub use dash_obs as obs;
 pub use dash_relation as relation;
 pub use dash_serve as serve;
 pub use dash_sql as sql;

@@ -273,7 +273,7 @@ fn dropping_one_replica_leaves_the_others_registered() {
 fn replica_bootstrapped_from_arena_image_alone_serves_identical_bytes() {
     // The SNAPSHOT frame ships an arena image
     // (`ShardedEngine::write_image`); the replica reconstructs its
-    // engine with `from_image`, no parse-and-rebuild. This test keeps
+    // engine with `IngestSource::Image`, no parse-and-rebuild. This test keeps
     // the delta stream silent after the join, so every served byte is
     // evidence about the image path alone: one bootstrap, zero applied
     // deltas, and the battery byte-identical to a fresh engine over
